@@ -1,0 +1,87 @@
+"""Feature-group ablation — which Table II features carry the signal?
+
+The paper motivates three feature groups (critical-path depths, fanout
+statistics, per-output path counts) from the two sources of proxy/ground-truth
+miscorrelation.  This benchmark retrains the delay model with each group
+removed (and with only the bare proxy features) and reports the unseen-design
+error, quantifying how much each group contributes beyond the plain
+node-count/level proxies.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.ml.gbdt import GradientBoostingRegressor
+from repro.ml.metrics import percent_error_stats
+
+FEATURE_GROUPS = {
+    "depths": lambda name: "path_depth" in name,
+    "fanout stats": lambda name: name.startswith("fanout_") or name.startswith("long_path_fanout_"),
+    "path counts": lambda name: name.startswith("num_of_paths"),
+}
+
+
+def _column_indices(names, predicate):
+    return [i for i, name in enumerate(names) if predicate(name)]
+
+
+def _train_and_score(features, labels, corpora, columns, train_designs, test_designs, params):
+    train_rows = features
+    model = GradientBoostingRegressor(params, rng=0)
+    model.fit(train_rows[:, columns], labels)
+    errors = []
+    for design in test_designs:
+        corpus = corpora[design]
+        predictions = model.predict(corpus.features[:, columns])
+        errors.append(percent_error_stats(corpus.delays_ps, predictions).mean)
+    return float(np.mean(errors))
+
+
+def test_feature_group_ablation(benchmark, bench_config, bench_corpora, save_result):
+    generator, corpora = bench_corpora
+    dataset = generator.to_dataset(corpora)
+    train = dataset.for_designs(bench_config.train_designs)
+    names = dataset.feature_names
+    all_columns = list(range(len(names)))
+    test_designs = [d for d in bench_config.test_designs if d in corpora]
+    params = bench_config.gbdt_params
+
+    def run():
+        rows = []
+        full_error = _train_and_score(
+            train.features, train.labels, corpora, all_columns,
+            bench_config.train_designs, test_designs, params,
+        )
+        rows.append(("all Table II features", len(all_columns), full_error))
+
+        for group, predicate in FEATURE_GROUPS.items():
+            removed = _column_indices(names, predicate)
+            kept = [i for i in all_columns if i not in removed]
+            error = _train_and_score(
+                train.features, train.labels, corpora, kept,
+                bench_config.train_designs, test_designs, params,
+            )
+            rows.append((f"without {group}", len(kept), error))
+
+        proxy_columns = [names.index("number_of_node"), names.index("aig_level")]
+        proxy_error = _train_and_score(
+            train.features, train.labels, corpora, proxy_columns,
+            bench_config.train_designs, test_designs, params,
+        )
+        rows.append(("proxy features only (nodes, level)", len(proxy_columns), proxy_error))
+        return rows, full_error, proxy_error
+
+    rows, full_error, proxy_error = run_once(benchmark, run)
+
+    table = format_table(
+        ["feature set", "#features", "unseen-design mean %err"],
+        rows,
+        title="Feature-group ablation (delay model, unseen designs)",
+    )
+    save_result("feature_ablation", table)
+
+    # The full Table II feature set must not be worse than the bare proxies.
+    assert full_error <= proxy_error * 1.05

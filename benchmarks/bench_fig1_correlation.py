@@ -1,0 +1,25 @@
+"""Fig. 1 benchmark — proxy (AIG level) vs post-mapping delay correlation.
+
+Paper reference: Pearson correlation ~0.74 on a multiplier's AIG variants,
+with the best post-mapping delay not at the minimum level.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig1_correlation import run_fig1_correlation
+
+
+def test_fig1_proxy_correlation(benchmark, bench_config, save_result):
+    samples = max(bench_config.samples_per_design, 24)
+
+    result = run_once(
+        benchmark,
+        lambda: run_fig1_correlation(design="mult", samples=samples, seed=bench_config.seed),
+    )
+
+    save_result("fig1_correlation", result.format_table())
+    # Shape checks mirroring the paper's observations: the proxy is positively
+    # but imperfectly correlated with the true delay.
+    assert 0.0 < result.pearson < 1.0
+    assert result.best_delay_ps <= result.delay_at_min_level_ps
+    assert len(result.levels) >= 10

@@ -1,0 +1,32 @@
+"""Extension benchmark — learning curve over the training-set size.
+
+The paper trains on 40 000 variants per design; this harness defaults to a
+few dozen.  The learning curve quantifies the accuracy cost of that scaling
+knob: unseen-design error at increasing samples-per-design, reusing the same
+labelled corpora for every point.
+"""
+
+from conftest import run_once
+
+from repro.experiments.learning_curve import run_learning_curve
+
+
+def test_learning_curve(benchmark, bench_config, bench_corpora, save_result):
+    _, corpora = bench_corpora
+    largest = bench_config.samples_per_design
+    counts = sorted({max(4, largest // 4), max(6, largest // 2), largest})
+
+    result = run_once(
+        benchmark,
+        lambda: run_learning_curve(bench_config, sample_counts=counts, corpora=corpora),
+    )
+
+    save_result("learning_curve", result.format_table())
+
+    assert len(result.points) == len(counts)
+    # More data must not make the unseen-design error dramatically worse:
+    # the largest training set should be within 25% of the best point seen.
+    final = result.points[-1].test_error_percent
+    assert final <= result.best_test_error * 1.25 + 1.0
+    # Training error stays small at every size (the model can fit its data).
+    assert all(point.train_error_percent < 25.0 for point in result.points)

@@ -1,0 +1,137 @@
+"""Model ablation benchmark — boosted trees vs GNN and simpler baselines.
+
+Paper reference (Sec. III-B): a GNN-based predictor is ~2 % worse on average
+than the decision-tree model and considerably more expensive to train,
+because graph-level statistics already capture what matters for max-delay
+prediction.  This benchmark trains the gradient-boosted model, the GNN-style
+model, a random forest, a ridge regression, and an MLP on the same training
+designs and compares their unseen-design errors and training times.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.ml.forest import ForestParams, RandomForestRegressor
+from repro.ml.gnn import GnnDelayRegressor, GnnParams
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import percent_error_stats
+from repro.ml.mlp import MlpParams, MlpRegressor
+from repro.ml.gbdt import GradientBoostingRegressor
+
+
+def _evaluate_tabular(model, corpora, designs):
+    errors = []
+    for design in designs:
+        corpus = corpora[design]
+        stats = percent_error_stats(corpus.delays_ps, model.predict(corpus.features))
+        errors.append(stats.mean)
+    return float(np.mean(errors))
+
+
+def test_model_ablation(benchmark, bench_config, bench_corpora, save_result):
+    generator, corpora = bench_corpora
+    dataset = generator.to_dataset(corpora)
+    train = dataset.for_designs(bench_config.train_designs)
+    train_designs = list(bench_config.train_designs)
+    test_designs = [d for d in bench_config.test_designs if d in corpora]
+
+    def run():
+        rows = []
+
+        start = time.perf_counter()
+        gbdt = GradientBoostingRegressor(bench_config.gbdt_params, rng=0)
+        gbdt.fit(train.features, train.labels)
+        gbdt_seconds = time.perf_counter() - start
+        rows.append(
+            (
+                "gbdt (paper's model)",
+                _evaluate_tabular(gbdt, corpora, train_designs),
+                _evaluate_tabular(gbdt, corpora, test_designs),
+                gbdt_seconds,
+            )
+        )
+
+        start = time.perf_counter()
+        gnn = GnnDelayRegressor(GnnParams(hops=3, epochs=250), rng=0)
+        train_aigs = [aig for d in train_designs for aig in corpora[d].aigs]
+        train_delays = np.concatenate([corpora[d].delays_ps for d in train_designs])
+        gnn.fit(train_aigs, train_delays)
+        gnn_seconds = time.perf_counter() - start
+        gnn_train_err = float(
+            np.mean(
+                [
+                    percent_error_stats(
+                        corpora[d].delays_ps, gnn.predict(corpora[d].aigs)
+                    ).mean
+                    for d in train_designs
+                ]
+            )
+        )
+        gnn_test_err = float(
+            np.mean(
+                [
+                    percent_error_stats(
+                        corpora[d].delays_ps, gnn.predict(corpora[d].aigs)
+                    ).mean
+                    for d in test_designs
+                ]
+            )
+        )
+        rows.append(("gnn (message passing)", gnn_train_err, gnn_test_err, gnn_seconds))
+
+        start = time.perf_counter()
+        forest = RandomForestRegressor(ForestParams(n_estimators=80, max_depth=8), rng=0)
+        forest.fit(train.features, train.labels)
+        rows.append(
+            (
+                "random forest",
+                _evaluate_tabular(forest, corpora, train_designs),
+                _evaluate_tabular(forest, corpora, test_designs),
+                time.perf_counter() - start,
+            )
+        )
+
+        start = time.perf_counter()
+        ridge = RidgeRegressor(alpha=1.0).fit(train.features, train.labels)
+        rows.append(
+            (
+                "ridge regression",
+                _evaluate_tabular(ridge, corpora, train_designs),
+                _evaluate_tabular(ridge, corpora, test_designs),
+                time.perf_counter() - start,
+            )
+        )
+
+        start = time.perf_counter()
+        mlp = MlpRegressor(MlpParams(hidden_sizes=(64, 32), epochs=200), rng=0)
+        mlp.fit(train.features, train.labels)
+        rows.append(
+            (
+                "mlp",
+                _evaluate_tabular(mlp, corpora, train_designs),
+                _evaluate_tabular(mlp, corpora, test_designs),
+                time.perf_counter() - start,
+            )
+        )
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    table = format_table(
+        ["model", "train mean %err", "test mean %err", "training s"],
+        rows,
+        title="Model ablation — delay prediction (cf. paper Sec. III-B)",
+    )
+    save_result("model_ablation", table)
+
+    by_name = {row[0]: row for row in rows}
+    gbdt_test = by_name["gbdt (paper's model)"][2]
+    ridge_test = by_name["ridge regression"][2]
+    # The boosted trees must beat the linear baseline on unseen designs, and
+    # must not be clearly worse than the GNN (the paper found the opposite
+    # ordering: trees slightly ahead).
+    assert gbdt_test <= ridge_test * 1.1
+    assert by_name["gbdt (paper's model)"][1] <= by_name["gnn (message passing)"][1] * 1.2

@@ -1,0 +1,23 @@
+"""Extension benchmark — post-mapping optimization across the eight designs.
+
+Validates the synthesis substrate beyond the paper's scope: gate sizing and
+fanout buffering on the mapped netlists must never degrade delay and should
+recover a measurable amount on the larger designs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.postopt_study import run_postopt_study
+
+
+def test_postopt_study(benchmark, bench_config, save_result):
+    result = run_once(
+        benchmark, lambda: run_postopt_study(bench_config, designs=bench_config.all_designs())
+    )
+
+    save_result("postopt_study", result.format_table())
+
+    assert len(result.rows) == len(bench_config.all_designs())
+    for row in result.rows:
+        assert row.delay_after_ps <= row.delay_before_ps + 1e-6
+    assert result.mean_delay_improvement_percent >= 0.0

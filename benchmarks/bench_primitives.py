@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the per-iteration primitives.
+
+These are the operations whose relative cost drives Fig. 2 and Table IV:
+graph processing (proxy metrics), feature extraction + ML inference, and
+technology mapping + STA.  Unlike the table/figure benchmarks these use
+pytest-benchmark's normal repeated measurement, so the numbers are stable
+enough to compare across machines and library versions.
+"""
+
+import pytest
+
+from repro.designs.registry import build_design
+from repro.evaluation import GroundTruthEvaluator
+from repro.features.extract import FeatureExtractor
+from repro.library.sky130_lite import load_sky130_lite
+from repro.mapping.mapper import TechnologyMapper
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.sta.analysis import analyze_timing
+from repro.transforms.engine import apply_script
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    return build_design("EX68")
+
+
+@pytest.fixture(scope="module")
+def large_design():
+    return build_design("EX16")
+
+
+@pytest.fixture(scope="module")
+def library():
+    return load_sky130_lite()
+
+
+@pytest.fixture(scope="module")
+def trained_small_model(small_design):
+    extractor = FeatureExtractor()
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    base = extractor.extract(small_design)
+    features = base + rng.normal(0.0, 0.05 * (np.abs(base) + 1.0), size=(64, base.size))
+    labels = 1000.0 + 5.0 * features[:, 1] + rng.normal(0.0, 10.0, size=64)
+    model = GradientBoostingRegressor(GbdtParams(n_estimators=150, max_depth=5), rng=0)
+    model.fit(features, labels)
+    return model, extractor
+
+
+def test_proxy_metric_evaluation(benchmark, large_design):
+    """Baseline flow cost evaluation: depth + node count."""
+    benchmark(lambda: (large_design.depth(), large_design.num_ands))
+
+
+def test_feature_extraction(benchmark, large_design):
+    """Table II feature extraction on a large design."""
+    extractor = FeatureExtractor()
+    benchmark(extractor.extract, large_design)
+
+
+def test_ml_inference(benchmark, small_design, trained_small_model):
+    """Feature extraction + GBDT inference (the ML flow's per-iteration cost)."""
+    model, extractor = trained_small_model
+
+    def infer():
+        features = extractor.extract(small_design).reshape(1, -1)
+        return model.predict(features)[0]
+
+    benchmark(infer)
+
+
+def test_technology_mapping(benchmark, small_design, library):
+    """Cut-based mapping of a small design."""
+    mapper = TechnologyMapper(library)
+    benchmark(mapper.map, small_design)
+
+
+def test_mapping_plus_sta(benchmark, large_design, library):
+    """Full ground-truth evaluation (mapping + STA) on a large design."""
+    evaluator = GroundTruthEvaluator(library)
+    benchmark(evaluator.evaluate, large_design)
+
+
+def test_sta_only(benchmark, large_design, library):
+    """STA on an already mapped netlist."""
+    netlist = TechnologyMapper(library).map(large_design)
+    benchmark(lambda: analyze_timing(netlist, po_load_ff=library.po_load_ff))
+
+
+def test_balance_transform(benchmark, large_design):
+    """The cheapest structural transform (balance)."""
+    benchmark(lambda: apply_script(large_design, "b").aig)
+
+
+def test_compress_script(benchmark, small_design):
+    """A composite optimization script on a small design."""
+    benchmark(lambda: apply_script(small_design, "compress").aig)

@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefacts (labelled corpora for all eight designs and the
+trained delay/area models) are built once per benchmark session and shared by
+every table/figure benchmark.  Scale is controlled by environment variables
+so the same harness can run a quick smoke pass or a paper-scale run:
+
+* ``REPRO_BENCH_SAMPLES``  — labelled AIG variants per design (default 16)
+* ``REPRO_BENCH_SA_ITERS`` — SA iterations per optimization run (default 15)
+* ``REPRO_BENCH_RUNTIME_ITERS`` — iterations for runtime measurements (default 3)
+* ``REPRO_BENCH_PARETO_DESIGN`` — design used for the Fig. 5 sweep (default EX02)
+
+Formatted result tables are written to ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a single
+run of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GenerationConfig
+from repro.experiments.config import ExperimentConfig
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    config = ExperimentConfig.full()
+    config.samples_per_design = _env_int("REPRO_BENCH_SAMPLES", 16)
+    config.sa_iterations = _env_int("REPRO_BENCH_SA_ITERS", 15)
+    config.runtime_iterations = _env_int("REPRO_BENCH_RUNTIME_ITERS", 3)
+    config.gbdt_params = GbdtParams(
+        n_estimators=250, learning_rate=0.06, max_depth=6, subsample=0.8
+    )
+    return config
+
+
+@pytest.fixture(scope="session")
+def pareto_design() -> str:
+    """Design used for the Fig. 5 Pareto sweep (a test design, as in the paper)."""
+    return os.environ.get("REPRO_BENCH_PARETO_DESIGN", "EX02")
+
+
+@pytest.fixture(scope="session")
+def bench_corpora(bench_config):
+    """Labelled AIG variants for all eight designs (generated once)."""
+    generator = DatasetGenerator(
+        GenerationConfig(samples_per_design=bench_config.samples_per_design, seed=bench_config.seed)
+    )
+    corpora = generator.generate(bench_config.all_designs(), rng=bench_config.seed)
+    return generator, corpora
+
+
+@pytest.fixture(scope="session")
+def bench_models(bench_config, bench_corpora):
+    """Delay and area models trained on the training-design corpora."""
+    generator, corpora = bench_corpora
+    dataset = generator.to_dataset(corpora)
+    train = dataset.for_designs(bench_config.train_designs)
+    delay_model = GradientBoostingRegressor(bench_config.gbdt_params, rng=bench_config.seed)
+    delay_model.fit(train.features, train.labels)
+    area_model = GradientBoostingRegressor(bench_config.gbdt_params, rng=bench_config.seed + 1)
+    area_model.fit(train.features, np.asarray(train.areas, dtype=np.float64))
+    return delay_model, area_model
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Callable that persists a formatted result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+def run_once(benchmark, function):
+    """Run *function* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare the three AIG optimization flows on one design (Fig. 3 / Fig. 5).
+
+Runs the baseline (proxy-metric) flow, the ground-truth flow (mapping + STA
+in the loop), and the ML-enhanced flow on the same design with the same
+annealing budget, then reports the ground-truth delay/area each flow reaches
+and the per-iteration cost that got it there.
+
+Run with:  python examples/optimize_design.py [--design EX68] [--iterations 25]
+"""
+
+import argparse
+
+from repro.datagen import DatasetGenerator, GenerationConfig
+from repro.designs import build_design
+from repro.experiments.report import format_table
+from repro.ml import GbdtParams, GradientBoostingRegressor
+from repro.opt import AnnealingConfig, BaselineFlow, GroundTruthFlow, MlFlow
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="EX68", help="EXxx design name or 'mult'")
+    parser.add_argument("--iterations", type=int, default=25, help="SA iterations per flow")
+    parser.add_argument("--samples", type=int, default=20, help="training variants for the ML model")
+    parser.add_argument("--seed", type=int, default=3)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    aig = build_design(args.design)
+    print(f"optimizing {args.design}: {aig.num_ands} AND nodes, depth {aig.depth()}")
+
+    # Train the delay/area predictors on perturbed variants of this design
+    # (in a production setting the model would come from the shared training
+    # designs; see examples/train_timing_model.py).
+    generator = DatasetGenerator(GenerationConfig(samples_per_design=args.samples, seed=args.seed))
+    corpus = generator.generate_for_aig(args.design, aig, rng=args.seed)
+    delay_model = GradientBoostingRegressor(
+        GbdtParams(n_estimators=200, max_depth=5, learning_rate=0.08), rng=0
+    ).fit(corpus.features, corpus.delays_ps)
+    area_model = GradientBoostingRegressor(
+        GbdtParams(n_estimators=200, max_depth=5, learning_rate=0.08), rng=1
+    ).fit(corpus.features, corpus.areas_um2)
+
+    config = AnnealingConfig(iterations=args.iterations, seed=args.seed)
+    flows = [
+        BaselineFlow(),
+        GroundTruthFlow(),
+        MlFlow(delay_model, area_model=area_model),
+    ]
+    rows = []
+    for flow in flows:
+        result = flow.run(aig, config=config, delay_weight=2.0, area_weight=1.0, rng=args.seed)
+        annealing = result.annealing
+        rows.append(
+            (
+                flow.name,
+                f"{result.delay_ps:.1f}",
+                f"{result.area_um2:.1f}",
+                f"{annealing.accepted_moves}/{annealing.iterations_run}",
+                f"{annealing.seconds_per_iteration():.3f}",
+                f"{annealing.stage_timer.mean('evaluation') * 1000:.2f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "flow",
+                "best delay (ps)",
+                "best area (um2)",
+                "accepted",
+                "s/iteration",
+                "eval ms/iter",
+            ],
+            rows,
+            title="Three-flow comparison (ground-truth PPA of the best AIG found)",
+        )
+    )
+    print(
+        "\nThe ML flow should track the ground-truth flow's quality while its "
+        "per-evaluation cost stays close to the baseline's."
+    )
+
+
+if __name__ == "__main__":
+    main()

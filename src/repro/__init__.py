@@ -1,0 +1,18 @@
+"""repro: reproduction of "ML-Based AIG Timing Prediction to Enhance Logic Optimization".
+
+The package is organised as a set of substrates (AIG core, transformations,
+standard-cell library, technology mapping, STA) topped by the paper's
+contribution (graph-level feature extraction, gradient-boosted delay
+prediction, and the ML-enhanced simulated-annealing optimization flow).
+
+Quickstart
+----------
+>>> from repro.designs import build_design
+>>> aig = build_design("EX68", seed=1)
+>>> aig.num_pis
+14
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

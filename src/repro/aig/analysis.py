@@ -1,0 +1,159 @@
+"""Structural analysis of AIGs: levels, depths per output, path counts.
+
+These routines underpin both the proxy metrics used by the baseline
+optimization flow (AIG depth and node count) and the richer graph-level
+features of Table II in the paper (per-output depths, fanout-weighted depths,
+path counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.aig.graph import Aig
+from repro.aig.literals import literal_var
+
+
+@dataclass(frozen=True)
+class DepthReport:
+    """Per-output depth summary of an AIG."""
+
+    po_depths: Tuple[int, ...]
+    max_depth: int
+
+    def top(self, n: int) -> List[int]:
+        """The *n* largest PO depths, padded with zeros if needed."""
+        ordered = sorted(self.po_depths, reverse=True)
+        ordered += [0] * max(0, n - len(ordered))
+        return ordered[:n]
+
+
+def node_levels(aig: Aig) -> List[int]:
+    """Unweighted level of every variable (PIs at level 0)."""
+    return aig.levels()
+
+
+def weighted_node_levels(aig: Aig, weights: Sequence[float]) -> List[float]:
+    """Longest weighted path from any PI to each variable.
+
+    The weight of a node is added when the path passes *through* that node
+    (PIs included, consistent with the paper's Fig. 4 which counts the PI
+    node and excludes the PO marker).
+    """
+    level = [0.0] * aig.size
+    for var in aig.pi_vars:
+        level[var] = float(weights[var])
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        best = max(level[literal_var(f0)], level[literal_var(f1)])
+        level[var] = best + float(weights[var])
+    return level
+
+
+def po_depths(aig: Aig) -> DepthReport:
+    """Depth (node count from PI, excluding the PO marker) of every output."""
+    level = aig.levels()
+    depths = []
+    for lit in aig.po_literals():
+        var = literal_var(lit)
+        # Count nodes on the path including the PI endpoint: a direct
+        # PI-to-PO connection has depth 1, matching Fig. 4(a) in the paper.
+        depths.append(level[var] + 1 if var != 0 else 0)
+    max_depth = max(depths) if depths else 0
+    return DepthReport(po_depths=tuple(depths), max_depth=max_depth)
+
+
+def weighted_po_depths(aig: Aig, weights: Sequence[float]) -> List[float]:
+    """Largest weighted path value reaching each primary output."""
+    level = weighted_node_levels(aig, weights)
+    return [level[literal_var(lit)] for lit in aig.po_literals()]
+
+
+def critical_path_nodes(aig: Aig) -> List[int]:
+    """Variables lying on at least one maximum-depth (critical) path.
+
+    A node is critical when its level plus the longest path from it to any
+    PO equals the graph depth.  This is the node set the paper's
+    ``long_path_fanout_*`` features aggregate over.
+    """
+    level = aig.levels()
+    size = aig.size
+    # Longest path from each node to a PO (counted in nodes below it).
+    to_po = [-1] * size
+    for lit in aig.po_literals():
+        var = literal_var(lit)
+        to_po[var] = max(to_po[var], 0)
+    for var in reversed(range(1, size)):
+        if to_po[var] < 0 or not aig.is_and(var):
+            continue
+        f0, f1 = aig.fanins(var)
+        for fanin in (literal_var(f0), literal_var(f1)):
+            to_po[fanin] = max(to_po[fanin], to_po[var] + 1)
+    depth = aig.depth()
+    critical = [
+        var
+        for var in range(1, size)
+        if to_po[var] >= 0 and level[var] + to_po[var] == depth
+    ]
+    return critical
+
+
+def count_paths_per_po(aig: Aig, cap: int = 10**12) -> List[int]:
+    """Number of distinct PI-to-PO paths reaching each primary output.
+
+    Counts are capped at *cap* to keep feature values bounded on very deep
+    graphs (path counts grow exponentially with reconvergence).
+    """
+    paths: List[int] = [0] * aig.size
+    for var in aig.pi_vars:
+        paths[var] = 1
+    paths[0] = 1  # constant node contributes a single trivial path
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        total = paths[literal_var(f0)] + paths[literal_var(f1)]
+        paths[var] = min(total, cap)
+    return [min(paths[literal_var(lit)], cap) for lit in aig.po_literals()]
+
+
+def po_cone_sizes(aig: Aig) -> List[int]:
+    """Number of AND nodes in the transitive fanin cone of each output."""
+    sizes = []
+    for lit in aig.po_literals():
+        seen = set()
+        stack = [literal_var(lit)]
+        while stack:
+            var = stack.pop()
+            if var in seen or not aig.is_and(var):
+                continue
+            seen.add(var)
+            f0, f1 = aig.fanins(var)
+            stack.append(literal_var(f0))
+            stack.append(literal_var(f1))
+        sizes.append(len(seen))
+    return sizes
+
+
+def fanout_histogram(aig: Aig) -> Dict[int, int]:
+    """Histogram mapping fanout count -> number of nodes with that fanout."""
+    histogram: Dict[int, int] = {}
+    fanouts = aig.fanout_counts()
+    for var in range(1, aig.size):
+        count = fanouts[var]
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram
+
+
+def structural_summary(aig: Aig) -> Dict[str, float]:
+    """A compact dictionary of structural statistics used in reports."""
+    fanouts = [f for var, f in enumerate(aig.fanout_counts()) if var != 0]
+    depth_report = po_depths(aig)
+    return {
+        "num_pis": float(aig.num_pis),
+        "num_pos": float(aig.num_pos),
+        "num_ands": float(aig.num_ands),
+        "depth": float(aig.depth()),
+        "max_po_depth": float(depth_report.max_depth),
+        "mean_fanout": (sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        "max_fanout": float(max(fanouts)) if fanouts else 0.0,
+    }

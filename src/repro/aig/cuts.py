@@ -1,0 +1,145 @@
+"""K-feasible cut enumeration.
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path from a
+primary input to ``n`` passes through a leaf.  A cut is *k-feasible* when it
+has at most ``k`` leaves.  Cut enumeration is the workhorse of both the
+rewriting transform (which resynthesises the logic inside a cut) and the
+technology mapper (which matches cut functions against library cells).
+
+The implementation follows the standard bottom-up merge: the cut set of an
+AND node is the pairwise union of its fanins' cut sets, filtered to k leaves,
+pruned of dominated cuts, and truncated to a per-node limit to bound runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.graph import Aig
+from repro.aig.literals import literal_var
+from repro.aig.simulate import cone_truth_table
+from repro.errors import AigError
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An immutable cut: the root variable plus a sorted tuple of leaf variables."""
+
+    root: int
+    leaves: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of *other*'s leaves."""
+        return set(self.leaves).issubset(other.leaves)
+
+    def truth_table(self, aig: Aig) -> int:
+        """Exact truth table of the root over the cut leaves."""
+        return cone_truth_table(aig, self.root * 2, self.leaves)
+
+
+def merge_cuts(a: Cut, b: Cut, root: int, k: int) -> Optional[Cut]:
+    """Union of two fanin cuts rooted at *root*; None when larger than *k*."""
+    leaves = tuple(sorted(set(a.leaves) | set(b.leaves)))
+    if len(leaves) > k:
+        return None
+    return Cut(root=root, leaves=leaves)
+
+
+def _prune_dominated(cuts: List[Cut]) -> List[Cut]:
+    """Remove cuts dominated by another (smaller) cut in the list."""
+    kept: List[Cut] = []
+    # Smaller cuts first so dominating cuts are encountered before dominated ones.
+    for cut in sorted(cuts, key=lambda c: (c.size, c.leaves)):
+        if any(existing.dominates(cut) for existing in kept):
+            continue
+        kept.append(cut)
+    return kept
+
+
+def enumerate_cuts(
+    aig: Aig,
+    k: int = 4,
+    max_cuts_per_node: int = 12,
+    include_trivial: bool = True,
+) -> Dict[int, List[Cut]]:
+    """Enumerate k-feasible cuts for every variable of *aig*.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of leaves per cut (4 by default, matching the 4-input
+        cut rewriting and cell matching used elsewhere in the library).
+    max_cuts_per_node:
+        Per-node cap on the number of stored cuts; standard priority-cut
+        style truncation keeps enumeration near-linear in practice.
+    include_trivial:
+        Whether the trivial cut ``{node}`` is kept in each node's list (the
+        mapper needs it; rewriting skips it).
+
+    Returns
+    -------
+    dict
+        Maps each variable id to its list of cuts.  PIs and the constant node
+        only carry their trivial cut.
+    """
+    if k < 2:
+        raise AigError(f"cut size k must be at least 2, got {k}")
+    cuts: Dict[int, List[Cut]] = {0: [Cut(0, (0,))]}
+    for var in aig.pi_vars:
+        cuts[var] = [Cut(var, (var,))]
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        v0, v1 = literal_var(f0), literal_var(f1)
+        merged: List[Cut] = []
+        for cut0 in cuts[v0]:
+            for cut1 in cuts[v1]:
+                candidate = merge_cuts(cut0, cut1, var, k)
+                if candidate is not None:
+                    merged.append(candidate)
+        merged = _prune_dominated(merged)
+        # Prefer smaller cuts; deterministic ordering keeps runs reproducible.
+        merged.sort(key=lambda c: (c.size, c.leaves))
+        merged = merged[:max_cuts_per_node]
+        trivial = Cut(var, (var,))
+        node_cuts = merged + [trivial] if include_trivial else merged
+        if not node_cuts:
+            node_cuts = [trivial]
+        cuts[var] = node_cuts
+    return cuts
+
+
+def best_cut_per_node(
+    cuts: Dict[int, List[Cut]], min_leaves: int = 2
+) -> Dict[int, Cut]:
+    """Pick the largest non-trivial cut per node (used by rewriting)."""
+    best: Dict[int, Cut] = {}
+    for var, node_cuts in cuts.items():
+        candidates = [c for c in node_cuts if c.size >= min_leaves and c.leaves != (var,)]
+        if candidates:
+            best[var] = max(candidates, key=lambda c: c.size)
+    return best
+
+
+def cut_volume(aig: Aig, cut: Cut) -> int:
+    """Number of AND nodes strictly inside the cut (root included, leaves excluded)."""
+    inside = set()
+    stack = [cut.root]
+    leaves = set(cut.leaves)
+    while stack:
+        var = stack.pop()
+        if var in inside or var in leaves and var != cut.root:
+            continue
+        if not aig.is_and(var):
+            continue
+        inside.add(var)
+        f0, f1 = aig.fanins(var)
+        for fanin in (literal_var(f0), literal_var(f1)):
+            if fanin not in leaves:
+                stack.append(fanin)
+    return len(inside)

@@ -1,0 +1,114 @@
+"""Combinational equivalence checking between AIGs.
+
+Logic transformations must never change the function of the design.  The
+transform engine uses these checks as a safety net: exact (exhaustive
+simulation) whenever the PI count is small enough, and random-simulation
+miter checking otherwise.  The designs used throughout the paper's
+experiments have 14-18 primary inputs, so the exact check is affordable for
+all of them; the probabilistic fallback exists for larger user designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import (
+    exhaustive_pi_patterns,
+    random_pi_patterns,
+    simulate_pos,
+)
+from repro.errors import AigError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    exact: bool
+    counterexample: Optional[int] = None
+    mismatched_output: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _check_interfaces(a: Aig, b: Aig) -> None:
+    if a.num_pis != b.num_pis:
+        raise AigError(
+            f"PI count mismatch: {a.num_pis} vs {b.num_pis} (designs not comparable)"
+        )
+    if a.num_pos != b.num_pos:
+        raise AigError(
+            f"PO count mismatch: {a.num_pos} vs {b.num_pos} (designs not comparable)"
+        )
+
+
+def check_equivalence_exact(a: Aig, b: Aig, max_pis: int = 20) -> EquivalenceResult:
+    """Exhaustively compare the two designs over all input assignments."""
+    _check_interfaces(a, b)
+    if a.num_pis > max_pis:
+        raise AigError(
+            f"exhaustive check limited to {max_pis} PIs, design has {a.num_pis}"
+        )
+    num_patterns = 1 << a.num_pis
+    patterns = exhaustive_pi_patterns(a.num_pis)
+    pos_a = simulate_pos(a, patterns, num_patterns)
+    pos_b = simulate_pos(b, patterns, num_patterns)
+    for index, (va, vb) in enumerate(zip(pos_a, pos_b)):
+        diff = va ^ vb
+        if diff:
+            counterexample = (diff & -diff).bit_length() - 1
+            return EquivalenceResult(
+                equivalent=False,
+                exact=True,
+                counterexample=counterexample,
+                mismatched_output=index,
+            )
+    return EquivalenceResult(equivalent=True, exact=True)
+
+
+def check_equivalence_random(
+    a: Aig,
+    b: Aig,
+    num_patterns: int = 2048,
+    rng: RngLike = None,
+) -> EquivalenceResult:
+    """Compare the two designs under random patterns (probabilistic)."""
+    _check_interfaces(a, b)
+    generator = ensure_rng(rng)
+    word = 256
+    remaining = num_patterns
+    while remaining > 0:
+        batch = min(word, remaining)
+        patterns = random_pi_patterns(a.num_pis, batch, generator)
+        pos_a = simulate_pos(a, patterns, batch)
+        pos_b = simulate_pos(b, patterns, batch)
+        for index, (va, vb) in enumerate(zip(pos_a, pos_b)):
+            diff = va ^ vb
+            if diff:
+                return EquivalenceResult(
+                    equivalent=False,
+                    exact=False,
+                    counterexample=None,
+                    mismatched_output=index,
+                )
+        remaining -= batch
+    return EquivalenceResult(equivalent=True, exact=False)
+
+
+def check_equivalence(
+    a: Aig,
+    b: Aig,
+    exact_pi_limit: int = 16,
+    num_random_patterns: int = 4096,
+    rng: RngLike = None,
+) -> EquivalenceResult:
+    """Equivalence check choosing exact or random mode by input count."""
+    _check_interfaces(a, b)
+    if a.num_pis <= exact_pi_limit:
+        return check_equivalence_exact(a, b, max_pis=exact_pi_limit)
+    return check_equivalence_random(a, b, num_patterns=num_random_patterns, rng=rng)

@@ -1,0 +1,60 @@
+"""AIGER-style literal encoding.
+
+An AIG variable is a non-negative integer; variable ``0`` is reserved for the
+constant-FALSE node.  A *literal* packs a variable together with a complement
+bit: ``literal = 2 * var + complemented``.  Literal ``0`` is constant false,
+literal ``1`` is constant true.  This is the same convention used by the
+AIGER format and by ABC, which makes file I/O and debugging straightforward.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LiteralError
+
+CONST0 = 0
+CONST1 = 1
+
+
+def make_literal(var: int, complemented: bool = False) -> int:
+    """Pack *var* and the complement flag into a literal."""
+    if var < 0:
+        raise LiteralError(f"variable index must be non-negative, got {var}")
+    return (var << 1) | int(bool(complemented))
+
+
+def literal_var(lit: int) -> int:
+    """Variable index of *lit*."""
+    if lit < 0:
+        raise LiteralError(f"literal must be non-negative, got {lit}")
+    return lit >> 1
+
+
+def is_complemented(lit: int) -> bool:
+    """True when *lit* carries an inversion."""
+    if lit < 0:
+        raise LiteralError(f"literal must be non-negative, got {lit}")
+    return bool(lit & 1)
+
+
+def negate(lit: int) -> int:
+    """Return the complement of *lit*."""
+    if lit < 0:
+        raise LiteralError(f"literal must be non-negative, got {lit}")
+    return lit ^ 1
+
+
+def negate_if(lit: int, condition: bool) -> int:
+    """Return ``negate(lit)`` when *condition* is true, else *lit*."""
+    return lit ^ 1 if condition else lit
+
+
+def regular(lit: int) -> int:
+    """Return *lit* with the complement bit cleared."""
+    if lit < 0:
+        raise LiteralError(f"literal must be non-negative, got {lit}")
+    return lit & ~1
+
+
+def is_constant(lit: int) -> bool:
+    """True for the two constant literals (0 and 1)."""
+    return lit in (CONST0, CONST1)

@@ -1,0 +1,101 @@
+"""Random AIG generation.
+
+Random graphs are used by the test suite (property-based structural tests)
+and as filler logic blocks inside the synthetic benchmark designs of
+:mod:`repro.designs`.  The generator builds a connected DAG in which every
+new AND node picks two previously created literals with random polarities,
+and outputs are drawn from the deepest recently created nodes so that the
+graphs have non-trivial depth and reconvergence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.aig.graph import Aig
+from repro.aig.literals import negate_if
+from repro.errors import AigError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_aig(
+    num_pis: int,
+    num_pos: int,
+    num_ands: int,
+    rng: RngLike = None,
+    name: str = "random",
+    locality: int = 16,
+) -> Aig:
+    """Generate a random AIG with approximately *num_ands* AND nodes.
+
+    Parameters
+    ----------
+    locality:
+        New nodes prefer fanins among the most recent *locality* literals,
+        which produces deeper graphs than uniform sampling (uniform sampling
+        yields very shallow DAGs that are poor stand-ins for real circuits).
+    """
+    if num_pis < 2:
+        raise AigError("random AIG needs at least 2 primary inputs")
+    if num_pos < 1:
+        raise AigError("random AIG needs at least 1 primary output")
+    generator = ensure_rng(rng)
+    aig = Aig(name)
+    literals: List[int] = [aig.add_pi(f"pi{i}") for i in range(num_pis)]
+    created = 0
+    attempts = 0
+    max_attempts = 20 * max(1, num_ands)
+    while created < num_ands and attempts < max_attempts:
+        attempts += 1
+        if generator.random() < 0.7 and len(literals) > num_pis:
+            lo = max(0, len(literals) - locality)
+            a = literals[generator.randrange(lo, len(literals))]
+        else:
+            a = literals[generator.randrange(len(literals))]
+        b = literals[generator.randrange(len(literals))]
+        a = negate_if(a, generator.random() < 0.5)
+        b = negate_if(b, generator.random() < 0.5)
+        before = aig.num_ands
+        lit = aig.add_and(a, b)
+        if aig.num_ands > before:
+            literals.append(lit)
+            created += 1
+    deep = literals[-max(num_pos * 2, 8):]
+    for index in range(num_pos):
+        pool = deep if deep else literals
+        lit = pool[generator.randrange(len(pool))]
+        lit = negate_if(lit, generator.random() < 0.5)
+        aig.add_po(lit, f"po{index}")
+    return aig
+
+
+def random_cone_aig(
+    num_pis: int,
+    depth: int,
+    rng: RngLike = None,
+    name: str = "cone",
+) -> Aig:
+    """Generate a single-output random AIG with roughly the requested depth."""
+    if num_pis < 2:
+        raise AigError("random cone needs at least 2 primary inputs")
+    if depth < 1:
+        raise AigError("depth must be at least 1")
+    generator = ensure_rng(rng)
+    aig = Aig(name)
+    frontier = [aig.add_pi(f"pi{i}") for i in range(num_pis)]
+    for _ in range(depth):
+        next_frontier: List[int] = []
+        generator.shuffle(frontier)
+        for i in range(0, len(frontier) - 1, 2):
+            a = negate_if(frontier[i], generator.random() < 0.5)
+            b = negate_if(frontier[i + 1], generator.random() < 0.5)
+            next_frontier.append(aig.add_and(a, b))
+        if len(frontier) % 2 == 1:
+            next_frontier.append(frontier[-1])
+        if len(next_frontier) <= 1:
+            frontier = next_frontier
+            break
+        frontier = next_frontier
+    root = frontier[0]
+    aig.add_po(root, "f")
+    return aig

@@ -1,0 +1,157 @@
+"""Bit-parallel simulation of AIGs.
+
+Simulation serves three purposes in this library:
+
+* computing exact truth tables of small fanin cones (used by the rewriting
+  and refactoring transforms and by the technology mapper's cut functions),
+* random simulation signatures used to screen resubstitution candidates and
+  to check functional equivalence probabilistically on large graphs,
+* exhaustive equivalence checking of whole designs with few primary inputs.
+
+Patterns are packed into Python integers, one bit per pattern, so a single
+pass over the graph evaluates an arbitrary number of patterns in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var
+from repro.aig.truth import table_mask, var_truth
+from repro.errors import AigError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def simulate(aig: Aig, pi_values: Sequence[int], num_patterns: int) -> List[int]:
+    """Simulate *aig* under packed input patterns.
+
+    Parameters
+    ----------
+    pi_values:
+        One packed integer per primary input; bit ``p`` is the value of that
+        input under pattern ``p``.
+    num_patterns:
+        Number of valid bits in each packed word.
+
+    Returns
+    -------
+    list of int
+        One packed integer per variable (indexed by variable id).
+    """
+    if len(pi_values) != aig.num_pis:
+        raise AigError(
+            f"expected {aig.num_pis} input words, got {len(pi_values)}"
+        )
+    mask = (1 << num_patterns) - 1
+    values = [0] * aig.size
+    for var, word in zip(aig.pi_vars, pi_values):
+        values[var] = word & mask
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        v0 = values[literal_var(f0)]
+        if is_complemented(f0):
+            v0 = ~v0 & mask
+        v1 = values[literal_var(f1)]
+        if is_complemented(f1):
+            v1 = ~v1 & mask
+        values[var] = v0 & v1
+    return values
+
+
+def literal_values(
+    aig: Aig, node_values: Sequence[int], literals: Sequence[int], num_patterns: int
+) -> List[int]:
+    """Resolve packed values for a list of literals given per-variable values."""
+    mask = (1 << num_patterns) - 1
+    out = []
+    for lit in literals:
+        value = node_values[literal_var(lit)]
+        if is_complemented(lit):
+            value = ~value & mask
+        out.append(value & mask)
+    return out
+
+
+def simulate_pos(aig: Aig, pi_values: Sequence[int], num_patterns: int) -> List[int]:
+    """Packed primary-output values under the given input patterns."""
+    values = simulate(aig, pi_values, num_patterns)
+    return literal_values(aig, values, aig.po_literals(), num_patterns)
+
+
+def exhaustive_pi_patterns(num_pis: int) -> List[int]:
+    """Packed words enumerating all ``2**num_pis`` input assignments.
+
+    Input ``i`` receives the truth table of variable ``i`` over ``num_pis``
+    variables, so simulating with these patterns yields each node's global
+    truth table.
+    """
+    return [var_truth(i, num_pis) for i in range(num_pis)]
+
+
+def random_pi_patterns(num_pis: int, num_patterns: int, rng: RngLike = None) -> List[int]:
+    """Packed random input patterns (for signatures / probabilistic checks)."""
+    generator = ensure_rng(rng)
+    return [generator.getrandbits(num_patterns) for _ in range(num_pis)]
+
+
+def po_truth_tables(aig: Aig) -> List[int]:
+    """Exact truth tables of every primary output (requires few PIs).
+
+    The table of output ``o`` is expressed over the graph's primary inputs in
+    declaration order.  Exponential in the PI count; callers should guard
+    with ``aig.num_pis`` (the library uses this only for designs with at most
+    roughly 16 inputs, matching the benchmark sizes in the paper).
+    """
+    num_patterns = 1 << aig.num_pis
+    patterns = exhaustive_pi_patterns(aig.num_pis)
+    return simulate_pos(aig, patterns, num_patterns)
+
+
+def node_signatures(aig: Aig, num_patterns: int = 64, rng: RngLike = None) -> List[int]:
+    """Random-simulation signature of every variable (packed words)."""
+    patterns = random_pi_patterns(aig.num_pis, num_patterns, rng)
+    return simulate(aig, patterns, num_patterns)
+
+
+def cone_truth_table(
+    aig: Aig,
+    root_literal: int,
+    leaves: Sequence[int],
+    max_vars: int = 16,
+) -> int:
+    """Exact truth table of *root_literal* expressed over *leaves*.
+
+    *leaves* are variable ids forming a cut: every path from the root to a
+    primary input must pass through a leaf.  The returned table has
+    ``len(leaves)`` inputs, with leaf ``i`` as variable ``i``.
+    """
+    num_leaves = len(leaves)
+    if num_leaves > max_vars:
+        raise AigError(f"cone has {num_leaves} leaves, exceeding max_vars={max_vars}")
+    mask = table_mask(num_leaves)
+    values: Dict[int, int] = {0: 0}
+    for index, leaf in enumerate(leaves):
+        values[leaf] = var_truth(index, num_leaves)
+
+    def evaluate(var: int) -> int:
+        if var in values:
+            return values[var]
+        if not aig.is_and(var):
+            raise AigError(
+                f"variable {var} is not inside the cone delimited by leaves {list(leaves)}"
+            )
+        f0, f1 = aig.fanins(var)
+        v0 = evaluate(literal_var(f0))
+        if is_complemented(f0):
+            v0 = ~v0 & mask
+        v1 = evaluate(literal_var(f1))
+        if is_complemented(f1):
+            v1 = ~v1 & mask
+        values[var] = v0 & v1
+        return values[var]
+
+    root_value = evaluate(literal_var(root_literal))
+    if is_complemented(root_literal):
+        root_value = ~root_value & mask
+    return root_value & mask

@@ -1,0 +1,378 @@
+"""Command-line interface.
+
+A thin argparse front end over the library so common one-off tasks do not
+require writing a script::
+
+    python -m repro stats EX68
+    python -m repro optimize EX00 --script compress2
+    python -m repro map mult --verilog mapped.v
+    python -m repro postopt EX08
+    python -m repro features EX68
+    python -m repro train EX00 EX68 --samples 20 --model delay.json
+    python -m repro predict EX68 --model delay.json --ppa
+    python -m repro flow EX68 --flow ml --model delay.json --iterations 30
+    python -m repro convert design.aag --bench design.bench --dot design.dot
+
+Design arguments accept either a registered benchmark name (EX00…EX68,
+``mult``) or a path to an AIGER (ASCII ``.aag`` / binary ``.aig``), BENCH, or
+BLIF file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.designs.registry import ALL_DESIGNS, build_design
+from repro.errors import ReproError
+from repro.evaluation import evaluate_aig
+from repro.features.extract import FeatureExtractor
+from repro.io.aiger import read_aag, write_aag
+from repro.io.aiger_binary import read_aig_binary, write_aig_binary
+from repro.io.bench import read_bench, write_bench
+from repro.io.blif import read_blif, write_blif
+from repro.io.dot import write_aig_dot
+from repro.io.verilog import write_aig_verilog, write_mapped_verilog
+from repro.sta.report import format_cell_usage, format_timing_report
+from repro.transforms.engine import apply_script
+from repro.transforms.scripts import NAMED_SCRIPTS
+
+
+def load_design(name_or_path: str):
+    """Resolve a CLI design argument to an AIG."""
+    path = Path(name_or_path)
+    suffix = path.suffix.lower()
+    if suffix == ".aag":
+        return read_aag(path)
+    if suffix == ".aig":
+        return read_aig_binary(path)
+    if suffix == ".bench":
+        return read_bench(path)
+    if suffix == ".blif":
+        return read_blif(path)
+    return build_design(name_or_path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    stats = aig.stats()
+    print(f"design   : {stats.name}")
+    print(f"inputs   : {stats.num_pis}")
+    print(f"outputs  : {stats.num_pos}")
+    print(f"and nodes: {stats.num_ands}")
+    print(f"depth    : {stats.depth}")
+    if args.ppa:
+        result = evaluate_aig(aig)
+        print(f"mapped gates     : {result.num_gates}")
+        print(f"post-map delay   : {result.delay_ps:.1f} ps")
+        print(f"post-map area    : {result.area_um2:.1f} um^2")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    before = aig.stats()
+    result = apply_script(aig, args.script, verify=args.verify)
+    after = result.final_stats
+    print(result.summary())
+    print(
+        f"total: ands {before.num_ands} -> {after.num_ands}, "
+        f"depth {before.depth} -> {after.depth}"
+    )
+    if args.output:
+        write_aag(result.aig, args.output)
+        print(f"wrote optimized AIG to {args.output}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    result = evaluate_aig(aig)
+    print(format_timing_report(result.netlist, result.timing))
+    print()
+    print(format_cell_usage(result.netlist))
+    if args.verilog:
+        write_mapped_verilog(result.netlist, args.verilog)
+        print(f"\nwrote mapped Verilog to {args.verilog}")
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    extractor = FeatureExtractor()
+    for name, value in extractor.extract_dict(aig).items():
+        print(f"{name:42s} {value:14.4f}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    aig = load_design(args.design)
+    wrote = False
+    if args.aag:
+        write_aag(aig, args.aag)
+        print(f"wrote {args.aag}")
+        wrote = True
+    if args.aig:
+        write_aig_binary(aig, args.aig)
+        print(f"wrote {args.aig}")
+        wrote = True
+    if args.bench:
+        write_bench(aig, args.bench)
+        print(f"wrote {args.bench}")
+        wrote = True
+    if args.blif:
+        write_blif(aig, args.blif)
+        print(f"wrote {args.blif}")
+        wrote = True
+    if args.verilog:
+        write_aig_verilog(aig, args.verilog)
+        print(f"wrote {args.verilog}")
+        wrote = True
+    if args.dot:
+        write_aig_dot(aig, args.dot)
+        print(f"wrote {args.dot}")
+        wrote = True
+    if not wrote:
+        print(
+            "nothing to do: pass at least one of "
+            "--aag/--aig/--bench/--blif/--verilog/--dot"
+        )
+        return 1
+    return 0
+
+
+def _cmd_postopt(args: argparse.Namespace) -> int:
+    from repro.library.sky130_lite import load_sky130_lite
+    from repro.mapping.mapper import TechnologyMapper
+    from repro.mapping.postopt import PostMappingOptimizer, PostOptOptions
+
+    aig = load_design(args.design)
+    library = load_sky130_lite()
+    netlist = TechnologyMapper(library).map(aig)
+    options = PostOptOptions(
+        enable_sizing=not args.no_sizing,
+        enable_area_recovery=not args.no_area_recovery,
+        enable_buffering=not args.no_buffering,
+        max_passes=args.passes,
+    )
+    optimized, report = PostMappingOptimizer(library, options).optimize(netlist)
+    print(f"design            : {aig.name} ({netlist.num_gates} gates mapped)")
+    print(f"delay before      : {report.delay_before_ps:.1f} ps")
+    print(f"delay after       : {report.delay_after_ps:.1f} ps "
+          f"({report.delay_improvement_percent:+.2f}% better)")
+    print(f"area before       : {report.area_before_um2:.1f} um^2")
+    print(f"area after        : {report.area_after_um2:.1f} um^2 "
+          f"({report.area_change_percent:+.2f}%)")
+    print(f"upsized gates     : {report.upsized_gates}")
+    print(f"downsized gates   : {report.downsized_gates}")
+    print(f"buffers inserted  : {report.buffers_inserted}")
+    if args.verilog:
+        write_mapped_verilog(optimized, args.verilog)
+        print(f"wrote optimized mapped Verilog to {args.verilog}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datagen.generator import DatasetGenerator, GenerationConfig
+    from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+    from repro.ml.metrics import percent_error_stats
+    from repro.ml.model_io import save_gbdt
+
+    generator = DatasetGenerator(
+        GenerationConfig(samples_per_design=args.samples, seed=args.seed)
+    )
+    corpora = {}
+    for name in args.designs:
+        aig = load_design(name)
+        corpora[name] = generator.generate_for_aig(aig.name, aig, rng=args.seed)
+        print(f"labelled {len(corpora[name].aigs)} variants of {name}")
+    dataset = generator.to_dataset(corpora)
+    labels = dataset.areas if args.target == "area" else dataset.labels
+    model = GradientBoostingRegressor(
+        GbdtParams(
+            n_estimators=args.estimators,
+            learning_rate=args.learning_rate,
+            max_depth=args.max_depth,
+        ),
+        rng=args.seed,
+    )
+    model.fit(dataset.features, labels)
+    stats = percent_error_stats(labels, model.predict(dataset.features))
+    print(f"training fit ({args.target}): mean %err {stats.mean:.2f}, max {stats.max:.2f}")
+    save_gbdt(model, args.model)
+    print(f"wrote model to {args.model}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.ml.model_io import load_gbdt
+
+    aig = load_design(args.design)
+    model = load_gbdt(args.model)
+    features = FeatureExtractor().extract(aig).reshape(1, -1)
+    predicted = float(model.predict(features)[0])
+    print(f"predicted post-mapping delay = {predicted:.1f} ps")
+    if args.ppa:
+        result = evaluate_aig(aig)
+        error = abs(predicted - result.delay_ps) / result.delay_ps * 100.0
+        print(f"ground-truth delay           = {result.delay_ps:.1f} ps  (error {error:.2f}%)")
+        print(f"ground-truth area            = {result.area_um2:.1f} um^2")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.ml.model_io import load_gbdt
+    from repro.opt.annealing import AnnealingConfig
+    from repro.opt.flows import BaselineFlow, GroundTruthFlow, MlFlow
+    from repro.opt.hybrid import HybridFlow
+
+    aig = load_design(args.design)
+    if args.flow in ("ml", "hybrid") and not args.model:
+        print("error: --model is required for the ml and hybrid flows", file=sys.stderr)
+        return 2
+    if args.flow == "baseline":
+        flow = BaselineFlow()
+    elif args.flow == "ground-truth":
+        flow = GroundTruthFlow()
+    elif args.flow == "ml":
+        flow = MlFlow(load_gbdt(args.model))
+    else:
+        flow = HybridFlow(load_gbdt(args.model), validate_every=args.validate_every)
+    config = AnnealingConfig(iterations=args.iterations, keep_history=False)
+    result = flow.run(
+        aig,
+        config=config,
+        delay_weight=args.delay_weight,
+        area_weight=args.area_weight,
+        rng=args.seed,
+    )
+    initial = evaluate_aig(aig)
+    print(f"flow               : {result.flow}")
+    print(f"iterations         : {args.iterations}")
+    print(f"initial delay/area : {initial.delay_ps:.1f} ps / {initial.area_um2:.1f} um^2")
+    print(f"final   delay/area : {result.delay_ps:.1f} ps / {result.area_um2:.1f} um^2")
+    print(f"accepted moves     : {result.annealing.accepted_moves}")
+    print(f"runtime            : {result.annealing.runtime_seconds:.2f} s")
+    if args.flow == "hybrid" and flow.last_cost is not None:
+        summary = flow.last_cost.validation_summary()
+        print(
+            f"hybrid validation  : {summary.checks} checks, "
+            f"mean %err {summary.mean_delay_error_percent:.2f}, "
+            f"correction {summary.final_correction:.3f}"
+        )
+    if args.output:
+        write_aag(result.annealing.best_aig, args.output)
+        print(f"wrote optimized AIG to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIG logic optimization with ML-based timing prediction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="print AIG statistics")
+    stats.add_argument("design", help=f"design name ({', '.join(ALL_DESIGNS)}, mult) or file")
+    stats.add_argument("--ppa", action="store_true", help="also run mapping + STA")
+    stats.set_defaults(handler=_cmd_stats)
+
+    optimize = subparsers.add_parser("optimize", help="apply a transformation script")
+    optimize.add_argument("design")
+    optimize.add_argument(
+        "--script", default="compress2", help=f"script name {sorted(NAMED_SCRIPTS)} or primitive"
+    )
+    optimize.add_argument("--verify", action="store_true", help="check equivalence per step")
+    optimize.add_argument("--output", type=Path, help="write the optimized AIG (AIGER)")
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    map_cmd = subparsers.add_parser("map", help="technology-map a design and run STA")
+    map_cmd.add_argument("design")
+    map_cmd.add_argument("--verilog", type=Path, help="write the mapped netlist as Verilog")
+    map_cmd.set_defaults(handler=_cmd_map)
+
+    features = subparsers.add_parser("features", help="print the Table II feature vector")
+    features.add_argument("design")
+    features.set_defaults(handler=_cmd_features)
+
+    convert = subparsers.add_parser("convert", help="convert between circuit formats")
+    convert.add_argument("design")
+    convert.add_argument("--aag", type=Path)
+    convert.add_argument("--aig", type=Path, help="binary AIGER output")
+    convert.add_argument("--bench", type=Path)
+    convert.add_argument("--blif", type=Path)
+    convert.add_argument("--verilog", type=Path)
+    convert.add_argument("--dot", type=Path, help="Graphviz DOT output")
+    convert.set_defaults(handler=_cmd_convert)
+
+    postopt = subparsers.add_parser(
+        "postopt", help="map a design and run post-mapping sizing/buffering"
+    )
+    postopt.add_argument("design")
+    postopt.add_argument("--passes", type=int, default=3)
+    postopt.add_argument("--no-sizing", action="store_true")
+    postopt.add_argument("--no-area-recovery", action="store_true")
+    postopt.add_argument("--no-buffering", action="store_true")
+    postopt.add_argument("--verilog", type=Path, help="write the optimized mapped Verilog")
+    postopt.set_defaults(handler=_cmd_postopt)
+
+    train = subparsers.add_parser(
+        "train", help="train a delay/area predictor on design variants"
+    )
+    train.add_argument("designs", nargs="+", help="design names or circuit files")
+    train.add_argument("--model", type=Path, required=True, help="output model JSON path")
+    train.add_argument("--target", choices=("delay", "area"), default="delay")
+    train.add_argument("--samples", type=int, default=30, help="variants per design")
+    train.add_argument("--estimators", type=int, default=250)
+    train.add_argument("--learning-rate", type=float, default=0.06)
+    train.add_argument("--max-depth", type=int, default=6)
+    train.add_argument("--seed", type=int, default=2025)
+    train.set_defaults(handler=_cmd_train)
+
+    predict = subparsers.add_parser(
+        "predict", help="predict post-mapping delay with a trained model"
+    )
+    predict.add_argument("design")
+    predict.add_argument("--model", type=Path, required=True, help="model JSON from 'train'")
+    predict.add_argument("--ppa", action="store_true", help="also run mapping + STA to compare")
+    predict.set_defaults(handler=_cmd_predict)
+
+    flow = subparsers.add_parser(
+        "flow", help="run a simulated-annealing optimization flow"
+    )
+    flow.add_argument("design")
+    flow.add_argument(
+        "--flow",
+        choices=("baseline", "ground-truth", "ml", "hybrid"),
+        default="baseline",
+        dest="flow",
+    )
+    flow.add_argument("--model", type=Path, help="trained delay model (ml / hybrid flows)")
+    flow.add_argument("--iterations", type=int, default=30)
+    flow.add_argument("--delay-weight", type=float, default=1.0)
+    flow.add_argument("--area-weight", type=float, default=1.0)
+    flow.add_argument("--validate-every", type=int, default=10, help="hybrid flow only")
+    flow.add_argument("--seed", type=int, default=1)
+    flow.add_argument("--output", type=Path, help="write the best AIG (AIGER)")
+    flow.set_defaults(handler=_cmd_flow)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Dataset generation: perturbation, ground-truth labelling, assembly."""
+
+from repro.datagen.generator import (
+    DatasetGenerator,
+    DesignCorpus,
+    GenerationConfig,
+    load_corpus,
+    save_corpus,
+)
+from repro.datagen.labeler import LabeledSample, Labeler
+from repro.datagen.perturb import (
+    generate_variants,
+    random_script,
+    structural_signature,
+    variant_stream,
+)
+
+__all__ = [
+    "DatasetGenerator",
+    "DesignCorpus",
+    "GenerationConfig",
+    "LabeledSample",
+    "Labeler",
+    "generate_variants",
+    "load_corpus",
+    "random_script",
+    "save_corpus",
+    "structural_signature",
+    "variant_stream",
+]

@@ -1,0 +1,159 @@
+"""End-to-end dataset generation for the delay/area predictors.
+
+``DatasetGenerator`` glues the pieces together: build (or accept) a base
+design, perturb it into unique AIG variants, label every variant with the
+ground-truth mapper + STA, extract the Table II features, and assemble a
+:class:`~repro.ml.dataset.TimingDataset`.  Generated corpora can be cached on
+disk as ``.npz`` files so the benchmark harness does not repeat the expensive
+labelling step across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.datagen.labeler import LabeledSample, Labeler
+from repro.datagen.perturb import generate_variants
+from repro.designs.registry import build_design
+from repro.errors import DatasetError
+from repro.features.extract import FeatureConfig, FeatureExtractor
+from repro.library.library import CellLibrary
+from repro.ml.dataset import TimingDataset
+from repro.utils.rng import RngLike, ensure_rng
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class GenerationConfig:
+    """Dataset-generation knobs (paper defaults are much larger)."""
+
+    samples_per_design: int = 60
+    max_script_length: int = 2
+    seed: int = 2024
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+
+    def __post_init__(self) -> None:
+        if self.samples_per_design < 2:
+            raise DatasetError("samples_per_design must be at least 2")
+
+
+@dataclass
+class DesignCorpus:
+    """All generated artefacts for one design."""
+
+    design: str
+    aigs: List[Aig]
+    delays_ps: np.ndarray
+    areas_um2: np.ndarray
+    features: np.ndarray
+
+
+class DatasetGenerator:
+    """Generates labelled feature datasets for one or more designs."""
+
+    def __init__(
+        self,
+        config: Optional[GenerationConfig] = None,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        self.config = config or GenerationConfig()
+        self.extractor = FeatureExtractor(self.config.feature_config)
+        self.labeler = Labeler(library)
+
+    # ------------------------------------------------------------------ #
+    def generate_for_aig(self, design_name: str, base: Aig, rng: RngLike = None) -> DesignCorpus:
+        """Generate a corpus of labelled variants for an explicit base AIG."""
+        generator = ensure_rng(rng if rng is not None else self.config.seed)
+        variants = generate_variants(
+            base,
+            self.config.samples_per_design,
+            rng=generator,
+            max_script_length=self.config.max_script_length,
+        )
+        samples = self.labeler.label(design_name, variants)
+        features = self.extractor.extract_many([s.aig for s in samples])
+        return DesignCorpus(
+            design=design_name,
+            aigs=[s.aig for s in samples],
+            delays_ps=np.array([s.delay_ps for s in samples], dtype=np.float64),
+            areas_um2=np.array([s.area_um2 for s in samples], dtype=np.float64),
+            features=features,
+        )
+
+    def generate_for_design(self, design_name: str, rng: RngLike = None) -> DesignCorpus:
+        """Generate a corpus for a registered benchmark design."""
+        base = build_design(design_name)
+        return self.generate_for_aig(design_name, base, rng=rng)
+
+    def generate(
+        self, design_names: Sequence[str], rng: RngLike = None
+    ) -> Dict[str, DesignCorpus]:
+        """Generate corpora for several designs (seeded independently)."""
+        generator = ensure_rng(rng if rng is not None else self.config.seed)
+        corpora: Dict[str, DesignCorpus] = {}
+        for name in design_names:
+            stream = ensure_rng(generator.getrandbits(32))
+            corpora[name] = self.generate_for_design(name, rng=stream)
+        return corpora
+
+    # ------------------------------------------------------------------ #
+    def to_dataset(self, corpora: Dict[str, DesignCorpus]) -> TimingDataset:
+        """Assemble corpora into a single :class:`TimingDataset`."""
+        if not corpora:
+            raise DatasetError("no corpora to assemble")
+        features = np.vstack([c.features for c in corpora.values()])
+        delays = np.concatenate([c.delays_ps for c in corpora.values()])
+        areas = np.concatenate([c.areas_um2 for c in corpora.values()])
+        designs: List[str] = []
+        for corpus in corpora.values():
+            designs.extend([corpus.design] * len(corpus.aigs))
+        return TimingDataset(
+            features=features,
+            labels=delays,
+            feature_names=self.extractor.feature_names,
+            designs=designs,
+            areas=areas,
+        )
+
+    def area_dataset(self, corpora: Dict[str, DesignCorpus]) -> TimingDataset:
+        """Same features but with post-mapping area as the label."""
+        dataset = self.to_dataset(corpora)
+        return TimingDataset(
+            features=dataset.features,
+            labels=np.asarray(dataset.areas, dtype=np.float64),
+            feature_names=dataset.feature_names,
+            designs=list(dataset.designs),
+            areas=dataset.areas,
+        )
+
+
+# ------------------------------------------------------------------------- #
+# Disk caching
+# ------------------------------------------------------------------------- #
+def save_corpus(corpus: DesignCorpus, path: PathLike) -> None:
+    """Persist the numeric part of a corpus (features/labels) as ``.npz``."""
+    np.savez_compressed(
+        Path(path),
+        design=np.array([corpus.design]),
+        delays=corpus.delays_ps,
+        areas=corpus.areas_um2,
+        features=corpus.features,
+    )
+
+
+def load_corpus(path: PathLike) -> DesignCorpus:
+    """Load a corpus saved by :func:`save_corpus` (AIGs are not persisted)."""
+    data = np.load(Path(path), allow_pickle=False)
+    return DesignCorpus(
+        design=str(data["design"][0]),
+        aigs=[],
+        delays_ps=data["delays"],
+        areas_um2=data["areas"],
+        features=data["features"],
+    )

@@ -1,0 +1,63 @@
+"""Ground-truth labelling of AIG variants (technology mapping + STA).
+
+Labels are exactly what the paper uses: the post-mapping maximum delay (and
+total cell area) of each AIG variant under the 130 nm-class library, obtained
+by running the full mapper and STA.  This is the expensive step that the ML
+model exists to replace inside the optimization loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.evaluation import GroundTruthEvaluator, PpaResult
+from repro.library.library import CellLibrary
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One dataset row before feature extraction."""
+
+    design: str
+    aig: Aig
+    delay_ps: float
+    area_um2: float
+    num_gates: int
+
+
+class Labeler:
+    """Maps + times AIG variants, producing :class:`LabeledSample` records."""
+
+    def __init__(
+        self,
+        library: Optional[CellLibrary] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self._evaluator = GroundTruthEvaluator(library)
+        self._progress = progress
+
+    @property
+    def library(self) -> CellLibrary:
+        """The cell library used for labelling."""
+        return self._evaluator.library
+
+    def label(self, design: str, aigs: Sequence[Aig]) -> List[LabeledSample]:
+        """Label every AIG in *aigs* with its post-mapping delay and area."""
+        samples: List[LabeledSample] = []
+        total = len(aigs)
+        for index, aig in enumerate(aigs):
+            result: PpaResult = self._evaluator.evaluate(aig)
+            samples.append(
+                LabeledSample(
+                    design=design,
+                    aig=aig,
+                    delay_ps=result.delay_ps,
+                    area_um2=result.area_um2,
+                    num_gates=result.num_gates,
+                )
+            )
+            if self._progress is not None:
+                self._progress(index + 1, total)
+        return samples

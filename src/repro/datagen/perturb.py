@@ -1,0 +1,114 @@
+"""Random AIG perturbation for dataset generation.
+
+The paper generates 40 000 unique AIGs per design by randomly applying
+sequences of ABC transformations to the design's initial AIG.  This module
+reproduces that process: starting from the base AIG it performs a random
+walk in which each step applies a randomly chosen script (from the same
+catalog the SA optimizer uses as its move set) to a randomly chosen,
+previously generated variant.  Structural hashing of the resulting graphs is
+used to keep only unique variants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.errors import DatasetError
+from repro.transforms.engine import apply_script
+from repro.transforms.scripts import script_catalog
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def structural_signature(aig: Aig) -> int:
+    """A hash identifying the graph structure (used to deduplicate variants)."""
+    payload = (
+        aig.num_pis,
+        tuple(aig.po_literals()),
+        tuple((aig.fanins(var)) for var in aig.and_vars()),
+    )
+    return hash(payload)
+
+
+def random_script(
+    rng: RngLike = None,
+    catalog: Optional[Sequence[List[str]]] = None,
+    min_length: int = 1,
+    max_length: int = 2,
+) -> List[str]:
+    """Concatenate between *min_length* and *max_length* catalog entries."""
+    generator = ensure_rng(rng)
+    moves = catalog if catalog is not None else script_catalog()
+    if not moves:
+        raise DatasetError("transformation catalog is empty")
+    length = generator.randint(min_length, max_length)
+    script: List[str] = []
+    for _ in range(length):
+        script.extend(moves[generator.randrange(len(moves))])
+    return script
+
+
+def generate_variants(
+    base: Aig,
+    count: int,
+    rng: RngLike = None,
+    catalog: Optional[Sequence[List[str]]] = None,
+    max_script_length: int = 2,
+    include_base: bool = True,
+    max_attempts_factor: int = 8,
+) -> List[Aig]:
+    """Generate up to *count* unique structural variants of *base*.
+
+    Each variant is produced by applying a random transformation script to a
+    randomly chosen earlier variant (a random walk over the design space),
+    mirroring the paper's data-generation procedure.  Duplicates (by
+    structural signature) are discarded; generation stops early if the walk
+    stops discovering new structures.
+    """
+    if count < 1:
+        raise DatasetError("variant count must be at least 1")
+    generator = ensure_rng(rng)
+    moves = list(catalog) if catalog is not None else script_catalog()
+    variants: List[Aig] = []
+    seen = set()
+    if include_base:
+        variants.append(base.cleanup())
+        seen.add(structural_signature(variants[0]))
+    attempts = 0
+    max_attempts = max_attempts_factor * count
+    while len(variants) < count and attempts < max_attempts:
+        attempts += 1
+        source = variants[generator.randrange(len(variants))] if variants else base
+        script = random_script(generator, moves, max_length=max_script_length)
+        try:
+            result = apply_script(source, script)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise DatasetError(f"perturbation script {script} failed: {exc}") from exc
+        candidate = result.aig
+        signature = structural_signature(candidate)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        candidate.name = f"{base.name}_v{len(variants)}"
+        variants.append(candidate)
+    if not variants:
+        raise DatasetError("failed to generate any variant")
+    return variants[:count]
+
+
+def variant_stream(
+    base: Aig,
+    rng: RngLike = None,
+    catalog: Optional[Sequence[List[str]]] = None,
+    max_script_length: int = 2,
+) -> Iterator[Aig]:
+    """Infinite stream of (not necessarily unique) perturbed variants."""
+    generator = ensure_rng(rng)
+    moves = list(catalog) if catalog is not None else script_catalog()
+    current = base
+    while True:
+        script = random_script(generator, moves, max_length=max_script_length)
+        current = apply_script(current, script).aig
+        yield current
+        if generator.random() < 0.25:
+            current = base

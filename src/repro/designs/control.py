@@ -1,0 +1,88 @@
+"""Control-logic generators: decoders, multiplexers, parity, priority logic."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.literals import CONST0, negate
+from repro.errors import DesignError
+
+
+def decoder(aig: Aig, select: Sequence[int]) -> List[int]:
+    """Full binary decoder: ``2**len(select)`` one-hot outputs."""
+    if not select:
+        raise DesignError("decoder needs at least one select bit")
+    outputs: List[int] = []
+    for code in range(1 << len(select)):
+        terms = []
+        for position, bit in enumerate(select):
+            terms.append(bit if (code >> position) & 1 else negate(bit))
+        outputs.append(aig.add_and_multi(terms))
+    return outputs
+
+
+def mux_tree(aig: Aig, data: Sequence[int], select: Sequence[int]) -> int:
+    """Select one of ``len(data)`` literals with a binary select bus."""
+    if len(data) != 1 << len(select):
+        raise DesignError(
+            f"mux needs {1 << len(select)} data inputs for {len(select)} select bits, "
+            f"got {len(data)}"
+        )
+    current = list(data)
+    for bit in select:
+        current = [
+            aig.add_mux(bit, current[i + 1], current[i]) for i in range(0, len(current), 2)
+        ]
+    return current[0]
+
+
+def parity_tree(aig: Aig, bits: Sequence[int]) -> int:
+    """XOR-reduce a list of literals (even parity)."""
+    if not bits:
+        return CONST0
+    current = list(bits)
+    while len(current) > 1:
+        nxt = []
+        for i in range(0, len(current) - 1, 2):
+            nxt.append(aig.add_xor(current[i], current[i + 1]))
+        if len(current) % 2 == 1:
+            nxt.append(current[-1])
+        current = nxt
+    return current[0]
+
+
+def priority_encoder(aig: Aig, requests: Sequence[int]) -> List[int]:
+    """One-hot grant vector: grant[i] is high for the lowest-index active request."""
+    grants: List[int] = []
+    nobody_before = None
+    for index, request in enumerate(requests):
+        if index == 0:
+            grants.append(request)
+            nobody_before = negate(request)
+            continue
+        grants.append(aig.add_and(request, nobody_before))
+        nobody_before = aig.add_and(nobody_before, negate(request))
+    return grants
+
+
+def popcount(aig: Aig, bits: Sequence[int]) -> List[int]:
+    """Population count of a bit list, as a little-endian bus."""
+    from repro.designs.arithmetic import ripple_adder
+
+    if not bits:
+        return [CONST0]
+    buses: List[List[int]] = [[bit] for bit in bits]
+    while len(buses) > 1:
+        merged: List[List[int]] = []
+        for i in range(0, len(buses) - 1, 2):
+            a, b = buses[i], buses[i + 1]
+            width = max(len(a), len(b)) + 1
+            a = a + [CONST0] * (width - len(a))
+            b = b + [CONST0] * (width - len(b))
+            total, _ = ripple_adder(aig, a, b)
+            merged.append(total)
+        if len(buses) % 2 == 1:
+            merged.append(buses[-1])
+        buses = merged
+    return buses[0]

@@ -1,0 +1,126 @@
+"""Benchmark design generators.
+
+The paper's experiments run on eight IWLS-2024 contest designs (EX00, EX02,
+EX08, EX11, EX16, EX28, EX54, EX68).  Those files are not redistributable, so
+this module synthesises stand-in designs with the same PI/PO counts and
+comparable node-count scale (see DESIGN.md for the documented substitution).
+Each design combines arithmetic cores (multipliers, adders, comparators) with
+control logic and seeded mixing layers that bring it to its target size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.aig.graph import Aig
+from repro.designs.arithmetic import (
+    array_multiplier,
+    equality,
+    less_than,
+    ripple_adder,
+    ripple_subtractor,
+)
+from repro.designs.control import decoder, mux_tree, parity_tree, popcount, priority_encoder
+from repro.designs.random_logic import grow_to_target
+from repro.errors import DesignError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Recipe for one synthetic benchmark design."""
+
+    name: str
+    num_pis: int
+    num_pos: int
+    target_ands: int
+    core: str
+    seed: int
+    role: str = "train"
+
+    def __post_init__(self) -> None:
+        if self.num_pis < 4:
+            raise DesignError(f"{self.name}: designs need at least 4 PIs")
+        if self.num_pos < 1:
+            raise DesignError(f"{self.name}: designs need at least 1 PO")
+
+
+def multiplier_design(bits: int = 7, name: str = "mult") -> Aig:
+    """A plain unsigned multiplier (the Fig. 1 / Table I workload)."""
+    if bits < 2:
+        raise DesignError("multiplier needs at least 2-bit operands")
+    aig = Aig(name)
+    a = [aig.add_pi(f"a{i}") for i in range(bits)]
+    b = [aig.add_pi(f"b{i}") for i in range(bits)]
+    product = array_multiplier(aig, a, b)
+    for index, bit in enumerate(product):
+        aig.add_po(bit, f"p{index}")
+    return aig
+
+
+def adder_design(bits: int = 8, name: str = "add") -> Aig:
+    """A ripple-carry adder design."""
+    aig = Aig(name)
+    a = [aig.add_pi(f"a{i}") for i in range(bits)]
+    b = [aig.add_pi(f"b{i}") for i in range(bits)]
+    total, carry = ripple_adder(aig, a, b)
+    for index, bit in enumerate(total):
+        aig.add_po(bit, f"s{index}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+def build_from_spec(spec: DesignSpec) -> Aig:
+    """Build the AIG described by *spec* (deterministic for a given spec)."""
+    rng = ensure_rng(spec.seed)
+    aig = Aig(spec.name)
+    pis = [aig.add_pi(f"x{i}") for i in range(spec.num_pis)]
+    half = spec.num_pis // 2
+    a, b = pis[:half], pis[half : 2 * half]
+
+    candidates: List[int] = []
+    if spec.core in ("mul", "mixed"):
+        product = array_multiplier(aig, a, b)
+        candidates.extend(product)
+    if spec.core in ("add", "mixed"):
+        total, carry = ripple_adder(aig, a, b)
+        diff, borrow = ripple_subtractor(aig, a, b)
+        candidates.extend(total)
+        candidates.append(carry)
+        candidates.extend(diff)
+        candidates.append(borrow)
+    if spec.core in ("control", "mixed"):
+        candidates.append(less_than(aig, a, b))
+        candidates.append(equality(aig, a, b))
+        candidates.append(parity_tree(aig, pis))
+        candidates.extend(priority_encoder(aig, pis[: min(8, len(pis))]))
+        candidates.extend(popcount(aig, pis))
+        select_bits = pis[: max(2, min(3, len(pis) // 4))]
+        data = decoder(aig, select_bits)
+        candidates.append(mux_tree(aig, data[: 1 << len(select_bits)], select_bits))
+
+    if not candidates:
+        raise DesignError(f"{spec.name}: unknown core kind {spec.core!r}")
+
+    signals = list(pis) + candidates
+    grown = grow_to_target(aig, signals, spec.target_ands, rng)
+    # Signals created by the mixing layers (exclude the seed signals so PIs
+    # are not XORed straight into outputs).
+    layer_signals = grown[len(signals):] or list(candidates)
+
+    # Primary outputs: partition every generated signal into num_pos groups
+    # and XOR-reduce each group, so the whole grown structure stays in the
+    # transitive fanin of the outputs (otherwise cleanup would throw most of
+    # it away and the design would undershoot its target size).
+    grouped_signals = list(layer_signals + candidates)
+    rng.shuffle(grouped_signals)
+    groups: List[List[int]] = [[] for _ in range(spec.num_pos)]
+    for index, lit in enumerate(grouped_signals):
+        groups[index % spec.num_pos].append(lit)
+    for index, group in enumerate(groups):
+        if not group:
+            group = [candidates[index % len(candidates)]]
+        aig.add_po(parity_tree(aig, group), f"y{index}")
+    cleaned = aig.cleanup()
+    return cleaned

@@ -1,0 +1,76 @@
+"""Random mixing logic used to scale benchmark designs to a target size.
+
+The synthetic EXxx designs combine real arithmetic/control blocks with
+*mixing layers*: deterministic pseudo-random layers of XOR/MAJ/MUX/AOI
+structures that add reconvergent logic until the design reaches its target
+node count.  The layers are seeded, so a given design name always produces
+exactly the same graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.literals import negate_if
+from repro.errors import DesignError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def mixing_layer(
+    aig: Aig,
+    signals: Sequence[int],
+    rng: RngLike = None,
+    width: int = 16,
+) -> List[int]:
+    """Create one layer of mixed logic over *signals*; returns the new signals."""
+    if len(signals) < 3:
+        raise DesignError("mixing layer needs at least three input signals")
+    generator = ensure_rng(rng)
+    outputs: List[int] = []
+    pool = list(signals)
+    for _ in range(width):
+        a = negate_if(pool[generator.randrange(len(pool))], generator.random() < 0.5)
+        b = negate_if(pool[generator.randrange(len(pool))], generator.random() < 0.5)
+        c = negate_if(pool[generator.randrange(len(pool))], generator.random() < 0.5)
+        kind = generator.randrange(5)
+        if kind == 0:
+            out = aig.add_xor(a, b)
+        elif kind == 1:
+            out = aig.add_maj(a, b, c)
+        elif kind == 2:
+            out = aig.add_mux(a, b, c)
+        elif kind == 3:
+            out = aig.add_or(aig.add_and(a, b), c)
+        else:
+            out = aig.add_and(aig.add_or(a, b), aig.add_xor(b, c))
+        outputs.append(out)
+    return outputs
+
+
+def grow_to_target(
+    aig: Aig,
+    signals: Sequence[int],
+    target_ands: int,
+    rng: RngLike = None,
+    layer_width: int = 16,
+) -> List[int]:
+    """Keep adding mixing layers until the AIG reaches *target_ands* nodes.
+
+    Returns the signals of the final layer (candidates for primary outputs).
+    The loop feeds each new layer with a window over recent signals so depth
+    grows steadily, giving the designs realistic long paths.
+    """
+    generator = ensure_rng(rng)
+    current = list(signals)
+    guard = 0
+    while aig.num_ands < target_ands:
+        window = current[-max(3 * layer_width, 24):]
+        layer = mixing_layer(aig, window, generator, width=layer_width)
+        current.extend(layer)
+        guard += 1
+        if guard > 10_000:
+            raise DesignError(
+                "grow_to_target failed to converge; target node count too large"
+            )
+    return current

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AigError(ReproError):
+    """Raised for structural problems in an And-Inverter Graph."""
+
+
+class LiteralError(AigError):
+    """Raised when a literal is malformed or refers to a missing node."""
+
+
+class TruthTableError(ReproError):
+    """Raised for malformed truth tables or unsupported variable counts."""
+
+
+class ParseError(ReproError):
+    """Raised when a circuit file (AIGER/BENCH/genlib) cannot be parsed."""
+
+
+class TransformError(ReproError):
+    """Raised when a logic transformation fails or breaks equivalence."""
+
+
+class LibraryError(ReproError):
+    """Raised for malformed or incomplete standard-cell libraries."""
+
+
+class MappingError(ReproError):
+    """Raised when technology mapping cannot cover the AIG."""
+
+
+class TimingError(ReproError):
+    """Raised for inconsistencies found during static timing analysis."""
+
+
+class FeatureError(ReproError):
+    """Raised when feature extraction receives an unsupported graph."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid ML-model configuration or unfitted models."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed or empty datasets."""
+
+
+class OptimizationError(ReproError):
+    """Raised when an optimization flow is misconfigured."""
+
+
+class DesignError(ReproError):
+    """Raised when a named benchmark design cannot be constructed."""

@@ -1,0 +1,83 @@
+"""Experiment modules, one per table/figure of the paper's evaluation.
+
+Paper artefacts: Fig. 1, Table I, Fig. 2, Table III, Table IV, Fig. 5, and the
+Sec. III-B model-choice comparison.  Extension studies (not in the paper but
+supporting its claims): area-prediction accuracy, the learning curve over the
+training-set size, the search-algorithm comparison under the ML cost, and the
+post-mapping optimization study.
+"""
+
+from repro.experiments.area_accuracy import (
+    AreaAccuracyResult,
+    AreaDesignAccuracy,
+    run_area_accuracy,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig1_correlation import CorrelationResult, run_fig1_correlation
+from repro.experiments.fig2_runtime import Fig2Result, RuntimeComparison, run_fig2_runtime
+from repro.experiments.fig5_pareto import Fig5Result, run_fig5_pareto
+from repro.experiments.learning_curve import (
+    LearningCurvePoint,
+    LearningCurveResult,
+    run_learning_curve,
+)
+from repro.experiments.optimizer_comparison import (
+    OptimizerComparisonResult,
+    OptimizerRow,
+    run_optimizer_comparison,
+)
+from repro.experiments.postopt_study import (
+    PostOptRow,
+    PostOptStudyResult,
+    run_postopt_study,
+)
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.table1_proxy_ties import (
+    ProxyTie,
+    ProxyTieResult,
+    run_table1_proxy_ties,
+)
+from repro.experiments.table3_accuracy import (
+    AccuracyResult,
+    DesignAccuracy,
+    run_table3_accuracy,
+)
+from repro.experiments.table4_runtime import (
+    FlowRuntimeRow,
+    Table4Result,
+    run_table4_runtime,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "AreaAccuracyResult",
+    "AreaDesignAccuracy",
+    "CorrelationResult",
+    "DesignAccuracy",
+    "ExperimentConfig",
+    "Fig2Result",
+    "Fig5Result",
+    "FlowRuntimeRow",
+    "LearningCurvePoint",
+    "LearningCurveResult",
+    "OptimizerComparisonResult",
+    "OptimizerRow",
+    "PostOptRow",
+    "PostOptStudyResult",
+    "ProxyTie",
+    "ProxyTieResult",
+    "RuntimeComparison",
+    "Table4Result",
+    "format_percent",
+    "format_table",
+    "run_area_accuracy",
+    "run_fig1_correlation",
+    "run_fig2_runtime",
+    "run_fig5_pareto",
+    "run_learning_curve",
+    "run_optimizer_comparison",
+    "run_postopt_study",
+    "run_table1_proxy_ties",
+    "run_table3_accuracy",
+    "run_table4_runtime",
+]

@@ -1,0 +1,71 @@
+"""Shared experiment configuration.
+
+Two presets are provided: ``quick`` (CI-friendly, a few minutes end to end)
+and ``full`` (closer to the paper's scale; tens of minutes).  Every
+experiment module accepts an :class:`ExperimentConfig` so the benchmark
+harness, the examples, and the tests can all dial the cost independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.designs.registry import TEST_DESIGNS, TRAIN_DESIGNS
+from repro.ml.gbdt import GbdtParams
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs shared across the experiment modules."""
+
+    #: designs used for model training (paper: EX00, EX08, EX28, EX68).
+    train_designs: Tuple[str, ...] = tuple(TRAIN_DESIGNS)
+    #: designs used for unseen-design evaluation (paper: EX02, EX11, EX16, EX54).
+    test_designs: Tuple[str, ...] = tuple(TEST_DESIGNS)
+    #: AIG variants generated and labelled per design (paper: 40 000).
+    samples_per_design: int = 40
+    #: SA iterations per optimization run.
+    sa_iterations: int = 30
+    #: iterations used when measuring per-iteration runtime (Fig. 2 / Table IV).
+    runtime_iterations: int = 8
+    #: delay-weight grid for the Pareto sweeps (Fig. 5).
+    sweep_delay_weights: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    #: temperature decay grid for the Pareto sweeps.
+    sweep_decays: Tuple[float, ...] = (0.9, 0.97)
+    #: model hyperparameters for the delay/area predictors.
+    gbdt_params: GbdtParams = field(
+        default_factory=lambda: GbdtParams(
+            n_estimators=250, learning_rate=0.06, max_depth=6, subsample=0.8
+        )
+    )
+    #: master seed for dataset generation and optimization runs.
+    seed: int = 2025
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A configuration small enough for tests (seconds to a few minutes)."""
+        return cls(
+            train_designs=("EX68", "EX00"),
+            test_designs=("EX68",),
+            samples_per_design=12,
+            sa_iterations=8,
+            runtime_iterations=3,
+            sweep_delay_weights=(1.0, 3.0),
+            sweep_decays=(0.9,),
+            gbdt_params=GbdtParams(n_estimators=80, learning_rate=0.1, max_depth=4),
+            seed=11,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """The default benchmark-harness configuration (minutes)."""
+        return cls()
+
+    def all_designs(self) -> List[str]:
+        """Train designs followed by test designs (no duplicates)."""
+        names = list(self.train_designs)
+        for name in self.test_designs:
+            if name not in names:
+                names.append(name)
+        return names

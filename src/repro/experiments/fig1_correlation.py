@@ -1,0 +1,105 @@
+"""Fig. 1 — correlation between AIG levels and post-mapping delay.
+
+The paper plots post-technology-mapping maximum delay against the number of
+AIG levels for a pool of AIG variants of a multiplier design and reports a
+Pearson correlation of only 0.74, with the best post-mapping delay *not*
+achieved by the variant with the fewest levels.  This experiment regenerates
+that study: perturb the multiplier, map and time every variant, and report
+the correlation plus the level/delay pairs needed to redraw the scatter plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.datagen.generator import DatasetGenerator, GenerationConfig
+from repro.designs.registry import build_design
+from repro.errors import ReproError
+from repro.experiments.report import format_table
+from repro.ml.metrics import pearson_correlation
+
+
+@dataclass
+class CorrelationResult:
+    """Outcome of the Fig. 1 study."""
+
+    design: str
+    levels: List[float]
+    delays_ps: List[float]
+    node_counts: List[int]
+    pearson: float
+    best_delay_ps: float
+    level_of_best_delay: float
+    min_level: float
+    delay_at_min_level_ps: float
+
+    @property
+    def best_delay_is_at_min_level(self) -> bool:
+        """True when the minimum-level variant also has the best delay."""
+        return self.level_of_best_delay <= self.min_level
+
+    @property
+    def delay_penalty_at_min_level(self) -> float:
+        """Relative delay penalty of the min-level variant vs the true best."""
+        if self.best_delay_ps == 0:
+            return 0.0
+        return (self.delay_at_min_level_ps - self.best_delay_ps) / self.best_delay_ps
+
+    def scatter_points(self) -> List[Tuple[float, float]]:
+        """(level, delay) pairs for plotting the Fig. 1 scatter."""
+        return list(zip(self.levels, self.delays_ps))
+
+    def format_table(self) -> str:
+        rows = [
+            ("samples", len(self.levels)),
+            ("pearson(level, delay)", round(self.pearson, 4)),
+            ("best delay (ps)", round(self.best_delay_ps, 2)),
+            ("level of best-delay AIG", self.level_of_best_delay),
+            ("minimum level", self.min_level),
+            ("delay at minimum level (ps)", round(self.delay_at_min_level_ps, 2)),
+            ("delay penalty at min level", f"{self.delay_penalty_at_min_level * 100:.1f}%"),
+        ]
+        return format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Fig. 1 reproduction — proxy correlation on {self.design}",
+        )
+
+
+def run_fig1_correlation(
+    design: str = "mult",
+    samples: int = 40,
+    seed: int = 1,
+    generator: Optional[DatasetGenerator] = None,
+) -> CorrelationResult:
+    """Run the proxy-correlation study and return the collected data."""
+    if samples < 3:
+        raise ReproError("the correlation study needs at least 3 samples")
+    gen = generator or DatasetGenerator(
+        GenerationConfig(samples_per_design=samples, seed=seed)
+    )
+    base = build_design(design)
+    corpus = gen.generate_for_aig(design, base, rng=seed)
+
+    levels = [float(aig.depth()) for aig in corpus.aigs]
+    node_counts = [aig.num_ands for aig in corpus.aigs]
+    delays = [float(d) for d in corpus.delays_ps]
+    correlation = pearson_correlation(levels, delays)
+
+    best_index = min(range(len(delays)), key=lambda i: delays[i])
+    min_level = min(levels)
+    min_level_indices = [i for i, lvl in enumerate(levels) if lvl == min_level]
+    delay_at_min_level = min(delays[i] for i in min_level_indices)
+
+    return CorrelationResult(
+        design=design,
+        levels=levels,
+        delays_ps=delays,
+        node_counts=node_counts,
+        pearson=correlation,
+        best_delay_ps=delays[best_index],
+        level_of_best_delay=levels[best_index],
+        min_level=min_level,
+        delay_at_min_level_ps=delay_at_min_level,
+    )

@@ -1,0 +1,134 @@
+"""Learning curve: prediction accuracy versus training-set size.
+
+The paper labels 40 000 AIG variants per design; this reproduction defaults
+to far fewer for runtime reasons.  The learning-curve experiment quantifies
+what that scaling knob costs: the delay model is retrained on increasing
+numbers of variants per training design and evaluated, at every size, on the
+full corpora of the unseen test designs.  The resulting curve shows how
+quickly accuracy saturates and supports the scaled-down defaults documented
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.generator import DatasetGenerator, DesignCorpus, GenerationConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.ml.gbdt import GradientBoostingRegressor
+from repro.ml.metrics import percent_error_stats
+
+
+@dataclass
+class LearningCurvePoint:
+    """Accuracy of a model trained with *samples_per_design* variants."""
+
+    samples_per_design: int
+    train_error_percent: float
+    test_error_percent: float
+    training_seconds: float
+
+
+@dataclass
+class LearningCurveResult:
+    """The full accuracy-versus-data curve."""
+
+    points: List[LearningCurvePoint]
+    train_designs: List[str]
+    test_designs: List[str]
+
+    @property
+    def best_test_error(self) -> float:
+        """Smallest unseen-design error over the curve."""
+        return min(point.test_error_percent for point in self.points)
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                point.samples_per_design,
+                f"{point.train_error_percent:.2f}%",
+                f"{point.test_error_percent:.2f}%",
+                f"{point.training_seconds:.2f}s",
+            )
+            for point in self.points
+        ]
+        return format_table(
+            ["samples/design", "train mean %err", "unseen mean %err", "train time"],
+            rows,
+            title="Learning curve — delay-prediction error vs training-set size",
+        )
+
+
+def _mean_error(
+    model: GradientBoostingRegressor, corpora: Dict[str, DesignCorpus], designs: Sequence[str]
+) -> float:
+    errors = []
+    for design in designs:
+        corpus = corpora[design]
+        stats = percent_error_stats(corpus.delays_ps, model.predict(corpus.features))
+        errors.append(stats.mean)
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def run_learning_curve(
+    config: Optional[ExperimentConfig] = None,
+    sample_counts: Optional[Sequence[int]] = None,
+    corpora: Optional[Dict[str, DesignCorpus]] = None,
+) -> LearningCurveResult:
+    """Train the delay model at several training-set sizes and evaluate each.
+
+    When *corpora* is supplied it must contain at least ``max(sample_counts)``
+    variants per training design; smaller training sets are produced by
+    truncation so every point reuses the same labelled data (no re-labelling).
+    """
+    cfg = config or ExperimentConfig()
+    if sample_counts is None:
+        largest = cfg.samples_per_design
+        sample_counts = sorted({max(4, largest // 4), max(6, largest // 2), largest})
+    if not sample_counts:
+        raise ValueError("sample_counts must not be empty")
+    largest = max(sample_counts)
+
+    generator = DatasetGenerator(
+        GenerationConfig(samples_per_design=largest, seed=cfg.seed)
+    )
+    if corpora is None:
+        corpora = generator.generate(cfg.all_designs(), rng=cfg.seed)
+
+    train_designs = [d for d in cfg.train_designs if d in corpora]
+    test_designs = [d for d in cfg.test_designs if d in corpora]
+
+    points: List[LearningCurvePoint] = []
+    for count in sorted(sample_counts):
+        features = []
+        labels = []
+        for design in train_designs:
+            corpus = corpora[design]
+            take = min(count, corpus.features.shape[0])
+            features.append(corpus.features[:take])
+            labels.append(corpus.delays_ps[:take])
+        train_features = np.vstack(features)
+        train_labels = np.concatenate(labels)
+
+        start = time.perf_counter()
+        model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed)
+        model.fit(train_features, train_labels)
+        elapsed = time.perf_counter() - start
+
+        points.append(
+            LearningCurvePoint(
+                samples_per_design=count,
+                train_error_percent=_mean_error(model, corpora, train_designs),
+                test_error_percent=_mean_error(model, corpora, test_designs),
+                training_seconds=elapsed,
+            )
+        )
+
+    return LearningCurveResult(
+        points=points, train_designs=train_designs, test_designs=test_designs
+    )

@@ -1,0 +1,46 @@
+"""Plain-text table formatting shared by the experiment modules.
+
+Every experiment renders its result as a fixed-width text table mirroring the
+corresponding table or figure of the paper, so the benchmark harness output
+can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render *rows* under *headers* as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Format a fraction as a signed percentage string."""
+    return f"{value * 100:+.{decimals}f}%"

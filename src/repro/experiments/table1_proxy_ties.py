@@ -1,0 +1,116 @@
+"""Table I — AIGs with identical proxy metrics but different true PPA.
+
+The paper exhibits two AIGs of the same design with the same level and node
+count whose post-mapping delay differs by more than 30 % (and area by a few
+percent): an optimizer driven by proxy metrics cannot tell them apart.  This
+experiment searches a pool of perturbed variants for such proxy ties and
+reports the most divergent pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datagen.generator import DatasetGenerator, DesignCorpus, GenerationConfig
+from repro.designs.registry import build_design
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class ProxyTie:
+    """Two AIG variants indistinguishable by proxy metrics."""
+
+    level: int
+    node_count: int
+    delay_a_ps: float
+    delay_b_ps: float
+    area_a_um2: float
+    area_b_um2: float
+
+    @property
+    def delay_gap_ratio(self) -> float:
+        """Larger delay divided by smaller delay (>= 1)."""
+        low, high = sorted((self.delay_a_ps, self.delay_b_ps))
+        return high / low if low > 0 else 1.0
+
+    @property
+    def area_gap_ratio(self) -> float:
+        """Larger area divided by smaller area (>= 1)."""
+        low, high = sorted((self.area_a_um2, self.area_b_um2))
+        return high / low if low > 0 else 1.0
+
+
+@dataclass
+class ProxyTieResult:
+    """All proxy ties found in the variant pool."""
+
+    design: str
+    ties: List[ProxyTie]
+    samples: int
+
+    @property
+    def worst_tie(self) -> Optional[ProxyTie]:
+        """The tie with the largest delay divergence."""
+        if not self.ties:
+            return None
+        return max(self.ties, key=lambda t: t.delay_gap_ratio)
+
+    def format_table(self) -> str:
+        worst = self.worst_tie
+        if worst is None:
+            return (
+                f"Table I reproduction — no proxy ties found among {self.samples} "
+                f"variants of {self.design}"
+            )
+        rows = [
+            ("AIG1", worst.level, worst.node_count, worst.delay_a_ps, worst.area_a_um2),
+            ("AIG2", worst.level, worst.node_count, worst.delay_b_ps, worst.area_b_um2),
+        ]
+        table = format_table(
+            ["candidate", "level", "nodes", "delay (ps)", "area (um2)"],
+            rows,
+            title=f"Table I reproduction — proxy tie on {self.design} "
+            f"({len(self.ties)} ties in {self.samples} variants)",
+        )
+        return table + (
+            f"\ndelay differs by {worst.delay_gap_ratio:.2f}x at identical proxy metrics"
+        )
+
+
+def run_table1_proxy_ties(
+    design: str = "mult",
+    samples: int = 40,
+    seed: int = 3,
+    corpus: Optional[DesignCorpus] = None,
+) -> ProxyTieResult:
+    """Search perturbed variants of *design* for proxy-metric ties."""
+    if corpus is None:
+        generator = DatasetGenerator(GenerationConfig(samples_per_design=samples, seed=seed))
+        corpus = generator.generate_for_aig(design, build_design(design), rng=seed)
+
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for index, aig in enumerate(corpus.aigs):
+        key = (aig.depth(), aig.num_ands)
+        buckets.setdefault(key, []).append(index)
+
+    ties: List[ProxyTie] = []
+    for (level, nodes), indices in buckets.items():
+        if len(indices) < 2:
+            continue
+        # Compare the two most delay-divergent members of the bucket.
+        ordered = sorted(indices, key=lambda i: corpus.delays_ps[i])
+        first, last = ordered[0], ordered[-1]
+        if first == last:
+            continue
+        ties.append(
+            ProxyTie(
+                level=level,
+                node_count=nodes,
+                delay_a_ps=float(corpus.delays_ps[last]),
+                delay_b_ps=float(corpus.delays_ps[first]),
+                area_a_um2=float(corpus.areas_um2[last]),
+                area_b_um2=float(corpus.areas_um2[first]),
+            )
+        )
+    return ProxyTieResult(design=corpus.design, ties=ties, samples=len(corpus.aigs))

@@ -1,0 +1,209 @@
+"""Table III — accuracy of the delay predictor on training and unseen designs.
+
+Reproduces the paper's central accuracy table: generate labelled AIG variants
+for the eight benchmark designs, train the gradient-boosted model on the four
+training designs, and report the mean / max / std of the absolute percentage
+error per design — including the four designs the model never saw.
+
+The same experiment optionally trains the GNN comparison model (Sec. III-B of
+the paper reports the GNN to be ~2 % worse on average) and an area model
+(the abstract's secondary target).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.generator import DatasetGenerator, DesignCorpus, GenerationConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.ml.dataset import TimingDataset
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.gnn import GnnDelayRegressor, GnnParams
+from repro.ml.metrics import PercentErrorStats, percent_error_stats
+
+
+@dataclass
+class DesignAccuracy:
+    """One row of Table III."""
+
+    design: str
+    role: str
+    num_pis: int
+    num_pos: int
+    node_min: int
+    node_max: int
+    stats: PercentErrorStats
+
+
+@dataclass
+class AccuracyResult:
+    """Full Table III reproduction plus the trained models."""
+
+    rows: List[DesignAccuracy]
+    delay_model: GradientBoostingRegressor
+    area_model: Optional[GradientBoostingRegressor]
+    corpora: Dict[str, DesignCorpus]
+    dataset: TimingDataset
+    train_designs: List[str]
+    test_designs: List[str]
+    training_seconds: float
+    gnn_rows: List[DesignAccuracy] = field(default_factory=list)
+    gnn_training_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_error_all(self) -> float:
+        """Mean absolute %error averaged over all designs (paper: 4.03 %)."""
+        return float(np.mean([row.stats.mean for row in self.rows]))
+
+    @property
+    def mean_error_test(self) -> float:
+        """Mean absolute %error over the unseen designs only."""
+        test = [row.stats.mean for row in self.rows if row.role == "test"]
+        return float(np.mean(test)) if test else 0.0
+
+    @property
+    def max_error_all(self) -> float:
+        """Worst per-sample %error over all designs (paper: 39.85 %)."""
+        return float(max(row.stats.max for row in self.rows))
+
+    @property
+    def mean_std_all(self) -> float:
+        """Mean of the per-design %error standard deviations (paper: 3.27 %)."""
+        return float(np.mean([row.stats.std for row in self.rows]))
+
+    @property
+    def gnn_mean_error_all(self) -> Optional[float]:
+        """Mean GNN %error over all designs (None when the GNN was skipped)."""
+        if not self.gnn_rows:
+            return None
+        return float(np.mean([row.stats.mean for row in self.gnn_rows]))
+
+    def format_table(self) -> str:
+        rows = []
+        for row in self.rows:
+            rows.append(
+                (
+                    row.role,
+                    row.design,
+                    f"{row.num_pis}/{row.num_pos}",
+                    f"{row.node_min}-{row.node_max}",
+                    f"{row.stats.mean:.2f}%",
+                    f"{row.stats.max:.2f}%",
+                    f"{row.stats.std:.2f}%",
+                )
+            )
+        table = format_table(
+            ["role", "design", "PI/PO", "#node range", "mean %err", "max %err", "std %err"],
+            rows,
+            title="Table III reproduction — delay-prediction accuracy",
+        )
+        summary = (
+            f"\naverage mean %err = {self.mean_error_all:.2f}%   "
+            f"max %err = {self.max_error_all:.2f}%   "
+            f"average std %err = {self.mean_std_all:.2f}%"
+        )
+        if self.gnn_rows:
+            summary += (
+                f"\nGNN average mean %err = {self.gnn_mean_error_all:.2f}% "
+                f"(tree model: {self.mean_error_all:.2f}%), "
+                f"GNN training {self.gnn_training_seconds:.1f}s vs "
+                f"tree {self.training_seconds:.1f}s"
+            )
+        return table + summary
+
+
+# --------------------------------------------------------------------------- #
+def _per_design_stats(
+    corpora: Dict[str, DesignCorpus],
+    predictions: Dict[str, np.ndarray],
+    roles: Dict[str, str],
+) -> List[DesignAccuracy]:
+    rows: List[DesignAccuracy] = []
+    for design, corpus in corpora.items():
+        node_counts = [aig.num_ands for aig in corpus.aigs] or [0]
+        stats = percent_error_stats(corpus.delays_ps, predictions[design])
+        pis = corpus.aigs[0].num_pis if corpus.aigs else 0
+        pos = corpus.aigs[0].num_pos if corpus.aigs else 0
+        rows.append(
+            DesignAccuracy(
+                design=design,
+                role=roles[design],
+                num_pis=pis,
+                num_pos=pos,
+                node_min=min(node_counts),
+                node_max=max(node_counts),
+                stats=stats,
+            )
+        )
+    return rows
+
+
+def run_table3_accuracy(
+    config: Optional[ExperimentConfig] = None,
+    include_gnn: bool = False,
+    include_area_model: bool = True,
+    corpora: Optional[Dict[str, DesignCorpus]] = None,
+) -> AccuracyResult:
+    """Run the Table III experiment and return per-design accuracy."""
+    cfg = config or ExperimentConfig()
+    generator = DatasetGenerator(
+        GenerationConfig(samples_per_design=cfg.samples_per_design, seed=cfg.seed)
+    )
+    designs = cfg.all_designs()
+    if corpora is None:
+        corpora = generator.generate(designs, rng=cfg.seed)
+    dataset = generator.to_dataset(corpora)
+
+    train_designs = [d for d in cfg.train_designs if d in corpora]
+    test_designs = [d for d in cfg.test_designs if d in corpora]
+    train = dataset.for_designs(train_designs)
+
+    start = time.perf_counter()
+    delay_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed)
+    delay_model.fit(train.features, train.labels)
+    training_seconds = time.perf_counter() - start
+
+    area_model = None
+    if include_area_model:
+        area_train_labels = np.asarray(train.areas, dtype=np.float64)
+        area_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed + 1)
+        area_model.fit(train.features, area_train_labels)
+
+    roles = {d: ("train" if d in train_designs else "test") for d in corpora}
+    predictions = {
+        design: delay_model.predict(corpus.features) for design, corpus in corpora.items()
+    }
+    rows = _per_design_stats(corpora, predictions, roles)
+
+    gnn_rows: List[DesignAccuracy] = []
+    gnn_seconds = 0.0
+    if include_gnn:
+        gnn = GnnDelayRegressor(GnnParams(epochs=200), rng=cfg.seed)
+        train_aigs = [aig for d in train_designs for aig in corpora[d].aigs]
+        train_delays = np.concatenate([corpora[d].delays_ps for d in train_designs])
+        start = time.perf_counter()
+        gnn.fit(train_aigs, train_delays)
+        gnn_seconds = time.perf_counter() - start
+        gnn_predictions = {
+            design: gnn.predict(corpus.aigs) for design, corpus in corpora.items()
+        }
+        gnn_rows = _per_design_stats(corpora, gnn_predictions, roles)
+
+    return AccuracyResult(
+        rows=rows,
+        delay_model=delay_model,
+        area_model=area_model,
+        corpora=corpora,
+        dataset=dataset,
+        train_designs=train_designs,
+        test_designs=test_designs,
+        training_seconds=training_seconds,
+        gnn_rows=gnn_rows,
+        gnn_training_seconds=gnn_seconds,
+    )

@@ -1,0 +1,138 @@
+"""Table IV — per-iteration runtime of the three flows.
+
+The paper's Table IV breaks the per-iteration cost into: the baseline flow
+(transformation + graph processing), the ground-truth flow's additional
+mapping + STA time, and the ML flow's additional feature-extraction +
+inference time, reporting the percentage reduction of the ML column relative
+to the ground-truth column (average ~81 %, maximum ~89 %).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.designs.registry import build_design
+from repro.evaluation import GroundTruthEvaluator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.features.extract import FeatureExtractor
+from repro.opt.annealing import AnnealingConfig
+from repro.opt.flows import BaselineFlow, measure_iteration_runtime
+
+
+@dataclass
+class FlowRuntimeRow:
+    """One row of Table IV."""
+
+    design: str
+    role: str
+    num_ands: int
+    baseline_seconds: float
+    mapping_sta_seconds: float
+    ml_inference_seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Relative reduction of the ML column vs the mapping+STA column."""
+        if self.mapping_sta_seconds <= 0:
+            return 0.0
+        return 1.0 - self.ml_inference_seconds / self.mapping_sta_seconds
+
+
+@dataclass
+class Table4Result:
+    """All per-design flow runtimes."""
+
+    rows: List[FlowRuntimeRow]
+
+    @property
+    def mean_reduction(self) -> float:
+        """Mean ML-vs-ground-truth runtime reduction (paper: ~80.8 %)."""
+        return sum(row.reduction for row in self.rows) / len(self.rows)
+
+    @property
+    def max_reduction(self) -> float:
+        """Maximum reduction over the designs (paper: ~88.8 %)."""
+        return max(row.reduction for row in self.rows)
+
+    def format_table(self) -> str:
+        rows = []
+        for row in self.rows:
+            rows.append(
+                (
+                    row.role,
+                    f"{row.design} ({row.num_ands})",
+                    row.baseline_seconds,
+                    row.mapping_sta_seconds,
+                    row.ml_inference_seconds,
+                    f"{row.reduction * 100:.2f}%",
+                )
+            )
+        table = format_table(
+            [
+                "role",
+                "design (#nodes)",
+                "baseline (s)",
+                "mapping+STA (s)",
+                "ML inference (s)",
+                "reduction",
+            ],
+            rows,
+            title="Table IV reproduction — per-iteration runtime of the three flows",
+            float_format="{:.4f}",
+        )
+        return table + (
+            f"\naverage reduction = {self.mean_reduction * 100:.2f}%   "
+            f"max reduction = {self.max_reduction * 100:.2f}%"
+        )
+
+
+def run_table4_runtime(
+    delay_model,
+    config: Optional[ExperimentConfig] = None,
+    designs: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> Table4Result:
+    """Measure the three per-iteration cost components on every design.
+
+    ``delay_model`` is a trained delay predictor (typically from the Table III
+    experiment); its inference time is what the ML column measures.
+    """
+    cfg = config or ExperimentConfig()
+    names = list(designs) if designs is not None else cfg.all_designs()
+    baseline = BaselineFlow()
+    evaluator = GroundTruthEvaluator()
+    extractor = FeatureExtractor()
+    run_config = AnnealingConfig(iterations=cfg.runtime_iterations, keep_history=False)
+
+    rows: List[FlowRuntimeRow] = []
+    train_set = set(cfg.train_designs)
+    for name in names:
+        aig = build_design(name)
+        base_rt = measure_iteration_runtime(
+            baseline, aig, iterations=cfg.runtime_iterations, rng=cfg.seed, config=run_config
+        )
+        # Ground-truth column: mapping + STA on the current AIG.
+        start = time.perf_counter()
+        for _ in range(repeats):
+            evaluator.evaluate(aig)
+        mapping_sta = (time.perf_counter() - start) / repeats
+        # ML column: feature extraction + model inference.
+        start = time.perf_counter()
+        for _ in range(repeats):
+            features = extractor.extract(aig).reshape(1, -1)
+            delay_model.predict(features)
+        ml_inference = (time.perf_counter() - start) / repeats
+        rows.append(
+            FlowRuntimeRow(
+                design=name,
+                role="train" if name in train_set else "test",
+                num_ands=aig.num_ands,
+                baseline_seconds=base_rt.total_seconds,
+                mapping_sta_seconds=mapping_sta,
+                ml_inference_seconds=ml_inference,
+            )
+        )
+    return Table4Result(rows=rows)

@@ -1,0 +1,39 @@
+"""Graph-level AIG feature extraction (Table II of the paper)."""
+
+from repro.features.depth import (
+    nth_binary_weighted_path_depths,
+    nth_long_path_depths,
+    nth_weighted_path_depths,
+)
+from repro.features.extract import FeatureConfig, FeatureExtractor, extract_features
+from repro.features.fanout import (
+    distribution_stats,
+    fanout_stats,
+    long_path_fanout_stats,
+)
+from repro.features.groups import (
+    GROUP_NAMES,
+    columns_for_groups,
+    drop_groups,
+    feature_groups,
+    group_of,
+)
+from repro.features.paths import top_path_counts
+
+__all__ = [
+    "FeatureConfig",
+    "FeatureExtractor",
+    "GROUP_NAMES",
+    "columns_for_groups",
+    "distribution_stats",
+    "drop_groups",
+    "extract_features",
+    "fanout_stats",
+    "feature_groups",
+    "group_of",
+    "long_path_fanout_stats",
+    "nth_binary_weighted_path_depths",
+    "nth_long_path_depths",
+    "nth_weighted_path_depths",
+    "top_path_counts",
+]

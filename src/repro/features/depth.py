@@ -1,0 +1,52 @@
+"""Path-depth features (Table II, rows 2-5 of the paper).
+
+Three flavours of per-output depth are extracted, all computed on the AIG:
+
+* plain depth — number of nodes between a PI and the PO (PI included, PO
+  marker excluded), exactly the annotation of Fig. 4(a);
+* fanout-weighted depth — each node on the path contributes its fanout count
+  instead of 1, modelling the extra load a path accumulates (Fig. 4(b));
+* binary-weighted depth — each node contributes 1 when its fanout is >= 2 and
+  0 otherwise, modelling which nodes are unlikely to be absorbed into larger
+  cells during mapping (Fig. 4(c)).
+
+For each flavour the top-n values over all primary outputs are used as
+features (n = 3 in the paper and by default here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aig.analysis import po_depths, weighted_po_depths
+from repro.aig.graph import Aig
+
+
+def _top_n(values: Sequence[float], n: int) -> List[float]:
+    ordered = sorted((float(v) for v in values), reverse=True)
+    ordered += [0.0] * max(0, n - len(ordered))
+    return ordered[:n]
+
+
+def nth_long_path_depths(aig: Aig, n: int = 3) -> List[float]:
+    """Top-*n* plain PO depths (``aig_nth_long_path_depth``)."""
+    report = po_depths(aig)
+    return _top_n(report.po_depths, n)
+
+
+def nth_weighted_path_depths(aig: Aig, n: int = 3) -> List[float]:
+    """Top-*n* fanout-weighted PO depths (``aig_nth_weighted_path_depth``)."""
+    fanouts = aig.fanout_counts()
+    weights = [float(f) for f in fanouts]
+    return _top_n(weighted_po_depths(aig, weights), n)
+
+
+def nth_binary_weighted_path_depths(aig: Aig, n: int = 3) -> List[float]:
+    """Top-*n* binary-weighted PO depths (``aig_nth_binary_weighted_path_depth``).
+
+    Nodes with fanout >= 2 weigh 1 (they are unlikely to be merged into a
+    larger cell during mapping), all other nodes weigh 0.
+    """
+    fanouts = aig.fanout_counts()
+    weights = [1.0 if f >= 2 else 0.0 for f in fanouts]
+    return _top_n(weighted_po_depths(aig, weights), n)

@@ -1,0 +1,122 @@
+"""Graph-level feature extraction (Table II of the paper).
+
+The :class:`FeatureExtractor` turns an AIG into a fixed-length numeric vector
+combining node/level counts, the three flavours of per-output path depth,
+fanout-distribution statistics over the whole graph and over the critical
+path, and per-output path counts.  These are exactly the features the paper
+feeds to its XGBoost delay predictor; the extractor is also what the ML flow
+runs at every optimization iteration, so it is written to need only a few
+linear passes over the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.errors import FeatureError
+from repro.features.depth import (
+    nth_binary_weighted_path_depths,
+    nth_long_path_depths,
+    nth_weighted_path_depths,
+)
+from repro.features.fanout import fanout_stats, long_path_fanout_stats
+from repro.features.paths import top_path_counts
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Configuration of the Table II feature set."""
+
+    top_n_depths: int = 3
+    top_n_paths: int = 3
+    log_path_counts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_n_depths < 1:
+            raise FeatureError("top_n_depths must be at least 1")
+        if self.top_n_paths < 1:
+            raise FeatureError("top_n_paths must be at least 1")
+
+
+class FeatureExtractor:
+    """Extracts the paper's graph-level AIG features as a numpy vector."""
+
+    def __init__(self, config: FeatureConfig = FeatureConfig()) -> None:
+        self.config = config
+        self._names = self._build_names()
+
+    # ------------------------------------------------------------------ #
+    def _build_names(self) -> List[str]:
+        names = ["number_of_node", "aig_level"]
+        for n in range(1, self.config.top_n_depths + 1):
+            names.append(f"aig_{n}th_long_path_depth")
+        for n in range(1, self.config.top_n_depths + 1):
+            names.append(f"aig_{n}th_weighted_path_depth")
+        for n in range(1, self.config.top_n_depths + 1):
+            names.append(f"aig_{n}th_binary_weighted_path_depth")
+        for stat in ("mean", "max", "std", "sum"):
+            names.append(f"fanout_{stat}")
+        for stat in ("mean", "max", "std", "sum"):
+            names.append(f"long_path_fanout_{stat}")
+        for n in range(1, self.config.top_n_paths + 1):
+            names.append(f"num_of_paths_{n}")
+        return names
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Names of the vector entries, in order."""
+        return list(self._names)
+
+    @property
+    def num_features(self) -> int:
+        """Length of the feature vector."""
+        return len(self._names)
+
+    # ------------------------------------------------------------------ #
+    def extract_dict(self, aig: Aig) -> Dict[str, float]:
+        """Features of *aig* as an ordered name -> value dictionary."""
+        if aig.num_pos == 0:
+            raise FeatureError("cannot extract features from an AIG with no outputs")
+        config = self.config
+        values: Dict[str, float] = {
+            "number_of_node": float(aig.num_ands),
+            "aig_level": float(aig.depth()),
+        }
+        for n, value in enumerate(nth_long_path_depths(aig, config.top_n_depths), start=1):
+            values[f"aig_{n}th_long_path_depth"] = value
+        for n, value in enumerate(
+            nth_weighted_path_depths(aig, config.top_n_depths), start=1
+        ):
+            values[f"aig_{n}th_weighted_path_depth"] = value
+        for n, value in enumerate(
+            nth_binary_weighted_path_depths(aig, config.top_n_depths), start=1
+        ):
+            values[f"aig_{n}th_binary_weighted_path_depth"] = value
+        for stat, value in fanout_stats(aig).items():
+            values[f"fanout_{stat}"] = value
+        for stat, value in long_path_fanout_stats(aig).items():
+            values[f"long_path_fanout_{stat}"] = value
+        path_counts = top_path_counts(aig, config.top_n_paths, config.log_path_counts)
+        for n, value in enumerate(path_counts, start=1):
+            values[f"num_of_paths_{n}"] = value
+        return values
+
+    def extract(self, aig: Aig) -> np.ndarray:
+        """Features of *aig* as a 1-D ``float64`` array ordered by name."""
+        values = self.extract_dict(aig)
+        return np.array([values[name] for name in self._names], dtype=np.float64)
+
+    def extract_many(self, aigs: Sequence[Aig]) -> np.ndarray:
+        """Feature matrix (one row per AIG)."""
+        if not aigs:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        return np.vstack([self.extract(aig) for aig in aigs])
+
+
+def extract_features(aig: Aig, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`FeatureExtractor`."""
+    return FeatureExtractor(config).extract(aig)

@@ -1,0 +1,51 @@
+"""Fanout-distribution features (Table II, rows 6-7 of the paper).
+
+High-fanout nodes carry large capacitive loads after mapping and therefore
+large gate delays.  Two groups of statistics are extracted: the fanout
+distribution over the whole AIG, and the fanout distribution restricted to
+nodes lying on a longest (critical) path, where uneven fanout translates
+most directly into post-mapping delay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.aig.analysis import critical_path_nodes
+from repro.aig.graph import Aig
+
+
+def distribution_stats(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, max, standard deviation, and sum of *values* (zeros if empty)."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"mean": 0.0, "max": 0.0, "std": 0.0, "sum": 0.0}
+    total = sum(data)
+    mean = total / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return {
+        "mean": mean,
+        "max": max(data),
+        "std": math.sqrt(variance),
+        "sum": total,
+    }
+
+
+def fanout_stats(aig: Aig) -> Dict[str, float]:
+    """``fanout_{mean,max,std,sum}`` over every node (PIs and ANDs)."""
+    fanouts = aig.fanout_counts()
+    values = [fanouts[var] for var in range(1, aig.size)]
+    return distribution_stats(values)
+
+
+def long_path_fanout_stats(aig: Aig) -> Dict[str, float]:
+    """``long_path_fanout_{mean,max,std,sum}`` over critical-path nodes.
+
+    "Long path" follows the paper's definition: nodes whose path depth equals
+    the AIG level, i.e. nodes lying on at least one maximum-depth path.
+    """
+    fanouts = aig.fanout_counts()
+    critical = critical_path_nodes(aig)
+    values = [fanouts[var] for var in critical]
+    return distribution_stats(values)

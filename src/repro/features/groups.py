@@ -1,0 +1,75 @@
+"""Named groups of the Table II features.
+
+The paper organises its features into three categories — critical-path depth
+features, fanout-distribution features, and per-output path-count features —
+on top of the two bare proxy metrics (node count and AIG level).  The
+feature-ablation benchmark, the importance analysis, and the examples all
+need that grouping; this module is its single source of truth so the group
+definitions cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.extract import FeatureConfig, FeatureExtractor
+
+#: Canonical group names, in presentation order.
+GROUP_NAMES = ("proxy", "depth", "fanout", "long_path_fanout", "path_count")
+
+
+def feature_groups(config: FeatureConfig = FeatureConfig()) -> Dict[str, List[str]]:
+    """Map each group name to its feature names for the given configuration."""
+    groups: Dict[str, List[str]] = {name: [] for name in GROUP_NAMES}
+    for feature in FeatureExtractor(config).feature_names:
+        groups[group_of(feature)].append(feature)
+    return groups
+
+
+def group_of(feature_name: str) -> str:
+    """The group a single Table II feature belongs to."""
+    if feature_name in ("number_of_node", "aig_level"):
+        return "proxy"
+    if "path_depth" in feature_name:
+        return "depth"
+    if feature_name.startswith("long_path_fanout_"):
+        return "long_path_fanout"
+    if feature_name.startswith("fanout_"):
+        return "fanout"
+    if feature_name.startswith("num_of_paths"):
+        return "path_count"
+    raise FeatureError(f"unknown Table II feature {feature_name!r}")
+
+
+def columns_for_groups(
+    feature_names: Sequence[str], groups: Sequence[str]
+) -> List[int]:
+    """Column indices of *feature_names* belonging to any of *groups*."""
+    unknown = set(groups) - set(GROUP_NAMES)
+    if unknown:
+        raise FeatureError(f"unknown feature groups {sorted(unknown)}; known: {GROUP_NAMES}")
+    wanted = set(groups)
+    return [
+        index for index, name in enumerate(feature_names) if group_of(name) in wanted
+    ]
+
+
+def drop_groups(
+    features: np.ndarray, feature_names: Sequence[str], groups: Sequence[str]
+) -> np.ndarray:
+    """Copy of the feature matrix with the listed groups' columns removed.
+
+    Used by the ablation study: retraining on ``drop_groups(X, names, ["depth"])``
+    measures how much the depth features contribute beyond the rest.
+    """
+    data = np.asarray(features, dtype=np.float64)
+    if data.ndim != 2 or data.shape[1] != len(feature_names):
+        raise FeatureError("feature matrix does not match the feature-name list")
+    dropped = set(columns_for_groups(feature_names, groups))
+    keep = [index for index in range(data.shape[1]) if index not in dropped]
+    if not keep:
+        raise FeatureError("cannot drop every feature group")
+    return data[:, keep]

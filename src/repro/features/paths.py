@@ -1,0 +1,27 @@
+"""Path-count features (Table II, last row of the paper).
+
+The number of distinct PI-to-PO paths in a primary output's cone
+approximates the probability that the output has several critical or
+near-critical paths after mapping, without explicitly enumerating them.
+The top-n largest per-PO path counts are used as features; counts are taken
+in log scale because path counts grow exponentially with reconvergence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.aig.analysis import count_paths_per_po
+from repro.aig.graph import Aig
+
+
+def top_path_counts(aig: Aig, n: int = 3, log_scale: bool = True) -> List[float]:
+    """Top-*n* per-PO path counts (optionally ``log1p``-compressed)."""
+    counts = count_paths_per_po(aig)
+    ordered = sorted((float(c) for c in counts), reverse=True)
+    ordered += [0.0] * max(0, n - len(ordered))
+    values = ordered[:n]
+    if log_scale:
+        values = [math.log1p(v) for v in values]
+    return values

@@ -1,0 +1,48 @@
+"""Circuit file I/O: AIGER (ASCII + binary), BENCH, BLIF, Verilog, DOT."""
+
+from repro.io.aiger import dumps_aag, loads_aag, read_aag, write_aag
+from repro.io.aiger_binary import (
+    dumps_aig_binary,
+    loads_aig_binary,
+    read_aig_binary,
+    write_aig_binary,
+)
+from repro.io.bench import dumps_bench, loads_bench, read_bench, write_bench
+from repro.io.blif import dumps_blif, loads_blif, read_blif, write_blif
+from repro.io.dot import aig_to_dot, netlist_to_dot, write_aig_dot, write_netlist_dot
+from repro.io.verilog import (
+    dumps_aig_verilog,
+    dumps_mapped_verilog,
+    write_aig_verilog,
+    write_mapped_verilog,
+)
+from repro.io.verilog_read import loads_mapped_verilog, read_mapped_verilog
+
+__all__ = [
+    "aig_to_dot",
+    "dumps_aag",
+    "dumps_aig_binary",
+    "loads_aag",
+    "loads_aig_binary",
+    "read_aag",
+    "read_aig_binary",
+    "write_aag",
+    "write_aig_binary",
+    "dumps_bench",
+    "loads_bench",
+    "read_bench",
+    "write_bench",
+    "dumps_blif",
+    "loads_blif",
+    "read_blif",
+    "write_blif",
+    "dumps_aig_verilog",
+    "dumps_mapped_verilog",
+    "loads_mapped_verilog",
+    "netlist_to_dot",
+    "read_mapped_verilog",
+    "write_aig_verilog",
+    "write_aig_dot",
+    "write_mapped_verilog",
+    "write_netlist_dot",
+]

@@ -1,0 +1,164 @@
+"""Reader and writer for the ASCII AIGER (``.aag``) format.
+
+Only the combinational subset is supported (no latches), which matches the
+designs used throughout the paper.  The ASCII variant is preferred over the
+binary one because the files are human-readable and diff-able in tests; the
+format is otherwise identical in expressiveness for combinational circuits.
+
+Reference: Biere, *The AIGER And-Inverter Graph (AIG) Format*.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, TextIO, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var, negate_if
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+
+def write_aag(aig: Aig, destination: Union[PathLike, TextIO]) -> None:
+    """Write *aig* to *destination* (path or text stream) in ASCII AIGER."""
+    if hasattr(destination, "write"):
+        _write_aag_stream(aig, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_aag_stream(aig, handle)
+
+
+def dumps_aag(aig: Aig) -> str:
+    """Return the ASCII AIGER text for *aig*."""
+    buffer = io.StringIO()
+    _write_aag_stream(aig, buffer)
+    return buffer.getvalue()
+
+
+def _write_aag_stream(aig: Aig, stream: TextIO) -> None:
+    # AIGER requires AND nodes to be numbered after all inputs.  Our graphs
+    # interleave PIs and ANDs freely, so renumber: PIs first, then ANDs in
+    # topological order.
+    var_to_aiger: Dict[int, int] = {0: 0}
+    next_index = 1
+    for var in aig.pi_vars:
+        var_to_aiger[var] = next_index
+        next_index += 1
+    and_vars = list(aig.and_vars())
+    for var in and_vars:
+        var_to_aiger[var] = next_index
+        next_index += 1
+
+    def lit_of(lit: int) -> int:
+        var = literal_var(lit)
+        return 2 * var_to_aiger[var] + (1 if is_complemented(lit) else 0)
+
+    max_var = next_index - 1
+    stream.write(
+        f"aag {max_var} {aig.num_pis} 0 {aig.num_pos} {len(and_vars)}\n"
+    )
+    for var in aig.pi_vars:
+        stream.write(f"{2 * var_to_aiger[var]}\n")
+    for lit in aig.po_literals():
+        stream.write(f"{lit_of(lit)}\n")
+    for var in and_vars:
+        f0, f1 = aig.fanins(var)
+        stream.write(f"{2 * var_to_aiger[var]} {lit_of(f0)} {lit_of(f1)}\n")
+    for index, name in enumerate(aig.pi_names):
+        stream.write(f"i{index} {name}\n")
+    for index, name in enumerate(aig.po_names):
+        stream.write(f"o{index} {name}\n")
+    stream.write("c\nwritten by repro\n")
+
+
+def read_aag(source: Union[PathLike, TextIO]) -> Aig:
+    """Parse an ASCII AIGER file (combinational only) into an :class:`Aig`."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+        name = "aag"
+    else:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        name = path.stem
+    return loads_aag(text, name=name)
+
+
+def loads_aag(text: str, name: str = "aag") -> Aig:
+    """Parse ASCII AIGER text into an :class:`Aig`."""
+    lines = text.splitlines()
+    if not lines:
+        raise ParseError("empty AIGER file")
+    header = lines[0].split()
+    if len(header) != 6 or header[0] != "aag":
+        raise ParseError(f"malformed AIGER header: {lines[0]!r}")
+    try:
+        max_var, num_inputs, num_latches, num_outputs, num_ands = map(int, header[1:])
+    except ValueError as exc:
+        raise ParseError(f"non-integer field in AIGER header: {lines[0]!r}") from exc
+    if num_latches != 0:
+        raise ParseError("latches are not supported (combinational AIGs only)")
+
+    body = lines[1:]
+    expected_defs = num_inputs + num_outputs + num_ands
+    if len(body) < expected_defs:
+        raise ParseError(
+            f"AIGER body too short: expected at least {expected_defs} lines, "
+            f"got {len(body)}"
+        )
+    input_lits = []
+    for line in body[:num_inputs]:
+        input_lits.append(_parse_int(line))
+    output_lits = []
+    for line in body[num_inputs : num_inputs + num_outputs]:
+        output_lits.append(_parse_int(line))
+    and_defs = []
+    for line in body[num_inputs + num_outputs : expected_defs]:
+        parts = line.split()
+        if len(parts) != 3:
+            raise ParseError(f"malformed AND definition: {line!r}")
+        and_defs.append(tuple(_parse_int(p) for p in parts))
+
+    # Symbol table (optional).
+    input_names: Dict[int, str] = {}
+    output_names: Dict[int, str] = {}
+    for line in body[expected_defs:]:
+        if not line or line.startswith("c"):
+            break
+        if line[0] == "i":
+            idx, _, symbol = line[1:].partition(" ")
+            input_names[int(idx)] = symbol
+        elif line[0] == "o":
+            idx, _, symbol = line[1:].partition(" ")
+            output_names[int(idx)] = symbol
+
+    aig = Aig(name)
+    aiger_var_to_lit: Dict[int, int] = {0: 0}
+    for index, lit in enumerate(input_lits):
+        if lit % 2 != 0:
+            raise ParseError(f"input literal {lit} must not be complemented")
+        aiger_var_to_lit[lit // 2] = aig.add_pi(input_names.get(index, f"pi{index}"))
+
+    def resolve(lit: int) -> int:
+        var = lit // 2
+        if var not in aiger_var_to_lit:
+            raise ParseError(f"literal {lit} used before definition")
+        return negate_if(aiger_var_to_lit[var], lit % 2 == 1)
+
+    # AND definitions in AIGER are required to be topologically ordered.
+    for lhs, rhs0, rhs1 in and_defs:
+        if lhs % 2 != 0:
+            raise ParseError(f"AND output literal {lhs} must not be complemented")
+        aiger_var_to_lit[lhs // 2] = aig.add_and(resolve(rhs0), resolve(rhs1))
+
+    for index, lit in enumerate(output_lits):
+        aig.add_po(resolve(lit), output_names.get(index, f"po{index}"))
+    return aig
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError as exc:
+        raise ParseError(f"expected an integer, got {text!r}") from exc

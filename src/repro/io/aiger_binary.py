@@ -1,0 +1,203 @@
+"""Reader and writer for the binary AIGER (``.aig``) format.
+
+The binary variant is the format ABC and most model checkers exchange by
+default: the header is ASCII, primary inputs are implicit, and every AND gate
+is stored as two LEB128-style variable-length deltas.  Only the combinational
+subset (no latches) is supported, matching the ASCII reader in
+:mod:`repro.io.aiger`.
+
+Reference: Biere, *The AIGER And-Inverter Graph (AIG) Format*, Section
+"Binary Format".
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var, negate_if
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+
+def write_aig_binary(aig: Aig, destination: Union[PathLike, BinaryIO]) -> None:
+    """Write *aig* to *destination* (path or binary stream) in binary AIGER."""
+    data = dumps_aig_binary(aig)
+    if hasattr(destination, "write"):
+        destination.write(data)  # type: ignore[union-attr]
+        return
+    Path(destination).write_bytes(data)
+
+
+def dumps_aig_binary(aig: Aig) -> bytes:
+    """Return the binary AIGER encoding of *aig*."""
+    # Renumber: PIs first (1..I), then ANDs in topological order, as the
+    # binary format requires every AND literal to exceed both of its fanins.
+    var_to_index: Dict[int, int] = {0: 0}
+    next_index = 1
+    for var in aig.pi_vars:
+        var_to_index[var] = next_index
+        next_index += 1
+    and_vars = list(aig.and_vars())
+    for var in and_vars:
+        var_to_index[var] = next_index
+        next_index += 1
+
+    def lit_of(lit: int) -> int:
+        return 2 * var_to_index[literal_var(lit)] + (1 if is_complemented(lit) else 0)
+
+    buffer = io.BytesIO()
+    max_var = next_index - 1
+    header = f"aig {max_var} {aig.num_pis} 0 {aig.num_pos} {len(and_vars)}\n"
+    buffer.write(header.encode("ascii"))
+    for lit in aig.po_literals():
+        buffer.write(f"{lit_of(lit)}\n".encode("ascii"))
+    for var in and_vars:
+        lhs = 2 * var_to_index[var]
+        f0, f1 = aig.fanins(var)
+        rhs0, rhs1 = lit_of(f0), lit_of(f1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        if rhs0 >= lhs:
+            raise ParseError(
+                f"AND literal {lhs} does not dominate its fanin {rhs0} "
+                "(graph not topologically ordered)"
+            )
+        buffer.write(_encode_delta(lhs - rhs0))
+        buffer.write(_encode_delta(rhs0 - rhs1))
+    for index, name in enumerate(aig.pi_names):
+        buffer.write(f"i{index} {name}\n".encode("utf-8"))
+    for index, name in enumerate(aig.po_names):
+        buffer.write(f"o{index} {name}\n".encode("utf-8"))
+    buffer.write(b"c\nwritten by repro\n")
+    return buffer.getvalue()
+
+
+def read_aig_binary(source: Union[PathLike, BinaryIO]) -> Aig:
+    """Parse a binary AIGER file (combinational only) into an :class:`Aig`."""
+    if hasattr(source, "read"):
+        data = source.read()  # type: ignore[union-attr]
+        name = "aig"
+    else:
+        path = Path(source)
+        data = path.read_bytes()
+        name = path.stem
+    return loads_aig_binary(data, name=name)
+
+
+def loads_aig_binary(data: bytes, name: str = "aig") -> Aig:
+    """Parse binary AIGER bytes into an :class:`Aig`."""
+    cursor = 0
+    header_line, cursor = _read_line(data, cursor)
+    fields = header_line.split()
+    if len(fields) != 6 or fields[0] != b"aig":
+        raise ParseError(f"malformed binary AIGER header: {header_line!r}")
+    try:
+        max_var, num_inputs, num_latches, num_outputs, num_ands = (
+            int(value) for value in fields[1:]
+        )
+    except ValueError as exc:
+        raise ParseError(f"non-integer field in AIGER header: {header_line!r}") from exc
+    if num_latches != 0:
+        raise ParseError("latches are not supported (combinational AIGs only)")
+    if max_var != num_inputs + num_ands:
+        raise ParseError(
+            f"header mismatch: M={max_var} but I+A={num_inputs + num_ands}"
+        )
+
+    output_lits: List[int] = []
+    for _ in range(num_outputs):
+        line, cursor = _read_line(data, cursor)
+        try:
+            output_lits.append(int(line))
+        except ValueError as exc:
+            raise ParseError(f"malformed output literal line: {line!r}") from exc
+
+    and_defs: List[Tuple[int, int, int]] = []
+    for index in range(num_ands):
+        lhs = 2 * (num_inputs + index + 1)
+        delta0, cursor = _decode_delta(data, cursor)
+        delta1, cursor = _decode_delta(data, cursor)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if rhs0 < 0 or rhs1 < 0:
+            raise ParseError(f"negative fanin literal decoded for AND {lhs}")
+        and_defs.append((lhs, rhs0, rhs1))
+
+    input_names, output_names = _parse_symbol_table(data, cursor)
+
+    aig = Aig(name)
+    index_to_lit: Dict[int, int] = {0: 0}
+    for index in range(num_inputs):
+        index_to_lit[index + 1] = aig.add_pi(input_names.get(index, f"pi{index}"))
+
+    def resolve(lit: int) -> int:
+        var = lit // 2
+        if var not in index_to_lit:
+            raise ParseError(f"literal {lit} used before definition")
+        return negate_if(index_to_lit[var], lit % 2 == 1)
+
+    for lhs, rhs0, rhs1 in and_defs:
+        index_to_lit[lhs // 2] = aig.add_and(resolve(rhs0), resolve(rhs1))
+    for index, lit in enumerate(output_lits):
+        aig.add_po(resolve(lit), output_names.get(index, f"po{index}"))
+    return aig
+
+
+# --------------------------------------------------------------------------- #
+# LEB128-style delta codec
+# --------------------------------------------------------------------------- #
+def _encode_delta(value: int) -> bytes:
+    """Encode a non-negative delta as AIGER's 7-bit little-endian varint."""
+    if value < 0:
+        raise ParseError(f"cannot encode negative delta {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _decode_delta(data: bytes, cursor: int) -> Tuple[int, int]:
+    """Decode one varint starting at *cursor*; return (value, new_cursor)."""
+    value = 0
+    shift = 0
+    while True:
+        if cursor >= len(data):
+            raise ParseError("truncated binary AIGER file inside AND definitions")
+        byte = data[cursor]
+        cursor += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, cursor
+        shift += 7
+
+
+def _read_line(data: bytes, cursor: int) -> Tuple[bytes, int]:
+    end = data.find(b"\n", cursor)
+    if end < 0:
+        raise ParseError("truncated binary AIGER file (missing newline)")
+    return data[cursor:end], end + 1
+
+
+def _parse_symbol_table(data: bytes, cursor: int) -> Tuple[Dict[int, str], Dict[int, str]]:
+    input_names: Dict[int, str] = {}
+    output_names: Dict[int, str] = {}
+    while cursor < len(data):
+        line, cursor = _read_line(data, cursor)
+        if not line or line.startswith(b"c"):
+            break
+        text = line.decode("utf-8", errors="replace")
+        if text[0] == "i":
+            index, _, symbol = text[1:].partition(" ")
+            input_names[int(index)] = symbol
+        elif text[0] == "o":
+            index, _, symbol = text[1:].partition(" ")
+            output_names[int(index)] = symbol
+        else:
+            break
+    return input_names, output_names

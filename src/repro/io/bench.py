@@ -1,0 +1,186 @@
+"""Reader and writer for the ISCAS ``.bench`` netlist format.
+
+BENCH is a tiny, human-readable gate-level format (``INPUT``, ``OUTPUT`` and
+``name = GATE(args)`` lines).  The reader converts arbitrary AND/NAND/OR/
+NOR/XOR/XNOR/NOT/BUFF gates into AIG nodes; the writer emits one ``AND`` per
+AIG node plus ``NOT`` wrappers for complemented edges, so a written file can
+be read back into a functionally identical graph.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import Dict, List, TextIO, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var, negate
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+_LINE_RE = re.compile(r"^\s*([\w.\[\]]+)\s*=\s*(\w+)\s*\(([^)]*)\)\s*$")
+
+_SUPPORTED_GATES = {
+    "AND",
+    "NAND",
+    "OR",
+    "NOR",
+    "XOR",
+    "XNOR",
+    "NOT",
+    "INV",
+    "BUF",
+    "BUFF",
+}
+
+
+def read_bench(source: Union[PathLike, TextIO]) -> Aig:
+    """Parse a ``.bench`` file (or stream) into an :class:`Aig`."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+        name = "bench"
+    else:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        name = path.stem
+    return loads_bench(text, name=name)
+
+
+def loads_bench(text: str, name: str = "bench") -> Aig:
+    """Parse BENCH text into an :class:`Aig`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[tuple] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") and line.endswith(")"):
+            inputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        if upper.startswith("OUTPUT(") and line.endswith(")"):
+            outputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ParseError(f"cannot parse BENCH line: {raw_line!r}")
+        target, gate, args = match.groups()
+        gate = gate.upper()
+        if gate not in _SUPPORTED_GATES:
+            raise ParseError(f"unsupported BENCH gate type: {gate!r}")
+        operands = [a.strip() for a in args.split(",") if a.strip()]
+        gates.append((target, gate, operands))
+
+    aig = Aig(name)
+    signals: Dict[str, int] = {}
+    for input_name in inputs:
+        signals[input_name] = aig.add_pi(input_name)
+
+    # Gates may be listed out of order; resolve iteratively.
+    pending = list(gates)
+    progress = True
+    while pending and progress:
+        progress = False
+        still_pending = []
+        for target, gate, operands in pending:
+            if all(op in signals for op in operands):
+                signals[target] = _build_gate(aig, gate, [signals[o] for o in operands])
+                progress = True
+            else:
+                still_pending.append((target, gate, operands))
+        pending = still_pending
+    if pending:
+        unresolved = ", ".join(t for t, _, _ in pending[:5])
+        raise ParseError(f"unresolved signals (cycle or missing driver): {unresolved}")
+
+    for output_name in outputs:
+        if output_name not in signals:
+            raise ParseError(f"output {output_name!r} has no driver")
+        aig.add_po(signals[output_name], output_name)
+    return aig
+
+
+def _build_gate(aig: Aig, gate: str, literals: List[int]) -> int:
+    if gate in ("NOT", "INV"):
+        if len(literals) != 1:
+            raise ParseError("NOT gate requires exactly one operand")
+        return negate(literals[0])
+    if gate in ("BUF", "BUFF"):
+        if len(literals) != 1:
+            raise ParseError("BUF gate requires exactly one operand")
+        return literals[0]
+    if not literals:
+        raise ParseError(f"{gate} gate requires at least one operand")
+    if gate == "AND":
+        return aig.add_and_multi(literals)
+    if gate == "NAND":
+        return negate(aig.add_and_multi(literals))
+    if gate == "OR":
+        return aig.add_or_multi(literals)
+    if gate == "NOR":
+        return negate(aig.add_or_multi(literals))
+    if gate in ("XOR", "XNOR"):
+        result = literals[0]
+        for lit in literals[1:]:
+            result = aig.add_xor(result, lit)
+        return negate(result) if gate == "XNOR" else result
+    raise ParseError(f"unsupported gate {gate!r}")
+
+
+def write_bench(aig: Aig, destination: Union[PathLike, TextIO]) -> None:
+    """Write *aig* to *destination* in BENCH format."""
+    if hasattr(destination, "write"):
+        _write_bench_stream(aig, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_bench_stream(aig, handle)
+
+
+def dumps_bench(aig: Aig) -> str:
+    """Return the BENCH text for *aig*."""
+    buffer = io.StringIO()
+    _write_bench_stream(aig, buffer)
+    return buffer.getvalue()
+
+
+def _write_bench_stream(aig: Aig, stream: TextIO) -> None:
+    stream.write(f"# {aig.name} written by repro\n")
+    pi_names = aig.pi_names
+    names: Dict[int, str] = {0: "const0"}
+    uses_const = any(literal_var(lit) == 0 for lit in aig.po_literals())
+    for var, pi_name in zip(aig.pi_vars, pi_names):
+        names[var] = pi_name
+        stream.write(f"INPUT({pi_name})\n")
+    for po_name in aig.po_names:
+        stream.write(f"OUTPUT({po_name})\n")
+    if uses_const:
+        # BENCH has no constant primitive; emit x AND !x style zero.
+        if pi_names:
+            p = pi_names[0]
+            stream.write(f"const0_n = NOT({p})\n")
+            stream.write(f"const0 = AND({p}, const0_n)\n")
+        else:
+            raise ParseError("cannot express a constant output without any inputs")
+
+    def ref(lit: int) -> str:
+        var = literal_var(lit)
+        base = names[var]
+        if is_complemented(lit):
+            inverted = f"{base}_not"
+            if inverted not in emitted_inverters:
+                stream.write(f"{inverted} = NOT({base})\n")
+                emitted_inverters.add(inverted)
+            return inverted
+        return base
+
+    emitted_inverters: set = set()
+    for var in aig.and_vars():
+        names[var] = f"n{var}"
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        stream.write(f"{names[var]} = AND({ref(f0)}, {ref(f1)})\n")
+    for po_name, lit in zip(aig.po_names, aig.po_literals()):
+        stream.write(f"{po_name} = BUFF({ref(lit)})\n")

@@ -1,0 +1,230 @@
+"""BLIF reader and writer for AIGs.
+
+The Berkeley Logic Interchange Format (BLIF) is the lingua franca between
+logic synthesis tools.  The writer turns each AND node into a two-input
+``.names`` cover with edge inversions folded into the cover rows; the reader
+accepts the general combinational subset of the format (arbitrary
+single-output ``.names`` covers with don't-cares, in any declaration order)
+so that designs exported by ABC or other tools can be imported for
+cross-checking.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import CONST0, CONST1, is_complemented, literal_var, negate
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+
+def write_blif(aig: Aig, destination: Union[PathLike, TextIO]) -> None:
+    """Write *aig* to *destination* in BLIF format."""
+    if hasattr(destination, "write"):
+        _write_blif_stream(aig, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_blif_stream(aig, handle)
+
+
+def dumps_blif(aig: Aig) -> str:
+    """Return the BLIF text for *aig*."""
+    buffer = io.StringIO()
+    _write_blif_stream(aig, buffer)
+    return buffer.getvalue()
+
+
+def _write_blif_stream(aig: Aig, stream: TextIO) -> None:
+    names: Dict[int, str] = {0: "const0"}
+    for var, pi_name in zip(aig.pi_vars, aig.pi_names):
+        names[var] = pi_name
+    for var in aig.and_vars():
+        names[var] = f"n{var}"
+
+    stream.write(f".model {aig.name}\n")
+    stream.write(".inputs " + " ".join(aig.pi_names) + "\n")
+    stream.write(".outputs " + " ".join(aig.po_names) + "\n")
+
+    if any(literal_var(lit) == 0 for lit in aig.po_literals()):
+        stream.write(".names const0\n")  # empty cover == constant 0
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        in0, in1 = names[literal_var(f0)], names[literal_var(f1)]
+        bit0 = "0" if is_complemented(f0) else "1"
+        bit1 = "0" if is_complemented(f1) else "1"
+        stream.write(f".names {in0} {in1} {names[var]}\n")
+        stream.write(f"{bit0}{bit1} 1\n")
+
+    for po_name, lit in zip(aig.po_names, aig.po_literals()):
+        driver = names[literal_var(lit)]
+        stream.write(f".names {driver} {po_name}\n")
+        stream.write(("0 1\n" if is_complemented(lit) else "1 1\n"))
+    stream.write(".end\n")
+
+
+# --------------------------------------------------------------------------- #
+# Reader
+# --------------------------------------------------------------------------- #
+class _Cover:
+    """One ``.names`` block: inputs, output, and its SOP rows."""
+
+    def __init__(self, inputs: List[str], output: str) -> None:
+        self.inputs = inputs
+        self.output = output
+        self.rows: List[Tuple[str, str]] = []
+
+
+def read_blif(source: Union[PathLike, TextIO]) -> Aig:
+    """Parse a BLIF file (or stream) into an :class:`Aig`."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+        name = "blif"
+    else:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        name = path.stem
+    return loads_blif(text, default_name=name)
+
+
+def loads_blif(text: str, default_name: str = "blif") -> Aig:
+    """Parse BLIF text (combinational ``.names`` subset) into an :class:`Aig`."""
+    model_name, inputs, outputs, covers = _parse_blif_sections(text, default_name)
+    if not outputs:
+        raise ParseError("BLIF model declares no outputs")
+
+    aig = Aig(model_name)
+    signals: Dict[str, int] = {}
+    for pi_name in inputs:
+        signals[pi_name] = aig.add_pi(pi_name)
+
+    cover_of: Dict[str, _Cover] = {}
+    for cover in covers:
+        if cover.output in cover_of:
+            raise ParseError(f"signal {cover.output!r} is defined by more than one .names")
+        cover_of[cover.output] = cover
+
+    in_progress: set = set()
+
+    def resolve(signal: str) -> int:
+        if signal in signals:
+            return signals[signal]
+        if signal not in cover_of:
+            raise ParseError(f"signal {signal!r} is used but never defined")
+        if signal in in_progress:
+            raise ParseError(f"combinational cycle through signal {signal!r}")
+        in_progress.add(signal)
+        cover = cover_of[signal]
+        fanin_lits = [resolve(name) for name in cover.inputs]
+        literal = _build_cover(aig, fanin_lits, cover)
+        in_progress.discard(signal)
+        signals[signal] = literal
+        return literal
+
+    for po_name in outputs:
+        aig.add_po(resolve(po_name), po_name)
+    return aig
+
+
+def _parse_blif_sections(
+    text: str, default_name: str
+) -> Tuple[str, List[str], List[str], List[_Cover]]:
+    model_name = default_name
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: List[_Cover] = []
+    current: Optional[_Cover] = None
+
+    for raw_line in _logical_lines(text):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            tokens = line.split()
+            directive = tokens[0]
+            current = None
+            if directive == ".model":
+                if len(tokens) > 1:
+                    model_name = tokens[1]
+            elif directive == ".inputs":
+                inputs.extend(tokens[1:])
+            elif directive == ".outputs":
+                outputs.extend(tokens[1:])
+            elif directive == ".names":
+                if len(tokens) < 2:
+                    raise ParseError(".names needs at least an output signal")
+                current = _Cover(inputs=tokens[1:-1], output=tokens[-1])
+                covers.append(current)
+            elif directive in (".end", ".exdc"):
+                current = None
+            elif directive in (".latch", ".subckt", ".gate", ".mlatch"):
+                raise ParseError(f"unsupported BLIF directive {directive!r} (combinational .names only)")
+            # Other dot-directives (.default_input_arrival, ...) are ignored.
+            continue
+        if current is None:
+            raise ParseError(f"unexpected BLIF line outside a .names block: {raw_line!r}")
+        current.rows.append(_parse_cover_row(line, len(current.inputs)))
+    return model_name, inputs, outputs, covers
+
+
+def _logical_lines(text: str):
+    """Yield lines with comments stripped and backslash continuations joined."""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield pending + line
+        pending = ""
+    if pending:
+        yield pending
+
+
+def _parse_cover_row(line: str, num_inputs: int) -> Tuple[str, str]:
+    parts = line.split()
+    if num_inputs == 0:
+        if len(parts) != 1 or parts[0] not in ("0", "1"):
+            raise ParseError(f"malformed constant cover row: {line!r}")
+        return "", parts[0]
+    if len(parts) != 2:
+        raise ParseError(f"malformed cover row: {line!r}")
+    pattern, value = parts
+    if len(pattern) != num_inputs:
+        raise ParseError(
+            f"cover row {line!r} has {len(pattern)} positions for {num_inputs} inputs"
+        )
+    if any(ch not in "01-" for ch in pattern):
+        raise ParseError(f"cover row {line!r} contains characters outside 0/1/-")
+    if value not in ("0", "1"):
+        raise ParseError(f"cover output value must be 0 or 1, got {value!r}")
+    return pattern, value
+
+
+def _build_cover(aig: Aig, fanin_lits: List[int], cover: _Cover) -> int:
+    if not cover.rows:
+        # An empty cover is the constant-0 function.
+        return CONST0
+    phases = {value for _, value in cover.rows}
+    if len(phases) != 1:
+        raise ParseError(
+            f"cover for {cover.output!r} mixes ON-set and OFF-set rows"
+        )
+    phase = phases.pop()
+    if not cover.inputs:
+        return CONST1 if phase == "1" else CONST0
+    cube_lits: List[int] = []
+    for pattern, _ in cover.rows:
+        term: List[int] = []
+        for position, ch in enumerate(pattern):
+            if ch == "-":
+                continue
+            lit = fanin_lits[position]
+            term.append(lit if ch == "1" else negate(lit))
+        cube_lits.append(aig.add_and_multi(term))
+    result = aig.add_or_multi(cube_lits)
+    return result if phase == "1" else negate(result)

@@ -1,0 +1,130 @@
+"""Graphviz DOT exporters for AIGs and mapped netlists.
+
+These are debugging/visualisation aids: the exported text can be rendered
+with ``dot -Tpdf`` to inspect the structure a transformation produced or the
+cells the mapper chose.  Complemented AIG edges are drawn dashed; the
+critical path of a timing report can optionally be highlighted on the mapped
+netlist.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Set, TextIO, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var
+from repro.mapping.netlist import MappedNetlist
+from repro.sta.analysis import TimingReport
+
+PathLike = Union[str, Path]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def aig_to_dot(aig: Aig, highlight_vars: Optional[Iterable[int]] = None) -> str:
+    """Return DOT text for *aig*; *highlight_vars* are drawn filled."""
+    highlighted: Set[int] = set(highlight_vars or ())
+    out = io.StringIO()
+    out.write(f"digraph {_quote(aig.name)} {{\n")
+    out.write("  rankdir=BT;\n")
+    out.write('  node [shape=circle, fontsize=10];\n')
+    for var, name in zip(aig.pi_vars, aig.pi_names):
+        out.write(
+            f"  v{var} [shape=triangle, label={_quote(name)}];\n"
+        )
+    for var in aig.and_vars():
+        style = ', style=filled, fillcolor="#ffd27f"' if var in highlighted else ""
+        out.write(f'  v{var} [label="{var}"{style}];\n')
+    for var in aig.and_vars():
+        for fanin in aig.fanins(var):
+            style = " [style=dashed]" if is_complemented(fanin) else ""
+            out.write(f"  v{literal_var(fanin)} -> v{var}{style};\n")
+    for index, (lit, name) in enumerate(zip(aig.po_literals(), aig.po_names)):
+        out.write(f"  po{index} [shape=invtriangle, label={_quote(name)}];\n")
+        style = " [style=dashed]" if is_complemented(lit) else ""
+        out.write(f"  v{literal_var(lit)} -> po{index}{style};\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def write_aig_dot(
+    aig: Aig,
+    destination: Union[PathLike, TextIO],
+    highlight_vars: Optional[Iterable[int]] = None,
+) -> None:
+    """Write the DOT rendering of *aig* to a path or text stream."""
+    text = aig_to_dot(aig, highlight_vars=highlight_vars)
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    Path(destination).write_text(text, encoding="utf-8")
+
+
+def netlist_to_dot(
+    netlist: MappedNetlist, timing: Optional[TimingReport] = None
+) -> str:
+    """Return DOT text for a mapped netlist.
+
+    When *timing* is given, the gates on its critical path are drawn filled
+    so the path the STA engine reported is visible at a glance.
+    """
+    critical_nets: Set[int] = set()
+    if timing is not None:
+        for arc in timing.critical_path:
+            critical_nets.add(arc.output_net)
+
+    net_label: Dict[int, str] = {}
+    for net, name in zip(netlist.pi_nets, netlist.pi_names):
+        net_label[net] = name
+
+    out = io.StringIO()
+    out.write(f"digraph {_quote(netlist.name)} {{\n")
+    out.write("  rankdir=LR;\n")
+    out.write("  node [shape=box, fontsize=10];\n")
+    for net, name in zip(netlist.pi_nets, netlist.pi_names):
+        out.write(f"  n{net} [shape=triangle, label={_quote(name)}];\n")
+    for net, value in netlist.constant_nets.items():
+        out.write(f'  n{net} [shape=plaintext, label="1\'b{value}"];\n')
+    for index, gate in enumerate(netlist.gates):
+        style = ', style=filled, fillcolor="#ff9d9d"' if gate.output in critical_nets else ""
+        out.write(f"  g{index} [label={_quote(gate.cell.name)}{style}];\n")
+        for net in gate.inputs:
+            source = _net_source(net, netlist, net_label)
+            out.write(f"  {source} -> g{index};\n")
+        net_label[gate.output] = f"g{index}"
+    for index, (net, name) in enumerate(zip(netlist.po_nets, netlist.po_names)):
+        out.write(f"  po{index} [shape=invtriangle, label={_quote(name)}];\n")
+        if net is not None:
+            source = _net_source(net, netlist, net_label)
+            out.write(f"  {source} -> po{index};\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def write_netlist_dot(
+    netlist: MappedNetlist,
+    destination: Union[PathLike, TextIO],
+    timing: Optional[TimingReport] = None,
+) -> None:
+    """Write the DOT rendering of a mapped netlist to a path or text stream."""
+    text = netlist_to_dot(netlist, timing=timing)
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    Path(destination).write_text(text, encoding="utf-8")
+
+
+def _net_source(net: int, netlist: MappedNetlist, net_label: Dict[int, str]) -> str:
+    """DOT node id driving *net* (a PI, constant, or gate output)."""
+    if net in netlist.constant_nets or net in netlist.pi_nets:
+        return f"n{net}"
+    label = net_label.get(net)
+    if label is None:
+        # Driven by a gate that appears later (should not happen for valid
+        # topologically ordered netlists) — fall back to a bare net node.
+        return f"n{net}"
+    return label if label.startswith("g") else f"n{net}"

@@ -1,0 +1,140 @@
+"""Structural Verilog writers.
+
+Two writers are provided:
+
+* :func:`write_aig_verilog` emits an AIG as a flat module of ``and``/``not``
+  primitives, useful for importing designs into commercial tools.
+* :func:`write_mapped_verilog` emits a technology-mapped netlist (see
+  :mod:`repro.mapping.netlist`) as standard-cell instances, mirroring what a
+  synthesis tool would hand to place and route.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, TextIO, Union
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var
+
+PathLike = Union[str, Path]
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text or "_unnamed"
+
+
+def write_aig_verilog(aig: Aig, destination: Union[PathLike, TextIO]) -> None:
+    """Write *aig* as structural Verilog built from ``and``/``not`` primitives."""
+    if hasattr(destination, "write"):
+        _write_aig_stream(aig, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_aig_stream(aig, handle)
+
+
+def dumps_aig_verilog(aig: Aig) -> str:
+    """Return the structural Verilog text for *aig*."""
+    buffer = io.StringIO()
+    _write_aig_stream(aig, buffer)
+    return buffer.getvalue()
+
+
+def _write_aig_stream(aig: Aig, stream: TextIO) -> None:
+    pi_names = [_sanitize(n) for n in aig.pi_names]
+    po_names = [_sanitize(n) for n in aig.po_names]
+    module = _sanitize(aig.name)
+    ports = ", ".join(pi_names + po_names)
+    stream.write(f"module {module}({ports});\n")
+    for name in pi_names:
+        stream.write(f"  input {name};\n")
+    for name in po_names:
+        stream.write(f"  output {name};\n")
+
+    names: Dict[int, str] = {0: "const0_w"}
+    stream.write("  wire const0_w;\n  assign const0_w = 1'b0;\n")
+    for var, name in zip(aig.pi_vars, pi_names):
+        names[var] = name
+    for var in aig.and_vars():
+        names[var] = f"n{var}"
+        stream.write(f"  wire n{var};\n")
+
+    inverter_wires: Dict[int, str] = {}
+
+    def ref(lit: int) -> str:
+        var = literal_var(lit)
+        if not is_complemented(lit):
+            return names[var]
+        if var not in inverter_wires:
+            wire = f"{names[var]}_bar"
+            inverter_wires[var] = wire
+            stream.write(f"  wire {wire};\n")
+            stream.write(f"  not({wire}, {names[var]});\n")
+        return inverter_wires[var]
+
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        stream.write(f"  and({names[var]}, {ref(f0)}, {ref(f1)});\n")
+    for name, lit in zip(po_names, aig.po_literals()):
+        stream.write(f"  assign {name} = {ref(lit)};\n")
+    stream.write("endmodule\n")
+
+
+def write_mapped_verilog(netlist, destination: Union[PathLike, TextIO]) -> None:
+    """Write a mapped netlist (``repro.mapping.netlist.MappedNetlist``) as Verilog."""
+    if hasattr(destination, "write"):
+        _write_mapped_stream(netlist, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_mapped_stream(netlist, handle)
+
+
+def dumps_mapped_verilog(netlist) -> str:
+    """Return the Verilog text for a mapped netlist."""
+    buffer = io.StringIO()
+    _write_mapped_stream(netlist, buffer)
+    return buffer.getvalue()
+
+
+def _write_mapped_stream(netlist, stream: TextIO) -> None:
+    pi_names = [_sanitize(n) for n in netlist.pi_names]
+    po_names = [_sanitize(n) for n in netlist.po_names]
+    module = _sanitize(netlist.name)
+    ports = ", ".join(pi_names + po_names)
+    stream.write(f"module {module}({ports});\n")
+    for name in pi_names:
+        stream.write(f"  input {name};\n")
+    for name in po_names:
+        stream.write(f"  output {name};\n")
+
+    net_names: Dict[int, str] = {}
+    for index, name in zip(netlist.pi_nets, pi_names):
+        net_names[index] = name
+
+    for net, value in getattr(netlist, "constant_nets", {}).items():
+        net_names[net] = f"const{value}_w{net}"
+        stream.write(f"  wire {net_names[net]};\n")
+        stream.write(f"  assign {net_names[net]} = 1'b{value};\n")
+
+    for gate in netlist.gates:
+        if gate.output not in net_names:
+            net_names[gate.output] = f"w{gate.output}"
+            stream.write(f"  wire w{gate.output};\n")
+
+    for idx, gate in enumerate(netlist.gates):
+        pins = []
+        for pin_name, net in zip(gate.cell.input_names, gate.inputs):
+            pins.append(f".{_sanitize(pin_name)}({net_names[net]})")
+        pins.append(f".{_sanitize(gate.cell.output_name)}({net_names[gate.output]})")
+        stream.write(f"  {gate.cell.name} g{idx} (" + ", ".join(pins) + ");\n")
+
+    for name, net in zip(po_names, netlist.po_nets):
+        stream.write(f"  assign {name} = {net_names[net]};\n")
+    stream.write("endmodule\n")

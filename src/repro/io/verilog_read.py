@@ -1,0 +1,185 @@
+"""Reader for technology-mapped structural Verilog.
+
+This parses the gate-level netlists produced by
+:func:`repro.io.verilog.write_mapped_verilog` (and any file following the
+same conventions: one module, ``input``/``output``/``wire`` declarations,
+constant ``assign``s, named-port cell instances, and ``assign``s connecting
+primary outputs).  Cells are resolved against a
+:class:`~repro.library.library.CellLibrary`, so a written netlist can be read
+back and re-timed, which is how the round-trip tests validate the writer.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, TextIO, Tuple, Union
+
+from repro.errors import ParseError
+from repro.library.library import CellLibrary
+from repro.mapping.netlist import MappedNetlist
+
+PathLike = Union[str, Path]
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;")
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(.+)$")
+_ASSIGN_CONST_RE = re.compile(r"^assign\s+(\S+)\s*=\s*1'b([01])$")
+_ASSIGN_NET_RE = re.compile(r"^assign\s+(\S+)\s*=\s*(\S+)$")
+_INSTANCE_RE = re.compile(r"^(\w+)\s+(\w+)\s*\((.*)\)$")
+_PORT_RE = re.compile(r"\.(\w+)\s*\(\s*([^\s()]+)\s*\)")
+
+
+def read_mapped_verilog(
+    source: Union[PathLike, TextIO], library: CellLibrary
+) -> MappedNetlist:
+    """Parse a mapped-Verilog file (or stream) into a :class:`MappedNetlist`."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    return loads_mapped_verilog(text, library)
+
+
+def loads_mapped_verilog(text: str, library: CellLibrary) -> MappedNetlist:
+    """Parse mapped-Verilog text into a :class:`MappedNetlist`."""
+    stripped = _strip_comments(text)
+    module = _MODULE_RE.search(stripped)
+    if module is None:
+        raise ParseError("no module declaration found in Verilog source")
+    name = module.group(1)
+    statements = _split_statements(stripped[module.end() :])
+
+    inputs, outputs, wires, body = _collect_declarations(statements)
+    netlist = MappedNetlist(name, pi_names=inputs, po_names=outputs)
+
+    nets: Dict[str, int] = dict(zip(inputs, netlist.pi_nets))
+    po_index = {po: i for i, po in enumerate(outputs)}
+    pending_po: List[Tuple[str, str]] = []
+
+    for wire in wires:
+        nets[wire] = netlist.new_net()
+
+    for statement in body:
+        const_match = _ASSIGN_CONST_RE.match(statement)
+        if const_match:
+            target, value = const_match.group(1), int(const_match.group(2))
+            _assign_constant(netlist, nets, po_index, target, value)
+            continue
+        instance_match = _INSTANCE_RE.match(statement)
+        if instance_match and instance_match.group(1) not in ("assign", "module"):
+            _add_instance(netlist, library, nets, instance_match)
+            continue
+        net_match = _ASSIGN_NET_RE.match(statement)
+        if net_match:
+            target, driver = net_match.group(1), net_match.group(2)
+            if target in po_index:
+                pending_po.append((target, driver))
+            else:
+                raise ParseError(
+                    f"assign to non-output signal {target!r} is not supported"
+                )
+            continue
+        raise ParseError(f"unrecognised Verilog statement: {statement!r}")
+
+    for target, driver in pending_po:
+        if driver not in nets:
+            raise ParseError(f"primary output {target!r} driven by unknown net {driver!r}")
+        netlist.set_po_net(po_index[target], nets[driver])
+
+    netlist.validate()
+    return netlist
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def _split_statements(text: str) -> List[str]:
+    statements = []
+    for chunk in text.split(";"):
+        statement = " ".join(chunk.split())
+        if not statement or statement == "endmodule":
+            continue
+        if statement.startswith("endmodule"):
+            statement = statement[len("endmodule") :].strip()
+            if not statement:
+                continue
+        statements.append(statement)
+    return statements
+
+
+def _collect_declarations(
+    statements: List[str],
+) -> Tuple[List[str], List[str], List[str], List[str]]:
+    inputs: List[str] = []
+    outputs: List[str] = []
+    wires: List[str] = []
+    body: List[str] = []
+    for statement in statements:
+        declaration = _DECL_RE.match(statement)
+        if declaration:
+            kind, names = declaration.group(1), declaration.group(2)
+            targets = [token.strip() for token in names.split(",") if token.strip()]
+            if kind == "input":
+                inputs.extend(targets)
+            elif kind == "output":
+                outputs.extend(targets)
+            else:
+                wires.extend(targets)
+        else:
+            body.append(statement)
+    if not inputs:
+        raise ParseError("module declares no inputs")
+    if not outputs:
+        raise ParseError("module declares no outputs")
+    return inputs, outputs, wires, body
+
+
+def _assign_constant(
+    netlist: MappedNetlist,
+    nets: Dict[str, int],
+    po_index: Dict[str, int],
+    target: str,
+    value: int,
+) -> None:
+    constant_net = netlist.add_constant_net(value)
+    if target in po_index:
+        netlist.set_po_net(po_index[target], constant_net)
+        return
+    # Re-point the named wire at the shared constant net.
+    nets[target] = constant_net
+
+
+def _add_instance(
+    netlist: MappedNetlist,
+    library: CellLibrary,
+    nets: Dict[str, int],
+    match: "re.Match[str]",
+) -> None:
+    cell_name, _instance_name, ports_text = match.group(1), match.group(2), match.group(3)
+    if cell_name not in library:
+        raise ParseError(f"instance references unknown cell {cell_name!r}")
+    cell = library.cell(cell_name)
+    connections: Dict[str, str] = {}
+    for port_match in _PORT_RE.finditer(ports_text):
+        connections[port_match.group(1)] = port_match.group(2)
+
+    input_nets: List[int] = []
+    for pin_name in cell.input_names:
+        if pin_name not in connections:
+            raise ParseError(f"instance of {cell_name} leaves pin {pin_name!r} unconnected")
+        signal = connections[pin_name]
+        if signal not in nets:
+            raise ParseError(f"instance of {cell_name} consumes unknown net {signal!r}")
+        input_nets.append(nets[signal])
+
+    if cell.output_name not in connections:
+        raise ParseError(f"instance of {cell_name} has no output connection")
+    output_signal = connections[cell.output_name]
+    if output_signal not in nets:
+        nets[output_signal] = netlist.new_net()
+    netlist.add_gate(cell, input_nets, output=nets[output_signal])

@@ -1,0 +1,126 @@
+"""Boolean expression parser used by the genlib-lite cell format.
+
+Supports the grammar::
+
+    expr   := term ('|' term | '+' term)*
+    term   := factor ('&' factor | '*' factor)*
+    factor := xorop
+    xorop  := atom ('^' atom)*
+    atom   := '!' atom | '(' expr ')' | '0' | '1' | identifier
+
+Identifiers are pin names; the parser returns a truth table over the pin
+order supplied by the caller, so ``parse_expression("!(A&B)", ["A", "B"])``
+yields the NAND2 table.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.aig.truth import table_mask, truth_not, var_truth
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[01()!&|^*+])")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a Boolean expression into tokens."""
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character in expression: {remainder[0]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], pin_order: Sequence[str]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._pin_index = {name: i for i, name in enumerate(pin_order)}
+        self._num_vars = len(pin_order)
+
+    def parse(self) -> int:
+        value = self._expr()
+        if self._index != len(self._tokens):
+            raise ParseError(
+                f"trailing tokens in expression: {self._tokens[self._index:]}"
+            )
+        return value
+
+    # Grammar rules ------------------------------------------------------
+    def _expr(self) -> int:
+        value = self._term()
+        while self._peek() in ("|", "+"):
+            self._next()
+            value |= self._term()
+        return value & table_mask(self._num_vars)
+
+    def _term(self) -> int:
+        value = self._xorop()
+        while True:
+            token = self._peek()
+            if token in ("&", "*"):
+                self._next()
+                value &= self._xorop()
+            elif token is not None and (token == "(" or token == "!" or self._is_atom(token)):
+                # Implicit AND (genlib allows juxtaposition like "A B").
+                value &= self._xorop()
+            else:
+                break
+        return value
+
+    def _xorop(self) -> int:
+        value = self._atom()
+        while self._peek() == "^":
+            self._next()
+            value ^= self._atom()
+        return value & table_mask(self._num_vars)
+
+    def _atom(self) -> int:
+        token = self._next()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        if token == "!":
+            return truth_not(self._atom(), self._num_vars)
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise ParseError("missing closing parenthesis")
+            return value
+        if token == "0":
+            return 0
+        if token == "1":
+            return table_mask(self._num_vars)
+        if token in self._pin_index:
+            return var_truth(self._pin_index[token], self._num_vars)
+        raise ParseError(f"unknown pin {token!r} in expression")
+
+    # Token helpers ------------------------------------------------------
+    def _peek(self):
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self):
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _is_atom(self, token: str) -> bool:
+        return token in ("0", "1") or token in self._pin_index
+
+
+def parse_expression(text: str, pin_order: Sequence[str]) -> int:
+    """Parse *text* into a truth table over the pins listed in *pin_order*."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty Boolean expression")
+    return _Parser(tokens, pin_order).parse()

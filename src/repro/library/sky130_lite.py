@@ -1,0 +1,124 @@
+"""Built-in "sky130-lite" standard-cell library.
+
+The paper maps AIGs onto the SkyWater 130 nm PDK.  That PDK cannot be
+redistributed here, so this module ships a compact surrogate whose cell set,
+relative areas, pin capacitances, and delay coefficients are scaled to
+130 nm-class values (areas of a few square micrometres, gate delays of tens
+of picoseconds, pin capacitances of a few femtofarads).  The absolute numbers
+are *not* the SkyWater characterisation data; only the relative behaviour
+(multi-input cells, drive strengths, load-dependent delay) matters for the
+experiments, as documented in DESIGN.md.
+
+The library text is written in the genlib-lite format so it also serves as a
+test vector for the parser; use :func:`load_sky130_lite` to obtain the parsed
+:class:`~repro.library.library.CellLibrary`.
+"""
+
+from __future__ import annotations
+
+SKY130_LITE_GENLIB = """
+# sky130-lite surrogate library (areas um^2, caps fF, delays ps)
+GATE INV_X1  1.25 Y=!A;
+  PIN A 1.2 12.0 9.0
+GATE INV_X2  1.88 Y=!A;
+  PIN A 2.3 11.0 4.8
+GATE INV_X4  3.13 Y=!A;
+  PIN A 4.5 10.0 2.6
+GATE BUF_X1  2.50 Y=A;
+  PIN A 1.3 28.0 7.5
+GATE BUF_X2  3.75 Y=A;
+  PIN A 2.4 26.0 4.0
+GATE NAND2_X1 1.88 Y=!(A&B);
+  PIN A 1.5 16.0 10.5
+  PIN B 1.5 14.0 10.5
+GATE NAND2_X2 2.81 Y=!(A&B);
+  PIN A 2.9 15.0 5.4
+  PIN B 2.9 13.0 5.4
+GATE NAND3_X1 2.50 Y=!(A&B&C);
+  PIN A 1.6 22.0 12.0
+  PIN B 1.6 20.0 12.0
+  PIN C 1.6 18.0 12.0
+GATE NAND4_X1 3.13 Y=!(A&B&C&D);
+  PIN A 1.7 28.0 13.5
+  PIN B 1.7 26.0 13.5
+  PIN C 1.7 24.0 13.5
+  PIN D 1.7 22.0 13.5
+GATE NOR2_X1 1.88 Y=!(A|B);
+  PIN A 1.5 20.0 12.0
+  PIN B 1.5 18.0 12.0
+GATE NOR2_X2 2.81 Y=!(A|B);
+  PIN A 2.9 19.0 6.2
+  PIN B 2.9 17.0 6.2
+GATE NOR3_X1 2.50 Y=!(A|B|C);
+  PIN A 1.6 28.0 14.0
+  PIN B 1.6 26.0 14.0
+  PIN C 1.6 24.0 14.0
+GATE AND2_X1 2.50 Y=A&B;
+  PIN A 1.4 30.0 8.0
+  PIN B 1.4 28.0 8.0
+GATE AND3_X1 3.13 Y=A&B&C;
+  PIN A 1.5 36.0 8.5
+  PIN B 1.5 34.0 8.5
+  PIN C 1.5 32.0 8.5
+GATE OR2_X1 2.50 Y=A|B;
+  PIN A 1.4 34.0 8.0
+  PIN B 1.4 32.0 8.0
+GATE OR3_X1 3.13 Y=A|B|C;
+  PIN A 1.5 40.0 8.5
+  PIN B 1.5 38.0 8.5
+  PIN C 1.5 36.0 8.5
+GATE AOI21_X1 2.50 Y=!((A&B)|C);
+  PIN A 1.6 24.0 12.5
+  PIN B 1.6 22.0 12.5
+  PIN C 1.6 18.0 12.5
+GATE AOI22_X1 3.13 Y=!((A&B)|(C&D));
+  PIN A 1.7 28.0 13.0
+  PIN B 1.7 26.0 13.0
+  PIN C 1.7 24.0 13.0
+  PIN D 1.7 22.0 13.0
+GATE OAI21_X1 2.50 Y=!((A|B)&C);
+  PIN A 1.6 24.0 12.5
+  PIN B 1.6 22.0 12.5
+  PIN C 1.6 16.0 12.5
+GATE OAI22_X1 3.13 Y=!((A|B)&(C|D));
+  PIN A 1.7 28.0 13.0
+  PIN B 1.7 26.0 13.0
+  PIN C 1.7 24.0 13.0
+  PIN D 1.7 22.0 13.0
+GATE XOR2_X1 5.00 Y=A^B;
+  PIN A 2.0 42.0 11.0
+  PIN B 2.0 40.0 11.0
+GATE XNOR2_X1 5.00 Y=!(A^B);
+  PIN A 2.0 42.0 11.0
+  PIN B 2.0 40.0 11.0
+GATE MUX2_X1 5.63 Y=(S&B)|(!S&A);
+  PIN A 1.8 40.0 11.5
+  PIN B 1.8 38.0 11.5
+  PIN S 2.2 44.0 11.5
+GATE AND4_X1 3.75 Y=A&B&C&D;
+  PIN A 1.6 42.0 9.0
+  PIN B 1.6 40.0 9.0
+  PIN C 1.6 38.0 9.0
+  PIN D 1.6 36.0 9.0
+GATE OR4_X1 3.75 Y=A|B|C|D;
+  PIN A 1.6 46.0 9.0
+  PIN B 1.6 44.0 9.0
+  PIN C 1.6 42.0 9.0
+  PIN D 1.6 40.0 9.0
+GATE MAJ3_X1 5.63 Y=(A&B)|(B&C)|(A&C);
+  PIN A 2.1 44.0 11.5
+  PIN B 2.1 42.0 11.5
+  PIN C 2.1 40.0 11.5
+"""
+
+#: Default capacitive load attached to every primary output (ps model: fF).
+DEFAULT_PO_LOAD_FF = 6.0
+
+
+def load_sky130_lite():
+    """Parse the built-in library text into a :class:`CellLibrary`."""
+    from repro.library.genlib import parse_genlib
+    from repro.library.library import CellLibrary
+
+    cells = parse_genlib(SKY130_LITE_GENLIB)
+    return CellLibrary(name="sky130_lite", cells=cells, po_load_ff=DEFAULT_PO_LOAD_FF)

@@ -1,0 +1,29 @@
+"""Technology mapping: Boolean matching, cut covering, netlists, post-mapping opt."""
+
+from repro.mapping.mapper import (
+    AliasChoice,
+    CellChoice,
+    ConstantChoice,
+    MappingOptions,
+    TechnologyMapper,
+    map_aig,
+)
+from repro.mapping.matcher import classify_single_input, reduce_to_support
+from repro.mapping.netlist import MappedGate, MappedNetlist
+from repro.mapping.postopt import PostMappingOptimizer, PostOptOptions, PostOptReport
+
+__all__ = [
+    "AliasChoice",
+    "CellChoice",
+    "ConstantChoice",
+    "MappedGate",
+    "MappedNetlist",
+    "MappingOptions",
+    "PostMappingOptimizer",
+    "PostOptOptions",
+    "PostOptReport",
+    "TechnologyMapper",
+    "classify_single_input",
+    "map_aig",
+    "reduce_to_support",
+]

@@ -1,0 +1,52 @@
+"""Helpers for matching cut functions against library cells.
+
+The mapper computes the exact function of every cut, reduces it to its true
+support (mapping does not care about leaves the function ignores), and then
+asks the library's match index for realisations.  This module holds the
+support-reduction helper and small classification utilities shared between
+the mapper and its tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aig.truth import support, table_mask
+from repro.errors import MappingError
+
+
+def reduce_to_support(table: int, num_vars: int) -> Tuple[int, List[int]]:
+    """Re-express *table* over only the variables it depends on.
+
+    Returns ``(reduced_table, support_indices)`` where variable ``j`` of the
+    reduced table corresponds to original variable ``support_indices[j]``.
+    Constant functions return ``(0 or 1, [])`` (a one-bit table).
+    """
+    table &= table_mask(num_vars)
+    sup = support(table, num_vars)
+    if not sup:
+        return (1 if table else 0), []
+    reduced = 0
+    m = len(sup)
+    for minterm in range(1 << m):
+        original_minterm = 0
+        for j, var in enumerate(sup):
+            if (minterm >> j) & 1:
+                original_minterm |= 1 << var
+        if (table >> original_minterm) & 1:
+            reduced |= 1 << minterm
+    return reduced, sup
+
+
+def classify_single_input(table: int) -> bool:
+    """For a one-variable table, return True when it is the inverter (!x).
+
+    Raises :class:`MappingError` for constant tables (those must be handled
+    as constants, not aliases).
+    """
+    table &= 0b11
+    if table == 0b10:
+        return False
+    if table == 0b01:
+        return True
+    raise MappingError(f"single-input table {table:#04b} is constant, not a wire")

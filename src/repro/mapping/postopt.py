@@ -1,0 +1,313 @@
+"""Post-mapping netlist optimization: gate sizing and high-fanout buffering.
+
+Logic synthesis, as the paper's background section describes it, is logic
+optimization followed by technology mapping *and post-mapping optimization*.
+This module implements the two classic post-mapping moves that our cell
+library supports:
+
+* **gate sizing** — swap a cell instance for a functionally identical variant
+  at a different drive strength: upsizing critical-path gates reduces their
+  load-dependent delay, downsizing off-critical gates recovers area;
+* **fanout buffering** — split the sink list of a high-fanout net and drive
+  the non-critical sinks through a buffer, reducing the load seen by the
+  original driver.
+
+Both moves preserve the netlist function exactly (same Boolean function per
+cell, buffers are identity), so the optimizer can be applied after any
+mapping run.  Every candidate move is accepted only if a full STA pass
+confirms it does not hurt the maximum delay, which keeps the optimizer
+simple and trustworthy at the circuit sizes used in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import MappingError
+from repro.library.cell import Cell
+from repro.library.library import CellLibrary
+from repro.mapping.netlist import MappedGate, MappedNetlist
+from repro.sta.analysis import TimingReport, analyze_timing
+
+
+@dataclass
+class PostOptOptions:
+    """Knobs of the post-mapping optimizer."""
+
+    enable_sizing: bool = True
+    enable_area_recovery: bool = True
+    enable_buffering: bool = True
+    max_passes: int = 3
+    buffer_fanout_threshold: int = 6
+    max_buffers_per_pass: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_passes < 1:
+            raise MappingError("max_passes must be at least 1")
+        if self.buffer_fanout_threshold < 2:
+            raise MappingError("buffer_fanout_threshold must be at least 2")
+        if self.max_buffers_per_pass < 1:
+            raise MappingError("max_buffers_per_pass must be at least 1")
+
+
+@dataclass
+class PostOptReport:
+    """Before/after summary of one post-mapping optimization run."""
+
+    delay_before_ps: float
+    delay_after_ps: float
+    area_before_um2: float
+    area_after_um2: float
+    upsized_gates: int = 0
+    downsized_gates: int = 0
+    buffers_inserted: int = 0
+    passes_run: int = 0
+
+    @property
+    def delay_improvement_percent(self) -> float:
+        """Relative max-delay reduction achieved."""
+        if self.delay_before_ps == 0:
+            return 0.0
+        return (self.delay_before_ps - self.delay_after_ps) / self.delay_before_ps * 100.0
+
+    @property
+    def area_change_percent(self) -> float:
+        """Relative area change (positive = area grew)."""
+        if self.area_before_um2 == 0:
+            return 0.0
+        return (self.area_after_um2 - self.area_before_um2) / self.area_before_um2 * 100.0
+
+
+class PostMappingOptimizer:
+    """Sizing and buffering on mapped netlists, driven by full STA checks."""
+
+    def __init__(
+        self, library: CellLibrary, options: Optional[PostOptOptions] = None
+    ) -> None:
+        self.library = library
+        self.options = options or PostOptOptions()
+        self._variants = _variants_by_function(library)
+        self._buffer = library.buffers[0] if library.buffers else None
+
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self, netlist: MappedNetlist, po_load_ff: Optional[float] = None
+    ) -> Tuple[MappedNetlist, PostOptReport]:
+        """Return an optimized copy of *netlist* and the before/after report."""
+        load = po_load_ff if po_load_ff is not None else self.library.po_load_ff
+        current = _clone_netlist(netlist)
+        timing = analyze_timing(current, po_load_ff=load, with_critical_path=True)
+        report = PostOptReport(
+            delay_before_ps=timing.max_delay_ps,
+            delay_after_ps=timing.max_delay_ps,
+            area_before_um2=current.area_um2(),
+            area_after_um2=current.area_um2(),
+        )
+
+        for _ in range(self.options.max_passes):
+            changed = False
+            if self.options.enable_sizing:
+                current, timing, upsized = self._upsize_critical_path(current, timing, load)
+                report.upsized_gates += upsized
+                changed = changed or upsized > 0
+            if self.options.enable_buffering and self._buffer is not None:
+                current, timing, buffers = self._buffer_high_fanout_nets(current, timing, load)
+                report.buffers_inserted += buffers
+                changed = changed or buffers > 0
+            if self.options.enable_area_recovery:
+                current, timing, downsized = self._downsize_off_critical(current, timing, load)
+                report.downsized_gates += downsized
+                changed = changed or downsized > 0
+            report.passes_run += 1
+            if not changed:
+                break
+
+        report.delay_after_ps = timing.max_delay_ps
+        report.area_after_um2 = current.area_um2()
+        current.validate()
+        return current, report
+
+    # ------------------------------------------------------------------ #
+    # Gate sizing
+    # ------------------------------------------------------------------ #
+    def _upsize_critical_path(
+        self, netlist: MappedNetlist, timing: TimingReport, load: float
+    ) -> Tuple[MappedNetlist, TimingReport, int]:
+        critical_outputs = {arc.output_net for arc in timing.critical_path}
+        swaps = 0
+        for index, gate in enumerate(netlist.gates):
+            if gate.output not in critical_outputs:
+                continue
+            variants = self._other_variants(gate.cell)
+            best_delay = timing.max_delay_ps
+            best_cell: Optional[Cell] = None
+            for candidate in variants:
+                trial = _with_swapped_cell(netlist, index, candidate)
+                trial_timing = analyze_timing(trial, po_load_ff=load, with_critical_path=False)
+                if trial_timing.max_delay_ps < best_delay - 1e-9:
+                    best_delay = trial_timing.max_delay_ps
+                    best_cell = candidate
+            if best_cell is not None:
+                netlist = _with_swapped_cell(netlist, index, best_cell)
+                timing = analyze_timing(netlist, po_load_ff=load, with_critical_path=True)
+                swaps += 1
+        return netlist, timing, swaps
+
+    def _downsize_off_critical(
+        self, netlist: MappedNetlist, timing: TimingReport, load: float
+    ) -> Tuple[MappedNetlist, TimingReport, int]:
+        critical_outputs = {arc.output_net for arc in timing.critical_path}
+        baseline_delay = timing.max_delay_ps
+        swaps = 0
+        for index, gate in enumerate(netlist.gates):
+            if gate.output in critical_outputs:
+                continue
+            smaller = [
+                cell
+                for cell in self._other_variants(gate.cell)
+                if cell.area_um2 < gate.cell.area_um2
+            ]
+            if not smaller:
+                continue
+            smaller.sort(key=lambda cell: cell.area_um2)
+            for candidate in smaller:
+                trial = _with_swapped_cell(netlist, index, candidate)
+                trial_timing = analyze_timing(trial, po_load_ff=load, with_critical_path=False)
+                if trial_timing.max_delay_ps <= baseline_delay + 1e-9:
+                    netlist = trial
+                    swaps += 1
+                    break
+        if swaps:
+            timing = analyze_timing(netlist, po_load_ff=load, with_critical_path=True)
+        return netlist, timing, swaps
+
+    def _other_variants(self, cell: Cell) -> List[Cell]:
+        key = (cell.num_inputs, cell.function)
+        return [candidate for candidate in self._variants.get(key, []) if candidate.name != cell.name]
+
+    # ------------------------------------------------------------------ #
+    # Fanout buffering
+    # ------------------------------------------------------------------ #
+    def _buffer_high_fanout_nets(
+        self, netlist: MappedNetlist, timing: TimingReport, load: float
+    ) -> Tuple[MappedNetlist, TimingReport, int]:
+        options = self.options
+        inserted = 0
+        fanouts = netlist.net_fanout_counts()
+        candidates = [
+            net
+            for net, count in sorted(fanouts.items(), key=lambda item: -item[1])
+            if count >= options.buffer_fanout_threshold
+            and net not in netlist.constant_nets
+        ]
+        for net in candidates[: options.max_buffers_per_pass]:
+            trial = _with_buffered_net(netlist, net, self._buffer, timing)
+            if trial is None:
+                continue
+            trial_timing = analyze_timing(trial, po_load_ff=load, with_critical_path=False)
+            if trial_timing.max_delay_ps < timing.max_delay_ps - 1e-9:
+                netlist = trial
+                timing = analyze_timing(netlist, po_load_ff=load, with_critical_path=True)
+                inserted += 1
+        return netlist, timing, inserted
+
+
+# --------------------------------------------------------------------------- #
+# Netlist surgery helpers
+# --------------------------------------------------------------------------- #
+def _variants_by_function(library: CellLibrary) -> Dict[Tuple[int, int], List[Cell]]:
+    """Group library cells implementing the same function (drive variants)."""
+    groups: Dict[Tuple[int, int], List[Cell]] = {}
+    for cell in library.cells:
+        groups.setdefault((cell.num_inputs, cell.function), []).append(cell)
+    for cells in groups.values():
+        cells.sort(key=lambda cell: cell.area_um2)
+    return groups
+
+
+def _clone_netlist(netlist: MappedNetlist) -> MappedNetlist:
+    """Deep-enough copy: gates are immutable, so lists/dicts suffice."""
+    clone = MappedNetlist.__new__(MappedNetlist)
+    clone.name = netlist.name
+    clone.pi_names = list(netlist.pi_names)
+    clone.po_names = list(netlist.po_names)
+    clone._next_net = netlist.num_nets
+    clone.pi_nets = list(netlist.pi_nets)
+    clone.po_nets = list(netlist.po_nets)
+    clone.gates = list(netlist.gates)
+    clone.constant_nets = dict(netlist.constant_nets)
+    return clone
+
+
+def _with_swapped_cell(netlist: MappedNetlist, gate_index: int, cell: Cell) -> MappedNetlist:
+    """Copy of *netlist* with gate *gate_index* re-implemented by *cell*."""
+    original = netlist.gates[gate_index]
+    if cell.num_inputs != original.cell.num_inputs or cell.function != original.cell.function:
+        raise MappingError(
+            f"cannot swap {original.cell.name} for {cell.name}: different function"
+        )
+    clone = _clone_netlist(netlist)
+    clone.gates[gate_index] = MappedGate(cell=cell, inputs=original.inputs, output=original.output)
+    return clone
+
+
+def _with_buffered_net(
+    netlist: MappedNetlist,
+    net: int,
+    buffer_cell: Cell,
+    timing: TimingReport,
+) -> Optional[MappedNetlist]:
+    """Copy of *netlist* where the less-critical sinks of *net* are buffered.
+
+    Returns ``None`` when the net cannot usefully be buffered (fewer than two
+    gate sinks, or the net only feeds primary outputs).
+    """
+    sink_positions: List[Tuple[int, int]] = []  # (gate index, pin position)
+    for gate_index, gate in enumerate(netlist.gates):
+        for pin_position, input_net in enumerate(gate.inputs):
+            if input_net == net:
+                sink_positions.append((gate_index, pin_position))
+    if len(sink_positions) < 2:
+        return None
+
+    # Keep the sink whose downstream path is the most critical on the direct
+    # connection; everything else moves behind the buffer.
+    def sink_criticality(position: Tuple[int, int]) -> float:
+        gate_index, _ = position
+        output_net = netlist.gates[gate_index].output
+        return timing.net_required_ps.get(output_net, float("inf"))
+
+    sink_positions.sort(key=sink_criticality)
+    rebuffered = sink_positions[1:]
+    if not rebuffered:
+        return None
+
+    clone = _clone_netlist(netlist)
+    buffered_net = clone.new_net()
+    buffer_gate = MappedGate(cell=buffer_cell, inputs=(net,), output=buffered_net)
+
+    # Insert the buffer immediately after the driver so topological order holds.
+    driver_index = -1
+    for gate_index, gate in enumerate(clone.gates):
+        if gate.output == net:
+            driver_index = gate_index
+            break
+    insert_at = driver_index + 1
+    clone.gates.insert(insert_at, buffer_gate)
+
+    rebuffered_set: Set[Tuple[int, int]] = set(rebuffered)
+    for gate_index in range(len(clone.gates)):
+        if gate_index == insert_at:
+            continue
+        original_index = gate_index if gate_index < insert_at else gate_index - 1
+        gate = clone.gates[gate_index]
+        new_inputs = tuple(
+            buffered_net if (original_index, pin) in rebuffered_set else input_net
+            for pin, input_net in enumerate(gate.inputs)
+        )
+        if new_inputs != gate.inputs:
+            clone.gates[gate_index] = MappedGate(
+                cell=gate.cell, inputs=new_inputs, output=gate.output
+            )
+    return clone

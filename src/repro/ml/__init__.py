@@ -1,0 +1,83 @@
+"""Machine-learning models for post-mapping delay prediction."""
+
+from repro.ml.dataset import FeatureScaler, TimingDataset
+from repro.ml.ensemble import AveragingEnsemble
+from repro.ml.forest import ForestParams, RandomForestRegressor
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.gnn import GnnDelayRegressor, GnnParams, node_feature_matrix, propagate
+from repro.ml.importance import (
+    FeatureImportance,
+    ImportanceReport,
+    ensemble_importance,
+    group_importance,
+    permutation_importance,
+)
+from repro.ml.knn import KnnParams, KnnRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import (
+    PercentErrorStats,
+    absolute_percentage_errors,
+    mae,
+    pearson_correlation,
+    percent_error_stats,
+    r2_score,
+    rmse,
+)
+from repro.ml.mlp import MlpParams, MlpRegressor
+from repro.ml.model_io import gbdt_from_dict, gbdt_to_dict, load_gbdt, save_gbdt
+from repro.ml.tree import RegressionTree, TreeParams
+from repro.ml.tuning import (
+    CrossValidationResult,
+    GridSearchResult,
+    cross_validate,
+    expand_grid,
+    gbdt_factory,
+    grid_search,
+    grid_search_gbdt,
+    kfold_indices,
+)
+
+__all__ = [
+    "AveragingEnsemble",
+    "CrossValidationResult",
+    "FeatureImportance",
+    "FeatureScaler",
+    "ForestParams",
+    "GbdtParams",
+    "GnnDelayRegressor",
+    "GnnParams",
+    "GradientBoostingRegressor",
+    "GridSearchResult",
+    "ImportanceReport",
+    "KnnParams",
+    "KnnRegressor",
+    "MlpParams",
+    "MlpRegressor",
+    "PercentErrorStats",
+    "RandomForestRegressor",
+    "RegressionTree",
+    "RidgeRegressor",
+    "TimingDataset",
+    "TreeParams",
+    "absolute_percentage_errors",
+    "cross_validate",
+    "ensemble_importance",
+    "expand_grid",
+    "gbdt_factory",
+    "gbdt_from_dict",
+    "gbdt_to_dict",
+    "grid_search",
+    "grid_search_gbdt",
+    "group_importance",
+    "kfold_indices",
+    "load_gbdt",
+    "mae",
+    "node_feature_matrix",
+    "pearson_correlation",
+    "percent_error_stats",
+    "permutation_importance",
+    "propagate",
+    "r2_score",
+    "rmse",
+    "save_gbdt",
+]

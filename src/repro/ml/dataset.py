@@ -1,0 +1,162 @@
+"""Tabular dataset container for the delay-prediction task.
+
+A :class:`TimingDataset` holds the feature matrix, the post-mapping delay
+labels, the feature names, and a per-sample *design* tag.  The design tag is
+what the paper's train/test protocol splits on: the model is trained on all
+samples from four designs and evaluated on four designs it has never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class TimingDataset:
+    """Features, delay labels, and design tags for a set of AIG samples."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    feature_names: List[str]
+    designs: List[str]
+    areas: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise DatasetError("features must be a 2-D matrix")
+        if self.labels.ndim != 1:
+            raise DatasetError("labels must be a 1-D vector")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise DatasetError(
+                f"feature rows ({self.features.shape[0]}) and labels "
+                f"({self.labels.shape[0]}) differ"
+            )
+        if self.features.shape[1] != len(self.feature_names):
+            raise DatasetError("feature_names length must match feature columns")
+        if len(self.designs) != self.features.shape[0]:
+            raise DatasetError("designs tag list must have one entry per sample")
+        if self.areas is not None:
+            self.areas = np.asarray(self.areas, dtype=np.float64)
+            if self.areas.shape != self.labels.shape:
+                raise DatasetError("areas must align with labels")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Number of feature columns."""
+        return int(self.features.shape[1])
+
+    def design_names(self) -> List[str]:
+        """Distinct design tags, in first-appearance order."""
+        seen: List[str] = []
+        for name in self.designs:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def subset(self, indices: Sequence[int]) -> "TimingDataset":
+        """A new dataset containing only the given sample indices."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        return TimingDataset(
+            features=self.features[idx],
+            labels=self.labels[idx],
+            feature_names=list(self.feature_names),
+            designs=[self.designs[i] for i in idx],
+            areas=None if self.areas is None else self.areas[idx],
+        )
+
+    def for_designs(self, names: Iterable[str]) -> "TimingDataset":
+        """Samples belonging to any of the listed designs."""
+        wanted = set(names)
+        indices = [i for i, d in enumerate(self.designs) if d in wanted]
+        if not indices:
+            raise DatasetError(f"no samples for designs {sorted(wanted)}")
+        return self.subset(indices)
+
+    def split_by_design(
+        self, train_designs: Iterable[str], test_designs: Iterable[str]
+    ) -> Tuple["TimingDataset", "TimingDataset"]:
+        """The paper's protocol: train on some designs, test on unseen ones."""
+        return self.for_designs(train_designs), self.for_designs(test_designs)
+
+    def random_split(
+        self, train_fraction: float = 0.8, rng: RngLike = None
+    ) -> Tuple["TimingDataset", "TimingDataset"]:
+        """Design-agnostic random split (used for in-design validation)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError("train_fraction must be in (0, 1)")
+        generator = ensure_rng(rng)
+        indices = list(range(len(self)))
+        generator.shuffle(indices)
+        cut = max(1, int(round(train_fraction * len(indices))))
+        cut = min(cut, len(indices) - 1)
+        return self.subset(indices[:cut]), self.subset(indices[cut:])
+
+    def shuffled(self, rng: RngLike = None) -> "TimingDataset":
+        """A row-shuffled copy."""
+        generator = ensure_rng(rng)
+        indices = list(range(len(self)))
+        generator.shuffle(indices)
+        return self.subset(indices)
+
+    # ------------------------------------------------------------------ #
+    def merged_with(self, other: "TimingDataset") -> "TimingDataset":
+        """Concatenate two datasets with identical feature schemas."""
+        if self.feature_names != other.feature_names:
+            raise DatasetError("cannot merge datasets with different feature schemas")
+        areas = None
+        if self.areas is not None and other.areas is not None:
+            areas = np.concatenate([self.areas, other.areas])
+        return TimingDataset(
+            features=np.vstack([self.features, other.features]),
+            labels=np.concatenate([self.labels, other.labels]),
+            feature_names=list(self.feature_names),
+            designs=list(self.designs) + list(other.designs),
+            areas=areas,
+        )
+
+    def summary(self) -> str:
+        """One line per design: sample count and label range."""
+        lines = [f"TimingDataset: {len(self)} samples, {self.num_features} features"]
+        for name in self.design_names():
+            mask = [i for i, d in enumerate(self.designs) if d == name]
+            labels = self.labels[mask]
+            lines.append(
+                f"  {name:<8} n={len(mask):5d} delay[{labels.min():8.1f}, {labels.max():8.1f}] ps"
+            )
+        return "\n".join(lines)
+
+
+class FeatureScaler:
+    """Standard (z-score) feature scaling fitted on training data only."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        data = np.asarray(features, dtype=np.float64)
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise DatasetError("FeatureScaler.transform called before fit")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,111 @@
+"""Model averaging: combine several fitted delay/area predictors.
+
+A cheap, robust way to squeeze a little more accuracy out of the predictors
+without touching their training code: average the predictions of models
+trained with different seeds or different families (GBDT + forest + k-NN).
+Weights can be uniform or fitted on a held-out validation set by non-negative
+least squares via projected gradient descent, which keeps the ensemble
+interpretable (a convex combination of its members).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class AveragingEnsemble:
+    """A (weighted) average of already-fitted regression models."""
+
+    def __init__(self, models: Sequence[object], weights: Optional[Sequence[float]] = None) -> None:
+        if not models:
+            raise ModelError("an ensemble needs at least one model")
+        for model in models:
+            if not hasattr(model, "predict"):
+                raise ModelError(f"{type(model).__name__} has no predict method")
+        self.models: List[object] = list(models)
+        if weights is None:
+            self.weights = np.full(len(self.models), 1.0 / len(self.models))
+        else:
+            self.weights = self._validate_weights(weights)
+
+    # ------------------------------------------------------------------ #
+    def _validate_weights(self, weights: Sequence[float]) -> np.ndarray:
+        values = np.asarray(list(weights), dtype=np.float64)
+        if values.shape != (len(self.models),):
+            raise ModelError(
+                f"expected {len(self.models)} weights, got {values.shape}"
+            )
+        if np.any(values < 0):
+            raise ModelError("ensemble weights must be non-negative")
+        total = float(values.sum())
+        if total <= 0:
+            raise ModelError("ensemble weights must not all be zero")
+        return values / total
+
+    def _member_predictions(self, features: np.ndarray) -> np.ndarray:
+        """Stack member predictions as rows of a (models x samples) matrix."""
+        predictions = [
+            np.asarray(model.predict(features), dtype=np.float64).reshape(-1)
+            for model in self.models
+        ]
+        lengths = {p.shape[0] for p in predictions}
+        if len(lengths) != 1:
+            raise ModelError("ensemble members disagree on the number of predictions")
+        return np.vstack(predictions)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Weighted average of the member predictions."""
+        stacked = self._member_predictions(np.asarray(features, dtype=np.float64))
+        return self.weights @ stacked
+
+    def fit_weights(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        iterations: int = 500,
+        learning_rate: float = 0.05,
+    ) -> "AveragingEnsemble":
+        """Fit convex combination weights on a validation set.
+
+        Minimises the squared error of the weighted average under the
+        constraints ``w >= 0`` and ``sum(w) == 1`` with projected gradient
+        descent; with a single member this is a no-op.
+        """
+        if iterations < 1:
+            raise ModelError("iterations must be at least 1")
+        y = np.asarray(targets, dtype=np.float64).reshape(-1)
+        stacked = self._member_predictions(np.asarray(features, dtype=np.float64))
+        if stacked.shape[1] != y.shape[0]:
+            raise ModelError("feature/target shape mismatch")
+        if len(self.models) == 1:
+            self.weights = np.array([1.0])
+            return self
+
+        weights = np.full(len(self.models), 1.0 / len(self.models))
+        scale = max(float(np.mean(stacked**2)), 1e-12)
+        for _ in range(iterations):
+            residual = weights @ stacked - y
+            gradient = stacked @ residual / y.shape[0]
+            weights = weights - learning_rate * gradient / scale
+            weights = self._project_to_simplex(weights)
+        self.weights = weights
+        return self
+
+    @staticmethod
+    def _project_to_simplex(values: np.ndarray) -> np.ndarray:
+        """Euclidean projection onto the probability simplex."""
+        sorted_values = np.sort(values)[::-1]
+        cumulative = np.cumsum(sorted_values) - 1.0
+        indices = np.arange(1, values.shape[0] + 1)
+        candidates = sorted_values - cumulative / indices
+        rho = int(np.max(np.nonzero(candidates > 0)[0])) if np.any(candidates > 0) else 0
+        theta = cumulative[rho] / (rho + 1)
+        return np.maximum(values - theta, 0.0)
+
+    def __len__(self) -> int:
+        return len(self.models)

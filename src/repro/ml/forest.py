@@ -1,0 +1,76 @@
+"""Random-forest regressor (bagging baseline for the model ablation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.tree import RegressionTree, TreeParams
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ForestParams:
+    """Hyperparameters of the random forest."""
+
+    n_estimators: int = 100
+    max_depth: int = 10
+    colsample: float = 0.7
+    bootstrap: bool = True
+    min_child_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_estimators < 1:
+            raise ModelError("n_estimators must be at least 1")
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with column subsampling."""
+
+    def __init__(self, params: Optional[ForestParams] = None, rng: RngLike = None) -> None:
+        self.params = params or ForestParams()
+        self._rng = ensure_rng(rng)
+        self.trees: List[RegressionTree] = []
+        self._num_features: Optional[int] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        """Fit the forest with bootstrap resampling."""
+        data = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] != y.shape[0]:
+            raise ModelError("feature/target shape mismatch")
+        self._num_features = data.shape[1]
+        n_samples = data.shape[0]
+        tree_params = TreeParams(
+            max_depth=self.params.max_depth,
+            colsample=self.params.colsample,
+            min_child_weight=self.params.min_child_weight,
+        )
+        self.trees = []
+        for _ in range(self.params.n_estimators):
+            if self.params.bootstrap:
+                idx = np.asarray(
+                    [self._rng.randrange(n_samples) for _ in range(n_samples)],
+                    dtype=np.int64,
+                )
+            else:
+                idx = np.arange(n_samples)
+            tree = RegressionTree(tree_params, rng=self._rng)
+            tree.fit(data[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Average prediction over all trees."""
+        if not self.trees:
+            raise ModelError("model used before fitting")
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        total = np.zeros(data.shape[0], dtype=np.float64)
+        for tree in self.trees:
+            total += tree.predict(data)
+        return total / len(self.trees)

@@ -1,0 +1,180 @@
+"""Graph neural network comparison model.
+
+Section III-B of the paper reports that a GNN-based delay predictor is about
+2 % worse than the decision-tree model and much more expensive to train,
+because per-node AIG features are weak and maximum delay is dominated by a
+few long paths that message passing struggles to isolate.  To reproduce that
+comparison without a deep-learning framework, this module implements a
+*simplified graph convolution* (SGC-style) regressor:
+
+1. per-node features are computed from the AIG (node type, fanout, level,
+   inverted-fanin counts),
+2. features are propagated ``k`` times over the normalised adjacency matrix
+   (parameter-free message passing, as in Wu et al.'s Simple Graph
+   Convolution),
+3. mean- and max-pooled graph embeddings feed a small MLP regression head
+   trained with Adam.
+
+The propagation step is exactly the kind of local averaging the paper argues
+is poorly suited to max-delay prediction, so the qualitative result (tree
+model wins) carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.aig.literals import is_complemented, literal_var
+from repro.errors import ModelError
+from repro.ml.mlp import MlpParams, MlpRegressor
+from repro.utils.rng import RngLike
+
+
+NODE_FEATURE_NAMES = [
+    "is_pi",
+    "is_and",
+    "fanout",
+    "level_normalised",
+    "num_inverted_fanins",
+    "is_po_driver",
+]
+
+
+def node_feature_matrix(aig: Aig) -> np.ndarray:
+    """Per-node feature matrix (one row per AIG variable, constant included)."""
+    size = aig.size
+    levels = aig.levels()
+    depth = max(aig.depth(), 1)
+    fanouts = aig.fanout_counts()
+    po_drivers = {literal_var(lit) for lit in aig.po_literals()}
+    features = np.zeros((size, len(NODE_FEATURE_NAMES)), dtype=np.float64)
+    for var in range(size):
+        is_pi = 1.0 if (var != 0 and aig.is_pi(var)) else 0.0
+        is_and = 1.0 if aig.is_and(var) else 0.0
+        inverted = 0.0
+        if aig.is_and(var):
+            f0, f1 = aig.fanins(var)
+            inverted = float(is_complemented(f0)) + float(is_complemented(f1))
+        features[var] = (
+            is_pi,
+            is_and,
+            float(fanouts[var]),
+            levels[var] / depth,
+            inverted,
+            1.0 if var in po_drivers else 0.0,
+        )
+    return features
+
+
+def propagate(aig: Aig, features: np.ndarray, hops: int) -> np.ndarray:
+    """Mean-aggregate *features* over the (undirected) AIG adjacency *hops* times."""
+    size = aig.size
+    edges: List[Tuple[int, int]] = []
+    for var in aig.and_vars():
+        f0, f1 = aig.fanins(var)
+        edges.append((literal_var(f0), var))
+        edges.append((literal_var(f1), var))
+    if not edges:
+        return features.copy()
+    sources = np.array([e[0] for e in edges], dtype=np.int64)
+    targets = np.array([e[1] for e in edges], dtype=np.int64)
+    degree = np.ones(size, dtype=np.float64)  # +1 for the self loop
+    np.add.at(degree, sources, 1.0)
+    np.add.at(degree, targets, 1.0)
+    current = features.copy()
+    for _ in range(hops):
+        aggregated = current.copy()  # self loop
+        np.add.at(aggregated, targets, current[sources])
+        np.add.at(aggregated, sources, current[targets])
+        current = aggregated / degree[:, None]
+    return current
+
+
+@dataclass
+class GnnParams:
+    """Hyperparameters of the graph-convolution regressor."""
+
+    hops: int = 3
+    hidden_sizes: Tuple[int, ...] = (64, 32)
+    learning_rate: float = 1e-3
+    epochs: int = 300
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hops < 1:
+            raise ModelError("hops must be at least 1")
+
+
+class GnnDelayRegressor:
+    """SGC-style graph regression: propagate, pool, and regress with an MLP."""
+
+    def __init__(self, params: Optional[GnnParams] = None, rng: RngLike = None) -> None:
+        self.params = params or GnnParams()
+        self._rng = rng
+        self._head: Optional[MlpRegressor] = None
+
+    # ------------------------------------------------------------------ #
+    def graph_embedding(self, aig: Aig) -> np.ndarray:
+        """Pooled graph-level embedding of one AIG."""
+        node_features = node_feature_matrix(aig)
+        propagated = propagate(aig, node_features, self.params.hops)
+        mean_pool = propagated.mean(axis=0)
+        max_pool = propagated.max(axis=0)
+        size_scalars = np.array(
+            [aig.num_ands, aig.depth(), aig.num_pis, aig.num_pos], dtype=np.float64
+        )
+        return np.concatenate([mean_pool, max_pool, size_scalars])
+
+    def embed_many(self, aigs: Sequence[Aig]) -> np.ndarray:
+        """Embedding matrix for a list of AIGs."""
+        if not aigs:
+            raise ModelError("need at least one graph")
+        return np.vstack([self.graph_embedding(aig) for aig in aigs])
+
+    # ------------------------------------------------------------------ #
+    def fit(self, aigs: Sequence[Aig], delays_ps: Sequence[float]) -> "GnnDelayRegressor":
+        """Train the readout head on the pooled embeddings."""
+        embeddings = self.embed_many(aigs)
+        targets = np.asarray(delays_ps, dtype=np.float64)
+        if targets.shape[0] != embeddings.shape[0]:
+            raise ModelError("one delay label per graph is required")
+        head_params = MlpParams(
+            hidden_sizes=self.params.hidden_sizes,
+            learning_rate=self.params.learning_rate,
+            epochs=self.params.epochs,
+            batch_size=self.params.batch_size,
+        )
+        self._head = MlpRegressor(head_params, rng=self._rng)
+        self._head.fit(embeddings, targets)
+        return self
+
+    def fit_embeddings(
+        self, embeddings: np.ndarray, delays_ps: Sequence[float]
+    ) -> "GnnDelayRegressor":
+        """Train on precomputed embeddings (lets callers cache the propagation)."""
+        targets = np.asarray(delays_ps, dtype=np.float64)
+        head_params = MlpParams(
+            hidden_sizes=self.params.hidden_sizes,
+            learning_rate=self.params.learning_rate,
+            epochs=self.params.epochs,
+            batch_size=self.params.batch_size,
+        )
+        self._head = MlpRegressor(head_params, rng=self._rng)
+        self._head.fit(np.asarray(embeddings, dtype=np.float64), targets)
+        return self
+
+    def predict(self, aigs: Sequence[Aig]) -> np.ndarray:
+        """Predict post-mapping delay for a list of AIGs."""
+        if self._head is None:
+            raise ModelError("model used before fitting")
+        return self._head.predict(self.embed_many(aigs))
+
+    def predict_embeddings(self, embeddings: np.ndarray) -> np.ndarray:
+        """Predict from precomputed embeddings."""
+        if self._head is None:
+            raise ModelError("model used before fitting")
+        return self._head.predict(np.asarray(embeddings, dtype=np.float64))

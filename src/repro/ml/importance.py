@@ -1,0 +1,172 @@
+"""Feature-importance analysis for the delay/area predictors.
+
+Two complementary views are provided:
+
+* **Model-internal importance** for the tree ensembles: how often a feature
+  is chosen for a split ("count") and how much loss reduction its splits
+  contribute ("gain", the XGBoost default).
+* **Permutation importance** for any fitted model: how much a chosen error
+  metric degrades when one feature column is shuffled, which measures what
+  the model actually relies on at prediction time.
+
+The feature-ablation benchmark uses these to explain *why* the Table II
+feature groups matter, complementing the retrain-without-group ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbdt import GradientBoostingRegressor
+from repro.ml.metrics import rmse
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Importance scores for one feature."""
+
+    name: str
+    score: float
+
+
+@dataclass
+class ImportanceReport:
+    """Ranked feature importances."""
+
+    entries: List[FeatureImportance]
+    kind: str
+
+    def ranked(self) -> List[FeatureImportance]:
+        """Entries sorted by decreasing score."""
+        return sorted(self.entries, key=lambda entry: entry.score, reverse=True)
+
+    def scores(self) -> np.ndarray:
+        """Scores in feature order."""
+        return np.array([entry.score for entry in self.entries], dtype=np.float64)
+
+    def top(self, count: int) -> List[str]:
+        """Names of the *count* most important features."""
+        return [entry.name for entry in self.ranked()[:count]]
+
+    def format_table(self) -> str:
+        """Human-readable ranking."""
+        lines = [f"feature importance ({self.kind})"]
+        width = max((len(entry.name) for entry in self.entries), default=10)
+        for entry in self.ranked():
+            lines.append(f"  {entry.name:<{width}}  {entry.score:10.4f}")
+        return "\n".join(lines)
+
+
+def _feature_names(num_features: int, names: Optional[Sequence[str]]) -> List[str]:
+    if names is None:
+        return [f"f{i}" for i in range(num_features)]
+    if len(names) != num_features:
+        raise ModelError(
+            f"{len(names)} feature names supplied for {num_features} features"
+        )
+    return list(names)
+
+
+def ensemble_importance(
+    model,
+    num_features: int,
+    feature_names: Optional[Sequence[str]] = None,
+    kind: str = "gain",
+    normalize: bool = True,
+) -> ImportanceReport:
+    """Model-internal importance of a tree ensemble (GBDT or random forest).
+
+    Parameters
+    ----------
+    kind:
+        ``"gain"`` sums the loss reduction of every split on the feature;
+        ``"count"`` counts how many splits use the feature.
+    """
+    if kind not in ("gain", "count"):
+        raise ModelError(f"kind must be 'gain' or 'count', got {kind!r}")
+    if not isinstance(model, (GradientBoostingRegressor, RandomForestRegressor)):
+        raise ModelError(
+            "ensemble_importance supports GradientBoostingRegressor and "
+            f"RandomForestRegressor, got {type(model).__name__}"
+        )
+    if not model.trees:
+        raise ModelError("model must be fitted before computing importance")
+    totals = np.zeros(num_features, dtype=np.float64)
+    for tree in model.trees:
+        if kind == "gain":
+            totals += tree.gain_importance(num_features)
+        else:
+            totals += tree.feature_importance(num_features)
+    if normalize and totals.sum() > 0:
+        totals = totals / totals.sum()
+    names = _feature_names(num_features, feature_names)
+    entries = [FeatureImportance(name, float(score)) for name, score in zip(names, totals)]
+    return ImportanceReport(entries=entries, kind=kind)
+
+
+def permutation_importance(
+    model,
+    features: np.ndarray,
+    targets: np.ndarray,
+    feature_names: Optional[Sequence[str]] = None,
+    metric: Callable[[np.ndarray, np.ndarray], float] = rmse,
+    n_repeats: int = 5,
+    rng: RngLike = None,
+) -> ImportanceReport:
+    """Metric degradation when each feature column is shuffled.
+
+    The score of a feature is ``mean(metric_shuffled) - metric_baseline``:
+    positive values mean the model relies on the feature, values near zero
+    mean it is ignored.  Works for any model exposing ``predict``.
+    """
+    if n_repeats < 1:
+        raise ModelError("n_repeats must be at least 1")
+    data = np.asarray(features, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] != y.shape[0]:
+        raise ModelError("feature/target shape mismatch")
+    if data.shape[0] < 2:
+        raise ModelError("permutation importance needs at least two samples")
+    generator = ensure_rng(rng)
+    baseline = float(metric(y, model.predict(data)))
+    num_features = data.shape[1]
+    scores = np.zeros(num_features, dtype=np.float64)
+    for feature in range(num_features):
+        degradations = []
+        for _ in range(n_repeats):
+            shuffled = data.copy()
+            order = list(range(data.shape[0]))
+            generator.shuffle(order)
+            shuffled[:, feature] = data[order, feature]
+            degradations.append(float(metric(y, model.predict(shuffled))) - baseline)
+        scores[feature] = float(np.mean(degradations))
+    names = _feature_names(num_features, feature_names)
+    entries = [FeatureImportance(name, float(score)) for name, score in zip(names, scores)]
+    return ImportanceReport(entries=entries, kind="permutation")
+
+
+def group_importance(
+    report: ImportanceReport, groups: dict
+) -> List[FeatureImportance]:
+    """Aggregate a per-feature report into named feature groups.
+
+    *groups* maps group name -> list of feature names; features not listed in
+    any group are ignored.  Useful for summarising the Table II feature
+    categories (depth / fanout / path-count).
+    """
+    by_name = {entry.name: entry.score for entry in report.entries}
+    aggregated = []
+    for group_name, members in groups.items():
+        unknown = [name for name in members if name not in by_name]
+        if unknown:
+            raise ModelError(f"group {group_name!r} references unknown features {unknown}")
+        aggregated.append(
+            FeatureImportance(group_name, float(sum(by_name[name] for name in members)))
+        )
+    return sorted(aggregated, key=lambda entry: entry.score, reverse=True)

@@ -1,0 +1,103 @@
+"""k-nearest-neighbour regression baseline.
+
+A deliberately simple instance-based model: predictions are the
+(optionally distance-weighted) mean of the labels of the *k* training
+samples closest in z-scored feature space.  It serves as an additional
+baseline in the model-choice ablation — the paper only compares its boosted
+trees against a GNN, but a nearest-neighbour predictor is a natural sanity
+check for "are the Table II features informative at all?", because it uses
+no learned structure beyond the feature geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.dataset import FeatureScaler
+
+
+@dataclass
+class KnnParams:
+    """Hyperparameters of the k-NN regressor."""
+
+    n_neighbors: int = 5
+    weights: str = "distance"
+    scale_features: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_neighbors < 1:
+            raise ModelError("n_neighbors must be at least 1")
+        if self.weights not in ("uniform", "distance"):
+            raise ModelError(f"weights must be 'uniform' or 'distance', got {self.weights!r}")
+
+
+class KnnRegressor:
+    """Distance-weighted k-nearest-neighbour regression."""
+
+    def __init__(self, params: Optional[KnnParams] = None) -> None:
+        self.params = params or KnnParams()
+        self._features: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+        self._scaler: Optional[FeatureScaler] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KnnRegressor":
+        """Memorise the training set (and fit the feature scaler)."""
+        data = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if data.ndim != 2:
+            raise ModelError("features must be a 2-D matrix")
+        if y.ndim != 1 or y.shape[0] != data.shape[0]:
+            raise ModelError("feature/target shape mismatch")
+        if data.shape[0] == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        if self.params.scale_features:
+            self._scaler = FeatureScaler().fit(data)
+            data = self._scaler.transform(data)
+        else:
+            self._scaler = None
+        self._features = data
+        self._targets = y
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict one value per row of *features*."""
+        if self._features is None or self._targets is None:
+            raise ModelError("KnnRegressor used before fitting")
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        if data.shape[1] != self._features.shape[1]:
+            raise ModelError(
+                f"expected {self._features.shape[1]} features, got {data.shape[1]}"
+            )
+        if self._scaler is not None:
+            data = self._scaler.transform(data)
+        k = min(self.params.n_neighbors, self._features.shape[0])
+        predictions = np.empty(data.shape[0], dtype=np.float64)
+        for row_index, row in enumerate(data):
+            distances = np.sqrt(np.sum((self._features - row) ** 2, axis=1))
+            neighbor_idx = np.argpartition(distances, k - 1)[:k]
+            neighbor_targets = self._targets[neighbor_idx]
+            if self.params.weights == "uniform":
+                predictions[row_index] = float(neighbor_targets.mean())
+                continue
+            neighbor_distances = distances[neighbor_idx]
+            if np.any(neighbor_distances == 0.0):
+                exact = neighbor_targets[neighbor_distances == 0.0]
+                predictions[row_index] = float(exact.mean())
+            else:
+                weights = 1.0 / neighbor_distances
+                predictions[row_index] = float(
+                    np.sum(weights * neighbor_targets) / np.sum(weights)
+                )
+        return predictions
+
+    @property
+    def num_training_samples(self) -> int:
+        """Number of memorised training samples (0 before fitting)."""
+        return 0 if self._features is None else int(self._features.shape[0])

@@ -1,0 +1,55 @@
+"""Ridge linear regression baseline.
+
+A linear model over the Table II features gives a useful lower bound in the
+model ablation: if the boosted trees could not beat it, the features rather
+than the model would be the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class RidgeRegressor:
+    """Linear least squares with L2 regularisation on standardized features."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ModelError("alpha must be non-negative")
+        self.alpha = alpha
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        """Fit the closed-form ridge solution."""
+        data = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] != y.shape[0]:
+            raise ModelError("feature/target shape mismatch")
+        self._mean = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        scaled = (data - self._mean) / self._std
+        y_mean = float(np.mean(y))
+        centered_y = y - y_mean
+        gram = scaled.T @ scaled + self.alpha * np.eye(scaled.shape[1])
+        self.weights_ = np.linalg.solve(gram, scaled.T @ centered_y)
+        self.bias_ = y_mean
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for the given feature matrix."""
+        if self.weights_ is None:
+            raise ModelError("model used before fitting")
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        scaled = (data - self._mean) / self._std
+        return scaled @ self.weights_ + self.bias_

@@ -1,0 +1,96 @@
+"""Regression metrics used throughout the evaluation (Table III, Fig. 1).
+
+The paper reports the mean, maximum, and standard deviation of the absolute
+percentage error between predicted and ground-truth post-mapping delay, plus
+the Pearson correlation coefficient for the proxy-metric study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _as_arrays(y_true: Sequence[float], y_pred: Sequence[float]):
+    true = np.asarray(y_true, dtype=np.float64)
+    pred = np.asarray(y_pred, dtype=np.float64)
+    if true.shape != pred.shape:
+        raise ModelError(f"shape mismatch: {true.shape} vs {pred.shape}")
+    if true.size == 0:
+        raise ModelError("metrics need at least one sample")
+    return true, pred
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean squared error."""
+    true, pred = _as_arrays(y_true, y_pred)
+    return float(np.sqrt(np.mean((true - pred) ** 2)))
+
+
+def mae(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error."""
+    true, pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(np.abs(true - pred)))
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination."""
+    true, pred = _as_arrays(y_true, y_pred)
+    ss_res = float(np.sum((true - pred) ** 2))
+    ss_tot = float(np.sum((true - np.mean(true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two series."""
+    a, b = _as_arrays(x, y)
+    std_a = float(np.std(a))
+    std_b = float(np.std(b))
+    if std_a == 0.0 or std_b == 0.0:
+        return 0.0
+    return float(np.mean((a - np.mean(a)) * (b - np.mean(b))) / (std_a * std_b))
+
+
+def absolute_percentage_errors(
+    y_true: Sequence[float], y_pred: Sequence[float]
+) -> np.ndarray:
+    """Per-sample absolute percentage errors (in percent)."""
+    true, pred = _as_arrays(y_true, y_pred)
+    if np.any(true == 0.0):
+        raise ModelError("percentage error undefined for zero ground-truth values")
+    return np.abs(true - pred) / np.abs(true) * 100.0
+
+
+@dataclass(frozen=True)
+class PercentErrorStats:
+    """Mean / max / std of the absolute percentage error (Table III columns)."""
+
+    mean: float
+    max: float
+    std: float
+    count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mean": self.mean, "max": self.max, "std": self.std, "count": self.count}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"mean={self.mean:.2f}% max={self.max:.2f}% std={self.std:.2f}%"
+
+
+def percent_error_stats(
+    y_true: Sequence[float], y_pred: Sequence[float]
+) -> PercentErrorStats:
+    """The paper's Table III error summary for one design."""
+    errors = absolute_percentage_errors(y_true, y_pred)
+    return PercentErrorStats(
+        mean=float(np.mean(errors)),
+        max=float(np.max(errors)),
+        std=float(np.std(errors)),
+        count=int(errors.size),
+    )

@@ -1,0 +1,175 @@
+"""A small fully-connected regression network trained with Adam.
+
+Used standalone as an additional tabular baseline and as the readout head of
+the graph neural network in :mod:`repro.ml.gnn`.  Implemented directly in
+numpy (forward and backward passes written out) because no deep-learning
+framework is available offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class MlpParams:
+    """Hyperparameters of the MLP regressor."""
+
+    hidden_sizes: Tuple[int, ...] = (64, 32)
+    learning_rate: float = 1e-3
+    epochs: int = 300
+    batch_size: int = 64
+    weight_decay: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if not self.hidden_sizes:
+            raise ModelError("MLP needs at least one hidden layer")
+        if self.epochs < 1:
+            raise ModelError("epochs must be at least 1")
+
+
+class AdamState:
+    """Adam moment estimates for one parameter tensor."""
+
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        self.m = np.zeros(shape, dtype=np.float64)
+        self.v = np.zeros(shape, dtype=np.float64)
+
+    def update(
+        self,
+        parameter: np.ndarray,
+        gradient: np.ndarray,
+        learning_rate: float,
+        step: int,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.m = beta1 * self.m + (1 - beta1) * gradient
+        self.v = beta2 * self.v + (1 - beta2) * gradient * gradient
+        m_hat = self.m / (1 - beta1**step)
+        v_hat = self.v / (1 - beta2**step)
+        parameter -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MlpRegressor:
+    """Feed-forward network with ReLU activations and MSE loss."""
+
+    def __init__(self, params: Optional[MlpParams] = None, rng: RngLike = None) -> None:
+        self.params = params or MlpParams()
+        self._rng = ensure_rng(rng)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        self._adam: List[Tuple[AdamState, AdamState]] = []
+        self._step = 0
+        self._input_mean: Optional[np.ndarray] = None
+        self._input_std: Optional[np.ndarray] = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _init_parameters(self, num_features: int) -> None:
+        sizes = [num_features, *self.params.hidden_sizes, 1]
+        np_rng = np.random.default_rng(self._rng.getrandbits(32))
+        self.weights = []
+        self.biases = []
+        self._adam = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(np_rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out, dtype=np.float64))
+            self._adam.append(
+                (AdamState((fan_in, fan_out)), AdamState((fan_out,)))
+            )
+        self._step = 0
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [x]
+        current = x
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = current @ w + b
+            if layer < len(self.weights) - 1:
+                current = np.maximum(z, 0.0)
+            else:
+                current = z
+            activations.append(current)
+        return current[:, 0], activations
+
+    def _backward(
+        self, activations: List[np.ndarray], error: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        gradients: List[Tuple[np.ndarray, np.ndarray]] = [None] * len(self.weights)
+        delta = error.reshape(-1, 1)
+        for layer in reversed(range(len(self.weights))):
+            inputs = activations[layer]
+            grad_w = inputs.T @ delta / delta.shape[0]
+            grad_b = delta.mean(axis=0)
+            grad_w += self.params.weight_decay * self.weights[layer]
+            gradients[layer] = (grad_w, grad_b)
+            if layer > 0:
+                delta = delta @ self.weights[layer].T
+                delta = delta * (activations[layer] > 0.0)
+        return gradients
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MlpRegressor":
+        """Train the network on standardized inputs and targets."""
+        data = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] != y.shape[0]:
+            raise ModelError("feature/target shape mismatch")
+        self._input_mean = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._input_std = std
+        self._target_mean = float(y.mean())
+        self._target_std = float(y.std()) or 1.0
+        x = (data - self._input_mean) / self._input_std
+        t = (y - self._target_mean) / self._target_std
+        self._init_parameters(x.shape[1])
+        self.loss_history = []
+
+        n_samples = x.shape[0]
+        batch = min(self.params.batch_size, n_samples)
+        for _epoch in range(self.params.epochs):
+            order = list(range(n_samples))
+            self._rng.shuffle(order)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                xb, tb = x[idx], t[idx]
+                pred, activations = self._forward(xb)
+                error = pred - tb
+                epoch_loss += float(np.mean(error**2))
+                batches += 1
+                gradients = self._backward(activations, error)
+                self._step += 1
+                for layer, (grad_w, grad_b) in enumerate(gradients):
+                    w_state, b_state = self._adam[layer]
+                    w_state.update(
+                        self.weights[layer], grad_w, self.params.learning_rate, self._step
+                    )
+                    b_state.update(
+                        self.biases[layer], grad_b, self.params.learning_rate, self._step
+                    )
+            self.loss_history.append(epoch_loss / max(batches, 1))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets in original units."""
+        if not self.weights:
+            raise ModelError("model used before fitting")
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        x = (data - self._input_mean) / self._input_std
+        pred, _ = self._forward(x)
+        return pred * self._target_std + self._target_mean

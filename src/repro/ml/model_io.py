@@ -1,0 +1,95 @@
+"""JSON persistence for the boosted-tree delay predictor.
+
+The optimization flow trains a model once per design family and then reuses
+it across many SA runs; persisting the ensemble lets the examples and
+benchmarks cache trained models on disk instead of retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ModelError
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.tree import RegressionTree, TreeNode, TreeParams
+
+PathLike = Union[str, Path]
+
+
+def _node_to_dict(node: TreeNode) -> Dict:
+    if node.is_leaf:
+        return {"value": node.value}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "value": node.value,
+        "gain": node.gain,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: Dict) -> TreeNode:
+    if "feature" not in data:
+        return TreeNode(value=float(data["value"]))
+    return TreeNode(
+        feature=int(data["feature"]),
+        threshold=float(data["threshold"]),
+        value=float(data.get("value", 0.0)),
+        gain=float(data.get("gain", 0.0)),
+        left=_node_from_dict(data["left"]),
+        right=_node_from_dict(data["right"]),
+    )
+
+
+def gbdt_to_dict(model: GradientBoostingRegressor) -> Dict:
+    """Serialise a fitted GBDT to plain JSON-compatible data."""
+    if not model.trees:
+        raise ModelError("cannot serialise an unfitted model")
+    params = model.params
+    return {
+        "format": "repro-gbdt-v1",
+        "params": {
+            "n_estimators": params.n_estimators,
+            "learning_rate": params.learning_rate,
+            "max_depth": params.max_depth,
+            "subsample": params.subsample,
+            "colsample": params.colsample,
+            "min_child_weight": params.min_child_weight,
+            "reg_lambda": params.reg_lambda,
+            "gamma": params.gamma,
+        },
+        "base_prediction": model.base_prediction,
+        "num_features": model._num_features,
+        "trees": [_node_to_dict(tree.root) for tree in model.trees],
+    }
+
+
+def gbdt_from_dict(data: Dict) -> GradientBoostingRegressor:
+    """Rebuild a GBDT from :func:`gbdt_to_dict` output."""
+    if data.get("format") != "repro-gbdt-v1":
+        raise ModelError(f"unsupported model format: {data.get('format')!r}")
+    params = GbdtParams(**data["params"])
+    model = GradientBoostingRegressor(params)
+    model.base_prediction = float(data["base_prediction"])
+    model._num_features = data.get("num_features")
+    tree_params = TreeParams(max_depth=params.max_depth, reg_lambda=params.reg_lambda)
+    model.trees = []
+    for tree_data in data["trees"]:
+        tree = RegressionTree(tree_params)
+        tree.root = _node_from_dict(tree_data)
+        model.trees.append(tree)
+    model.best_iteration = len(model.trees)
+    return model
+
+
+def save_gbdt(model: GradientBoostingRegressor, path: PathLike) -> None:
+    """Write a fitted GBDT to a JSON file."""
+    Path(path).write_text(json.dumps(gbdt_to_dict(model)), encoding="utf-8")
+
+
+def load_gbdt(path: PathLike) -> GradientBoostingRegressor:
+    """Load a GBDT previously written by :func:`save_gbdt`."""
+    return gbdt_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

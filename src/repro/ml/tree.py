@@ -1,0 +1,244 @@
+"""Regression trees with second-order (XGBoost-style) split scoring.
+
+The tree works on per-sample gradients/hessians rather than raw targets,
+which lets the same code serve both the standalone decision-tree regressor
+and the gradient-boosting ensemble.  For squared-error loss the gradient is
+``prediction - target`` and the hessian is 1, so leaf values reduce to the
+regularised mean residual.
+
+Splits are found with the exact greedy algorithm: for every candidate
+feature the samples are sorted and the gain
+
+    0.5 * (GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)) - gamma
+
+is evaluated at every boundary between distinct feature values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    value: float = 0.0
+    #: loss reduction achieved by this split (0 for leaves); feeds the
+    #: gain-based feature importance used in the feature-ablation study.
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def node_count(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def depth(self) -> int:
+        """Depth of the subtree rooted here (a single leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass
+class TreeParams:
+    """Hyperparameters shared by trees and boosted ensembles."""
+
+    max_depth: int = 6
+    min_child_weight: float = 1.0
+    min_samples_split: int = 2
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+    colsample: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if not 0.0 < self.colsample <= 1.0:
+            raise ModelError("colsample must be in (0, 1]")
+        if self.min_child_weight < 0:
+            raise ModelError("min_child_weight must be non-negative")
+
+
+class RegressionTree:
+    """A single gradient/hessian regression tree."""
+
+    def __init__(self, params: Optional[TreeParams] = None, rng: RngLike = None) -> None:
+        self.params = params or TreeParams()
+        self._rng = ensure_rng(rng)
+        self.root: Optional[TreeNode] = None
+
+    # ------------------------------------------------------------------ #
+    def fit_gradients(
+        self,
+        features: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+    ) -> "RegressionTree":
+        """Fit the tree to minimise the second-order loss approximation."""
+        data = np.asarray(features, dtype=np.float64)
+        grad = np.asarray(gradients, dtype=np.float64)
+        hess = np.asarray(hessians, dtype=np.float64)
+        if data.ndim != 2 or grad.ndim != 1 or data.shape[0] != grad.shape[0]:
+            raise ModelError("feature/gradient shape mismatch")
+        indices = np.arange(data.shape[0])
+        self.root = self._build(data, grad, hess, indices, depth=0)
+        return self
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit directly to targets with squared-error loss (standalone use)."""
+        targets = np.asarray(targets, dtype=np.float64)
+        gradients = -targets  # prediction starts at 0, g = pred - y
+        hessians = np.ones_like(targets)
+        return self.fit_gradients(features, gradients, hessians)
+
+    # ------------------------------------------------------------------ #
+    def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
+        return -grad_sum / (hess_sum + self.params.reg_lambda)
+
+    def _build(
+        self,
+        data: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
+    ) -> TreeNode:
+        grad_sum = float(grad[indices].sum())
+        hess_sum = float(hess[indices].sum())
+        leaf = TreeNode(value=self._leaf_value(grad_sum, hess_sum))
+        if depth >= self.params.max_depth or len(indices) < self.params.min_samples_split:
+            return leaf
+        split = self._best_split(data, grad, hess, indices, grad_sum, hess_sum)
+        if split is None:
+            return leaf
+        feature, threshold, left_idx, right_idx, gain = split
+        node = TreeNode(feature=feature, threshold=threshold, gain=gain)
+        node.left = self._build(data, grad, hess, left_idx, depth + 1)
+        node.right = self._build(data, grad, hess, right_idx, depth + 1)
+        node.value = leaf.value
+        return node
+
+    def _candidate_features(self, num_features: int) -> Sequence[int]:
+        if self.params.colsample >= 1.0:
+            return range(num_features)
+        count = max(1, int(round(self.params.colsample * num_features)))
+        return self._rng.sample(range(num_features), count)
+
+    def _best_split(
+        self,
+        data: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        indices: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+    ):
+        params = self.params
+        parent_score = grad_sum * grad_sum / (hess_sum + params.reg_lambda)
+        best_gain = 0.0
+        best = None
+        for feature in self._candidate_features(data.shape[1]):
+            values = data[indices, feature]
+            order = np.argsort(values, kind="mergesort")
+            sorted_values = values[order]
+            sorted_idx = indices[order]
+            g = grad[sorted_idx]
+            h = hess[sorted_idx]
+            g_prefix = np.cumsum(g)
+            h_prefix = np.cumsum(h)
+            # Valid split positions: between distinct consecutive values.
+            distinct = sorted_values[:-1] != sorted_values[1:]
+            if not np.any(distinct):
+                continue
+            positions = np.nonzero(distinct)[0]
+            gl = g_prefix[positions]
+            hl = h_prefix[positions]
+            gr = grad_sum - gl
+            hr = hess_sum - hl
+            valid = (hl >= params.min_child_weight) & (hr >= params.min_child_weight)
+            if not np.any(valid):
+                continue
+            gains = 0.5 * (
+                gl**2 / (hl + params.reg_lambda)
+                + gr**2 / (hr + params.reg_lambda)
+                - parent_score
+            ) - params.gamma
+            gains = np.where(valid, gains, -np.inf)
+            best_pos = int(np.argmax(gains))
+            if gains[best_pos] > best_gain:
+                position = positions[best_pos]
+                threshold = 0.5 * (sorted_values[position] + sorted_values[position + 1])
+                left_idx = sorted_idx[: position + 1]
+                right_idx = sorted_idx[position + 1 :]
+                best_gain = float(gains[best_pos])
+                best = (int(feature), float(threshold), left_idx, right_idx, best_gain)
+        return best
+
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict one value per row of *features*."""
+        if self.root is None:
+            raise ModelError("tree used before fitting")
+        data = np.asarray(features, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        out = np.empty(data.shape[0], dtype=np.float64)
+        for i, row in enumerate(data):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def feature_importance(self, num_features: int) -> np.ndarray:
+        """Split-count importance per feature."""
+        importance = np.zeros(num_features, dtype=np.float64)
+        if self.root is None:
+            return importance
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            importance[node.feature] += 1.0
+            visit(node.left)
+            visit(node.right)
+
+        visit(self.root)
+        return importance
+
+    def gain_importance(self, num_features: int) -> np.ndarray:
+        """Total split gain per feature (XGBoost's "gain" importance)."""
+        importance = np.zeros(num_features, dtype=np.float64)
+        if self.root is None:
+            return importance
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            importance[node.feature] += max(node.gain, 0.0)
+            visit(node.left)
+            visit(node.right)
+
+        visit(self.root)
+        return importance
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return 0 if self.root is None else self.root.node_count()

@@ -1,0 +1,209 @@
+"""Hyperparameter tuning: k-fold cross-validation and grid search.
+
+The paper selects its XGBoost hyperparameters by grid search; this module
+provides the equivalent machinery for the from-scratch models.  It is model
+agnostic: a *factory* callable turns a parameter dictionary into a fresh
+unfitted model exposing ``fit``/``predict``, so the same grid-search driver
+tunes the GBDT, the random forest, the MLP, or the k-NN baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.metrics import rmse
+from repro.utils.rng import RngLike, ensure_rng
+
+ModelFactory = Callable[[Dict[str, object]], object]
+Metric = Callable[[np.ndarray, np.ndarray], float]
+
+
+# --------------------------------------------------------------------------- #
+# Cross-validation
+# --------------------------------------------------------------------------- #
+def kfold_indices(
+    num_samples: int, k: int, rng: RngLike = None, shuffle: bool = True
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split ``range(num_samples)`` into *k* (train, validation) index pairs."""
+    if k < 2:
+        raise ModelError("k-fold cross-validation needs k >= 2")
+    if num_samples < k:
+        raise ModelError(f"cannot split {num_samples} samples into {k} folds")
+    order = np.arange(num_samples)
+    if shuffle:
+        generator = ensure_rng(rng)
+        permuted = list(range(num_samples))
+        generator.shuffle(permuted)
+        order = np.asarray(permuted, dtype=np.int64)
+    folds = np.array_split(order, k)
+    splits: List[Tuple[np.ndarray, np.ndarray]] = []
+    for index in range(k):
+        validation = folds[index]
+        train = np.concatenate([folds[j] for j in range(k) if j != index])
+        splits.append((train, validation))
+    return splits
+
+
+@dataclass
+class CrossValidationResult:
+    """Per-fold and aggregate scores of one model configuration."""
+
+    fold_scores: List[float]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def mean_score(self) -> float:
+        return float(np.mean(self.fold_scores))
+
+    @property
+    def std_score(self) -> float:
+        return float(np.std(self.fold_scores))
+
+    @property
+    def num_folds(self) -> int:
+        return len(self.fold_scores)
+
+
+def cross_validate(
+    factory: ModelFactory,
+    features: np.ndarray,
+    targets: np.ndarray,
+    params: Optional[Dict[str, object]] = None,
+    k: int = 5,
+    metric: Metric = rmse,
+    rng: RngLike = None,
+) -> CrossValidationResult:
+    """Score ``factory(params)`` with k-fold cross-validation (lower = better)."""
+    data = np.asarray(features, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] != y.shape[0]:
+        raise ModelError("feature/target shape mismatch")
+    params = dict(params or {})
+    scores: List[float] = []
+    for train_idx, val_idx in kfold_indices(data.shape[0], k, rng=rng):
+        model = factory(params)
+        model.fit(data[train_idx], y[train_idx])
+        predictions = np.asarray(model.predict(data[val_idx]), dtype=np.float64)
+        scores.append(float(metric(y[val_idx], predictions)))
+    return CrossValidationResult(fold_scores=scores, params=params)
+
+
+# --------------------------------------------------------------------------- #
+# Grid search
+# --------------------------------------------------------------------------- #
+def expand_grid(grid: Dict[str, Sequence[object]]) -> List[Dict[str, object]]:
+    """All parameter combinations of a ``name -> candidate values`` grid."""
+    if not grid:
+        raise ModelError("parameter grid must not be empty")
+    names = list(grid)
+    for name in names:
+        if not grid[name]:
+            raise ModelError(f"parameter {name!r} has no candidate values")
+    combinations = []
+    for values in product(*(grid[name] for name in names)):
+        combinations.append(dict(zip(names, values)))
+    return combinations
+
+
+@dataclass
+class GridSearchResult:
+    """Every evaluated configuration plus the winner."""
+
+    results: List[CrossValidationResult]
+    metric_name: str = "rmse"
+
+    @property
+    def best(self) -> CrossValidationResult:
+        if not self.results:
+            raise ModelError("grid search produced no results")
+        return min(self.results, key=lambda result: result.mean_score)
+
+    @property
+    def best_params(self) -> Dict[str, object]:
+        return dict(self.best.params)
+
+    @property
+    def best_score(self) -> float:
+        return self.best.mean_score
+
+    def format_table(self) -> str:
+        """One line per configuration, best first."""
+        lines = [f"grid search ({len(self.results)} configurations, metric={self.metric_name})"]
+        ordered = sorted(self.results, key=lambda result: result.mean_score)
+        for result in ordered:
+            settings = ", ".join(f"{k}={v}" for k, v in sorted(result.params.items()))
+            lines.append(
+                f"  {result.mean_score:10.4f} +/- {result.std_score:7.4f}  {settings}"
+            )
+        return "\n".join(lines)
+
+
+def grid_search(
+    factory: ModelFactory,
+    grid: Dict[str, Sequence[object]],
+    features: np.ndarray,
+    targets: np.ndarray,
+    k: int = 5,
+    metric: Metric = rmse,
+    metric_name: str = "rmse",
+    rng: RngLike = None,
+) -> GridSearchResult:
+    """Cross-validate every combination in *grid* and rank them."""
+    generator = ensure_rng(rng)
+    results: List[CrossValidationResult] = []
+    for params in expand_grid(grid):
+        fold_rng = ensure_rng(generator.getrandbits(32))
+        results.append(
+            cross_validate(
+                factory, features, targets, params=params, k=k, metric=metric, rng=fold_rng
+            )
+        )
+    return GridSearchResult(results=results, metric_name=metric_name)
+
+
+def gbdt_factory(base_params: Optional[GbdtParams] = None, seed: int = 0) -> ModelFactory:
+    """A grid-search factory producing GBDTs that override *base_params*.
+
+    The grid's keys must be :class:`~repro.ml.gbdt.GbdtParams` field names
+    (``n_estimators``, ``learning_rate``, ``max_depth``, ``subsample``, ...).
+    """
+    base = base_params or GbdtParams()
+
+    def factory(params: Dict[str, object]) -> GradientBoostingRegressor:
+        merged = {
+            "n_estimators": base.n_estimators,
+            "learning_rate": base.learning_rate,
+            "max_depth": base.max_depth,
+            "subsample": base.subsample,
+            "colsample": base.colsample,
+            "min_child_weight": base.min_child_weight,
+            "reg_lambda": base.reg_lambda,
+            "gamma": base.gamma,
+        }
+        unknown = set(params) - set(merged)
+        if unknown:
+            raise ModelError(f"unknown GbdtParams fields in grid: {sorted(unknown)}")
+        merged.update(params)
+        return GradientBoostingRegressor(GbdtParams(**merged), rng=seed)
+
+    return factory
+
+
+def grid_search_gbdt(
+    grid: Dict[str, Sequence[object]],
+    features: np.ndarray,
+    targets: np.ndarray,
+    base_params: Optional[GbdtParams] = None,
+    k: int = 4,
+    rng: RngLike = None,
+) -> GridSearchResult:
+    """Convenience wrapper: grid search over GBDT hyperparameters."""
+    return grid_search(
+        gbdt_factory(base_params), grid, features, targets, k=k, rng=rng
+    )

@@ -1,0 +1,71 @@
+"""Logic optimization: cost functions, SA/greedy/genetic search engines, flows."""
+
+from repro.opt.annealing import (
+    AnnealingConfig,
+    AnnealingResult,
+    IterationRecord,
+    SimulatedAnnealing,
+)
+from repro.opt.cost import CostBreakdown, CostFunction, GroundTruthCost, MlCost, ProxyCost
+from repro.opt.flows import (
+    BaselineFlow,
+    FlowResult,
+    GroundTruthFlow,
+    IterationRuntime,
+    MlFlow,
+    OptimizationFlow,
+    measure_iteration_runtime,
+)
+from repro.opt.genetic import (
+    GenerationRecord,
+    GeneticConfig,
+    GeneticOptimizer,
+    GeneticResult,
+)
+from repro.opt.greedy import GreedyConfig, GreedyOptimizer, GreedyResult, GreedyStep
+from repro.opt.hybrid import HybridFlow, HybridMlCost, ValidationRecord, ValidationSummary
+from repro.opt.pareto import (
+    ParetoPoint,
+    delay_at_matched_area,
+    hypervolume_2d,
+    pareto_front,
+)
+from repro.opt.sweep import SweepConfig, SweepResult, run_sweep
+
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingResult",
+    "BaselineFlow",
+    "CostBreakdown",
+    "CostFunction",
+    "FlowResult",
+    "GenerationRecord",
+    "GeneticConfig",
+    "GeneticOptimizer",
+    "GeneticResult",
+    "GreedyConfig",
+    "GreedyOptimizer",
+    "GreedyResult",
+    "GreedyStep",
+    "GroundTruthCost",
+    "GroundTruthFlow",
+    "HybridFlow",
+    "HybridMlCost",
+    "IterationRecord",
+    "IterationRuntime",
+    "MlCost",
+    "MlFlow",
+    "OptimizationFlow",
+    "ParetoPoint",
+    "ProxyCost",
+    "SimulatedAnnealing",
+    "SweepConfig",
+    "SweepResult",
+    "ValidationRecord",
+    "ValidationSummary",
+    "delay_at_matched_area",
+    "hypervolume_2d",
+    "measure_iteration_runtime",
+    "pareto_front",
+    "run_sweep",
+]

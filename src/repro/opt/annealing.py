@@ -1,0 +1,171 @@
+"""Simulated-annealing logic optimization.
+
+The optimizer follows the SA paradigm the paper builds on: at every iteration
+a transformation script is drawn at random from the move catalog (the
+combinations of ABC primitives), applied to the current AIG, and the new AIG
+is accepted according to the Metropolis criterion on the flow's cost
+function.  Cost-increasing moves are accepted with probability
+``exp(-delta / T)`` so the search can climb out of local optima; the
+temperature decays geometrically.
+
+The engine also keeps a per-stage wall-clock breakdown (transformation,
+graph processing, cost evaluation) because the runtime comparison of Fig. 2
+and Table IV is expressed in exactly those terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.opt.cost import CostBreakdown, CostFunction
+from repro.transforms.engine import apply_script
+from repro.transforms.scripts import script_catalog
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timer import StageTimer, Timer
+
+
+@dataclass
+class AnnealingConfig:
+    """Hyperparameters of one SA run."""
+
+    iterations: int = 60
+    initial_temperature: float = 0.05
+    temperature_decay: float = 0.95
+    min_temperature: float = 1e-6
+    seed: Optional[int] = None
+    keep_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise OptimizationError("iterations must be at least 1")
+        if not 0.0 < self.temperature_decay <= 1.0:
+            raise OptimizationError("temperature_decay must be in (0, 1]")
+        if self.initial_temperature <= 0:
+            raise OptimizationError("initial_temperature must be positive")
+
+
+@dataclass
+class IterationRecord:
+    """One SA step, for history plots and debugging."""
+
+    iteration: int
+    script: List[str]
+    cost: float
+    delay: float
+    area: float
+    accepted: bool
+    temperature: float
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one SA run."""
+
+    best_aig: Aig
+    best_breakdown: CostBreakdown
+    initial_breakdown: CostBreakdown
+    iterations_run: int
+    accepted_moves: int
+    runtime_seconds: float
+    stage_timer: StageTimer
+    history: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def cost_improvement(self) -> float:
+        """Relative cost reduction versus the initial AIG."""
+        initial = self.initial_breakdown.cost
+        if initial == 0:
+            return 0.0
+        return (initial - self.best_breakdown.cost) / initial
+
+    def seconds_per_iteration(self) -> float:
+        """Mean wall-clock seconds per SA iteration."""
+        if self.iterations_run == 0:
+            return 0.0
+        return self.runtime_seconds / self.iterations_run
+
+
+class SimulatedAnnealing:
+    """SA optimizer parameterised by a cost function and a move catalog."""
+
+    def __init__(
+        self,
+        cost_function: CostFunction,
+        config: Optional[AnnealingConfig] = None,
+        catalog: Optional[Sequence[List[str]]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.cost_function = cost_function
+        self.config = config or AnnealingConfig()
+        self.catalog = list(catalog) if catalog is not None else script_catalog()
+        if not self.catalog:
+            raise OptimizationError("move catalog is empty")
+        seed = self.config.seed
+        self._rng = ensure_rng(rng if rng is not None else seed)
+
+    # ------------------------------------------------------------------ #
+    def run(self, initial: Aig) -> AnnealingResult:
+        """Optimize *initial* and return the best AIG found."""
+        config = self.config
+        stage_timer = StageTimer()
+        total_timer = Timer()
+        total_timer.start()
+
+        self.cost_function.calibrate(initial)
+        with stage_timer.time("evaluation"):
+            current_breakdown = self.cost_function.evaluate(initial)
+        initial_breakdown = current_breakdown
+        current = initial
+        best = initial
+        best_breakdown = current_breakdown
+
+        temperature = config.initial_temperature
+        accepted_moves = 0
+        history: List[IterationRecord] = []
+
+        for iteration in range(config.iterations):
+            script = self.catalog[self._rng.randrange(len(self.catalog))]
+            with stage_timer.time("transform"):
+                candidate = apply_script(current, script).aig
+            with stage_timer.time("evaluation"):
+                breakdown = self.cost_function.evaluate(candidate)
+            delta = breakdown.cost - current_breakdown.cost
+            accepted = delta <= 0 or self._rng.random() < math.exp(
+                -delta / max(temperature, config.min_temperature)
+            )
+            if accepted:
+                current = candidate
+                current_breakdown = breakdown
+                accepted_moves += 1
+                if breakdown.cost < best_breakdown.cost:
+                    best = candidate
+                    best_breakdown = breakdown
+            if config.keep_history:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        script=list(script),
+                        cost=breakdown.cost,
+                        delay=breakdown.delay,
+                        area=breakdown.area,
+                        accepted=accepted,
+                        temperature=temperature,
+                    )
+                )
+            temperature = max(temperature * config.temperature_decay, config.min_temperature)
+
+        runtime = total_timer.stop()
+        return AnnealingResult(
+            best_aig=best,
+            best_breakdown=best_breakdown,
+            initial_breakdown=initial_breakdown,
+            iterations_run=config.iterations,
+            accepted_moves=accepted_moves,
+            runtime_seconds=runtime,
+            stage_timer=stage_timer,
+            history=history,
+        )

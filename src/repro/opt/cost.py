@@ -1,0 +1,153 @@
+"""Cost functions for the three optimization flows of Fig. 3.
+
+All three flows minimise the same weighted, normalised objective
+
+    cost = w_delay * delay / delay_ref  +  w_area * area / area_ref
+
+but differ in where *delay* and *area* come from:
+
+* :class:`ProxyCost` — the baseline flow's proxies: AIG depth for delay and
+  AND-node count for area (graph processing only, very cheap);
+* :class:`GroundTruthCost` — exact post-mapping delay and area from the
+  technology mapper and STA (accurate but expensive);
+* :class:`MlCost` — delay (and optionally area) predicted by trained ML
+  models from the Table II features (nearly as accurate, much cheaper).
+
+Reference values are taken from the initial AIG via :meth:`calibrate`, so
+the weights express relative importance rather than unit conversions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.evaluation import GroundTruthEvaluator
+from repro.features.extract import FeatureExtractor
+from repro.library.library import CellLibrary
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Delay/area estimates and the resulting scalar cost of one AIG."""
+
+    delay: float
+    area: float
+    cost: float
+
+
+class CostFunction(abc.ABC):
+    """Base class: weighted normalised delay/area objective."""
+
+    #: Short name used in reports ("proxy", "ground_truth", "ml").
+    name: str = "cost"
+
+    def __init__(self, delay_weight: float = 1.0, area_weight: float = 1.0) -> None:
+        if delay_weight < 0 or area_weight < 0:
+            raise OptimizationError("cost weights must be non-negative")
+        if delay_weight == 0 and area_weight == 0:
+            raise OptimizationError("at least one cost weight must be positive")
+        self.delay_weight = delay_weight
+        self.area_weight = area_weight
+        self._delay_ref: Optional[float] = None
+        self._area_ref: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def measure(self, aig: Aig) -> tuple:
+        """Return the raw ``(delay, area)`` estimate for *aig*."""
+
+    def calibrate(self, aig: Aig) -> None:
+        """Set normalisation references from the initial AIG."""
+        delay, area = self.measure(aig)
+        self._delay_ref = max(float(delay), 1e-9)
+        self._area_ref = max(float(area), 1e-9)
+
+    def evaluate(self, aig: Aig) -> CostBreakdown:
+        """Measure *aig* and combine the estimates into a scalar cost."""
+        delay, area = self.measure(aig)
+        if self._delay_ref is None or self._area_ref is None:
+            self._delay_ref = max(float(delay), 1e-9)
+            self._area_ref = max(float(area), 1e-9)
+        cost = (
+            self.delay_weight * float(delay) / self._delay_ref
+            + self.area_weight * float(area) / self._area_ref
+        )
+        return CostBreakdown(delay=float(delay), area=float(area), cost=cost)
+
+    def __call__(self, aig: Aig) -> CostBreakdown:
+        return self.evaluate(aig)
+
+
+class ProxyCost(CostFunction):
+    """Baseline flow: AIG depth as delay proxy, node count as area proxy."""
+
+    name = "proxy"
+
+    def measure(self, aig: Aig) -> tuple:
+        return float(aig.depth()), float(aig.num_ands)
+
+
+class GroundTruthCost(CostFunction):
+    """Ground-truth flow: full technology mapping + STA per evaluation."""
+
+    name = "ground_truth"
+
+    def __init__(
+        self,
+        library: Optional[CellLibrary] = None,
+        delay_weight: float = 1.0,
+        area_weight: float = 1.0,
+        evaluator: Optional[GroundTruthEvaluator] = None,
+    ) -> None:
+        super().__init__(delay_weight, area_weight)
+        self._evaluator = evaluator if evaluator is not None else GroundTruthEvaluator(library)
+
+    @property
+    def evaluator(self) -> GroundTruthEvaluator:
+        """The underlying mapper + STA evaluator."""
+        return self._evaluator
+
+    def measure(self, aig: Aig) -> tuple:
+        result = self._evaluator.evaluate(aig)
+        return result.delay_ps, result.area_um2
+
+
+class MlCost(CostFunction):
+    """ML flow: feature extraction + model inference per evaluation.
+
+    The delay model is mandatory (it is the paper's contribution); the area
+    model is optional — when absent, the AND-node count scaled by
+    *area_per_and* is used, which is the proxy the paper keeps for area.
+    """
+
+    name = "ml"
+
+    def __init__(
+        self,
+        delay_model,
+        area_model=None,
+        extractor: Optional[FeatureExtractor] = None,
+        delay_weight: float = 1.0,
+        area_weight: float = 1.0,
+        area_per_and_um2: float = 2.2,
+    ) -> None:
+        super().__init__(delay_weight, area_weight)
+        if delay_model is None:
+            raise OptimizationError("MlCost requires a trained delay model")
+        self.delay_model = delay_model
+        self.area_model = area_model
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        self.area_per_and_um2 = area_per_and_um2
+
+    def measure(self, aig: Aig) -> tuple:
+        features = self.extractor.extract(aig).reshape(1, -1)
+        delay = float(self.delay_model.predict(features)[0])
+        if self.area_model is not None:
+            area = float(self.area_model.predict(features)[0])
+        else:
+            area = aig.num_ands * self.area_per_and_um2
+        return delay, area

@@ -1,0 +1,183 @@
+"""The three AIG optimization flows of Fig. 3.
+
+Each flow wraps the SA engine with a particular cost function:
+
+* :class:`BaselineFlow` — proxy metrics (AIG depth / node count);
+* :class:`GroundTruthFlow` — mapping + STA inside the loop;
+* :class:`MlFlow` — trained delay (and optionally area) models inside the loop.
+
+All flows report the *ground-truth* PPA of their best AIG (a single mapping +
+STA run after optimization finishes), so flow quality is always compared on
+the same scale regardless of what the cost function used internally.
+:func:`measure_iteration_runtime` provides the per-iteration stage breakdown
+behind Fig. 2 and Table IV.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.evaluation import GroundTruthEvaluator, PpaResult
+from repro.features.extract import FeatureExtractor
+from repro.library.library import CellLibrary
+from repro.opt.annealing import AnnealingConfig, AnnealingResult, SimulatedAnnealing
+from repro.opt.cost import CostFunction, GroundTruthCost, MlCost, ProxyCost
+from repro.utils.rng import RngLike
+from repro.utils.timer import Timer
+
+
+@dataclass
+class FlowResult:
+    """Outcome of running one flow on one design."""
+
+    flow: str
+    annealing: AnnealingResult
+    ground_truth: PpaResult
+    delay_weight: float
+    area_weight: float
+
+    @property
+    def delay_ps(self) -> float:
+        """Ground-truth post-mapping delay of the best AIG."""
+        return self.ground_truth.delay_ps
+
+    @property
+    def area_um2(self) -> float:
+        """Ground-truth post-mapping area of the best AIG."""
+        return self.ground_truth.area_um2
+
+
+class OptimizationFlow(abc.ABC):
+    """Base class for the three flows."""
+
+    name: str = "flow"
+
+    def __init__(self, library: Optional[CellLibrary] = None) -> None:
+        self._evaluator = GroundTruthEvaluator(library)
+
+    @property
+    def library(self) -> CellLibrary:
+        """Cell library used for final (and, where applicable, in-loop) PPA."""
+        return self._evaluator.library
+
+    @abc.abstractmethod
+    def make_cost(self, delay_weight: float, area_weight: float) -> CostFunction:
+        """Build this flow's cost function with the given weights."""
+
+    def run(
+        self,
+        aig: Aig,
+        config: Optional[AnnealingConfig] = None,
+        delay_weight: float = 1.0,
+        area_weight: float = 1.0,
+        rng: RngLike = None,
+        catalog: Optional[Sequence[List[str]]] = None,
+    ) -> FlowResult:
+        """Optimize *aig* with this flow and report ground-truth PPA."""
+        cost = self.make_cost(delay_weight, area_weight)
+        annealer = SimulatedAnnealing(cost, config, catalog=catalog, rng=rng)
+        result = annealer.run(aig)
+        ground_truth = self._evaluator.evaluate(result.best_aig)
+        return FlowResult(
+            flow=self.name,
+            annealing=result,
+            ground_truth=ground_truth,
+            delay_weight=delay_weight,
+            area_weight=area_weight,
+        )
+
+
+class BaselineFlow(OptimizationFlow):
+    """The original flow driven by proxy metrics."""
+
+    name = "baseline"
+
+    def make_cost(self, delay_weight: float, area_weight: float) -> CostFunction:
+        return ProxyCost(delay_weight=delay_weight, area_weight=area_weight)
+
+
+class GroundTruthFlow(OptimizationFlow):
+    """The flow that maps and times every candidate AIG."""
+
+    name = "ground_truth"
+
+    def make_cost(self, delay_weight: float, area_weight: float) -> CostFunction:
+        return GroundTruthCost(
+            delay_weight=delay_weight,
+            area_weight=area_weight,
+            evaluator=self._evaluator,
+        )
+
+
+class MlFlow(OptimizationFlow):
+    """The ML-enhanced flow using trained delay/area predictors."""
+
+    name = "ml"
+
+    def __init__(
+        self,
+        delay_model,
+        area_model=None,
+        extractor: Optional[FeatureExtractor] = None,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        super().__init__(library)
+        if delay_model is None:
+            raise OptimizationError("MlFlow requires a trained delay model")
+        self.delay_model = delay_model
+        self.area_model = area_model
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+
+    def make_cost(self, delay_weight: float, area_weight: float) -> CostFunction:
+        return MlCost(
+            delay_model=self.delay_model,
+            area_model=self.area_model,
+            extractor=self.extractor,
+            delay_weight=delay_weight,
+            area_weight=area_weight,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Per-iteration runtime measurement (Fig. 2, Table IV)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IterationRuntime:
+    """Mean per-iteration wall-clock breakdown of one flow on one design."""
+
+    flow: str
+    design: str
+    transform_seconds: float
+    evaluation_seconds: float
+    iterations: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Mean total seconds per iteration."""
+        return self.transform_seconds + self.evaluation_seconds
+
+
+def measure_iteration_runtime(
+    flow: OptimizationFlow,
+    aig: Aig,
+    iterations: int = 10,
+    rng: RngLike = 0,
+    config: Optional[AnnealingConfig] = None,
+) -> IterationRuntime:
+    """Run a short SA burst and report the mean per-iteration stage times."""
+    run_config = config or AnnealingConfig(iterations=iterations, keep_history=False)
+    result = flow.run(aig, config=run_config, rng=rng)
+    timer = result.annealing.stage_timer
+    evaluations = max(timer.counts.get("evaluation", 1) - 1, 1)  # exclude calibration
+    transforms = max(timer.counts.get("transform", 1), 1)
+    return IterationRuntime(
+        flow=flow.name,
+        design=aig.name,
+        transform_seconds=timer.total("transform") / transforms,
+        evaluation_seconds=timer.total("evaluation") / evaluations,
+        iterations=run_config.iterations,
+    )

@@ -1,0 +1,217 @@
+"""Genetic-algorithm logic optimization over transformation sequences.
+
+The paper's introduction lists genetic algorithms among the conventional
+search paradigms its cost-function change applies to.  Here an individual's
+genome is a bounded-length sequence of primitive transformation names; its
+fitness is the flow cost (proxy, ground-truth, or ML) of the AIG obtained by
+applying that sequence to the initial design.  Standard operators are used:
+tournament selection, one-point crossover, per-gene mutation, and elitism.
+
+Fitness evaluations are cached per genome, so the expensive cost functions
+(ground truth, and to a lesser degree the ML predictor) are only invoked once
+per distinct transformation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.opt.cost import CostBreakdown, CostFunction
+from repro.transforms.engine import apply_script
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timer import StageTimer, Timer
+
+#: Default gene alphabet: the ABC-style primitives used by the move catalog.
+DEFAULT_GENES: Tuple[str, ...] = ("b", "rw", "rwz", "rf", "rfz", "rs")
+
+
+@dataclass
+class GeneticConfig:
+    """Hyperparameters of the genetic algorithm."""
+
+    population_size: int = 12
+    generations: int = 8
+    genome_length: int = 6
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.15
+    elitism: int = 1
+    keep_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise OptimizationError("population_size must be at least 2")
+        if self.generations < 1:
+            raise OptimizationError("generations must be at least 1")
+        if self.genome_length < 1:
+            raise OptimizationError("genome_length must be at least 1")
+        if not 1 <= self.tournament_size <= self.population_size:
+            raise OptimizationError("tournament_size must be in [1, population_size]")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise OptimizationError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise OptimizationError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elitism < self.population_size:
+            raise OptimizationError("elitism must be in [0, population_size)")
+
+
+@dataclass
+class GenerationRecord:
+    """Per-generation statistics (for convergence plots)."""
+
+    generation: int
+    best_cost: float
+    mean_cost: float
+    best_genome: List[str]
+
+
+@dataclass
+class GeneticResult:
+    """Outcome of a genetic-algorithm optimization run."""
+
+    best_aig: Aig
+    best_genome: List[str]
+    best_breakdown: CostBreakdown
+    initial_breakdown: CostBreakdown
+    generations_run: int
+    evaluations: int
+    runtime_seconds: float
+    stage_timer: StageTimer
+    history: List[GenerationRecord] = field(default_factory=list)
+
+    @property
+    def cost_improvement(self) -> float:
+        """Relative cost reduction versus the initial AIG."""
+        initial = self.initial_breakdown.cost
+        if initial == 0:
+            return 0.0
+        return (initial - self.best_breakdown.cost) / initial
+
+
+class GeneticOptimizer:
+    """Genetic algorithm over transformation-script genomes."""
+
+    def __init__(
+        self,
+        cost_function: CostFunction,
+        config: Optional[GeneticConfig] = None,
+        genes: Sequence[str] = DEFAULT_GENES,
+        rng: RngLike = None,
+    ) -> None:
+        self.cost_function = cost_function
+        self.config = config or GeneticConfig()
+        self.genes = tuple(genes)
+        if not self.genes:
+            raise OptimizationError("gene alphabet is empty")
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def run(self, initial: Aig) -> GeneticResult:
+        """Evolve transformation sequences for *initial*."""
+        config = self.config
+        stage_timer = StageTimer()
+        total_timer = Timer()
+        total_timer.start()
+
+        self.cost_function.calibrate(initial)
+        with stage_timer.time("evaluation"):
+            initial_breakdown = self.cost_function.evaluate(initial)
+
+        cache: Dict[Tuple[str, ...], Tuple[Aig, CostBreakdown]] = {}
+        evaluations = 0
+
+        def evaluate(genome: Tuple[str, ...]) -> Tuple[Aig, CostBreakdown]:
+            nonlocal evaluations
+            if genome in cache:
+                return cache[genome]
+            with stage_timer.time("transform"):
+                candidate = apply_script(initial, list(genome)).aig
+            with stage_timer.time("evaluation"):
+                breakdown = self.cost_function.evaluate(candidate)
+            evaluations += 1
+            cache[genome] = (candidate, breakdown)
+            return cache[genome]
+
+        population = [self._random_genome() for _ in range(config.population_size)]
+        best_genome = population[0]
+        best_aig, best_breakdown = evaluate(best_genome)
+        history: List[GenerationRecord] = []
+
+        for generation in range(config.generations):
+            scored = [(genome, evaluate(genome)[1]) for genome in population]
+            scored.sort(key=lambda item: item[1].cost)
+            if scored[0][1].cost < best_breakdown.cost:
+                best_genome = scored[0][0]
+                best_aig, best_breakdown = evaluate(best_genome)
+            if config.keep_history:
+                costs = [breakdown.cost for _, breakdown in scored]
+                history.append(
+                    GenerationRecord(
+                        generation=generation,
+                        best_cost=min(costs),
+                        mean_cost=sum(costs) / len(costs),
+                        best_genome=list(scored[0][0]),
+                    )
+                )
+            population = self._next_generation(scored)
+
+        runtime = total_timer.stop()
+        return GeneticResult(
+            best_aig=best_aig,
+            best_genome=list(best_genome),
+            best_breakdown=best_breakdown,
+            initial_breakdown=initial_breakdown,
+            generations_run=config.generations,
+            evaluations=evaluations,
+            runtime_seconds=runtime,
+            stage_timer=stage_timer,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Genetic operators
+    # ------------------------------------------------------------------ #
+    def _random_genome(self) -> Tuple[str, ...]:
+        return tuple(
+            self.genes[self._rng.randrange(len(self.genes))]
+            for _ in range(self.config.genome_length)
+        )
+
+    def _tournament(self, scored: List[Tuple[Tuple[str, ...], CostBreakdown]]) -> Tuple[str, ...]:
+        contenders = [
+            scored[self._rng.randrange(len(scored))]
+            for _ in range(self.config.tournament_size)
+        ]
+        return min(contenders, key=lambda item: item[1].cost)[0]
+
+    def _crossover(
+        self, parent_a: Tuple[str, ...], parent_b: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        if len(parent_a) <= 1 or self._rng.random() >= self.config.crossover_rate:
+            return parent_a
+        point = self._rng.randrange(1, len(parent_a))
+        return parent_a[:point] + parent_b[point:]
+
+    def _mutate(self, genome: Tuple[str, ...]) -> Tuple[str, ...]:
+        mutated = list(genome)
+        for index in range(len(mutated)):
+            if self._rng.random() < self.config.mutation_rate:
+                mutated[index] = self.genes[self._rng.randrange(len(self.genes))]
+        return tuple(mutated)
+
+    def _next_generation(
+        self, scored: List[Tuple[Tuple[str, ...], CostBreakdown]]
+    ) -> List[Tuple[str, ...]]:
+        config = self.config
+        next_population: List[Tuple[str, ...]] = [
+            genome for genome, _ in scored[: config.elitism]
+        ]
+        while len(next_population) < config.population_size:
+            parent_a = self._tournament(scored)
+            parent_b = self._tournament(scored)
+            child = self._mutate(self._crossover(parent_a, parent_b))
+            next_population.append(child)
+        return next_population

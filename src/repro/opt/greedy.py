@@ -1,0 +1,185 @@
+"""Greedy (steepest-descent) logic optimization.
+
+The paper frames its contribution as a cost-function change that is agnostic
+to the search algorithm ("our models can also be integrated into other
+conventional approaches besides SA").  This module provides the simplest such
+alternative: at every step a small set of candidate transformation scripts is
+drawn from the move catalog, all candidates are evaluated with the flow's
+cost function, and the best one is taken if it improves the current cost.
+The search stops when no sampled move improves the cost for *patience*
+consecutive steps; optional random restarts re-launch it from the initial
+AIG with a different sampling stream.
+
+Compared to simulated annealing the greedy search converges faster but
+cannot escape local optima — the optimizer-comparison benchmark quantifies
+that trade-off under the proxy, ground-truth, and ML cost functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.opt.cost import CostBreakdown, CostFunction
+from repro.transforms.engine import apply_script
+from repro.transforms.scripts import script_catalog
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timer import StageTimer, Timer
+
+
+@dataclass
+class GreedyConfig:
+    """Hyperparameters of the greedy search."""
+
+    max_steps: int = 40
+    candidates_per_step: int = 4
+    patience: int = 3
+    restarts: int = 1
+    keep_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise OptimizationError("max_steps must be at least 1")
+        if self.candidates_per_step < 1:
+            raise OptimizationError("candidates_per_step must be at least 1")
+        if self.patience < 1:
+            raise OptimizationError("patience must be at least 1")
+        if self.restarts < 1:
+            raise OptimizationError("restarts must be at least 1")
+
+
+@dataclass
+class GreedyStep:
+    """One accepted or rejected greedy step (for history/debugging)."""
+
+    step: int
+    restart: int
+    script: List[str]
+    cost: float
+    delay: float
+    area: float
+    accepted: bool
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy optimization run."""
+
+    best_aig: Aig
+    best_breakdown: CostBreakdown
+    initial_breakdown: CostBreakdown
+    steps_run: int
+    evaluations: int
+    accepted_moves: int
+    runtime_seconds: float
+    stage_timer: StageTimer
+    history: List[GreedyStep] = field(default_factory=list)
+
+    @property
+    def cost_improvement(self) -> float:
+        """Relative cost reduction versus the initial AIG."""
+        initial = self.initial_breakdown.cost
+        if initial == 0:
+            return 0.0
+        return (initial - self.best_breakdown.cost) / initial
+
+
+class GreedyOptimizer:
+    """Steepest-descent optimizer over the transformation-script catalog."""
+
+    def __init__(
+        self,
+        cost_function: CostFunction,
+        config: Optional[GreedyConfig] = None,
+        catalog: Optional[Sequence[List[str]]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.cost_function = cost_function
+        self.config = config or GreedyConfig()
+        self.catalog = list(catalog) if catalog is not None else script_catalog()
+        if not self.catalog:
+            raise OptimizationError("move catalog is empty")
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def run(self, initial: Aig) -> GreedyResult:
+        """Optimize *initial* and return the best AIG found over all restarts."""
+        config = self.config
+        stage_timer = StageTimer()
+        total_timer = Timer()
+        total_timer.start()
+
+        self.cost_function.calibrate(initial)
+        with stage_timer.time("evaluation"):
+            initial_breakdown = self.cost_function.evaluate(initial)
+
+        best = initial
+        best_breakdown = initial_breakdown
+        history: List[GreedyStep] = []
+        steps_run = 0
+        evaluations = 1
+        accepted_moves = 0
+
+        for restart in range(config.restarts):
+            current = initial
+            current_breakdown = initial_breakdown
+            stalled = 0
+            for step in range(config.max_steps):
+                if stalled >= config.patience:
+                    break
+                steps_run += 1
+                best_candidate = None
+                best_candidate_breakdown = None
+                best_candidate_script: List[str] = []
+                for _ in range(config.candidates_per_step):
+                    script = self.catalog[self._rng.randrange(len(self.catalog))]
+                    with stage_timer.time("transform"):
+                        candidate = apply_script(current, script).aig
+                    with stage_timer.time("evaluation"):
+                        breakdown = self.cost_function.evaluate(candidate)
+                    evaluations += 1
+                    if (
+                        best_candidate_breakdown is None
+                        or breakdown.cost < best_candidate_breakdown.cost
+                    ):
+                        best_candidate = candidate
+                        best_candidate_breakdown = breakdown
+                        best_candidate_script = list(script)
+                improved = best_candidate_breakdown.cost < current_breakdown.cost
+                if improved:
+                    current = best_candidate
+                    current_breakdown = best_candidate_breakdown
+                    accepted_moves += 1
+                    stalled = 0
+                    if current_breakdown.cost < best_breakdown.cost:
+                        best = current
+                        best_breakdown = current_breakdown
+                else:
+                    stalled += 1
+                if config.keep_history:
+                    history.append(
+                        GreedyStep(
+                            step=step,
+                            restart=restart,
+                            script=best_candidate_script,
+                            cost=best_candidate_breakdown.cost,
+                            delay=best_candidate_breakdown.delay,
+                            area=best_candidate_breakdown.area,
+                            accepted=improved,
+                        )
+                    )
+
+        runtime = total_timer.stop()
+        return GreedyResult(
+            best_aig=best,
+            best_breakdown=best_breakdown,
+            initial_breakdown=initial_breakdown,
+            steps_run=steps_run,
+            evaluations=evaluations,
+            accepted_moves=accepted_moves,
+            runtime_seconds=runtime,
+            stage_timer=stage_timer,
+            history=history,
+        )

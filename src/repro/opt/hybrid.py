@@ -1,0 +1,193 @@
+"""Hybrid ML + periodic-ground-truth cost function and flow.
+
+A practical concern with the pure ML flow is model drift: as the optimizer
+walks away from the region the training variants covered, prediction errors
+can grow unnoticed.  The hybrid cost keeps the ML model in the loop for speed
+but re-runs technology mapping + STA every *validate_every* evaluations.
+Each validation is used two ways:
+
+* the observed prediction error is recorded, so a run reports how trustworthy
+  the model was over the trajectory it actually explored, and
+* a slowly-adapting multiplicative correction factor (an exponential moving
+  average of ``true / predicted``) is applied to subsequent predictions,
+  which removes any systematic bias at a small amortised cost.
+
+With ``validate_every=1`` the hybrid cost degenerates into the ground-truth
+flow; with a very large value it degenerates into the ML flow, so the knob
+spans the paper's accuracy/runtime trade-off continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.errors import OptimizationError
+from repro.evaluation import GroundTruthEvaluator
+from repro.features.extract import FeatureExtractor
+from repro.library.library import CellLibrary
+from repro.opt.cost import CostFunction
+from repro.opt.flows import OptimizationFlow
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One ground-truth check performed by the hybrid cost."""
+
+    evaluation_index: int
+    predicted_delay: float
+    true_delay: float
+    predicted_area: float
+    true_area: float
+
+    @property
+    def delay_error_percent(self) -> float:
+        """Absolute delay prediction error relative to the ground truth."""
+        if self.true_delay == 0:
+            return 0.0
+        return abs(self.predicted_delay - self.true_delay) / self.true_delay * 100.0
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregate statistics over all ground-truth checks of one run."""
+
+    checks: int
+    mean_delay_error_percent: float
+    max_delay_error_percent: float
+    final_correction: float
+
+
+class HybridMlCost(CostFunction):
+    """ML-predicted cost with periodic ground-truth validation and correction."""
+
+    name = "hybrid_ml"
+
+    def __init__(
+        self,
+        delay_model,
+        area_model=None,
+        validate_every: int = 10,
+        correction_smoothing: float = 0.5,
+        extractor: Optional[FeatureExtractor] = None,
+        evaluator: Optional[GroundTruthEvaluator] = None,
+        library: Optional[CellLibrary] = None,
+        delay_weight: float = 1.0,
+        area_weight: float = 1.0,
+        area_per_and_um2: float = 2.2,
+    ) -> None:
+        super().__init__(delay_weight, area_weight)
+        if delay_model is None:
+            raise OptimizationError("HybridMlCost requires a trained delay model")
+        if validate_every < 1:
+            raise OptimizationError("validate_every must be at least 1")
+        if not 0.0 < correction_smoothing <= 1.0:
+            raise OptimizationError("correction_smoothing must be in (0, 1]")
+        self.delay_model = delay_model
+        self.area_model = area_model
+        self.validate_every = validate_every
+        self.correction_smoothing = correction_smoothing
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        self.evaluator = evaluator if evaluator is not None else GroundTruthEvaluator(library)
+        self.area_per_and_um2 = area_per_and_um2
+        self.delay_correction: float = 1.0
+        self.validations: List[ValidationRecord] = []
+        self._evaluation_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    def measure(self, aig: Aig) -> tuple:
+        features = self.extractor.extract(aig).reshape(1, -1)
+        predicted_delay = float(self.delay_model.predict(features)[0])
+        if self.area_model is not None:
+            predicted_area = float(self.area_model.predict(features)[0])
+        else:
+            predicted_area = aig.num_ands * self.area_per_and_um2
+
+        self._evaluation_count += 1
+        if self._evaluation_count % self.validate_every == 0:
+            truth = self.evaluator.evaluate(aig)
+            self.validations.append(
+                ValidationRecord(
+                    evaluation_index=self._evaluation_count,
+                    predicted_delay=predicted_delay,
+                    true_delay=truth.delay_ps,
+                    predicted_area=predicted_area,
+                    true_area=truth.area_um2,
+                )
+            )
+            if predicted_delay > 0:
+                observed_ratio = truth.delay_ps / predicted_delay
+                self.delay_correction = (
+                    (1.0 - self.correction_smoothing) * self.delay_correction
+                    + self.correction_smoothing * observed_ratio
+                )
+            # The validated sample's exact values are the best estimate we have.
+            return truth.delay_ps, truth.area_um2
+
+        return predicted_delay * self.delay_correction, predicted_area
+
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluation_count(self) -> int:
+        """Total number of cost evaluations performed so far."""
+        return self._evaluation_count
+
+    def validation_summary(self) -> ValidationSummary:
+        """Aggregate prediction-error statistics over the validations so far."""
+        if not self.validations:
+            return ValidationSummary(
+                checks=0,
+                mean_delay_error_percent=0.0,
+                max_delay_error_percent=0.0,
+                final_correction=self.delay_correction,
+            )
+        errors = np.array([record.delay_error_percent for record in self.validations])
+        return ValidationSummary(
+            checks=len(self.validations),
+            mean_delay_error_percent=float(errors.mean()),
+            max_delay_error_percent=float(errors.max()),
+            final_correction=self.delay_correction,
+        )
+
+
+class HybridFlow(OptimizationFlow):
+    """The ML flow with periodic ground-truth validation inside the loop."""
+
+    name = "hybrid_ml"
+
+    def __init__(
+        self,
+        delay_model,
+        area_model=None,
+        validate_every: int = 10,
+        correction_smoothing: float = 0.5,
+        extractor: Optional[FeatureExtractor] = None,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        super().__init__(library)
+        if delay_model is None:
+            raise OptimizationError("HybridFlow requires a trained delay model")
+        self.delay_model = delay_model
+        self.area_model = area_model
+        self.validate_every = validate_every
+        self.correction_smoothing = correction_smoothing
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        #: cost function of the most recent ``run`` (exposes validation stats).
+        self.last_cost: Optional[HybridMlCost] = None
+
+    def make_cost(self, delay_weight: float, area_weight: float) -> CostFunction:
+        cost = HybridMlCost(
+            delay_model=self.delay_model,
+            area_model=self.area_model,
+            validate_every=self.validate_every,
+            correction_smoothing=self.correction_smoothing,
+            extractor=self.extractor,
+            evaluator=self._evaluator,
+            delay_weight=delay_weight,
+            area_weight=area_weight,
+        )
+        self.last_cost = cost
+        return cost

@@ -1,0 +1,88 @@
+"""Pareto-front utilities for the delay/area trade-off plots (Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate solution in the delay/area plane."""
+
+    delay: float
+    area: float
+    payload: Any = None
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is no worse in both metrics and better in one."""
+        no_worse = self.delay <= other.delay and self.area <= other.area
+        better = self.delay < other.delay or self.area < other.area
+        return no_worse and better
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset of *points*, sorted by increasing delay."""
+    candidates = list(points)
+    front: List[ParetoPoint] = []
+    for point in candidates:
+        if any(other.dominates(point) for other in candidates if other is not point):
+            continue
+        front.append(point)
+    # Deduplicate identical (delay, area) pairs while keeping the first payload.
+    unique: List[ParetoPoint] = []
+    seen = set()
+    for point in sorted(front, key=lambda p: (p.delay, p.area)):
+        key = (round(point.delay, 9), round(point.area, 9))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(point)
+    return unique
+
+
+def hypervolume_2d(
+    front: Sequence[ParetoPoint], reference: Tuple[float, float]
+) -> float:
+    """Area dominated by *front* relative to a reference (worst) point.
+
+    A standard scalar summary of Pareto-front quality: larger is better.
+    Points beyond the reference contribute nothing.
+    """
+    ref_delay, ref_area = reference
+    usable = [p for p in front if p.delay <= ref_delay and p.area <= ref_area]
+    if not usable:
+        return 0.0
+    # Integrate the staircase from left (smallest delay) to the reference.
+    volume = 0.0
+    ordered_front = pareto_front(usable)
+    for index, point in enumerate(ordered_front):
+        right = ordered_front[index + 1].delay if index + 1 < len(ordered_front) else ref_delay
+        width = max(0.0, right - point.delay)
+        height = max(0.0, ref_area - point.area)
+        volume += width * height
+    return volume
+
+
+def delay_at_matched_area(
+    front_a: Sequence[ParetoPoint],
+    front_b: Sequence[ParetoPoint],
+) -> Optional[float]:
+    """Largest relative delay advantage of front A over front B at equal-or-smaller area.
+
+    For every point of front B the best (smallest-delay) point of front A with
+    area not exceeding B's area is found; the maximum relative improvement
+    ``(delay_b - delay_a) / delay_b`` is returned.  This is the paper's
+    "up to 22.7 % better delay at the same area" comparison.  ``None`` when no
+    comparable pair exists.
+    """
+    best_improvement: Optional[float] = None
+    for b in front_b:
+        candidates = [a for a in front_a if a.area <= b.area * 1.0001]
+        if not candidates or b.delay <= 0:
+            continue
+        best_a = min(candidates, key=lambda p: p.delay)
+        improvement = (b.delay - best_a.delay) / b.delay
+        if best_improvement is None or improvement > best_improvement:
+            best_improvement = improvement
+    return best_improvement

@@ -1,0 +1,99 @@
+"""Hyperparameter sweeps over the SA flows (the Fig. 5 experiment).
+
+The paper obtains each flow's Pareto front by sweeping the relative
+delay/area weights of the cost function and the annealing temperature decay
+rate, running one SA optimization per setting, and collecting the
+ground-truth delay/area of every resulting best AIG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.aig.graph import Aig
+from repro.opt.annealing import AnnealingConfig
+from repro.opt.flows import FlowResult, OptimizationFlow
+from repro.opt.pareto import ParetoPoint, pareto_front
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass
+class SweepConfig:
+    """Grid swept for every flow."""
+
+    delay_weights: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    area_weights: Tuple[float, ...] = (1.0,)
+    temperature_decays: Tuple[float, ...] = (0.9, 0.97)
+    iterations: int = 40
+    initial_temperature: float = 0.05
+    seed: int = 7
+
+    def settings(self) -> List[Tuple[float, float, float]]:
+        """All (delay_weight, area_weight, decay) combinations."""
+        grid = []
+        for dw in self.delay_weights:
+            for aw in self.area_weights:
+                for decay in self.temperature_decays:
+                    grid.append((dw, aw, decay))
+        return grid
+
+
+@dataclass
+class SweepResult:
+    """All runs of one flow plus the derived Pareto front."""
+
+    flow: str
+    runs: List[FlowResult] = field(default_factory=list)
+
+    def points(self) -> List[ParetoPoint]:
+        """Ground-truth (delay, area) of every run."""
+        return [
+            ParetoPoint(delay=r.delay_ps, area=r.area_um2, payload=r) for r in self.runs
+        ]
+
+    def front(self) -> List[ParetoPoint]:
+        """Pareto-optimal subset of the runs."""
+        return pareto_front(self.points())
+
+    def best_delay(self) -> float:
+        """Smallest ground-truth delay reached by any run."""
+        return min(r.delay_ps for r in self.runs)
+
+    def best_area(self) -> float:
+        """Smallest ground-truth area reached by any run."""
+        return min(r.area_um2 for r in self.runs)
+
+    def total_runtime_seconds(self) -> float:
+        """Total optimization wall-clock across the sweep."""
+        return sum(r.annealing.runtime_seconds for r in self.runs)
+
+
+def run_sweep(
+    flow: OptimizationFlow,
+    aig: Aig,
+    config: Optional[SweepConfig] = None,
+    rng: RngLike = None,
+) -> SweepResult:
+    """Run *flow* once per sweep setting and collect the results."""
+    sweep = config or SweepConfig()
+    generator = ensure_rng(rng if rng is not None else sweep.seed)
+    result = SweepResult(flow=flow.name)
+    for index, (delay_weight, area_weight, decay) in enumerate(sweep.settings()):
+        annealing_config = AnnealingConfig(
+            iterations=sweep.iterations,
+            initial_temperature=sweep.initial_temperature,
+            temperature_decay=decay,
+            keep_history=False,
+        )
+        run_rng = spawn_rng(generator, stream=index)
+        result.runs.append(
+            flow.run(
+                aig,
+                config=annealing_config,
+                delay_weight=delay_weight,
+                area_weight=area_weight,
+                rng=run_rng,
+            )
+        )
+    return result

@@ -1,0 +1,185 @@
+"""Static timing analysis on mapped netlists.
+
+The delay model is the linear load model of the cell library: the delay of a
+timing arc (input pin -> output) is ``intrinsic + resistance * load``, where
+the load of a net is the sum of the input-pin capacitances it drives plus a
+fixed primary-output load.  Arrival times are propagated in one topological
+pass, required times in one reverse pass, giving per-net slacks and the
+critical path.
+
+This is the "STA" step of the paper's ground-truth flow; together with
+technology mapping it produces the post-mapping maximum delay that the ML
+model learns to predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TimingError
+from repro.mapping.netlist import MappedGate, MappedNetlist
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """One resolved gate arc on the critical path (for reporting)."""
+
+    gate_cell: str
+    input_net: int
+    output_net: int
+    pin_name: str
+    delay_ps: float
+    arrival_ps: float
+
+
+@dataclass
+class TimingReport:
+    """Result of a full STA run."""
+
+    max_delay_ps: float
+    po_arrival_ps: Dict[str, float]
+    net_arrival_ps: Dict[int, float]
+    net_required_ps: Dict[int, float]
+    net_load_ff: Dict[int, float]
+    critical_path: List[TimingArc] = field(default_factory=list)
+    clock_period_ps: Optional[float] = None
+
+    @property
+    def worst_slack_ps(self) -> float:
+        """Worst slack over all nets (0 when the clock equals the max delay)."""
+        if not self.net_arrival_ps:
+            return 0.0
+        return min(
+            self.net_required_ps[net] - self.net_arrival_ps[net]
+            for net in self.net_arrival_ps
+        )
+
+    def critical_po(self) -> Optional[str]:
+        """Name of the primary output with the largest arrival time."""
+        if not self.po_arrival_ps:
+            return None
+        return max(self.po_arrival_ps, key=self.po_arrival_ps.get)
+
+
+def compute_net_loads(netlist: MappedNetlist, po_load_ff: float) -> Dict[int, float]:
+    """Capacitive load of every net (input pin caps + PO load)."""
+    loads: Dict[int, float] = {net: 0.0 for net in range(netlist.num_nets)}
+    for gate in netlist.gates:
+        for net, pin in zip(gate.inputs, gate.cell.pins):
+            loads[net] += pin.capacitance_ff
+    for net in netlist.po_nets:
+        if net is not None:
+            loads[net] += po_load_ff
+    return loads
+
+
+def analyze_timing(
+    netlist: MappedNetlist,
+    po_load_ff: float = 5.0,
+    clock_period_ps: Optional[float] = None,
+    with_critical_path: bool = True,
+) -> TimingReport:
+    """Run STA on *netlist* and return a :class:`TimingReport`."""
+    loads = compute_net_loads(netlist, po_load_ff)
+    arrival: Dict[int, float] = {}
+    for net in netlist.pi_nets:
+        arrival[net] = 0.0
+    for net in netlist.constant_nets:
+        arrival[net] = 0.0
+
+    # Gates are stored in topological order by construction.
+    worst_input: Dict[int, Tuple[MappedGate, int, str, float]] = {}
+    for gate in netlist.gates:
+        out_load = loads[gate.output]
+        best_arrival = 0.0
+        best_record: Optional[Tuple[MappedGate, int, str, float]] = None
+        for net, pin in zip(gate.inputs, gate.cell.pins):
+            if net not in arrival:
+                raise TimingError(
+                    f"gate {gate.cell.name} consumes net {net} with unknown arrival "
+                    "(netlist not topologically ordered?)"
+                )
+            arc_delay = pin.delay_ps(out_load)
+            candidate = arrival[net] + arc_delay
+            if best_record is None or candidate > best_arrival:
+                best_arrival = candidate
+                best_record = (gate, net, pin.name, arc_delay)
+        arrival[gate.output] = best_arrival
+        if best_record is not None:
+            worst_input[gate.output] = best_record
+
+    po_arrival: Dict[str, float] = {}
+    for name, net in zip(netlist.po_names, netlist.po_nets):
+        if net is None:
+            raise TimingError(f"primary output {name!r} is unconnected")
+        po_arrival[name] = arrival[net]
+    max_delay = max(po_arrival.values()) if po_arrival else 0.0
+    period = clock_period_ps if clock_period_ps is not None else max_delay
+
+    required = _propagate_required(netlist, arrival, loads, period)
+
+    critical_path: List[TimingArc] = []
+    if with_critical_path and po_arrival:
+        critical_path = _extract_critical_path(netlist, arrival, worst_input, po_arrival)
+
+    return TimingReport(
+        max_delay_ps=max_delay,
+        po_arrival_ps=po_arrival,
+        net_arrival_ps=arrival,
+        net_required_ps=required,
+        net_load_ff=loads,
+        critical_path=critical_path,
+        clock_period_ps=period,
+    )
+
+
+def _propagate_required(
+    netlist: MappedNetlist,
+    arrival: Dict[int, float],
+    loads: Dict[int, float],
+    period: float,
+) -> Dict[int, float]:
+    required: Dict[int, float] = {net: float("inf") for net in arrival}
+    for net in netlist.po_nets:
+        if net is not None:
+            required[net] = min(required[net], period)
+    for gate in reversed(netlist.gates):
+        out_required = required.get(gate.output, float("inf"))
+        out_load = loads[gate.output]
+        for net, pin in zip(gate.inputs, gate.cell.pins):
+            candidate = out_required - pin.delay_ps(out_load)
+            if candidate < required.get(net, float("inf")):
+                required[net] = candidate
+    # Nets never constrained (e.g. dangling) get the period as requirement.
+    for net in list(required):
+        if required[net] == float("inf"):
+            required[net] = period
+    return required
+
+
+def _extract_critical_path(
+    netlist: MappedNetlist,
+    arrival: Dict[int, float],
+    worst_input: Dict[int, Tuple[MappedGate, int, str, float]],
+    po_arrival: Dict[str, float],
+) -> List[TimingArc]:
+    critical_name = max(po_arrival, key=po_arrival.get)
+    index = netlist.po_names.index(critical_name)
+    net = netlist.po_nets[index]
+    path: List[TimingArc] = []
+    while net in worst_input:
+        gate, input_net, pin_name, arc_delay = worst_input[net]
+        path.append(
+            TimingArc(
+                gate_cell=gate.cell.name,
+                input_net=input_net,
+                output_net=net,
+                pin_name=pin_name,
+                delay_ps=arc_delay,
+                arrival_ps=arrival[net],
+            )
+        )
+        net = input_net
+    path.reverse()
+    return path

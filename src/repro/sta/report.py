@@ -1,0 +1,45 @@
+"""Human-readable timing report formatting."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.netlist import MappedNetlist
+from repro.sta.analysis import TimingReport
+
+
+def format_timing_report(netlist: MappedNetlist, report: TimingReport) -> str:
+    """Render a compact text report similar to what an STA tool prints."""
+    lines: List[str] = []
+    lines.append(f"Design          : {netlist.name}")
+    lines.append(f"Gates           : {netlist.num_gates}")
+    lines.append(f"Area (um^2)     : {netlist.area_um2():.2f}")
+    lines.append(f"Max delay (ps)  : {report.max_delay_ps:.2f}")
+    lines.append(f"Clock period    : {report.clock_period_ps:.2f}")
+    lines.append(f"Worst slack (ps): {report.worst_slack_ps:.2f}")
+    critical = report.critical_po()
+    if critical is not None:
+        lines.append(f"Critical output : {critical}")
+    lines.append("")
+    lines.append("Per-output arrival times:")
+    for name in sorted(report.po_arrival_ps):
+        lines.append(f"  {name:<20} {report.po_arrival_ps[name]:10.2f} ps")
+    if report.critical_path:
+        lines.append("")
+        lines.append("Critical path:")
+        for arc in report.critical_path:
+            lines.append(
+                f"  {arc.gate_cell:<12} pin {arc.pin_name:<3} "
+                f"+{arc.delay_ps:8.2f} ps -> {arc.arrival_ps:10.2f} ps"
+            )
+    return "\n".join(lines)
+
+
+def format_cell_usage(netlist: MappedNetlist) -> str:
+    """Render the per-cell instance counts of a mapped netlist."""
+    histogram = netlist.cell_histogram()
+    lines = ["Cell usage:"]
+    for cell_name in sorted(histogram):
+        lines.append(f"  {cell_name:<12} {histogram[cell_name]:6d}")
+    lines.append(f"  {'total':<12} {netlist.num_gates:6d}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Equivalence-preserving AIG transformations and scripts."""
+
+from repro.transforms.balance import Balance
+from repro.transforms.base import IdentityTransform, Transform, TransformResult
+from repro.transforms.engine import ScriptResult, apply_script, apply_transform
+from repro.transforms.refactor import Refactor
+from repro.transforms.resub import Resubstitute
+from repro.transforms.resynth import synthesize_truth
+from repro.transforms.rewrite import Rewrite
+from repro.transforms.scripts import (
+    NAMED_SCRIPTS,
+    primitive_transforms,
+    resolve_script,
+    script_catalog,
+)
+from repro.transforms.strash import Strash, Sweep
+
+__all__ = [
+    "Balance",
+    "IdentityTransform",
+    "NAMED_SCRIPTS",
+    "Refactor",
+    "Resubstitute",
+    "Rewrite",
+    "ScriptResult",
+    "Strash",
+    "Sweep",
+    "Transform",
+    "TransformResult",
+    "apply_script",
+    "apply_transform",
+    "primitive_transforms",
+    "resolve_script",
+    "script_catalog",
+    "synthesize_truth",
+]

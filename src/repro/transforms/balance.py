@@ -1,0 +1,101 @@
+"""Depth-oriented AND-tree balancing (the ABC ``balance`` command).
+
+The transform finds maximal multi-input AND "supergates" (trees of AND nodes
+connected through non-complemented edges), then rebuilds each one as a
+balanced binary tree whose shape is chosen by a Huffman-style pairing of the
+lowest-arrival leaves first.  This is the canonical way to reduce AIG depth
+without changing the node count much.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List
+
+from repro.aig.graph import Aig, rebuild_map
+from repro.aig.literals import is_complemented, literal_var, negate_if
+from repro.transforms.base import Transform
+
+
+class Balance(Transform):
+    """Rebuild AND trees balanced by leaf level to minimise depth."""
+
+    name = "b"
+
+    def __init__(self, max_leaves: int = 32) -> None:
+        self.max_leaves = max_leaves
+
+    def apply(self, aig: Aig) -> Aig:
+        new = Aig(aig.name)
+        mapping = rebuild_map(aig, new)
+        new_levels: Dict[int, int] = {0: 0}
+        for var in aig.pi_vars:
+            new_levels[literal_var(mapping[var])] = 0
+
+        fanout = aig.fanout_counts()
+
+        for var in aig.and_vars():
+            leaves = self._collect_supergate_leaves(aig, var, fanout)
+            leaf_literals = []
+            for leaf_lit in leaves:
+                leaf_var = literal_var(leaf_lit)
+                mapped = negate_if(mapping[leaf_var], is_complemented(leaf_lit))
+                leaf_literals.append(mapped)
+            mapping[var] = self._build_balanced_and(new, leaf_literals, new_levels)
+
+        for lit, name in zip(aig.po_literals(), aig.po_names):
+            new_lit = negate_if(mapping[literal_var(lit)], is_complemented(lit))
+            new.add_po(new_lit, name)
+        return new.cleanup()
+
+    def _collect_supergate_leaves(self, aig: Aig, root: int, fanout: List[int]) -> List[int]:
+        """Leaf literals of the maximal AND tree rooted at *root*.
+
+        A fanin is expanded (rather than kept as a leaf) when it is a
+        non-complemented AND node whose only consumer is this tree; this
+        mirrors ABC's behaviour of not duplicating shared logic.
+        """
+        leaves: List[int] = []
+        stack = [root]
+        expanded = {root}
+        while stack:
+            var = stack.pop()
+            for fanin_lit in aig.fanins(var):
+                fanin_var = literal_var(fanin_lit)
+                expandable = (
+                    not is_complemented(fanin_lit)
+                    and aig.is_and(fanin_var)
+                    and fanout[fanin_var] == 1
+                    and len(leaves) + len(stack) < self.max_leaves
+                    and fanin_var not in expanded
+                )
+                if expandable:
+                    expanded.add(fanin_var)
+                    stack.append(fanin_var)
+                else:
+                    leaves.append(fanin_lit)
+        return leaves
+
+    @staticmethod
+    def _build_balanced_and(aig: Aig, literals: List[int], levels: Dict[int, int]) -> int:
+        """AND the literals pairing lowest-level operands first (Huffman style)."""
+        if not literals:
+            return 1  # empty conjunction is constant true
+        tiebreak = count()
+        heap = []
+        for lit in literals:
+            level = levels.get(literal_var(lit), 0)
+            heapq.heappush(heap, (level, next(tiebreak), lit))
+        while len(heap) > 1:
+            level_a, _, a = heapq.heappop(heap)
+            level_b, _, b = heapq.heappop(heap)
+            result = aig.add_and(a, b)
+            result_var = literal_var(result)
+            result_level = max(level_a, level_b) + 1
+            existing = levels.get(result_var)
+            if existing is None or result_level < existing:
+                levels[result_var] = result_level
+            heapq.heappush(heap, (levels[result_var], next(tiebreak), result))
+        _, _, root = heap[0]
+        return root

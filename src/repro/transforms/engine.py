@@ -1,0 +1,110 @@
+"""Transformation engine: apply scripts with optional equivalence checking.
+
+The engine is the single entry point used by data generation and by the
+optimization flows.  It resolves script names, applies each step, and (when
+``verify=True``) checks functional equivalence against the input graph after
+every step, raising :class:`~repro.errors.TransformError` on any mismatch so
+that an unsound transform can never silently corrupt an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.aig.equivalence import check_equivalence
+from repro.aig.graph import Aig, AigStats
+from repro.errors import TransformError
+from repro.transforms.base import Transform, TransformResult
+from repro.transforms.scripts import NAMED_SCRIPTS, resolve_script
+from repro.utils.rng import RngLike
+
+ScriptLike = Union[str, Sequence[str], Sequence[Transform]]
+
+
+@dataclass
+class ScriptResult:
+    """Outcome of running a full script."""
+
+    steps: List[TransformResult] = field(default_factory=list)
+
+    @property
+    def aig(self) -> Aig:
+        """The final AIG after the last step."""
+        if not self.steps:
+            raise TransformError("script produced no steps")
+        return self.steps[-1].aig
+
+    @property
+    def initial_stats(self) -> AigStats:
+        return self.steps[0].before
+
+    @property
+    def final_stats(self) -> AigStats:
+        return self.steps[-1].after
+
+    def summary(self) -> str:
+        """One line per step: name, node delta, depth delta."""
+        lines = []
+        for step in self.steps:
+            lines.append(
+                f"{step.transform:>6}: ands {step.before.num_ands} -> {step.after.num_ands}, "
+                f"depth {step.before.depth} -> {step.after.depth}"
+            )
+        return "\n".join(lines)
+
+
+def _normalise_script(script: ScriptLike) -> List[Transform]:
+    if isinstance(script, str):
+        if script in NAMED_SCRIPTS:
+            return resolve_script(NAMED_SCRIPTS[script])
+        return resolve_script([script])
+    if not script:
+        raise TransformError("script must contain at least one step")
+    first = script[0]
+    if isinstance(first, Transform):
+        return list(script)  # type: ignore[arg-type]
+    return resolve_script(list(script))  # type: ignore[arg-type]
+
+
+def apply_script(
+    aig: Aig,
+    script: ScriptLike,
+    verify: bool = False,
+    rng: RngLike = None,
+) -> ScriptResult:
+    """Apply *script* (a name, list of names, or list of transforms) to *aig*.
+
+    Parameters
+    ----------
+    verify:
+        Check functional equivalence against the original graph after every
+        step.  Exhaustive for small PI counts, random otherwise; see
+        :func:`repro.aig.equivalence.check_equivalence`.
+    """
+    transforms = _normalise_script(script)
+    result = ScriptResult()
+    current = aig
+    for transform in transforms:
+        step = transform.run(current)
+        if verify:
+            verdict = check_equivalence(aig, step.aig, rng=rng)
+            if not verdict.equivalent:
+                raise TransformError(
+                    f"transform {transform.name!r} broke functional equivalence "
+                    f"(output {verdict.mismatched_output})"
+                )
+        result.steps.append(step)
+        current = step.aig
+    return result
+
+
+def apply_transform(
+    aig: Aig, transform: Union[str, Transform], verify: bool = False
+) -> Aig:
+    """Apply a single transform (by name or instance) and return the new AIG."""
+    if isinstance(transform, Transform):
+        steps: ScriptLike = [transform]
+    else:
+        steps = [transform]
+    return apply_script(aig, steps, verify=verify).aig

@@ -1,0 +1,79 @@
+"""Resynthesis of truth tables into AIG structures.
+
+Both the rewriting and refactoring transforms collapse a cone of logic into a
+truth table and then rebuild it.  This module holds the shared builder: an
+irredundant sum-of-products (ISOP) cover of the function or of its
+complement — whichever is cheaper — realised as balanced AND/OR trees.  The
+resulting structure is usually competitive with the original cone for the
+small cut sizes (up to ~10 leaves) used by the transforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.literals import CONST0, CONST1, negate
+from repro.aig.truth import (
+    Cube,
+    cube_literal_count,
+    is_const0,
+    is_const1,
+    isop,
+    table_mask,
+)
+from repro.errors import TransformError
+
+
+def sop_cost(cubes: Sequence[Cube]) -> int:
+    """Approximate AND-node cost of realising a cube list as an AIG."""
+    if not cubes:
+        return 0
+    literal_cost = sum(max(cube_literal_count(cube) - 1, 0) for cube in cubes)
+    or_cost = len(cubes) - 1
+    return literal_cost + or_cost
+
+
+def synthesize_truth(
+    target: Aig,
+    table: int,
+    num_vars: int,
+    leaf_literals: Sequence[int],
+) -> int:
+    """Build an AIG implementation of *table* over *leaf_literals* in *target*.
+
+    Returns the literal of the synthesised root.  The function and its
+    complement are both covered with ISOP and the cheaper realisation wins
+    (the complement is frequently much smaller for AND-dominated functions).
+    """
+    if len(leaf_literals) != num_vars:
+        raise TransformError(
+            f"expected {num_vars} leaf literals, got {len(leaf_literals)}"
+        )
+    mask = table_mask(num_vars)
+    table &= mask
+    if is_const0(table, num_vars):
+        return CONST0
+    if is_const1(table, num_vars):
+        return CONST1
+
+    positive_cover = isop(table, 0, num_vars)
+    negative_cover = isop((~table) & mask, 0, num_vars)
+    if sop_cost(negative_cover) < sop_cost(positive_cover):
+        literal = _build_sop(target, negative_cover, leaf_literals)
+        return negate(literal)
+    return _build_sop(target, positive_cover, leaf_literals)
+
+
+def _build_sop(target: Aig, cubes: Sequence[Cube], leaves: Sequence[int]) -> int:
+    """Realise a cube cover as balanced AND trees feeding a balanced OR tree."""
+    cube_literals: List[int] = []
+    for pos, neg in cubes:
+        terms: List[int] = []
+        for var, leaf in enumerate(leaves):
+            if (pos >> var) & 1:
+                terms.append(leaf)
+            if (neg >> var) & 1:
+                terms.append(negate(leaf))
+        cube_literals.append(target.add_and_multi(terms))
+    return target.add_or_multi(cube_literals)

@@ -1,0 +1,99 @@
+"""Cut-based rewriting (the ABC ``rewrite`` command, simplified).
+
+For every AND node the transform enumerates k-feasible cuts, computes the
+exact function of the best cut, and resynthesises that function from the cut
+leaves.  The resynthesised implementation replaces the original cone when its
+estimated cost is no worse; because the new graph is built with structural
+hashing, logic shared with already-rebuilt parts of the network is reused for
+free, which is where most of the node savings come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aig.cuts import Cut, cut_volume, enumerate_cuts
+from repro.aig.graph import Aig, rebuild_map
+from repro.aig.literals import is_complemented, literal_var, negate_if
+from repro.aig.simulate import cone_truth_table
+from repro.transforms.base import Transform
+from repro.transforms.resynth import sop_cost, synthesize_truth
+from repro.aig.truth import isop, table_mask
+
+
+class Rewrite(Transform):
+    """Resynthesise small cones from their cut functions to save nodes."""
+
+    name = "rw"
+
+    def __init__(
+        self,
+        cut_size: int = 4,
+        max_cuts_per_node: int = 8,
+        zero_cost: bool = False,
+    ) -> None:
+        self.cut_size = cut_size
+        self.max_cuts_per_node = max_cuts_per_node
+        #: When true, replacements with equal estimated cost are also taken,
+        #: which perturbs the structure without increasing node count
+        #: (useful as a diversification move inside simulated annealing).
+        self.zero_cost = zero_cost
+
+    def apply(self, aig: Aig) -> Aig:
+        cuts = enumerate_cuts(
+            aig,
+            k=self.cut_size,
+            max_cuts_per_node=self.max_cuts_per_node,
+            include_trivial=True,
+        )
+        new = Aig(aig.name)
+        mapping = rebuild_map(aig, new)
+
+        for var in aig.and_vars():
+            f0, f1 = aig.fanins(var)
+            default_lit = new.add_and(
+                negate_if(mapping[literal_var(f0)], is_complemented(f0)),
+                negate_if(mapping[literal_var(f1)], is_complemented(f1)),
+            )
+            best = self._try_rewrite(aig, new, mapping, var, cuts.get(var, ()))
+            mapping[var] = best if best is not None else default_lit
+
+        for lit, name in zip(aig.po_literals(), aig.po_names):
+            new.add_po(negate_if(mapping[literal_var(lit)], is_complemented(lit)), name)
+        result = new.cleanup()
+        # The per-cone gain estimate ignores sharing outside the cut, so the
+        # rebuilt graph can occasionally end up larger; in strict (non
+        # zero-cost) mode fall back to the original structure in that case.
+        if not self.zero_cost and result.num_ands > aig.num_ands:
+            return aig.cleanup()
+        return result
+
+    def _try_rewrite(
+        self,
+        aig: Aig,
+        new: Aig,
+        mapping: Dict[int, int],
+        var: int,
+        node_cuts,
+    ) -> Optional[int]:
+        """Return a replacement literal for *var* or ``None`` to keep the copy."""
+        best_lit: Optional[int] = None
+        best_gain = 0 if not self.zero_cost else -1
+        for cut in node_cuts:
+            if cut.size < 2 or cut.leaves == (var,):
+                continue
+            if any(leaf not in mapping for leaf in cut.leaves):
+                continue
+            table = cone_truth_table(aig, var * 2, cut.leaves)
+            original_cost = cut_volume(aig, cut)
+            mask = table_mask(cut.size)
+            resynth_cost = min(
+                sop_cost(isop(table, 0, cut.size)),
+                sop_cost(isop((~table) & mask, 0, cut.size)),
+            )
+            gain = original_cost - resynth_cost
+            if gain > best_gain:
+                leaf_literals = [mapping[leaf] for leaf in cut.leaves]
+                best_lit = synthesize_truth(new, table, cut.size, leaf_literals)
+                best_gain = gain
+        return best_lit

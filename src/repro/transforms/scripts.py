@@ -1,0 +1,100 @@
+"""Named transformation scripts and the catalog of SA move combinations.
+
+The baseline industry flow described in the paper selects one of 103
+combinations of ABC's basic transformations at each optimization iteration.
+This module provides:
+
+* a registry of primitive transforms addressed by their short ABC-style
+  names (``b``, ``rw``, ``rwz``, ``rf``, ``rfz``, ``rs``, ``st``),
+* classic composite scripts (``compress``, ``compress2``-like sequences),
+* :func:`script_catalog`, which deterministically generates a catalog of
+  script combinations (103 by default, matching the paper) used as the move
+  set of the simulated-annealing optimizer.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Dict, List, Sequence
+
+from repro.errors import TransformError
+from repro.transforms.balance import Balance
+from repro.transforms.base import Transform
+from repro.transforms.refactor import Refactor
+from repro.transforms.resub import Resubstitute
+from repro.transforms.rewrite import Rewrite
+from repro.transforms.strash import Strash, Sweep
+
+
+def primitive_transforms() -> Dict[str, Transform]:
+    """Fresh instances of every primitive transform, keyed by short name."""
+    return {
+        "st": Strash(),
+        "sweep": Sweep(),
+        "b": Balance(),
+        "rw": Rewrite(),
+        "rwz": Rewrite(zero_cost=True),
+        "rf": Refactor(),
+        "rfz": Refactor(zero_cost=True),
+        "rs": Resubstitute(),
+    }
+
+
+#: Classic ABC-style composite scripts, expressed over the primitive names.
+NAMED_SCRIPTS: Dict[str, List[str]] = {
+    "strash": ["st"],
+    "balance": ["b"],
+    "rewrite": ["rw"],
+    "refactor": ["rf"],
+    "resub": ["rs"],
+    "compress": ["b", "rw", "rwz", "b", "rwz", "b"],
+    "compress2": ["b", "rw", "rf", "b", "rw", "rwz", "b", "rfz", "rwz", "b"],
+    "resyn": ["b", "rw", "rwz", "b", "rwz", "b"],
+    "resyn2": ["b", "rw", "rf", "b", "rw", "rwz", "b", "rfz", "rwz", "b"],
+    "quick": ["b", "rw"],
+    "deep": ["rs", "rf", "b", "rw", "rwz", "b"],
+}
+
+
+def resolve_script(script: Sequence[str]) -> List[Transform]:
+    """Turn a list of primitive names into transform instances."""
+    registry = primitive_transforms()
+    transforms: List[Transform] = []
+    for step in script:
+        if step not in registry:
+            raise TransformError(
+                f"unknown transform {step!r}; known: {sorted(registry)}"
+            )
+        transforms.append(registry[step])
+    return transforms
+
+
+def script_catalog(size: int = 103) -> List[List[str]]:
+    """Generate *size* distinct transformation scripts.
+
+    The catalog is built deterministically: single primitives first, then the
+    classic composite scripts, then increasingly long combinations of the
+    depth- and area-oriented primitives.  The default of 103 matches the
+    number of combinations quoted for the industry flow in the paper.
+    """
+    if size < 1:
+        raise TransformError("catalog size must be at least 1")
+    primitives = ["b", "rw", "rwz", "rf", "rfz", "rs"]
+    catalog: List[List[str]] = [[name] for name in primitives]
+    catalog.extend(NAMED_SCRIPTS[name] for name in ("compress", "compress2", "deep", "quick"))
+
+    # Pairs and triples of distinct primitives, in deterministic order.
+    for length in (2, 3, 4):
+        for combo in permutations(primitives, length):
+            script = list(combo)
+            if script not in catalog:
+                catalog.append(script)
+            if len(catalog) >= size:
+                return catalog[:size]
+    # If still short (very large requested size), append repeated compress runs.
+    repeat = 2
+    while len(catalog) < size:
+        catalog.append(NAMED_SCRIPTS["compress"] * repeat)
+        catalog.append(NAMED_SCRIPTS["compress2"] * repeat)
+        repeat += 1
+    return catalog[:size]

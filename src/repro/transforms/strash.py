@@ -1,0 +1,41 @@
+"""Structural hashing ("strash") and sweep transforms.
+
+``strash`` rebuilds the graph from scratch so that the constructor's
+simplification rules (constant folding, duplicate AND removal) are re-applied
+to every node; ``sweep`` additionally drops logic not reachable from any
+primary output.  Both correspond to the ABC commands of the same name.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import Aig, rebuild_map
+from repro.aig.literals import is_complemented, literal_var, negate_if
+from repro.transforms.base import Transform
+
+
+class Strash(Transform):
+    """Rebuild the AIG with structural hashing and constant propagation."""
+
+    name = "st"
+
+    def apply(self, aig: Aig) -> Aig:
+        new = Aig(aig.name)
+        mapping = rebuild_map(aig, new)
+        for var in aig.and_vars():
+            f0, f1 = aig.fanins(var)
+            new_f0 = negate_if(mapping[literal_var(f0)], is_complemented(f0))
+            new_f1 = negate_if(mapping[literal_var(f1)], is_complemented(f1))
+            mapping[var] = new.add_and(new_f0, new_f1)
+        for lit, name in zip(aig.po_literals(), aig.po_names):
+            new_lit = negate_if(mapping[literal_var(lit)], is_complemented(lit))
+            new.add_po(new_lit, name)
+        return new.cleanup()
+
+
+class Sweep(Transform):
+    """Remove logic unreachable from the primary outputs."""
+
+    name = "sweep"
+
+    def apply(self, aig: Aig) -> Aig:
+        return aig.cleanup()

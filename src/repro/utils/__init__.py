@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG handling, validation, timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

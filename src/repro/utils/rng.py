@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components of the library (random AIG perturbation, simulated
+annealing, model subsampling) accept either a seed, a ``random.Random``
+instance, or ``None``.  :func:`ensure_rng` normalises those three cases so
+that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RngLike = Union[None, int, random.Random]
+
+
+def ensure_rng(rng: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` for *rng*.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing ``random.Random`` which is returned unchanged.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"expected None, int, or random.Random, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: random.Random, stream: int = 0) -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    Used when a component needs its own stream (e.g. one per SA run in a
+    sweep) without perturbing the parent generator's sequence.
+    """
+    seed = rng.getrandbits(64) ^ (0x9E3779B97F4A7C15 * (stream + 1) & (2**64 - 1))
+    return random.Random(seed)

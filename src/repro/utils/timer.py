@@ -1,0 +1,91 @@
+"""A tiny wall-clock timer used by the runtime experiments (Fig. 2, Table IV)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named stage.
+
+    The runtime experiments need a per-stage breakdown (transformation time,
+    graph processing time, mapping+STA time, feature extraction + inference
+    time); this helper keeps those accumulators in one place.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate *seconds* under *stage*."""
+        self.totals[stage] = self.totals.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def time(self, stage: str) -> "_StageContext":
+        """Return a context manager that records its block under *stage*."""
+        return _StageContext(self, stage)
+
+    def total(self, stage: str) -> float:
+        """Total seconds recorded for *stage* (0.0 if never recorded)."""
+        return self.totals.get(stage, 0.0)
+
+    def mean(self, stage: str) -> float:
+        """Mean seconds per call for *stage* (0.0 if never recorded)."""
+        count = self.counts.get(stage, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[stage] / count
+
+    def stages(self) -> List[str]:
+        """Names of all recorded stages."""
+        return sorted(self.totals)
+
+
+class _StageContext:
+    def __init__(self, parent: StageTimer, stage: str) -> None:
+        self._parent = parent
+        self._stage = stage
+        self._timer = Timer()
+
+    def __enter__(self) -> "_StageContext":
+        self._timer.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._parent.add(self._stage, self._timer.stop())

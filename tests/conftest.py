@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.random_graphs import random_aig
+from repro.designs.generators import adder_design, multiplier_design
+from repro.library.sky130_lite import load_sky130_lite
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The built-in sky130-lite cell library (expensive to index; share it)."""
+    return load_sky130_lite()
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic random generator for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def tiny_aig():
+    """A hand-built 3-input AIG: f = (a & b) | !c, g = a ^ b."""
+    aig = Aig("tiny")
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    ab = aig.add_and(a, b)
+    f = aig.add_or(ab, c ^ 1)
+    g = aig.add_xor(a, b)
+    aig.add_po(f, "f")
+    aig.add_po(g, "g")
+    return aig
+
+
+@pytest.fixture()
+def adder_aig():
+    """A 4-bit ripple-carry adder (9 outputs)."""
+    return adder_design(bits=4, name="add4")
+
+
+@pytest.fixture()
+def mult_aig():
+    """A 4x4 array multiplier."""
+    return multiplier_design(bits=4, name="mult4")
+
+
+@pytest.fixture()
+def medium_random_aig():
+    """A reproducible ~200-node random AIG with 10 inputs."""
+    return random_aig(10, 4, 200, rng=42, name="rand200")

@@ -1,0 +1,124 @@
+"""Tests for structural AIG analysis (levels, depths, paths, critical nodes)."""
+
+import pytest
+
+from repro.aig.analysis import (
+    count_paths_per_po,
+    critical_path_nodes,
+    fanout_histogram,
+    po_cone_sizes,
+    po_depths,
+    structural_summary,
+    weighted_node_levels,
+    weighted_po_depths,
+)
+from repro.aig.graph import Aig
+from repro.aig.literals import literal_var
+
+
+@pytest.fixture()
+def chain_aig():
+    """a & b & c & d as a linear chain (depth 3)."""
+    aig = Aig("chain")
+    a, b, c, d = (aig.add_pi(n) for n in "abcd")
+    n1 = aig.add_and(a, b)
+    n2 = aig.add_and(n1, c)
+    n3 = aig.add_and(n2, d)
+    aig.add_po(n3, "f")
+    return aig
+
+
+def test_po_depths_chain(chain_aig):
+    report = po_depths(chain_aig)
+    # Depth counts nodes between PI and PO including the PI: 3 ANDs + 1 PI = 4.
+    assert report.max_depth == 4
+    assert report.po_depths == (4,)
+
+
+def test_po_depths_direct_pi_connection():
+    aig = Aig()
+    a = aig.add_pi("a")
+    aig.add_po(a, "f")
+    report = po_depths(aig)
+    assert report.po_depths == (1,)
+
+
+def test_depth_report_top_padding(chain_aig):
+    report = po_depths(chain_aig)
+    assert report.top(3) == [4, 0, 0]
+
+
+def test_weighted_levels_uniform_weights_match_depth(chain_aig):
+    weights = [1.0] * chain_aig.size
+    levels = weighted_node_levels(chain_aig, weights)
+    last_var = literal_var(chain_aig.po_literals()[0])
+    assert levels[last_var] == 4.0
+
+
+def test_weighted_po_depths_respect_weights(chain_aig):
+    weights = [0.0] * chain_aig.size
+    # Only the final AND node carries weight.
+    last_var = literal_var(chain_aig.po_literals()[0])
+    weights[last_var] = 5.0
+    assert weighted_po_depths(chain_aig, weights) == [5.0]
+
+
+def test_count_paths_chain(chain_aig):
+    assert count_paths_per_po(chain_aig) == [4]
+
+
+def test_count_paths_reconvergent():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    xor = aig.add_xor(a, b)  # two reconvergent branches over a and b
+    aig.add_po(xor)
+    # The XOR structure is and(nand(a,b), nand(!a,!b)) (complemented): each
+    # nand contributes 2 PI paths, so the root sees 4 distinct paths.
+    assert count_paths_per_po(aig) == [4]
+
+
+def test_count_paths_capped():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    current = aig.add_and(a, b)
+    for _ in range(40):
+        current = aig.add_and(current, aig.add_nand(current, a))
+    aig.add_po(current)
+    assert count_paths_per_po(aig, cap=1000)[0] == 1000
+
+
+def test_critical_path_nodes_chain(chain_aig):
+    critical = critical_path_nodes(chain_aig)
+    # Every AND node of the chain plus the starting PI lie on the critical path.
+    and_vars = list(chain_aig.and_vars())
+    for var in and_vars:
+        assert var in critical
+
+
+def test_critical_path_excludes_short_branch():
+    aig = Aig("branch")
+    a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+    deep1 = aig.add_and(a, b)
+    deep2 = aig.add_and(deep1, c)
+    shallow = aig.add_and(a, c)
+    aig.add_po(deep2, "deep")
+    aig.add_po(shallow, "shallow")
+    critical = critical_path_nodes(aig)
+    assert literal_var(deep2) in critical
+    assert literal_var(shallow) not in critical
+
+
+def test_po_cone_sizes(chain_aig):
+    assert po_cone_sizes(chain_aig) == [3]
+
+
+def test_fanout_histogram(chain_aig):
+    histogram = fanout_histogram(chain_aig)
+    assert sum(histogram.values()) == chain_aig.size - 1  # excludes constant
+
+
+def test_structural_summary_keys(adder_aig):
+    summary = structural_summary(adder_aig)
+    for key in ("num_pis", "num_pos", "num_ands", "depth", "mean_fanout", "max_fanout"):
+        assert key in summary
+    assert summary["num_pis"] == 8.0

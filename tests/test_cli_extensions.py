@@ -1,0 +1,154 @@
+"""Tests for the extended CLI commands (postopt, train/predict, flow, convert)."""
+
+import json
+
+import pytest
+
+from repro.cli import load_design, main
+from repro.io.aiger_binary import write_aig_binary
+from repro.io.blif import write_blif
+
+
+@pytest.fixture(scope="module")
+def trained_model_path(tmp_path_factory):
+    """Train a tiny delay model once via the CLI and reuse it."""
+    path = tmp_path_factory.mktemp("models") / "delay.json"
+    exit_code = main(
+        [
+            "train",
+            "EX68",
+            "--model",
+            str(path),
+            "--samples",
+            "6",
+            "--estimators",
+            "40",
+            "--max-depth",
+            "3",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+def test_load_design_binary_aiger_and_blif(tmp_path, adder_aig):
+    binary = tmp_path / "adder.aig"
+    write_aig_binary(adder_aig, binary)
+    assert load_design(str(binary)).num_pis == adder_aig.num_pis
+
+    blif = tmp_path / "adder.blif"
+    write_blif(adder_aig, blif)
+    assert load_design(str(blif)).num_pos == adder_aig.num_pos
+
+
+def test_convert_new_formats(tmp_path, capsys):
+    aig_out = tmp_path / "ex68.aig"
+    dot_out = tmp_path / "ex68.dot"
+    assert main(["convert", "EX68", "--aig", str(aig_out), "--dot", str(dot_out)]) == 0
+    assert aig_out.read_bytes().startswith(b"aig ")
+    assert dot_out.read_text().startswith("digraph")
+
+
+def test_postopt_command(capsys):
+    assert main(["postopt", "EX68", "--passes", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "delay before" in output
+    assert "delay after" in output
+
+
+def test_postopt_writes_verilog(tmp_path, capsys):
+    out = tmp_path / "ex68_opt.v"
+    assert main(["postopt", "EX68", "--passes", "1", "--verilog", str(out)]) == 0
+    assert "endmodule" in out.read_text()
+
+
+def test_train_writes_model_json(trained_model_path):
+    data = json.loads(trained_model_path.read_text())
+    assert data["format"] == "repro-gbdt-v1"
+    assert data["trees"]
+
+
+def test_predict_with_and_without_ppa(trained_model_path, capsys):
+    assert main(["predict", "EX68", "--model", str(trained_model_path)]) == 0
+    out = capsys.readouterr().out
+    assert "predicted post-mapping delay" in out
+
+    assert main(["predict", "EX68", "--model", str(trained_model_path), "--ppa"]) == 0
+    out = capsys.readouterr().out
+    assert "ground-truth delay" in out
+
+
+def test_flow_baseline(capsys):
+    assert main(["flow", "EX68", "--flow", "baseline", "--iterations", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "final   delay/area" in out
+
+
+def test_flow_ml_requires_model(capsys):
+    assert main(["flow", "EX68", "--flow", "ml", "--iterations", "3"]) == 2
+
+
+def test_flow_ml_with_model(trained_model_path, tmp_path, capsys):
+    out_aig = tmp_path / "best.aag"
+    assert (
+        main(
+            [
+                "flow",
+                "EX68",
+                "--flow",
+                "ml",
+                "--model",
+                str(trained_model_path),
+                "--iterations",
+                "4",
+                "--output",
+                str(out_aig),
+            ]
+        )
+        == 0
+    )
+    assert out_aig.read_text().startswith("aag ")
+
+
+def test_flow_hybrid_reports_validation(trained_model_path, capsys):
+    assert (
+        main(
+            [
+                "flow",
+                "EX68",
+                "--flow",
+                "hybrid",
+                "--model",
+                str(trained_model_path),
+                "--iterations",
+                "4",
+                "--validate-every",
+                "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "hybrid validation" in out
+
+
+def test_train_area_target(tmp_path, capsys):
+    path = tmp_path / "area.json"
+    assert (
+        main(
+            [
+                "train",
+                "EX68",
+                "--model",
+                str(path),
+                "--target",
+                "area",
+                "--samples",
+                "5",
+                "--estimators",
+                "30",
+            ]
+        )
+        == 0
+    )
+    assert path.exists()

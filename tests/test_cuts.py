@@ -1,0 +1,112 @@
+"""Tests for k-feasible cut enumeration."""
+
+import pytest
+
+from repro.aig.cuts import Cut, best_cut_per_node, cut_volume, enumerate_cuts, merge_cuts
+from repro.aig.graph import Aig
+from repro.aig.literals import literal_var
+from repro.aig.simulate import cone_truth_table
+from repro.errors import AigError
+
+
+@pytest.fixture()
+def small_tree():
+    """((a&b) & (c&d)) with named internals for inspection."""
+    aig = Aig("tree")
+    a, b, c, d = (aig.add_pi(n) for n in "abcd")
+    ab = aig.add_and(a, b)
+    cd = aig.add_and(c, d)
+    root = aig.add_and(ab, cd)
+    aig.add_po(root, "f")
+    return aig, literal_var(ab), literal_var(cd), literal_var(root)
+
+
+def test_pi_cuts_are_trivial(small_tree):
+    aig, *_ = small_tree
+    cuts = enumerate_cuts(aig, k=4)
+    for var in aig.pi_vars:
+        assert cuts[var] == [Cut(var, (var,))]
+
+
+def test_root_has_full_pi_cut(small_tree):
+    aig, ab, cd, root = small_tree
+    cuts = enumerate_cuts(aig, k=4)
+    leaf_sets = [set(c.leaves) for c in cuts[root]]
+    assert set(aig.pi_vars) in leaf_sets
+    assert {ab, cd} in leaf_sets
+
+
+def test_k_limit_respected(small_tree):
+    aig, *_ , root = small_tree
+    cuts = enumerate_cuts(aig, k=3)
+    for cut in cuts[root]:
+        assert cut.size <= 3
+
+
+def test_k_too_small_rejected(small_tree):
+    aig, *_ = small_tree
+    with pytest.raises(AigError):
+        enumerate_cuts(aig, k=1)
+
+
+def test_include_trivial_flag(small_tree):
+    aig, *_, root = small_tree
+    with_trivial = enumerate_cuts(aig, k=4, include_trivial=True)
+    without = enumerate_cuts(aig, k=4, include_trivial=False)
+    assert Cut(root, (root,)) in with_trivial[root]
+    assert Cut(root, (root,)) not in without[root]
+
+
+def test_max_cuts_per_node_truncates(medium_random_aig):
+    cuts = enumerate_cuts(medium_random_aig, k=4, max_cuts_per_node=3)
+    for var in medium_random_aig.and_vars():
+        # +1 allows for the appended trivial cut.
+        assert len(cuts[var]) <= 4
+
+
+def test_merge_cuts_overflow_returns_none():
+    a = Cut(10, (1, 2, 3))
+    b = Cut(11, (4, 5))
+    assert merge_cuts(a, b, 12, k=4) is None
+    merged = merge_cuts(a, b, 12, k=5)
+    assert merged is not None and merged.size == 5
+
+
+def test_cut_dominates():
+    small = Cut(9, (1, 2))
+    big = Cut(9, (1, 2, 3))
+    assert small.dominates(big)
+    assert not big.dominates(small)
+
+
+def test_cut_truth_table_matches_cone(small_tree):
+    aig, ab, cd, root = small_tree
+    cut = Cut(root, (ab, cd))
+    assert cut.truth_table(aig) == 0b1000
+    full_cut = Cut(root, tuple(aig.pi_vars))
+    assert full_cut.truth_table(aig) == cone_truth_table(aig, root * 2, aig.pi_vars)
+
+
+def test_cut_volume(small_tree):
+    aig, ab, cd, root = small_tree
+    assert cut_volume(aig, Cut(root, (ab, cd))) == 1
+    assert cut_volume(aig, Cut(root, tuple(aig.pi_vars))) == 3
+
+
+def test_best_cut_per_node(small_tree):
+    aig, ab, cd, root = small_tree
+    cuts = enumerate_cuts(aig, k=4)
+    best = best_cut_per_node(cuts)
+    assert best[root].size >= 2
+
+
+def test_every_cut_is_a_valid_cut(medium_random_aig):
+    """Every enumerated cut must actually separate its root from the PIs."""
+    cuts = enumerate_cuts(medium_random_aig, k=4, max_cuts_per_node=5)
+    for var in list(medium_random_aig.and_vars())[::17]:
+        for cut in cuts[var]:
+            if cut.leaves == (var,):
+                continue
+            # cone_truth_table traverses the cone and raises if a PI is
+            # reachable without passing through a leaf.
+            cone_truth_table(medium_random_aig, var * 2, cut.leaves)

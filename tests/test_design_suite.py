@@ -1,0 +1,56 @@
+"""Slower integration checks over the full EXxx design suite."""
+
+import pytest
+
+from repro.designs.registry import (
+    ALL_DESIGNS,
+    DESIGN_SPECS,
+    build_design,
+    clear_design_cache,
+)
+from repro.features.extract import FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def all_designs():
+    return {name: build_design(name) for name in ALL_DESIGNS}
+
+
+def test_every_design_matches_its_interface(all_designs):
+    for name, aig in all_designs.items():
+        spec = DESIGN_SPECS[name]
+        assert aig.num_pis == spec.num_pis, name
+        assert aig.num_pos == spec.num_pos, name
+        assert aig.num_ands > 0 and aig.depth() > 0
+
+
+def test_size_ordering_matches_paper_roles(all_designs):
+    # EX00 and EX68 are the small designs; EX54 is the largest test design.
+    sizes = {name: aig.num_ands for name, aig in all_designs.items()}
+    small = max(sizes["EX00"], sizes["EX68"])
+    for name in ("EX08", "EX28", "EX02", "EX11", "EX16", "EX54"):
+        assert sizes[name] > small
+    assert sizes["EX54"] == max(sizes.values())
+
+
+def test_designs_are_structurally_distinct(all_designs):
+    signatures = {
+        (aig.num_pis, aig.num_pos, aig.num_ands, aig.depth())
+        for aig in all_designs.values()
+    }
+    assert len(signatures) == len(all_designs)
+
+
+def test_features_extractable_for_every_design(all_designs):
+    extractor = FeatureExtractor()
+    for name, aig in all_designs.items():
+        vector = extractor.extract(aig)
+        assert vector.shape == (extractor.num_features,)
+        assert (vector >= 0).all(), name
+
+
+def test_cache_can_be_cleared_and_rebuilt(all_designs):
+    reference = all_designs["EX68"].num_ands
+    clear_design_cache()
+    rebuilt = build_design("EX68")
+    assert rebuilt.num_ands == reference

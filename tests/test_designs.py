@@ -1,0 +1,247 @@
+"""Tests for the arithmetic/control generators and the EXxx design registry."""
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import po_truth_tables
+from repro.designs.arithmetic import (
+    array_multiplier,
+    equality,
+    less_than,
+    ripple_adder,
+    ripple_subtractor,
+)
+from repro.designs.control import (
+    decoder,
+    mux_tree,
+    parity_tree,
+    popcount,
+    priority_encoder,
+)
+from repro.designs.generators import adder_design, multiplier_design
+from repro.designs.random_logic import grow_to_target, mixing_layer
+from repro.designs.registry import (
+    ALL_DESIGNS,
+    DESIGN_SPECS,
+    TEST_DESIGNS,
+    TRAIN_DESIGNS,
+    build_design,
+    design_names,
+    design_spec,
+)
+from repro.errors import DesignError
+
+
+def _bus(aig, width, prefix):
+    return [aig.add_pi(f"{prefix}{i}") for i in range(width)]
+
+
+def _eval_outputs(aig, assignment):
+    """Evaluate all POs of *aig* for a single input assignment (list of bits)."""
+    from repro.aig.simulate import simulate_pos
+
+    words = [bit & 1 for bit in assignment]
+    return [v & 1 for v in simulate_pos(aig, words, 1)]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 1)])
+    def test_ripple_adder_values(self, a, b):
+        aig = Aig()
+        xa, xb = _bus(aig, 3, "a"), _bus(aig, 3, "b")
+        total, carry = ripple_adder(aig, xa, xb)
+        for bit in total:
+            aig.add_po(bit)
+        aig.add_po(carry)
+        bits = [(a >> i) & 1 for i in range(3)] + [(b >> i) & 1 for i in range(3)]
+        outputs = _eval_outputs(aig, bits)
+        value = sum(bit << i for i, bit in enumerate(outputs))
+        assert value == a + b
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (3, 5), (7, 0), (4, 4)])
+    def test_subtractor_and_comparators(self, a, b):
+        aig = Aig()
+        xa, xb = _bus(aig, 3, "a"), _bus(aig, 3, "b")
+        diff, no_borrow = ripple_subtractor(aig, xa, xb)
+        lt = less_than(aig, xa, xb)
+        eq = equality(aig, xa, xb)
+        for bit in diff:
+            aig.add_po(bit)
+        aig.add_po(no_borrow)
+        aig.add_po(lt)
+        aig.add_po(eq)
+        bits = [(a >> i) & 1 for i in range(3)] + [(b >> i) & 1 for i in range(3)]
+        outputs = _eval_outputs(aig, bits)
+        difference = sum(bit << i for i, bit in enumerate(outputs[:3]))
+        assert difference == (a - b) % 8
+        assert outputs[3] == (1 if a >= b else 0)
+        assert outputs[4] == (1 if a < b else 0)
+        assert outputs[5] == (1 if a == b else 0)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 6), (5, 5)])
+    def test_array_multiplier_values(self, a, b):
+        aig = Aig()
+        xa, xb = _bus(aig, 3, "a"), _bus(aig, 3, "b")
+        product = array_multiplier(aig, xa, xb)
+        for bit in product:
+            aig.add_po(bit)
+        bits = [(a >> i) & 1 for i in range(3)] + [(b >> i) & 1 for i in range(3)]
+        outputs = _eval_outputs(aig, bits)
+        value = sum(bit << i for i, bit in enumerate(outputs))
+        assert value == a * b
+
+    def test_width_mismatch_rejected(self):
+        aig = Aig()
+        with pytest.raises(DesignError):
+            ripple_adder(aig, _bus(aig, 2, "a"), _bus(aig, 3, "b"))
+        with pytest.raises(DesignError):
+            less_than(aig, _bus(aig, 2, "c"), _bus(aig, 3, "d"))
+
+
+class TestControl:
+    def test_decoder_one_hot(self):
+        aig = Aig()
+        select = _bus(aig, 2, "s")
+        for lit in decoder(aig, select):
+            aig.add_po(lit)
+        for code in range(4):
+            bits = [(code >> i) & 1 for i in range(2)]
+            outputs = _eval_outputs(aig, bits)
+            assert outputs == [1 if i == code else 0 for i in range(4)]
+
+    def test_mux_tree_selects(self):
+        aig = Aig()
+        data = _bus(aig, 4, "d")
+        select = _bus(aig, 2, "s")
+        aig.add_po(mux_tree(aig, data, select))
+        for code in range(4):
+            for pattern in (0b0001, 0b1010, 0b1111):
+                bits = [(pattern >> i) & 1 for i in range(4)] + [
+                    (code >> i) & 1 for i in range(2)
+                ]
+                assert _eval_outputs(aig, bits)[0] == (pattern >> code) & 1
+
+    def test_mux_tree_arity_checked(self):
+        aig = Aig()
+        with pytest.raises(DesignError):
+            mux_tree(aig, _bus(aig, 3, "d"), _bus(aig, 2, "s"))
+
+    def test_parity_tree(self):
+        aig = Aig()
+        bits = _bus(aig, 5, "x")
+        aig.add_po(parity_tree(aig, bits))
+        for pattern in (0, 0b10101, 0b11111, 0b00010):
+            values = [(pattern >> i) & 1 for i in range(5)]
+            assert _eval_outputs(aig, values)[0] == (bin(pattern).count("1") % 2)
+
+    def test_priority_encoder(self):
+        aig = Aig()
+        requests = _bus(aig, 4, "r")
+        for lit in priority_encoder(aig, requests):
+            aig.add_po(lit)
+        outputs = _eval_outputs(aig, [0, 1, 1, 0])
+        assert outputs == [0, 1, 0, 0]
+        assert _eval_outputs(aig, [0, 0, 0, 0]) == [0, 0, 0, 0]
+
+    def test_popcount(self):
+        aig = Aig()
+        bits = _bus(aig, 5, "x")
+        for lit in popcount(aig, bits):
+            aig.add_po(lit)
+        for pattern in (0, 0b11111, 0b10110):
+            values = [(pattern >> i) & 1 for i in range(5)]
+            outputs = _eval_outputs(aig, values)
+            count = sum(bit << i for i, bit in enumerate(outputs))
+            assert count == bin(pattern).count("1")
+
+
+class TestRandomLogic:
+    def test_mixing_layer_adds_nodes(self):
+        aig = Aig()
+        signals = _bus(aig, 6, "x")
+        outputs = mixing_layer(aig, signals, rng=0, width=8)
+        assert len(outputs) == 8
+        assert aig.num_ands > 0
+
+    def test_mixing_layer_needs_signals(self):
+        aig = Aig()
+        with pytest.raises(DesignError):
+            mixing_layer(aig, _bus(aig, 2, "x"), rng=0)
+
+    def test_grow_to_target_reaches_size(self):
+        aig = Aig()
+        signals = _bus(aig, 6, "x")
+        grow_to_target(aig, signals, target_ands=150, rng=1)
+        assert aig.num_ands >= 150
+
+
+class TestNamedDesigns:
+    def test_multiplier_design_function(self):
+        aig = multiplier_design(bits=3)
+        tables = po_truth_tables(aig)
+        for pattern in range(64):
+            a = pattern & 0b111
+            b = (pattern >> 3) & 0b111
+            product = a * b
+            for bit in range(6):
+                assert (tables[bit] >> pattern) & 1 == (product >> bit) & 1
+
+    def test_adder_design_interface(self):
+        aig = adder_design(bits=6)
+        assert aig.num_pis == 12
+        assert aig.num_pos == 7
+
+    def test_registry_split_matches_paper(self):
+        assert set(TRAIN_DESIGNS) == {"EX00", "EX08", "EX28", "EX68"}
+        assert set(TEST_DESIGNS) == {"EX02", "EX11", "EX16", "EX54"}
+        assert len(ALL_DESIGNS) == 8
+
+    def test_design_names_filtering(self):
+        assert design_names("train") == TRAIN_DESIGNS
+        assert design_names("test") == TEST_DESIGNS
+        assert design_names() == ALL_DESIGNS
+        with pytest.raises(DesignError):
+            design_names("validation")
+
+    def test_specs_match_table3_interfaces(self):
+        expected = {
+            "EX00": (16, 7),
+            "EX08": (18, 5),
+            "EX28": (17, 7),
+            "EX68": (14, 7),
+            "EX02": (18, 6),
+            "EX11": (17, 7),
+            "EX16": (16, 5),
+            "EX54": (17, 7),
+        }
+        for name, (pis, pos) in expected.items():
+            spec = design_spec(name)
+            assert (spec.num_pis, spec.num_pos) == (pis, pos)
+
+    @pytest.mark.parametrize("name", ["EX00", "EX68"])
+    def test_build_design_matches_spec(self, name):
+        spec = DESIGN_SPECS[name]
+        aig = build_design(name)
+        assert aig.num_pis == spec.num_pis
+        assert aig.num_pos == spec.num_pos
+        assert aig.num_ands >= spec.target_ands // 2
+
+    def test_build_design_cached_and_cloned(self):
+        first = build_design("EX68")
+        second = build_design("EX68")
+        assert first is not second
+        assert first.num_ands == second.num_ands
+
+    def test_build_design_seed_override_changes_structure(self):
+        default = build_design("EX68")
+        reseeded = build_design("EX68", seed=999)
+        assert (default.num_ands, default.depth()) != (reseeded.num_ands, reseeded.depth())
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(DesignError):
+            build_design("EX99")
+
+    def test_mult_alias(self):
+        aig = build_design("mult")
+        assert aig.num_pis == 14
+        assert aig.num_pos == 14

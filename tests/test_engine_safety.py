@@ -1,0 +1,46 @@
+"""Safety-net tests: the transform engine must catch broken transforms."""
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.literals import negate
+from repro.errors import TransformError
+from repro.transforms.base import Transform
+from repro.transforms.engine import apply_script
+
+
+class _BrokenTransform(Transform):
+    """A deliberately unsound transform that inverts the first output."""
+
+    name = "broken"
+
+    def apply(self, aig: Aig) -> Aig:
+        result = aig.clone()
+        result.set_po_literal(0, negate(result.po_literals()[0]))
+        return result
+
+
+class _NoOpTransform(Transform):
+    name = "noop_custom"
+
+    def apply(self, aig: Aig) -> Aig:
+        return aig.cleanup()
+
+
+def test_verification_catches_broken_transform(adder_aig):
+    with pytest.raises(TransformError, match="broke functional equivalence"):
+        apply_script(adder_aig, [_BrokenTransform()], verify=True)
+
+
+def test_broken_transform_passes_without_verification(adder_aig):
+    # Without verification the engine trusts the transform; this documents
+    # why the datagen/optimization paths keep verify=False only for speed and
+    # the test suite exercises verify=True heavily.
+    result = apply_script(adder_aig, [_BrokenTransform()], verify=False)
+    assert result.aig.num_pos == adder_aig.num_pos
+
+
+def test_custom_transform_instances_accepted(adder_aig):
+    result = apply_script(adder_aig, [_NoOpTransform(), _NoOpTransform()], verify=True)
+    assert len(result.steps) == 2
+    assert result.steps[0].transform == "noop_custom"

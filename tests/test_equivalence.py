@@ -1,0 +1,90 @@
+"""Tests for combinational equivalence checking."""
+
+import pytest
+
+from repro.aig.equivalence import (
+    check_equivalence,
+    check_equivalence_exact,
+    check_equivalence_random,
+)
+from repro.aig.graph import Aig
+from repro.aig.literals import negate
+from repro.aig.random_graphs import random_aig
+from repro.errors import AigError
+
+
+def _two_equivalent_xors():
+    a1 = Aig("x1")
+    x, y = a1.add_pi("x"), a1.add_pi("y")
+    a1.add_po(a1.add_xor(x, y), "f")
+    a2 = Aig("x2")
+    x, y = a2.add_pi("x"), a2.add_pi("y")
+    # XOR via OR/AND/NAND decomposition (different structure, same function).
+    a2.add_po(a2.add_and(a2.add_or(x, y), a2.add_nand(x, y)), "f")
+    return a1, a2
+
+
+def test_equivalent_structures_detected():
+    a1, a2 = _two_equivalent_xors()
+    result = check_equivalence_exact(a1, a2)
+    assert result.equivalent and result.exact
+
+
+def test_inequivalent_detected_with_counterexample():
+    a1, a2 = _two_equivalent_xors()
+    a2.set_po_literal(0, negate(a2.po_literals()[0]))
+    result = check_equivalence_exact(a1, a2)
+    assert not result.equivalent
+    assert result.mismatched_output == 0
+    assert result.counterexample is not None
+
+
+def test_interface_mismatch_raises():
+    a1, a2 = _two_equivalent_xors()
+    a2.add_pi("extra")
+    with pytest.raises(AigError):
+        check_equivalence(a1, a2)
+
+
+def test_po_count_mismatch_raises():
+    a1, a2 = _two_equivalent_xors()
+    a2.add_po(a2.pi_literals()[0], "g")
+    with pytest.raises(AigError):
+        check_equivalence(a1, a2)
+
+
+def test_exact_limit_enforced():
+    big = random_aig(22, 2, 50, rng=1)
+    clone = big.clone()
+    with pytest.raises(AigError):
+        check_equivalence_exact(big, clone, max_pis=20)
+
+
+def test_random_mode_equivalent():
+    big = random_aig(22, 3, 150, rng=5)
+    result = check_equivalence_random(big, big.cleanup(), num_patterns=512, rng=9)
+    assert result.equivalent and not result.exact
+
+
+def test_random_mode_catches_easy_differences():
+    big = random_aig(22, 3, 150, rng=6)
+    broken = big.clone()
+    broken.set_po_literal(0, negate(broken.po_literals()[0]))
+    result = check_equivalence_random(big, broken, num_patterns=512, rng=9)
+    assert not result.equivalent
+
+
+def test_auto_mode_picks_exact_for_small(tiny_aig):
+    result = check_equivalence(tiny_aig, tiny_aig.clone())
+    assert result.exact
+
+
+def test_auto_mode_picks_random_for_large():
+    big = random_aig(24, 2, 80, rng=2)
+    result = check_equivalence(big, big.clone(), exact_pi_limit=16)
+    assert result.equivalent and not result.exact
+
+
+def test_result_is_truthy():
+    a1, a2 = _two_equivalent_xors()
+    assert check_equivalence(a1, a2)

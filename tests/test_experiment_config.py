@@ -1,0 +1,25 @@
+"""Tests for the experiment configuration presets."""
+
+from repro.designs.registry import TEST_DESIGNS, TRAIN_DESIGNS
+from repro.experiments.config import ExperimentConfig
+
+
+def test_full_preset_uses_paper_split():
+    config = ExperimentConfig.full()
+    assert list(config.train_designs) == TRAIN_DESIGNS
+    assert list(config.test_designs) == TEST_DESIGNS
+    assert config.samples_per_design > 0
+    assert config.gbdt_params.n_estimators > 0
+
+
+def test_quick_preset_is_smaller():
+    quick = ExperimentConfig.quick()
+    full = ExperimentConfig.full()
+    assert quick.samples_per_design < full.samples_per_design
+    assert quick.sa_iterations < full.sa_iterations
+    assert quick.gbdt_params.n_estimators < full.gbdt_params.n_estimators
+
+
+def test_all_designs_deduplicates():
+    config = ExperimentConfig(train_designs=("EX68",), test_designs=("EX68", "EX00"))
+    assert config.all_designs() == ["EX68", "EX00"]

@@ -1,0 +1,163 @@
+"""Integration tests for the experiment modules (quick configurations).
+
+These run the same code paths as the benchmark harness but at a tiny scale,
+so the full pipeline (designs -> perturbation -> labelling -> training ->
+optimization flows -> reporting) is exercised on every test run.
+"""
+
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GenerationConfig
+from repro.designs.generators import adder_design
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig1_correlation import run_fig1_correlation
+from repro.experiments.fig2_runtime import run_fig2_runtime
+from repro.experiments.fig5_pareto import run_fig5_pareto
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.table1_proxy_ties import run_table1_proxy_ties
+from repro.experiments.table3_accuracy import run_table3_accuracy
+from repro.experiments.table4_runtime import run_table4_runtime
+from repro.opt.sweep import SweepConfig
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    cfg = ExperimentConfig.quick()
+    cfg.samples_per_design = 8
+    cfg.sa_iterations = 4
+    cfg.runtime_iterations = 2
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def small_corpus_generator():
+    return DatasetGenerator(GenerationConfig(samples_per_design=8, seed=21))
+
+
+@pytest.fixture(scope="module")
+def accuracy_result(quick_config):
+    return run_table3_accuracy(quick_config, include_gnn=False, include_area_model=True)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bbbb", 2.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "+12.34%"
+        assert format_percent(-0.5, decimals=1) == "-50.0%"
+
+
+class TestFig1:
+    def test_correlation_study(self, small_corpus_generator):
+        result = run_fig1_correlation(
+            design="mult", samples=8, seed=2, generator=small_corpus_generator
+        )
+        assert len(result.levels) == len(result.delays_ps) > 2
+        assert -1.0 <= result.pearson <= 1.0
+        assert result.best_delay_ps <= result.delay_at_min_level_ps
+        assert len(result.scatter_points()) == len(result.levels)
+        assert "pearson" in result.format_table()
+
+    def test_too_few_samples_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_fig1_correlation(samples=2)
+
+
+class TestTable1:
+    def test_proxy_tie_search_runs(self, small_corpus_generator):
+        corpus = small_corpus_generator.generate_for_aig(
+            "add5", adder_design(bits=5), rng=31
+        )
+        result = run_table1_proxy_ties(corpus=corpus)
+        assert result.samples == len(corpus.aigs)
+        text = result.format_table()
+        assert "Table I" in text
+        if result.ties:
+            worst = result.worst_tie
+            assert worst.delay_gap_ratio >= 1.0
+            assert worst.area_gap_ratio >= 1.0
+
+
+class TestTable3:
+    def test_rows_cover_all_designs(self, accuracy_result, quick_config):
+        designs = {row.design for row in accuracy_result.rows}
+        assert designs == set(quick_config.all_designs())
+
+    def test_errors_are_finite_percentages(self, accuracy_result):
+        for row in accuracy_result.rows:
+            assert 0.0 <= row.stats.mean <= 100.0
+            assert row.stats.max >= row.stats.mean
+
+    def test_models_are_trained(self, accuracy_result):
+        assert accuracy_result.delay_model.num_trees > 0
+        assert accuracy_result.area_model is not None
+        assert accuracy_result.training_seconds > 0
+
+    def test_summary_statistics(self, accuracy_result):
+        assert accuracy_result.mean_error_all >= 0.0
+        assert accuracy_result.max_error_all >= accuracy_result.mean_error_all
+        assert "Table III" in accuracy_result.format_table()
+
+    def test_predictions_track_ground_truth(self, accuracy_result):
+        # On the training designs the model must clearly beat a mean predictor.
+        import numpy as np
+
+        from repro.ml.metrics import rmse
+
+        for design in accuracy_result.train_designs:
+            corpus = accuracy_result.corpora[design]
+            predictions = accuracy_result.delay_model.predict(corpus.features)
+            baseline = np.full_like(corpus.delays_ps, corpus.delays_ps.mean())
+            assert rmse(corpus.delays_ps, predictions) <= rmse(corpus.delays_ps, baseline) + 1e-9
+
+
+class TestFig2AndTable4:
+    def test_fig2_ground_truth_slower(self, quick_config):
+        result = run_fig2_runtime(quick_config, designs=["EX68"])
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.ground_truth_seconds > row.baseline_seconds
+        assert result.max_slowdown >= result.mean_slowdown >= 1.0
+        assert "Fig. 2" in result.format_table()
+
+    def test_table4_ml_cheaper_than_mapping(self, accuracy_result, quick_config):
+        result = run_table4_runtime(
+            accuracy_result.delay_model, quick_config, designs=["EX68", "EX00"], repeats=2
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.ml_inference_seconds < row.mapping_sta_seconds
+            assert 0.0 < row.reduction <= 1.0
+        assert result.mean_reduction > 0.5
+        assert "Table IV" in result.format_table()
+
+
+class TestFig5:
+    def test_pareto_sweep_structure(self, accuracy_result, quick_config):
+        sweep = SweepConfig(
+            delay_weights=(1.0, 3.0),
+            temperature_decays=(0.9,),
+            iterations=3,
+            seed=5,
+        )
+        result = run_fig5_pareto(
+            accuracy_result.delay_model,
+            area_model=accuracy_result.area_model,
+            design="EX68",
+            config=quick_config,
+            sweep_config=sweep,
+        )
+        assert set(result.sweeps) == {"baseline", "ground_truth", "ml"}
+        for sweep_result in result.sweeps.values():
+            assert len(sweep_result.runs) == 2
+            assert sweep_result.front()
+        volumes = result.hypervolumes()
+        assert set(volumes) == {"baseline", "ground_truth", "ml"}
+        assert "Fig. 5" in result.format_table()

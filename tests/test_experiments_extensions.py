@@ -1,0 +1,140 @@
+"""Tests for the extension experiments (area accuracy, learning curve,
+optimizer comparison, post-mapping study) at quick-config scale."""
+
+import pytest
+
+from repro.datagen.generator import DatasetGenerator, GenerationConfig
+from repro.designs.generators import adder_design
+from repro.experiments.area_accuracy import run_area_accuracy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.learning_curve import run_learning_curve
+from repro.experiments.optimizer_comparison import run_optimizer_comparison
+from repro.experiments.postopt_study import run_postopt_study
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def quick_corpora(quick_config):
+    generator = DatasetGenerator(
+        GenerationConfig(
+            samples_per_design=quick_config.samples_per_design, seed=quick_config.seed
+        )
+    )
+    return generator.generate(quick_config.all_designs(), rng=quick_config.seed)
+
+
+class TestAreaAccuracy:
+    def test_rows_and_summary(self, quick_config, quick_corpora):
+        result = run_area_accuracy(quick_config, corpora=quick_corpora)
+        assert {row.design for row in result.rows} == set(quick_config.all_designs())
+        assert result.area_per_and_um2 > 0
+        assert result.mean_model_error >= 0
+        assert result.mean_proxy_error >= 0
+        assert result.training_seconds > 0
+        roles = {row.design: row.role for row in result.rows}
+        for design in quick_config.train_designs:
+            assert roles[design] == "train"
+
+    def test_format_table_lists_every_design(self, quick_config, quick_corpora):
+        result = run_area_accuracy(quick_config, corpora=quick_corpora)
+        table = result.format_table()
+        for design in quick_config.all_designs():
+            assert design in table
+        assert "proxy" in table
+
+
+class TestLearningCurve:
+    def test_points_follow_requested_sizes(self, quick_config, quick_corpora):
+        result = run_learning_curve(
+            quick_config, sample_counts=[4, 8], corpora=quick_corpora
+        )
+        assert [point.samples_per_design for point in result.points] == [4, 8]
+        for point in result.points:
+            assert point.train_error_percent >= 0
+            assert point.test_error_percent >= 0
+            assert point.training_seconds > 0
+        assert result.best_test_error <= result.points[0].test_error_percent
+
+    def test_default_sample_counts_derived_from_config(self, quick_config, quick_corpora):
+        result = run_learning_curve(quick_config, corpora=quick_corpora)
+        sizes = [point.samples_per_design for point in result.points]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == quick_config.samples_per_design
+
+    def test_empty_sample_counts_rejected(self, quick_config, quick_corpora):
+        with pytest.raises(ValueError):
+            run_learning_curve(quick_config, sample_counts=[], corpora=quick_corpora)
+
+    def test_format_table(self, quick_config, quick_corpora):
+        result = run_learning_curve(
+            quick_config, sample_counts=[4, 8], corpora=quick_corpora
+        )
+        table = result.format_table()
+        assert "samples/design" in table
+        assert "unseen" in table
+
+
+class TestOptimizerComparison:
+    @pytest.fixture(scope="class")
+    def adder_delay_model(self):
+        generator = DatasetGenerator(GenerationConfig(samples_per_design=8, seed=9))
+        corpus = generator.generate_for_aig("add5", adder_design(bits=5), rng=9)
+        model = GradientBoostingRegressor(
+            GbdtParams(n_estimators=50, max_depth=3, learning_rate=0.12), rng=0
+        )
+        model.fit(corpus.features, corpus.delays_ps)
+        return model
+
+    def test_all_algorithms_reported(self, quick_config, adder_delay_model):
+        result = run_optimizer_comparison(
+            adder_delay_model,
+            config=quick_config,
+            design="add5",
+            initial=adder_design(bits=5),
+            include_proxy_baseline=True,
+        )
+        algorithms = {(row.algorithm, row.cost_function) for row in result.rows}
+        assert ("simulated_annealing", "ml") in algorithms
+        assert ("greedy", "ml") in algorithms
+        assert ("genetic", "ml") in algorithms
+        assert ("simulated_annealing", "proxy") in algorithms
+        assert result.initial_delay_ps > 0
+        for row in result.rows:
+            assert row.cost_evaluations > 0
+            assert row.ground_truth_delay_ps > 0
+
+    def test_best_row_and_lookup(self, quick_config, adder_delay_model):
+        result = run_optimizer_comparison(
+            adder_delay_model,
+            config=quick_config,
+            design="add5",
+            initial=adder_design(bits=5),
+            include_proxy_baseline=False,
+        )
+        assert len(result.rows) == 3
+        best = result.best_row()
+        assert best.ground_truth_delay_ps == min(
+            row.ground_truth_delay_ps for row in result.rows
+        )
+        assert result.row("greedy").algorithm == "greedy"
+        with pytest.raises(KeyError):
+            result.row("tabu_search")
+        table = result.format_table()
+        assert "greedy" in table and "genetic" in table
+
+
+class TestPostOptStudy:
+    def test_quick_designs(self, quick_config):
+        result = run_postopt_study(quick_config, designs=["EX68", "EX00"])
+        assert [row.design for row in result.rows] == ["EX68", "EX00"]
+        for row in result.rows:
+            assert row.delay_after_ps <= row.delay_before_ps + 1e-9
+            assert row.gates > 0
+        assert result.mean_delay_improvement_percent >= 0.0
+        table = result.format_table()
+        assert "EX68" in table and "mean delay improvement" in table

@@ -1,0 +1,77 @@
+"""Tests for the named Table II feature groups."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.extract import FeatureConfig, FeatureExtractor
+from repro.features.groups import (
+    GROUP_NAMES,
+    columns_for_groups,
+    drop_groups,
+    feature_groups,
+    group_of,
+)
+
+
+def test_every_feature_belongs_to_exactly_one_group():
+    extractor = FeatureExtractor()
+    groups = feature_groups()
+    all_grouped = [name for members in groups.values() for name in members]
+    assert sorted(all_grouped) == sorted(extractor.feature_names)
+    assert set(groups) == set(GROUP_NAMES)
+
+
+def test_group_of_specific_features():
+    assert group_of("number_of_node") == "proxy"
+    assert group_of("aig_level") == "proxy"
+    assert group_of("aig_2th_long_path_depth") == "depth"
+    assert group_of("aig_1th_binary_weighted_path_depth") == "depth"
+    assert group_of("fanout_std") == "fanout"
+    assert group_of("long_path_fanout_max") == "long_path_fanout"
+    assert group_of("num_of_paths_3") == "path_count"
+    with pytest.raises(FeatureError):
+        group_of("mystery_feature")
+
+
+def test_groups_follow_the_feature_config():
+    config = FeatureConfig(top_n_depths=2, top_n_paths=1)
+    groups = feature_groups(config)
+    assert len(groups["depth"]) == 3 * 2  # three depth flavours, n = 2
+    assert len(groups["path_count"]) == 1
+    assert len(groups["proxy"]) == 2
+    assert len(groups["fanout"]) == 4
+    assert len(groups["long_path_fanout"]) == 4
+
+
+def test_columns_for_groups_indices_match_names():
+    names = FeatureExtractor().feature_names
+    depth_columns = columns_for_groups(names, ["depth"])
+    assert all("path_depth" in names[i] for i in depth_columns)
+    proxy_and_paths = columns_for_groups(names, ["proxy", "path_count"])
+    assert len(proxy_and_paths) == 2 + 3
+    with pytest.raises(FeatureError, match="unknown feature groups"):
+        columns_for_groups(names, ["bogus"])
+
+
+def test_drop_groups_removes_only_the_requested_columns(tiny_aig):
+    extractor = FeatureExtractor()
+    names = extractor.feature_names
+    matrix = extractor.extract(tiny_aig).reshape(1, -1)
+    reduced = drop_groups(matrix, names, ["fanout", "long_path_fanout"])
+    assert reduced.shape == (1, len(names) - 8)
+    kept_names = [n for n in names if group_of(n) not in ("fanout", "long_path_fanout")]
+    expected = np.array(
+        [[matrix[0, names.index(name)] for name in kept_names]], dtype=np.float64
+    )
+    assert np.allclose(reduced, expected)
+
+
+def test_drop_groups_validation(tiny_aig):
+    extractor = FeatureExtractor()
+    names = extractor.feature_names
+    matrix = extractor.extract(tiny_aig).reshape(1, -1)
+    with pytest.raises(FeatureError, match="does not match"):
+        drop_groups(matrix[:, :-1], names, ["proxy"])
+    with pytest.raises(FeatureError, match="every feature group"):
+        drop_groups(matrix, names, list(GROUP_NAMES))

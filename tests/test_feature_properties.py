@@ -1,0 +1,53 @@
+"""Property-based tests tying the Table II features to graph invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.random_graphs import random_aig
+from repro.features.extract import FeatureExtractor
+
+_EXTRACTOR = FeatureExtractor()
+_INDEX = {name: i for i, name in enumerate(_EXTRACTOR.feature_names)}
+
+
+def _vector(seed: int, num_ands: int):
+    aig = random_aig(8, 4, num_ands, rng=seed)
+    return aig, _EXTRACTOR.extract(aig)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), num_ands=st.integers(40, 160))
+def test_features_are_finite_and_nonnegative(seed, num_ands):
+    _, vector = _vector(seed, num_ands)
+    assert (vector >= 0).all()
+    assert all(v == v and v != float("inf") for v in vector)  # no NaN/inf
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), num_ands=st.integers(40, 160))
+def test_node_and_level_features_match_graph(seed, num_ands):
+    aig, vector = _vector(seed, num_ands)
+    assert vector[_INDEX["number_of_node"]] == aig.num_ands
+    assert vector[_INDEX["aig_level"]] == aig.depth()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), num_ands=st.integers(40, 160))
+def test_depth_features_are_sorted_and_consistent(seed, num_ands):
+    aig, vector = _vector(seed, num_ands)
+    long_paths = [vector[_INDEX[f"aig_{n}th_long_path_depth"]] for n in (1, 2, 3)]
+    assert long_paths == sorted(long_paths, reverse=True)
+    # The deepest PO path (in nodes) is the AIG level plus the PI endpoint.
+    assert long_paths[0] == aig.depth() + 1
+    binary = [vector[_INDEX[f"aig_{n}th_binary_weighted_path_depth"]] for n in (1, 2, 3)]
+    for plain, b in zip(long_paths, binary):
+        assert b <= plain
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), num_ands=st.integers(40, 160))
+def test_fanout_sum_counts_every_edge(seed, num_ands):
+    aig, vector = _vector(seed, num_ands)
+    assert vector[_INDEX["fanout_sum"]] == 2 * aig.num_ands + aig.num_pos
+    assert vector[_INDEX["long_path_fanout_sum"]] <= vector[_INDEX["fanout_sum"]]
+    assert vector[_INDEX["fanout_max"]] >= vector[_INDEX["fanout_mean"]]

@@ -1,0 +1,163 @@
+"""Tests for the Table II feature extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aig.graph import Aig
+from repro.errors import FeatureError
+from repro.features.depth import (
+    nth_binary_weighted_path_depths,
+    nth_long_path_depths,
+    nth_weighted_path_depths,
+)
+from repro.features.extract import FeatureConfig, FeatureExtractor, extract_features
+from repro.features.fanout import distribution_stats, fanout_stats, long_path_fanout_stats
+from repro.features.paths import top_path_counts
+
+
+@pytest.fixture()
+def two_output_aig():
+    """One deep output (3 levels) and one shallow output (1 level)."""
+    aig = Aig("two")
+    a, b, c, d = (aig.add_pi(n) for n in "abcd")
+    deep = aig.add_and(aig.add_and(aig.add_and(a, b), c), d)
+    shallow = aig.add_and(a, d)
+    aig.add_po(deep, "deep")
+    aig.add_po(shallow, "shallow")
+    return aig
+
+
+class TestDepthFeatures:
+    def test_nth_long_path_depths_ordering(self, two_output_aig):
+        depths = nth_long_path_depths(two_output_aig, n=3)
+        assert depths[0] == 4.0  # 3 ANDs + PI
+        assert depths[1] == 2.0  # 1 AND + PI
+        assert depths[2] == 0.0  # padded
+
+    def test_weighted_depths_at_least_plain_depths(self, mult_aig):
+        plain = nth_long_path_depths(mult_aig, 3)
+        weighted = nth_weighted_path_depths(mult_aig, 3)
+        # Fanout weights are >= 1 for every node on a used path.
+        for p, w in zip(plain, weighted):
+            assert w >= p
+
+    def test_binary_weighted_depths_bounded_by_plain(self, mult_aig):
+        plain = nth_long_path_depths(mult_aig, 3)
+        binary = nth_binary_weighted_path_depths(mult_aig, 3)
+        for p, b in zip(plain, binary):
+            assert 0.0 <= b <= p
+
+    def test_single_output_padding(self, adder_aig):
+        depths = nth_long_path_depths(adder_aig, n=10)
+        assert len(depths) == 10
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestFanoutFeatures:
+    def test_distribution_stats_known_values(self):
+        stats = distribution_stats([1.0, 2.0, 3.0, 6.0])
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["max"] == 6.0
+        assert stats["sum"] == 12.0
+        assert stats["std"] == pytest.approx(math.sqrt(3.5))
+
+    def test_distribution_stats_empty(self):
+        stats = distribution_stats([])
+        assert stats == {"mean": 0.0, "max": 0.0, "std": 0.0, "sum": 0.0}
+
+    def test_fanout_stats_sum_counts_every_edge(self, two_output_aig):
+        stats = fanout_stats(two_output_aig)
+        # Every AND has two fanin edges, every PO one: total edge count.
+        expected_sum = 2 * two_output_aig.num_ands + two_output_aig.num_pos
+        assert stats["sum"] == expected_sum
+
+    def test_long_path_fanout_subset_of_all(self, mult_aig):
+        all_stats = fanout_stats(mult_aig)
+        long_stats = long_path_fanout_stats(mult_aig)
+        assert long_stats["sum"] <= all_stats["sum"]
+        assert long_stats["max"] <= all_stats["max"]
+
+
+class TestPathFeatures:
+    def test_top_path_counts_log_scale(self, two_output_aig):
+        raw = top_path_counts(two_output_aig, n=2, log_scale=False)
+        logged = top_path_counts(two_output_aig, n=2, log_scale=True)
+        assert raw[0] >= raw[1]
+        assert logged[0] == pytest.approx(math.log1p(raw[0]))
+
+    def test_path_counts_padding(self, adder_aig):
+        counts = top_path_counts(adder_aig, n=12)
+        assert len(counts) == 12
+
+
+class TestExtractor:
+    def test_feature_vector_length_matches_names(self, mult_aig):
+        extractor = FeatureExtractor()
+        vector = extractor.extract(mult_aig)
+        assert vector.shape == (extractor.num_features,)
+        assert len(extractor.feature_names) == extractor.num_features
+
+    def test_default_feature_set_matches_paper(self):
+        names = FeatureExtractor().feature_names
+        assert "number_of_node" in names
+        assert "aig_level" in names
+        assert "aig_1th_long_path_depth" in names
+        assert "aig_3th_binary_weighted_path_depth" in names
+        assert "fanout_mean" in names and "fanout_sum" in names
+        assert "long_path_fanout_std" in names
+        assert "num_of_paths_1" in names
+        assert len(names) == 22
+
+    def test_extract_dict_consistent_with_vector(self, adder_aig):
+        extractor = FeatureExtractor()
+        values = extractor.extract_dict(adder_aig)
+        vector = extractor.extract(adder_aig)
+        assert vector[0] == values["number_of_node"] == adder_aig.num_ands
+        assert vector[1] == values["aig_level"] == adder_aig.depth()
+
+    def test_extract_many_stacks_rows(self, adder_aig, mult_aig):
+        extractor = FeatureExtractor()
+        matrix = extractor.extract_many([adder_aig, mult_aig])
+        assert matrix.shape == (2, extractor.num_features)
+        assert not np.array_equal(matrix[0], matrix[1])
+
+    def test_extract_many_empty(self):
+        extractor = FeatureExtractor()
+        assert extractor.extract_many([]).shape == (0, extractor.num_features)
+
+    def test_custom_config_changes_length(self, adder_aig):
+        extractor = FeatureExtractor(FeatureConfig(top_n_depths=2, top_n_paths=1))
+        assert extractor.num_features == 2 + 3 * 2 + 8 + 1
+        assert extractor.extract(adder_aig).shape == (extractor.num_features,)
+
+    def test_no_output_aig_rejected(self):
+        aig = Aig()
+        aig.add_pi()
+        with pytest.raises(FeatureError):
+            extract_features(aig)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(top_n_depths=0)
+
+    def test_features_deterministic(self, mult_aig):
+        extractor = FeatureExtractor()
+        assert np.array_equal(extractor.extract(mult_aig), extractor.extract(mult_aig))
+
+    def test_features_sensitive_to_structure(self):
+        from repro.transforms.balance import Balance
+
+        aig = Aig("chain")
+        pis = [aig.add_pi(f"x{i}") for i in range(8)]
+        current = pis[0]
+        for lit in pis[1:]:
+            current = aig.add_and(current, lit)
+        aig.add_po(current, "f")
+        extractor = FeatureExtractor()
+        original = extractor.extract(aig)
+        balanced = extractor.extract(Balance().apply(aig))
+        # Balancing the chain changes the level feature (index 1).
+        assert balanced[1] < original[1]
+        assert not np.array_equal(original, balanced)

@@ -1,0 +1,201 @@
+"""Tests for the core AIG data structure."""
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.literals import CONST0, CONST1, literal_var, negate
+from repro.aig.simulate import po_truth_tables
+from repro.errors import AigError, LiteralError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        aig = Aig("empty")
+        assert aig.num_pis == 0
+        assert aig.num_pos == 0
+        assert aig.num_ands == 0
+        assert aig.size == 1  # constant node
+
+    def test_add_pi_returns_even_literal(self):
+        aig = Aig()
+        lit = aig.add_pi("x")
+        assert lit % 2 == 0
+        assert aig.num_pis == 1
+        assert aig.pi_names == ["x"]
+
+    def test_add_and_creates_node(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        out = aig.add_and(a, b)
+        assert aig.num_ands == 1
+        assert aig.is_and(literal_var(out))
+
+    def test_default_names_generated(self):
+        aig = Aig()
+        aig.add_pi()
+        aig.add_pi()
+        aig.add_po(aig.pi_literals()[0])
+        assert aig.pi_names == ["pi0", "pi1"]
+        assert aig.po_names == ["po0"]
+
+
+class TestStructuralHashing:
+    def test_duplicate_and_reused(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        first = aig.add_and(a, b)
+        second = aig.add_and(b, a)  # commuted
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_and_with_const0_is_const0(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, CONST0) == CONST0
+
+    def test_and_with_const1_is_identity(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, CONST1) == a
+
+    def test_and_with_self_is_identity(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, a) == a
+
+    def test_and_with_own_complement_is_const0(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, negate(a)) == CONST0
+
+
+class TestDerivedGates:
+    @pytest.mark.parametrize(
+        "builder,table",
+        [
+            ("add_and", 0b1000),
+            ("add_nand", 0b0111),
+            ("add_or", 0b1110),
+            ("add_nor", 0b0001),
+            ("add_xor", 0b0110),
+            ("add_xnor", 0b1001),
+        ],
+    )
+    def test_two_input_gates(self, builder, table):
+        aig = Aig()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        out = getattr(aig, builder)(a, b)
+        aig.add_po(out, "f")
+        assert po_truth_tables(aig)[0] == table
+
+    def test_mux(self):
+        aig = Aig()
+        s, t, e = aig.add_pi("s"), aig.add_pi("t"), aig.add_pi("e")
+        aig.add_po(aig.add_mux(s, t, e), "f")
+        # minterm index bit0=s, bit1=t, bit2=e; f = s ? t : e
+        table = po_truth_tables(aig)[0]
+        for minterm in range(8):
+            s_v, t_v, e_v = minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1
+            expected = t_v if s_v else e_v
+            assert (table >> minterm) & 1 == expected
+
+    def test_maj(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.add_maj(a, b, c), "f")
+        table = po_truth_tables(aig)[0]
+        for minterm in range(8):
+            bits = [(minterm >> i) & 1 for i in range(3)]
+            assert (table >> minterm) & 1 == (1 if sum(bits) >= 2 else 0)
+
+    def test_multi_and_empty_is_const1(self):
+        aig = Aig()
+        assert aig.add_and_multi([]) == CONST1
+
+    def test_multi_or_empty_is_const0(self):
+        aig = Aig()
+        assert aig.add_or_multi([]) == CONST0
+
+
+class TestStructureQueries:
+    def test_levels_and_depth(self, tiny_aig):
+        levels = tiny_aig.levels()
+        assert levels[0] == 0
+        for var in tiny_aig.pi_vars:
+            assert levels[var] == 0
+        assert tiny_aig.depth() >= 2
+
+    def test_fanout_counts_include_pos(self, tiny_aig):
+        fanouts = tiny_aig.fanout_counts()
+        total_po_refs = len(tiny_aig.po_literals())
+        assert sum(fanouts) >= total_po_refs
+
+    def test_fanouts_lists_consumers(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        out = aig.add_and(a, b)
+        aig.add_po(out)
+        consumers = aig.fanouts()
+        assert literal_var(out) in consumers[literal_var(a)]
+
+    def test_stats(self, adder_aig):
+        stats = adder_aig.stats()
+        assert stats.num_pis == 8
+        assert stats.num_pos == 5
+        assert stats.num_ands == adder_aig.num_ands
+        assert stats.depth == adder_aig.depth()
+
+    def test_invalid_var_raises(self, tiny_aig):
+        with pytest.raises(AigError):
+            tiny_aig.fanins(999)
+
+    def test_invalid_literal_raises(self):
+        aig = Aig()
+        aig.add_pi()
+        with pytest.raises(LiteralError):
+            aig.add_and(2, 1000)
+
+    def test_fanins_of_pi_raises(self, tiny_aig):
+        with pytest.raises(AigError):
+            tiny_aig.fanins(tiny_aig.pi_vars[0])
+
+
+class TestCloneAndCleanup:
+    def test_clone_is_deep(self, tiny_aig):
+        clone = tiny_aig.clone()
+        clone.add_pi("extra")
+        assert clone.num_pis == tiny_aig.num_pis + 1
+
+    def test_cleanup_removes_dangling(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        used = aig.add_and(a, b)
+        aig.add_and(a, c)  # dangling
+        aig.add_po(used)
+        cleaned = aig.cleanup()
+        assert cleaned.num_ands == 1
+        assert cleaned.num_pis == 3  # PIs always preserved
+
+    def test_cleanup_preserves_function(self, adder_aig):
+        from repro.aig.equivalence import check_equivalence_exact
+
+        cleaned = adder_aig.cleanup()
+        assert check_equivalence_exact(adder_aig, cleaned).equivalent
+
+    def test_set_po_literal(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(a, "f")
+        aig.set_po_literal(0, b)
+        assert aig.po_literals() == [b]
+        with pytest.raises(AigError):
+            aig.set_po_literal(3, a)
+
+
+class TestNetworkxExport:
+    def test_export_counts(self, tiny_aig):
+        graph = tiny_aig.to_networkx()
+        po_nodes = [n for n, d in graph.nodes(data=True) if d.get("kind") == "po"]
+        and_nodes = [n for n, d in graph.nodes(data=True) if d.get("kind") == "and"]
+        assert len(po_nodes) == tiny_aig.num_pos
+        assert len(and_nodes) == tiny_aig.num_ands

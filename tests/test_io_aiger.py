@@ -1,0 +1,90 @@
+"""Tests for the ASCII AIGER reader/writer."""
+
+import io
+
+import pytest
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.aig.random_graphs import random_aig
+from repro.io.aiger import dumps_aag, loads_aag, read_aag, write_aag
+from repro.errors import ParseError
+
+
+def test_roundtrip_preserves_function(adder_aig):
+    text = dumps_aag(adder_aig)
+    parsed = loads_aag(text)
+    assert parsed.num_pis == adder_aig.num_pis
+    assert parsed.num_pos == adder_aig.num_pos
+    assert check_equivalence_exact(adder_aig, parsed).equivalent
+
+
+def test_roundtrip_random_graphs():
+    for seed in range(3):
+        aig = random_aig(7, 3, 80, rng=seed)
+        parsed = loads_aag(dumps_aag(aig))
+        assert check_equivalence_exact(aig, parsed).equivalent
+
+
+def test_names_preserved(tiny_aig):
+    parsed = loads_aag(dumps_aag(tiny_aig))
+    assert parsed.pi_names == tiny_aig.pi_names
+    assert parsed.po_names == tiny_aig.po_names
+
+
+def test_header_counts(tiny_aig):
+    header = dumps_aag(tiny_aig).splitlines()[0].split()
+    assert header[0] == "aag"
+    assert int(header[2]) == tiny_aig.num_pis
+    assert int(header[4]) == tiny_aig.num_pos
+    assert int(header[5]) == tiny_aig.num_ands
+
+
+def test_file_roundtrip(tmp_path, adder_aig):
+    path = tmp_path / "adder.aag"
+    write_aag(adder_aig, path)
+    parsed = read_aag(path)
+    assert check_equivalence_exact(adder_aig, parsed).equivalent
+    assert parsed.name == "adder"
+
+
+def test_stream_roundtrip(tiny_aig):
+    buffer = io.StringIO()
+    write_aag(tiny_aig, buffer)
+    buffer.seek(0)
+    parsed = read_aag(buffer)
+    assert check_equivalence_exact(tiny_aig, parsed).equivalent
+
+
+def test_reference_example_parses():
+    # Single AND gate example from the AIGER specification.
+    text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+    aig = loads_aag(text)
+    assert aig.num_pis == 2
+    assert aig.num_ands == 1
+    from repro.aig.simulate import po_truth_tables
+
+    assert po_truth_tables(aig)[0] == 0b1000
+
+
+def test_constant_output_parses():
+    text = "aag 1 1 0 1 0\n2\n1\n"
+    aig = loads_aag(text)
+    from repro.aig.simulate import po_truth_tables
+
+    assert po_truth_tables(aig)[0] == 0b11  # constant true
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "xyz 1 2 3 4 5\n",
+        "aag 1 1\n",
+        "aag 1 1 1 1 0\n2\n2\n",  # latches unsupported
+        "aag 2 1 0 1 1\n2\n4\n4 2\n",  # malformed AND line
+        "aag 2 1 0 1 1\n3\n4\n4 2 2\n",  # complemented input definition
+    ],
+)
+def test_malformed_inputs_rejected(text):
+    with pytest.raises(ParseError):
+        loads_aag(text)

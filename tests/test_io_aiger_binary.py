@@ -1,0 +1,123 @@
+"""Tests for the binary AIGER (.aig) reader and writer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.equivalence import check_equivalence
+from repro.aig.graph import Aig
+from repro.aig.random_graphs import random_aig
+from repro.errors import ParseError
+from repro.io.aiger import loads_aag
+from repro.io.aiger_binary import (
+    dumps_aig_binary,
+    loads_aig_binary,
+    read_aig_binary,
+    write_aig_binary,
+)
+
+
+def test_roundtrip_tiny(tiny_aig):
+    parsed = loads_aig_binary(dumps_aig_binary(tiny_aig))
+    assert parsed.num_pis == tiny_aig.num_pis
+    assert parsed.num_pos == tiny_aig.num_pos
+    assert parsed.num_ands == tiny_aig.num_ands
+    assert parsed.pi_names == tiny_aig.pi_names
+    assert parsed.po_names == tiny_aig.po_names
+    assert check_equivalence(tiny_aig, parsed).equivalent
+
+
+def test_roundtrip_adder(adder_aig):
+    parsed = loads_aig_binary(dumps_aig_binary(adder_aig))
+    assert parsed.num_ands == adder_aig.num_ands
+    assert check_equivalence(adder_aig, parsed).equivalent
+
+
+def test_roundtrip_file_and_stream(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.aig"
+    write_aig_binary(tiny_aig, path)
+    parsed = read_aig_binary(path)
+    assert parsed.name == "tiny"
+    assert check_equivalence(tiny_aig, parsed).equivalent
+
+    buffer = io.BytesIO()
+    write_aig_binary(tiny_aig, buffer)
+    buffer.seek(0)
+    parsed_stream = read_aig_binary(buffer)
+    assert check_equivalence(tiny_aig, parsed_stream).equivalent
+
+
+def test_header_counts_match_ascii_format(tiny_aig):
+    binary = dumps_aig_binary(tiny_aig)
+    header = binary.split(b"\n", 1)[0].decode("ascii")
+    fields = header.split()
+    assert fields[0] == "aig"
+    max_var, inputs, latches, outputs, ands = map(int, fields[1:])
+    assert inputs == tiny_aig.num_pis
+    assert latches == 0
+    assert outputs == tiny_aig.num_pos
+    assert ands == tiny_aig.num_ands
+    assert max_var == inputs + ands
+
+
+def test_binary_is_smaller_than_ascii(mult_aig):
+    from repro.io.aiger import dumps_aag
+
+    assert len(dumps_aig_binary(mult_aig)) < len(dumps_aag(mult_aig).encode())
+
+
+def test_constant_output():
+    aig = Aig("const")
+    aig.add_pi("a")
+    aig.add_po(1, "always_true")  # CONST1
+    parsed = loads_aig_binary(dumps_aig_binary(aig))
+    assert check_equivalence(aig, parsed).equivalent
+
+
+def test_po_complement_preserved():
+    aig = Aig("inv")
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.add_po(aig.add_nand(a, b), "y")
+    parsed = loads_aig_binary(dumps_aig_binary(aig))
+    assert check_equivalence(aig, parsed).equivalent
+
+
+def test_rejects_latches():
+    with pytest.raises(ParseError, match="latches"):
+        loads_aig_binary(b"aig 1 0 1 0 0\n0\n")
+
+
+def test_rejects_bad_header():
+    with pytest.raises(ParseError, match="header"):
+        loads_aig_binary(b"not an aiger file\n")
+    with pytest.raises(ParseError, match="header"):
+        loads_aig_binary(b"aig 5 2 0 1\n")
+
+
+def test_rejects_inconsistent_counts():
+    # M must equal I + A for combinational files.
+    with pytest.raises(ParseError, match="mismatch"):
+        loads_aig_binary(b"aig 9 2 0 1 5\n4\n")
+
+
+def test_rejects_truncated_body(tiny_aig):
+    data = dumps_aig_binary(tiny_aig)
+    header_end = data.index(b"\n") + 1
+    truncated = data[: header_end + 2]
+    with pytest.raises(ParseError):
+        loads_aig_binary(truncated)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    num_ands=st.integers(min_value=5, max_value=120),
+)
+def test_random_aigs_roundtrip(seed, num_ands):
+    aig = random_aig(6, 3, num_ands, rng=seed)
+    parsed = loads_aig_binary(dumps_aig_binary(aig))
+    assert parsed.num_ands == aig.num_ands
+    assert check_equivalence(aig, parsed).equivalent

@@ -1,0 +1,83 @@
+"""Tests for the BENCH reader/writer."""
+
+import pytest
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.aig.simulate import po_truth_tables
+from repro.io.bench import dumps_bench, loads_bench, read_bench, write_bench
+from repro.errors import ParseError
+
+
+def test_roundtrip_preserves_function(adder_aig):
+    parsed = loads_bench(dumps_bench(adder_aig))
+    assert check_equivalence_exact(adder_aig, parsed).equivalent
+
+
+def test_roundtrip_tiny(tiny_aig):
+    parsed = loads_bench(dumps_bench(tiny_aig))
+    assert check_equivalence_exact(tiny_aig, parsed).equivalent
+    assert parsed.pi_names == tiny_aig.pi_names
+
+
+def test_file_roundtrip(tmp_path, mult_aig):
+    path = tmp_path / "mult.bench"
+    write_bench(mult_aig, path)
+    parsed = read_bench(path)
+    assert check_equivalence_exact(mult_aig, parsed).equivalent
+
+
+def test_parse_all_gate_types():
+    text = """
+    # test circuit
+    INPUT(a)
+    INPUT(b)
+    INPUT(c)
+    OUTPUT(f)
+    OUTPUT(g)
+    n1 = AND(a, b)
+    n2 = NAND(a, b, c)
+    n3 = OR(n1, n2)
+    n4 = NOR(a, c)
+    n5 = XOR(n3, n4)
+    n6 = XNOR(a, b)
+    n7 = NOT(n6)
+    f = BUFF(n5)
+    g = BUFF(n7)
+    """
+    aig = loads_bench(text)
+    assert aig.num_pis == 3
+    assert aig.num_pos == 2
+    tables = po_truth_tables(aig)
+    assert tables[1] == 0b01100110  # g = a ^ b (NOT of XNOR)
+
+
+def test_out_of_order_definitions_resolved():
+    text = """
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(f)
+    f = AND(n1, b)
+    n1 = OR(a, b)
+    """
+    aig = loads_bench(text)
+    assert po_truth_tables(aig)[0] == 0b1100  # (a|b)&b == b
+
+
+def test_unresolved_signal_rejected():
+    with pytest.raises(ParseError):
+        loads_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n")
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(ParseError):
+        loads_bench("INPUT(a)\nOUTPUT(f)\nf = FOO(a)\n")
+
+
+def test_missing_output_driver_rejected():
+    with pytest.raises(ParseError):
+        loads_bench("INPUT(a)\nOUTPUT(f)\n")
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ParseError):
+        loads_bench("INPUT(a)\nOUTPUT(f)\nf == AND(a)\n")

@@ -1,0 +1,124 @@
+"""Tests for the BLIF reader (round-trips and hand-written covers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.equivalence import check_equivalence
+from repro.aig.random_graphs import random_aig
+from repro.aig.simulate import po_truth_tables
+from repro.errors import ParseError
+from repro.io.blif import dumps_blif, loads_blif, read_blif, write_blif
+
+
+def test_roundtrip_tiny(tiny_aig):
+    parsed = loads_blif(dumps_blif(tiny_aig))
+    assert parsed.num_pis == tiny_aig.num_pis
+    assert parsed.num_pos == tiny_aig.num_pos
+    assert parsed.pi_names == tiny_aig.pi_names
+    assert parsed.po_names == tiny_aig.po_names
+    assert check_equivalence(tiny_aig, parsed).equivalent
+
+
+def test_roundtrip_adder(adder_aig):
+    parsed = loads_blif(dumps_blif(adder_aig))
+    assert check_equivalence(adder_aig, parsed).equivalent
+
+
+def test_roundtrip_file(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.blif"
+    write_blif(tiny_aig, path)
+    parsed = read_blif(path)
+    assert parsed.name == "tiny"
+    assert check_equivalence(tiny_aig, parsed).equivalent
+
+
+def test_model_name_from_header():
+    text = ".model widget\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+    aig = loads_blif(text)
+    assert aig.name == "widget"
+    assert po_truth_tables(aig) == [0b1000]
+
+
+def test_multi_row_cover_is_or_of_cubes():
+    # y = a&b | !a&c   (a 2-row cover with a don't-care position per row)
+    text = (
+        ".model f\n.inputs a b c\n.outputs y\n"
+        ".names a b c y\n11- 1\n0-1 1\n.end\n"
+    )
+    aig = loads_blif(text)
+    # truth over (a=var0, b=var1, c=var2): a&b -> minterms {3,7}; !a&c -> {4,6}
+    assert po_truth_tables(aig) == [0b11011000]
+
+
+def test_offset_cover_complements_the_or():
+    # Rows list the OFF-set: y = !(a&b)
+    text = ".model f\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+    aig = loads_blif(text)
+    assert po_truth_tables(aig) == [0b0111]
+
+
+def test_constant_covers():
+    text = (
+        ".model consts\n.inputs a\n.outputs one zero unused_driven\n"
+        ".names one\n1\n"
+        ".names zero\n"
+        "\n.names a unused_driven\n1 1\n.end\n"
+    )
+    aig = loads_blif(text)
+    tables = po_truth_tables(aig)
+    assert tables[0] == 0b11  # constant 1
+    assert tables[1] == 0b00  # constant 0 (empty cover)
+    assert tables[2] == 0b10  # buffer of a
+
+
+def test_continuation_lines_and_comments():
+    text = (
+        "# a comment line\n"
+        ".model cont\n"
+        ".inputs a \\\n b\n"
+        ".outputs y # trailing comment\n"
+        ".names a b y\n11 1\n.end\n"
+    )
+    aig = loads_blif(text)
+    assert aig.pi_names == ["a", "b"]
+    assert po_truth_tables(aig) == [0b1000]
+
+
+def test_declaration_order_does_not_matter():
+    # The cover for the intermediate signal appears after its consumer.
+    text = (
+        ".model order\n.inputs a b c\n.outputs y\n"
+        ".names t c y\n11 1\n"
+        ".names a b t\n11 1\n.end\n"
+    )
+    aig = loads_blif(text)
+    assert po_truth_tables(aig) == [0b10000000]
+
+
+@pytest.mark.parametrize(
+    "text, message",
+    [
+        (".model m\n.inputs a\n.outputs y\n.latch a y 0\n.end\n", "unsupported"),
+        (".model m\n.inputs a\n.outputs y\n.end\n", "never defined"),
+        (".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n", "more than one"),
+        (".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n", "positions"),
+        (".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n", "outside"),
+        (".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n", "output value"),
+        (".model m\n.inputs a\n.outputs y\n.names y y\n1 1\n.end\n", "cycle"),
+        (".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n", "mixes"),
+        (".model m\n.inputs a\n.end\n", "no outputs"),
+        (".model m\n.inputs a\n.outputs y\nstray line\n.end\n", "outside a .names"),
+    ],
+)
+def test_parse_errors(text, message):
+    with pytest.raises(ParseError, match=message):
+        loads_blif(text)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_random_aigs_roundtrip(seed):
+    aig = random_aig(6, 3, 40, rng=seed)
+    parsed = loads_blif(dumps_blif(aig))
+    assert check_equivalence(aig, parsed).equivalent

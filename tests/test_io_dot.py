@@ -1,0 +1,59 @@
+"""Tests for the Graphviz DOT exporters."""
+
+from repro.io.dot import aig_to_dot, netlist_to_dot, write_aig_dot, write_netlist_dot
+from repro.mapping.mapper import map_aig
+from repro.sta.analysis import analyze_timing
+
+
+def test_aig_dot_structure(tiny_aig):
+    text = aig_to_dot(tiny_aig)
+    assert text.startswith('digraph "tiny"')
+    assert text.rstrip().endswith("}")
+    # one triangle per PI, one invtriangle per PO, one node per AND
+    assert text.count("shape=triangle") == tiny_aig.num_pis
+    assert text.count("shape=invtriangle") == tiny_aig.num_pos
+    for var in tiny_aig.and_vars():
+        assert f"v{var} [" in text
+    # complemented edges are dashed; the tiny AIG has at least one
+    assert "style=dashed" in text
+
+
+def test_aig_dot_edge_count(adder_aig):
+    text = aig_to_dot(adder_aig)
+    arrow_count = text.count("->")
+    assert arrow_count == 2 * adder_aig.num_ands + adder_aig.num_pos
+
+
+def test_aig_dot_highlight(tiny_aig):
+    highlighted = next(iter(tiny_aig.and_vars()))
+    text = aig_to_dot(tiny_aig, highlight_vars=[highlighted])
+    assert "fillcolor" in text
+
+
+def test_aig_dot_file(tmp_path, tiny_aig):
+    path = tmp_path / "tiny.dot"
+    write_aig_dot(tiny_aig, path)
+    assert path.read_text().startswith("digraph")
+
+
+def test_netlist_dot(adder_aig, library):
+    netlist = map_aig(adder_aig, library)
+    text = netlist_to_dot(netlist)
+    assert text.startswith("digraph")
+    for index in range(netlist.num_gates):
+        assert f"g{index} [" in text
+    assert text.count("shape=invtriangle") == len(netlist.po_names)
+
+
+def test_netlist_dot_critical_path_highlight(adder_aig, library):
+    netlist = map_aig(adder_aig, library)
+    timing = analyze_timing(netlist, po_load_ff=library.po_load_ff)
+    text = netlist_to_dot(netlist, timing=timing)
+    assert text.count("fillcolor") == len(timing.critical_path)
+
+
+def test_netlist_dot_file(tmp_path, tiny_aig, library):
+    netlist = map_aig(tiny_aig, library)
+    path = tmp_path / "tiny_netlist.dot"
+    write_netlist_dot(netlist, path)
+    assert path.read_text().rstrip().endswith("}")

@@ -1,0 +1,60 @@
+"""Tests for the BLIF and structural Verilog writers."""
+
+from repro.io.blif import dumps_blif, write_blif
+from repro.io.verilog import dumps_aig_verilog, dumps_mapped_verilog, write_aig_verilog
+from repro.library.sky130_lite import load_sky130_lite
+from repro.mapping.mapper import map_aig
+
+
+def test_blif_structure(tiny_aig):
+    text = dumps_blif(tiny_aig)
+    assert text.startswith(".model tiny")
+    assert ".inputs a b c" in text
+    assert ".outputs f g" in text
+    assert text.rstrip().endswith(".end")
+    assert text.count(".names") >= tiny_aig.num_ands
+
+
+def test_blif_file_write(tmp_path, adder_aig):
+    path = tmp_path / "adder.blif"
+    write_blif(adder_aig, path)
+    content = path.read_text()
+    assert ".model" in content and ".end" in content
+
+
+def test_aig_verilog_structure(tiny_aig):
+    text = dumps_aig_verilog(tiny_aig)
+    assert "module tiny(" in text
+    assert "endmodule" in text
+    assert text.count("and(") == tiny_aig.num_ands
+    for name in tiny_aig.pi_names:
+        assert f"input {name};" in text
+
+
+def test_aig_verilog_file(tmp_path, mult_aig):
+    path = tmp_path / "mult.v"
+    write_aig_verilog(mult_aig, path)
+    assert "endmodule" in path.read_text()
+
+
+def test_mapped_verilog_contains_cells(adder_aig):
+    library = load_sky130_lite()
+    netlist = map_aig(adder_aig, library)
+    text = dumps_mapped_verilog(netlist)
+    assert "module add4(" in text or "module" in text
+    assert "endmodule" in text
+    histogram = netlist.cell_histogram()
+    # every used cell type should appear as an instance in the Verilog
+    for cell_name in histogram:
+        assert cell_name in text
+
+
+def test_verilog_sanitizes_names():
+    from repro.aig.graph import Aig
+
+    aig = Aig("weird design-name")
+    a = aig.add_pi("in[0]")
+    aig.add_po(a, "out.0")
+    text = dumps_aig_verilog(aig)
+    assert "module weird_design_name(" in text
+    assert "in_0_" in text

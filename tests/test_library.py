@@ -1,0 +1,181 @@
+"""Tests for the standard-cell library: cells, expressions, genlib, matching."""
+
+import pytest
+
+from repro.aig.truth import table_mask, var_truth
+from repro.errors import LibraryError, ParseError
+from repro.library.cell import Cell, PinTiming
+from repro.library.expr import parse_expression, tokenize
+from repro.library.genlib import parse_genlib
+from repro.library.library import CellLibrary, cell_variants
+from repro.library.sky130_lite import SKY130_LITE_GENLIB, load_sky130_lite
+
+
+def _pin(name="A", cap=1.0, intrinsic=10.0, resistance=5.0):
+    return PinTiming(name, cap, intrinsic, resistance)
+
+
+class TestPinAndCell:
+    def test_pin_delay_linear_in_load(self):
+        pin = _pin(intrinsic=10.0, resistance=5.0)
+        assert pin.delay_ps(0.0) == 10.0
+        assert pin.delay_ps(2.0) == 20.0
+
+    def test_cell_requires_matching_pin_count(self):
+        with pytest.raises(LibraryError):
+            Cell("BAD", function=0b1000, num_inputs=2, area_um2=1.0, pins=(_pin(),))
+
+    def test_cell_rejects_wide_function(self):
+        with pytest.raises(LibraryError):
+            Cell("BAD", function=1 << 5, num_inputs=2, area_um2=1.0, pins=(_pin("A"), _pin("B")))
+
+    def test_cell_rejects_nonpositive_area(self):
+        with pytest.raises(LibraryError):
+            Cell("BAD", function=0b01, num_inputs=1, area_um2=0.0, pins=(_pin(),))
+
+    def test_inverter_and_buffer_detection(self):
+        inv = Cell("INV", 0b01, 1, 1.0, (_pin(),))
+        buf = Cell("BUF", 0b10, 1, 1.0, (_pin(),))
+        assert inv.is_inverter() and not inv.is_buffer()
+        assert buf.is_buffer() and not buf.is_inverter()
+
+    def test_worst_delay(self):
+        cell = Cell(
+            "NAND2",
+            0b0111,
+            2,
+            1.0,
+            (_pin("A", intrinsic=10.0), _pin("B", intrinsic=20.0)),
+        )
+        assert cell.worst_delay_ps(1.0) == 25.0
+
+
+class TestExpressionParser:
+    def test_tokenize(self):
+        assert tokenize("!(A&B)") == ["!", "(", "A", "&", "B", ")"]
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("A&B", 0b1000),
+            ("A*B", 0b1000),
+            ("!(A&B)", 0b0111),
+            ("A|B", 0b1110),
+            ("A+B", 0b1110),
+            ("A^B", 0b0110),
+            ("!(A^B)", 0b1001),
+            ("!A", None),  # computed below
+            ("0", 0),
+            ("1", 0b1111),
+        ],
+    )
+    def test_two_input_expressions(self, expr, expected):
+        table = parse_expression(expr, ["A", "B"])
+        if expected is None:
+            expected = ~var_truth(0, 2) & table_mask(2)
+        assert table == expected
+
+    def test_aoi_expression(self):
+        table = parse_expression("!((A&B)|C)", ["A", "B", "C"])
+        for minterm in range(8):
+            a, b, c = minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1
+            assert (table >> minterm) & 1 == (0 if (a and b) or c else 1)
+
+    def test_implicit_and(self):
+        assert parse_expression("A B", ["A", "B"]) == 0b1000
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("A&Z", ["A", "B"])
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(A&B", ["A", "B"])
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("   ", ["A"])
+
+
+class TestGenlib:
+    def test_parse_builtin_library_text(self):
+        cells = parse_genlib(SKY130_LITE_GENLIB)
+        names = {cell.name for cell in cells}
+        assert {"INV_X1", "NAND2_X1", "AOI21_X1", "XOR2_X1"} <= names
+
+    def test_gate_without_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE INV 1.0 Y=!A\n  PIN A 1 1 1\n")
+
+    def test_pin_before_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_genlib("PIN A 1 1 1\n")
+
+    def test_bad_pin_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE INV 1.0 Y=!A;\n  PIN A 1 1\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ParseError):
+            parse_genlib("# nothing here\n")
+
+    def test_functions_check_out(self):
+        cells = {c.name: c for c in parse_genlib(SKY130_LITE_GENLIB)}
+        assert cells["NAND2_X1"].function == 0b0111
+        assert cells["NOR2_X1"].function == 0b0001
+        assert cells["XOR2_X1"].function == 0b0110
+        assert cells["INV_X1"].function == 0b01
+
+
+class TestCellLibrary:
+    def test_builtin_library_loads(self, library):
+        assert len(library) > 20
+        assert library.inverter.name.startswith("INV")
+        assert library.max_match_inputs == 4
+
+    def test_lookup_by_name(self, library):
+        assert library.cell("NAND2_X1").num_inputs == 2
+        assert "NAND2_X1" in library
+        with pytest.raises(LibraryError):
+            library.cell("NOPE")
+
+    def test_matches_and_function(self, library):
+        matches = library.matches(0b1000, 2)  # plain AND
+        assert matches
+        assert any(m.cell.name.startswith("AND2") for m in matches)
+
+    def test_matches_all_two_input_functions_with_full_support(self, library):
+        from repro.aig.truth import support
+
+        for table in range(16):
+            if len(support(table, 2)) != 2:
+                continue
+            assert library.matches(table, 2), f"no match for {table:04b}"
+
+    def test_match_describes_realisation(self, library):
+        # !a & b should be realised with exactly one inverter somewhere.
+        matches = library.matches(0b0100, 2)
+        assert matches
+        assert min(m.num_inverters for m in matches) <= 1
+
+    def test_cell_variants_cover_negations(self, library):
+        nand2 = library.cell("NAND2_X1")
+        variants = cell_variants(nand2)
+        assert 0b0111 in variants  # itself
+        assert 0b1000 in variants  # AND via output inverter
+        assert variants[0b0111].num_inverters == 0
+
+    def test_duplicate_cell_names_rejected(self, library):
+        cell = library.cell("INV_X1")
+        with pytest.raises(LibraryError):
+            CellLibrary("dup", [cell, cell])
+
+    def test_library_requires_inverter(self, library):
+        nand = library.cell("NAND2_X1")
+        with pytest.raises(LibraryError):
+            CellLibrary("noinv", [nand])
+
+    def test_summary_mentions_every_cell(self, library):
+        text = library.summary()
+        for cell in library:
+            assert cell.name in text

@@ -1,0 +1,62 @@
+"""Tests for AIGER-style literal encoding."""
+
+import pytest
+
+from repro.aig.literals import (
+    CONST0,
+    CONST1,
+    is_complemented,
+    is_constant,
+    literal_var,
+    make_literal,
+    negate,
+    negate_if,
+    regular,
+)
+from repro.errors import LiteralError
+
+
+def test_make_literal_packs_var_and_phase():
+    assert make_literal(5) == 10
+    assert make_literal(5, True) == 11
+
+
+def test_literal_var_inverts_make_literal():
+    for var in (0, 1, 7, 123):
+        for phase in (False, True):
+            lit = make_literal(var, phase)
+            assert literal_var(lit) == var
+            assert is_complemented(lit) is phase
+
+
+def test_constants():
+    assert CONST0 == 0
+    assert CONST1 == 1
+    assert is_constant(CONST0)
+    assert is_constant(CONST1)
+    assert not is_constant(2)
+
+
+def test_negate_toggles_phase():
+    assert negate(10) == 11
+    assert negate(11) == 10
+    assert negate(negate(42)) == 42
+
+
+def test_negate_if():
+    assert negate_if(10, True) == 11
+    assert negate_if(10, False) == 10
+
+
+def test_regular_strips_phase():
+    assert regular(11) == 10
+    assert regular(10) == 10
+
+
+def test_negative_literal_rejected():
+    with pytest.raises(LiteralError):
+        literal_var(-2)
+    with pytest.raises(LiteralError):
+        negate(-1)
+    with pytest.raises(LiteralError):
+        make_literal(-1)

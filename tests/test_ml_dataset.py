@@ -1,0 +1,128 @@
+"""Tests for the TimingDataset container and feature scaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml.dataset import FeatureScaler, TimingDataset
+
+
+def _make_dataset(n_per_design=5, designs=("EX00", "EX02")):
+    rows = []
+    labels = []
+    tags = []
+    areas = []
+    rng = np.random.default_rng(0)
+    for d_index, design in enumerate(designs):
+        for i in range(n_per_design):
+            rows.append([d_index, i, rng.normal()])
+            labels.append(100.0 * (d_index + 1) + i)
+            areas.append(10.0 * (d_index + 1) + i)
+            tags.append(design)
+    return TimingDataset(
+        features=np.array(rows),
+        labels=np.array(labels),
+        feature_names=["design_idx", "sample_idx", "noise"],
+        designs=tags,
+        areas=np.array(areas),
+    )
+
+
+class TestTimingDataset:
+    def test_basic_properties(self):
+        ds = _make_dataset()
+        assert len(ds) == 10
+        assert ds.num_features == 3
+        assert ds.design_names() == ["EX00", "EX02"]
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            TimingDataset(
+                features=np.zeros((3, 2)),
+                labels=np.zeros(4),
+                feature_names=["a", "b"],
+                designs=["x"] * 3,
+            )
+        with pytest.raises(DatasetError):
+            TimingDataset(
+                features=np.zeros((3, 2)),
+                labels=np.zeros(3),
+                feature_names=["a"],
+                designs=["x"] * 3,
+            )
+
+    def test_for_designs_filters(self):
+        ds = _make_dataset()
+        subset = ds.for_designs(["EX02"])
+        assert len(subset) == 5
+        assert set(subset.designs) == {"EX02"}
+
+    def test_for_designs_missing_raises(self):
+        with pytest.raises(DatasetError):
+            _make_dataset().for_designs(["NOPE"])
+
+    def test_split_by_design(self):
+        ds = _make_dataset()
+        train, test = ds.split_by_design(["EX00"], ["EX02"])
+        assert set(train.designs) == {"EX00"}
+        assert set(test.designs) == {"EX02"}
+        assert len(train) + len(test) == len(ds)
+
+    def test_random_split_fractions(self):
+        ds = _make_dataset(n_per_design=10)
+        train, test = ds.random_split(0.8, rng=3)
+        assert len(train) == 16
+        assert len(test) == 4
+
+    def test_random_split_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            _make_dataset().random_split(1.5)
+
+    def test_shuffled_preserves_rows(self):
+        ds = _make_dataset()
+        shuffled = ds.shuffled(rng=1)
+        assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+
+    def test_merge(self):
+        a = _make_dataset(designs=("EX00",))
+        b = _make_dataset(designs=("EX02",))
+        merged = a.merged_with(b)
+        assert len(merged) == len(a) + len(b)
+        assert merged.areas is not None
+
+    def test_merge_schema_mismatch(self):
+        a = _make_dataset()
+        b = TimingDataset(
+            features=np.zeros((2, 2)),
+            labels=np.zeros(2),
+            feature_names=["x", "y"],
+            designs=["EX00", "EX00"],
+        )
+        with pytest.raises(DatasetError):
+            a.merged_with(b)
+
+    def test_subset_keeps_areas(self):
+        ds = _make_dataset()
+        sub = ds.subset([0, 1, 2])
+        assert sub.areas is not None and len(sub.areas) == 3
+
+    def test_summary_mentions_designs(self):
+        text = _make_dataset().summary()
+        assert "EX00" in text and "EX02" in text
+
+
+class TestFeatureScaler:
+    def test_zero_mean_unit_std(self):
+        data = np.random.default_rng(1).normal(5.0, 3.0, size=(200, 4))
+        scaled = FeatureScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_handled(self):
+        data = np.ones((10, 2))
+        scaled = FeatureScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DatasetError):
+            FeatureScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,110 @@
+"""Tests for the averaging ensemble of fitted regressors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.ensemble import AveragingEnsemble
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.knn import KnnParams, KnnRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import rmse
+
+
+def _data(n=150, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 1.0, size=(n, 3))
+    targets = 4.0 * features[:, 0] - 2.0 * features[:, 1] + rng.normal(0, noise, size=n)
+    return features, targets
+
+
+@pytest.fixture(scope="module")
+def fitted_members():
+    features, targets = _data(seed=1)
+    gbdt = GradientBoostingRegressor(
+        GbdtParams(n_estimators=60, max_depth=3, learning_rate=0.1), rng=0
+    ).fit(features, targets)
+    ridge = RidgeRegressor(alpha=0.5).fit(features, targets)
+    knn = KnnRegressor(KnnParams(n_neighbors=7)).fit(features, targets)
+    return (gbdt, ridge, knn), features, targets
+
+
+class TestConstruction:
+    def test_requires_models_with_predict(self):
+        with pytest.raises(ModelError):
+            AveragingEnsemble([])
+        with pytest.raises(ModelError, match="predict"):
+            AveragingEnsemble([object()])
+
+    def test_uniform_default_weights(self, fitted_members):
+        models, _, _ = fitted_members
+        ensemble = AveragingEnsemble(models)
+        assert len(ensemble) == 3
+        assert np.allclose(ensemble.weights, 1.0 / 3.0)
+
+    def test_explicit_weights_are_normalised(self, fitted_members):
+        models, _, _ = fitted_members
+        ensemble = AveragingEnsemble(models, weights=[2.0, 1.0, 1.0])
+        assert ensemble.weights.sum() == pytest.approx(1.0)
+        assert ensemble.weights[0] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("weights", [[1.0], [1.0, -1.0, 1.0], [0.0, 0.0, 0.0]])
+    def test_invalid_weights_rejected(self, fitted_members, weights):
+        models, _, _ = fitted_members
+        with pytest.raises(ModelError):
+            AveragingEnsemble(models, weights=weights)
+
+
+class TestPrediction:
+    def test_single_member_matches_that_member(self, fitted_members):
+        models, features, _ = fitted_members
+        gbdt = models[0]
+        ensemble = AveragingEnsemble([gbdt])
+        assert np.allclose(ensemble.predict(features), gbdt.predict(features))
+
+    def test_uniform_average_is_mean_of_members(self, fitted_members):
+        models, features, _ = fitted_members
+        ensemble = AveragingEnsemble(models)
+        expected = np.mean([m.predict(features) for m in models], axis=0)
+        assert np.allclose(ensemble.predict(features), expected)
+
+    def test_weighted_average_respects_weights(self, fitted_members):
+        models, features, _ = fitted_members
+        ensemble = AveragingEnsemble(models, weights=[1.0, 0.0, 0.0])
+        assert np.allclose(ensemble.predict(features), models[0].predict(features))
+
+
+class TestWeightFitting:
+    def test_fitted_weights_form_a_distribution(self, fitted_members):
+        models, features, targets = fitted_members
+        ensemble = AveragingEnsemble(models).fit_weights(features, targets)
+        assert ensemble.weights.sum() == pytest.approx(1.0)
+        assert np.all(ensemble.weights >= -1e-12)
+
+    def test_fitted_ensemble_not_worse_than_uniform(self, fitted_members):
+        models, _, _ = fitted_members
+        validation_features, validation_targets = _data(seed=2)
+        uniform = AveragingEnsemble(models)
+        fitted = AveragingEnsemble(models).fit_weights(validation_features, validation_targets)
+        uniform_error = rmse(validation_targets, uniform.predict(validation_features))
+        fitted_error = rmse(validation_targets, fitted.predict(validation_features))
+        assert fitted_error <= uniform_error * 1.05
+
+    def test_fit_weights_validation(self, fitted_members):
+        models, features, targets = fitted_members
+        with pytest.raises(ModelError):
+            AveragingEnsemble(models).fit_weights(features, targets, iterations=0)
+        with pytest.raises(ModelError, match="shape"):
+            AveragingEnsemble(models).fit_weights(features, targets[:-1])
+
+    def test_single_member_fit_is_noop(self, fitted_members):
+        models, features, targets = fitted_members
+        ensemble = AveragingEnsemble([models[0]]).fit_weights(features, targets)
+        assert ensemble.weights.tolist() == [1.0]
+
+
+def test_simplex_projection_properties():
+    for values in ([0.5, 0.5, 0.5], [-1.0, 2.0, 0.0], [10.0, 0.0, -10.0], [0.2, 0.3]):
+        projected = AveragingEnsemble._project_to_simplex(np.array(values, dtype=float))
+        assert projected.sum() == pytest.approx(1.0)
+        assert np.all(projected >= -1e-12)

@@ -1,0 +1,141 @@
+"""Tests for feature-importance analysis (gain, split count, permutation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.forest import ForestParams, RandomForestRegressor
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.importance import (
+    ensemble_importance,
+    group_importance,
+    permutation_importance,
+)
+from repro.ml.linear import RidgeRegressor
+from repro.ml.tree import RegressionTree
+
+
+def _data(n=200, seed=0):
+    """Three features; only the first two matter, the first one dominates."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 1.0, size=(n, 3))
+    targets = 10.0 * features[:, 0] + 2.0 * features[:, 1] + 0.0 * features[:, 2]
+    return features, targets
+
+
+@pytest.fixture(scope="module")
+def fitted_gbdt():
+    features, targets = _data()
+    model = GradientBoostingRegressor(
+        GbdtParams(n_estimators=60, learning_rate=0.15, max_depth=3), rng=0
+    )
+    model.fit(features, targets)
+    return model, features, targets
+
+
+def test_tree_gain_importance_identifies_dominant_feature():
+    features, targets = _data()
+    tree = RegressionTree().fit(features, targets)
+    gains = tree.gain_importance(3)
+    assert gains[0] > gains[1] > 0
+    assert gains[2] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gain_importance_ranks_features(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    report = ensemble_importance(model, 3, feature_names=["a", "b", "noise"])
+    scores = {entry.name: entry.score for entry in report.entries}
+    assert scores["a"] > scores["b"] > scores["noise"]
+    assert report.top(1) == ["a"]
+
+
+def test_gain_importance_is_normalized(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    report = ensemble_importance(model, 3)
+    assert report.scores().sum() == pytest.approx(1.0)
+    raw = ensemble_importance(model, 3, normalize=False)
+    assert raw.scores().sum() > 1.0
+
+
+def test_count_importance(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    report = ensemble_importance(model, 3, kind="count")
+    assert report.kind == "count"
+    assert report.scores()[0] > report.scores()[2]
+
+
+def test_forest_importance():
+    features, targets = _data()
+    model = RandomForestRegressor(ForestParams(n_estimators=30, max_depth=5), rng=1)
+    model.fit(features, targets)
+    report = ensemble_importance(model, 3)
+    assert report.scores()[0] > report.scores()[2]
+
+
+def test_importance_validation(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    with pytest.raises(ModelError, match="kind"):
+        ensemble_importance(model, 3, kind="cover")
+    with pytest.raises(ModelError, match="feature names"):
+        ensemble_importance(model, 3, feature_names=["just_one"])
+    with pytest.raises(ModelError, match="supports"):
+        ensemble_importance(RidgeRegressor(), 3)
+    with pytest.raises(ModelError, match="fitted"):
+        ensemble_importance(GradientBoostingRegressor(), 3)
+
+
+def test_permutation_importance_on_gbdt(fitted_gbdt):
+    model, features, targets = fitted_gbdt
+    report = permutation_importance(
+        model, features, targets, feature_names=["a", "b", "noise"], rng=7
+    )
+    scores = {entry.name: entry.score for entry in report.entries}
+    assert scores["a"] > scores["b"]
+    assert scores["a"] > 10 * max(scores["noise"], 1e-9)
+
+
+def test_permutation_importance_is_model_agnostic():
+    features, targets = _data()
+    model = RidgeRegressor().fit(features, targets)
+    report = permutation_importance(model, features, targets, rng=3)
+    assert report.scores()[0] > report.scores()[2]
+
+
+def test_permutation_importance_validation(fitted_gbdt):
+    model, features, targets = fitted_gbdt
+    with pytest.raises(ModelError, match="n_repeats"):
+        permutation_importance(model, features, targets, n_repeats=0)
+    with pytest.raises(ModelError, match="shape"):
+        permutation_importance(model, features, targets[:-1])
+    with pytest.raises(ModelError, match="two samples"):
+        permutation_importance(model, features[:1], targets[:1])
+
+
+def test_format_table_lists_all_features(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    report = ensemble_importance(model, 3, feature_names=["a", "b", "noise"])
+    table = report.format_table()
+    for name in ("a", "b", "noise"):
+        assert name in table
+
+
+def test_group_importance(fitted_gbdt):
+    model, _, _ = fitted_gbdt
+    report = ensemble_importance(model, 3, feature_names=["a", "b", "noise"])
+    groups = group_importance(report, {"signal": ["a", "b"], "nuisance": ["noise"]})
+    assert groups[0].name == "signal"
+    assert groups[0].score > groups[1].score
+    with pytest.raises(ModelError, match="unknown features"):
+        group_importance(report, {"bad": ["missing"]})
+
+
+def test_gain_survives_model_persistence(tmp_path, fitted_gbdt):
+    from repro.ml.model_io import load_gbdt, save_gbdt
+
+    model, _, _ = fitted_gbdt
+    path = tmp_path / "model.json"
+    save_gbdt(model, path)
+    loaded = load_gbdt(path)
+    original = ensemble_importance(model, 3).scores()
+    restored = ensemble_importance(loaded, 3).scores()
+    assert np.allclose(original, restored)

@@ -1,0 +1,108 @@
+"""Tests for the k-nearest-neighbour regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.knn import KnnParams, KnnRegressor
+from repro.ml.metrics import rmse
+
+
+def _linear_data(n=80, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 10.0, size=(n, 3))
+    targets = 2.0 * features[:, 0] - features[:, 1] + 0.5 * features[:, 2]
+    if noise:
+        targets = targets + rng.normal(0.0, noise, size=n)
+    return features, targets
+
+
+def test_params_validation():
+    with pytest.raises(ModelError):
+        KnnParams(n_neighbors=0)
+    with pytest.raises(ModelError):
+        KnnParams(weights="cosine")
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(ModelError, match="before fitting"):
+        KnnRegressor().predict(np.zeros((1, 3)))
+
+
+def test_fit_shape_validation():
+    model = KnnRegressor()
+    with pytest.raises(ModelError):
+        model.fit(np.zeros(5), np.zeros(5))
+    with pytest.raises(ModelError):
+        model.fit(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ModelError):
+        model.fit(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_feature_count_checked_at_predict():
+    features, targets = _linear_data()
+    model = KnnRegressor().fit(features, targets)
+    with pytest.raises(ModelError, match="expected 3 features"):
+        model.predict(np.zeros((1, 5)))
+
+
+def test_exact_training_points_are_recovered_with_distance_weights():
+    features, targets = _linear_data(n=50)
+    model = KnnRegressor(KnnParams(n_neighbors=5, weights="distance")).fit(features, targets)
+    predictions = model.predict(features)
+    assert np.allclose(predictions, targets)
+
+
+def test_uniform_weights_average_neighbors():
+    features = np.array([[0.0], [1.0], [10.0], [11.0]])
+    targets = np.array([0.0, 2.0, 10.0, 12.0])
+    model = KnnRegressor(KnnParams(n_neighbors=2, weights="uniform")).fit(features, targets)
+    assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+    assert model.predict(np.array([[10.6]]))[0] == pytest.approx(11.0)
+
+
+def test_interpolates_smooth_function():
+    features, targets = _linear_data(n=200, seed=1)
+    test_features, test_targets = _linear_data(n=40, seed=2)
+    model = KnnRegressor(KnnParams(n_neighbors=4)).fit(features, targets)
+    error = rmse(test_targets, model.predict(test_features))
+    baseline = rmse(test_targets, np.full_like(test_targets, targets.mean()))
+    assert error < baseline / 3
+
+
+def test_k_larger_than_training_set_is_clamped():
+    features = np.array([[0.0], [1.0], [2.0]])
+    targets = np.array([0.0, 1.0, 2.0])
+    model = KnnRegressor(KnnParams(n_neighbors=10, weights="uniform")).fit(features, targets)
+    assert model.predict(np.array([[1.0]]))[0] == pytest.approx(1.0)
+
+
+def test_scaling_makes_distances_comparable():
+    # Feature 1 has a huge scale but no predictive value; without scaling it
+    # dominates the distance computation and wrecks the prediction.
+    rng = np.random.default_rng(3)
+    informative = rng.uniform(0, 1, size=200)
+    nuisance = rng.uniform(0, 10_000, size=200)
+    features = np.column_stack([informative, nuisance])
+    targets = 5.0 * informative
+    test = np.column_stack([np.linspace(0.1, 0.9, 20), rng.uniform(0, 10_000, size=20)])
+    expected = 5.0 * test[:, 0]
+
+    scaled = KnnRegressor(KnnParams(n_neighbors=5, scale_features=True)).fit(features, targets)
+    unscaled = KnnRegressor(KnnParams(n_neighbors=5, scale_features=False)).fit(features, targets)
+    assert rmse(expected, scaled.predict(test)) < rmse(expected, unscaled.predict(test))
+
+
+def test_single_row_prediction_accepts_1d_input():
+    features, targets = _linear_data(n=30)
+    model = KnnRegressor().fit(features, targets)
+    single = model.predict(features[0])
+    assert single.shape == (1,)
+
+
+def test_num_training_samples():
+    features, targets = _linear_data(n=30)
+    model = KnnRegressor()
+    assert model.num_training_samples == 0
+    model.fit(features, targets)
+    assert model.num_training_samples == 30

@@ -1,0 +1,69 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.metrics import (
+    absolute_percentage_errors,
+    mae,
+    pearson_correlation,
+    percent_error_stats,
+    r2_score,
+    rmse,
+)
+
+
+def test_rmse_and_mae_known_values():
+    y_true = [1.0, 2.0, 3.0]
+    y_pred = [1.0, 2.0, 5.0]
+    assert mae(y_true, y_pred) == pytest.approx(2.0 / 3.0)
+    assert rmse(y_true, y_pred) == pytest.approx(np.sqrt(4.0 / 3.0))
+
+
+def test_perfect_prediction():
+    y = [3.0, 4.0, 5.0]
+    assert rmse(y, y) == 0.0
+    assert r2_score(y, y) == 1.0
+    assert percent_error_stats(y, y).mean == 0.0
+
+
+def test_r2_score_of_mean_prediction_is_zero():
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    pred = np.full(4, y.mean())
+    assert r2_score(y, pred) == pytest.approx(0.0)
+
+
+def test_pearson_perfect_and_anti_correlation():
+    x = [1.0, 2.0, 3.0, 4.0]
+    assert pearson_correlation(x, [2.0, 4.0, 6.0, 8.0]) == pytest.approx(1.0)
+    assert pearson_correlation(x, [8.0, 6.0, 4.0, 2.0]) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_series_is_zero():
+    assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+
+def test_percentage_errors():
+    errors = absolute_percentage_errors([100.0, 200.0], [110.0, 180.0])
+    assert errors.tolist() == pytest.approx([10.0, 10.0])
+    stats = percent_error_stats([100.0, 200.0], [110.0, 170.0])
+    assert stats.mean == pytest.approx(12.5)
+    assert stats.max == pytest.approx(15.0)
+    assert stats.count == 2
+    assert set(stats.as_dict()) == {"mean", "max", "std", "count"}
+
+
+def test_zero_ground_truth_rejected():
+    with pytest.raises(ModelError):
+        absolute_percentage_errors([0.0, 1.0], [1.0, 1.0])
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ModelError):
+        rmse([1.0, 2.0], [1.0])
+
+
+def test_empty_rejected():
+    with pytest.raises(ModelError):
+        rmse([], [])

@@ -1,0 +1,236 @@
+"""Tests for the regression models: tree, GBDT, forest, ridge, MLP, GNN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.forest import ForestParams, RandomForestRegressor
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.ml.gnn import GnnDelayRegressor, GnnParams, node_feature_matrix, propagate
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import rmse
+from repro.ml.mlp import MlpParams, MlpRegressor
+from repro.ml.model_io import gbdt_from_dict, gbdt_to_dict, load_gbdt, save_gbdt
+from repro.ml.tree import RegressionTree, TreeParams
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(400, 8))
+    y = 2.0 * X[:, 0] - 1.5 * X[:, 1] + np.abs(X[:, 2]) * 3.0 + 10.0
+    X_test = rng.normal(size=(150, 8))
+    y_test = 2.0 * X_test[:, 0] - 1.5 * X_test[:, 1] + np.abs(X_test[:, 2]) * 3.0 + 10.0
+    return X, y, X_test, y_test
+
+
+class TestRegressionTree:
+    def test_single_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        tree = RegressionTree(TreeParams(max_depth=3, reg_lambda=0.0))
+        tree.fit(X, y)
+        predictions = tree.predict(X)
+        assert rmse(y, predictions) < 0.5
+
+    def test_respects_max_depth(self, regression_data):
+        X, y, _, _ = regression_data
+        tree = RegressionTree(TreeParams(max_depth=2)).fit(X, y)
+        assert tree.root.depth() <= 2
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ModelError):
+            RegressionTree().predict(np.zeros((1, 3)))
+
+    def test_constant_target_gives_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = RegressionTree(TreeParams(max_depth=4, reg_lambda=0.0)).fit(X, y)
+        assert tree.node_count == 1
+        assert tree.predict(X[:5]) == pytest.approx(np.full(5, 7.0))
+
+    def test_feature_importance_counts_splits(self, regression_data):
+        X, y, _, _ = regression_data
+        tree = RegressionTree(TreeParams(max_depth=4)).fit(X, y)
+        importance = tree.feature_importance(X.shape[1])
+        assert importance.sum() > 0
+        # The informative features should be split on more than the noise ones.
+        assert importance[:3].sum() >= importance[3:].sum()
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            TreeParams(max_depth=0)
+        with pytest.raises(ModelError):
+            TreeParams(colsample=0.0)
+
+
+class TestGbdt:
+    def test_beats_single_tree(self, regression_data):
+        X, y, X_test, y_test = regression_data
+        tree = RegressionTree(TreeParams(max_depth=4)).fit(X, y)
+        gbdt = GradientBoostingRegressor(
+            GbdtParams(n_estimators=100, max_depth=3, learning_rate=0.1), rng=0
+        ).fit(X, y)
+        assert rmse(y_test, gbdt.predict(X_test)) < rmse(y_test, tree.predict(X_test))
+
+    def test_more_trees_reduce_training_error(self, regression_data):
+        X, y, _, _ = regression_data
+        gbdt = GradientBoostingRegressor(
+            GbdtParams(n_estimators=60, max_depth=3, learning_rate=0.1), rng=0
+        ).fit(X, y)
+        history = gbdt.train_rmse_history
+        assert history[-1] < history[0]
+
+    def test_predict_one(self, regression_data):
+        X, y, X_test, _ = regression_data
+        gbdt = GradientBoostingRegressor(
+            GbdtParams(n_estimators=20, max_depth=3), rng=0
+        ).fit(X, y)
+        scalar = gbdt.predict_one(X_test[0])
+        assert scalar == pytest.approx(gbdt.predict(X_test[:1])[0])
+
+    def test_validation_tracking_and_early_stopping(self, regression_data):
+        X, y, X_test, y_test = regression_data
+        gbdt = GradientBoostingRegressor(
+            GbdtParams(n_estimators=120, max_depth=3, early_stopping_rounds=5), rng=0
+        )
+        gbdt.fit(X, y, validation=(X_test, y_test))
+        assert gbdt.best_iteration is not None
+        assert 1 <= gbdt.best_iteration <= gbdt.num_trees <= 120
+        assert len(gbdt.validation_rmse_history) == gbdt.num_trees
+        # Validation error at the best iteration is no worse than at the start.
+        assert min(gbdt.validation_rmse_history) <= gbdt.validation_rmse_history[0]
+
+    def test_feature_importance_normalised(self, regression_data):
+        X, y, _, _ = regression_data
+        gbdt = GradientBoostingRegressor(GbdtParams(n_estimators=30, max_depth=3), rng=0)
+        gbdt.fit(X, y)
+        assert gbdt.feature_importance().sum() == pytest.approx(1.0)
+
+    def test_feature_count_checked_at_predict(self, regression_data):
+        X, y, _, _ = regression_data
+        gbdt = GradientBoostingRegressor(GbdtParams(n_estimators=5), rng=0).fit(X, y)
+        with pytest.raises(ModelError):
+            gbdt.predict(np.zeros((2, 3)))
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ModelError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_paper_settings_constructor(self):
+        params = GbdtParams.paper_settings()
+        assert params.n_estimators == 5000
+        assert params.max_depth == 16
+        assert params.learning_rate == pytest.approx(0.01)
+        assert params.subsample == pytest.approx(0.8)
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            GbdtParams(n_estimators=0)
+        with pytest.raises(ModelError):
+            GbdtParams(learning_rate=0.0)
+        with pytest.raises(ModelError):
+            GbdtParams(subsample=1.5)
+
+    def test_deterministic_with_seed(self, regression_data):
+        X, y, X_test, _ = regression_data
+        params = GbdtParams(n_estimators=20, max_depth=3, subsample=0.7)
+        a = GradientBoostingRegressor(params, rng=5).fit(X, y).predict(X_test)
+        b = GradientBoostingRegressor(params, rng=5).fit(X, y).predict(X_test)
+        assert np.allclose(a, b)
+
+
+class TestModelIo:
+    def test_roundtrip_preserves_predictions(self, regression_data, tmp_path):
+        X, y, X_test, _ = regression_data
+        gbdt = GradientBoostingRegressor(GbdtParams(n_estimators=25, max_depth=3), rng=1)
+        gbdt.fit(X, y)
+        path = tmp_path / "model.json"
+        save_gbdt(gbdt, path)
+        loaded = load_gbdt(path)
+        assert np.allclose(gbdt.predict(X_test), loaded.predict(X_test))
+
+    def test_dict_roundtrip(self, regression_data):
+        X, y, X_test, _ = regression_data
+        gbdt = GradientBoostingRegressor(GbdtParams(n_estimators=10, max_depth=2), rng=1)
+        gbdt.fit(X, y)
+        clone = gbdt_from_dict(gbdt_to_dict(gbdt))
+        assert np.allclose(gbdt.predict(X_test), clone.predict(X_test))
+
+    def test_unfitted_model_not_serialisable(self):
+        with pytest.raises(ModelError):
+            gbdt_to_dict(GradientBoostingRegressor())
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ModelError):
+            gbdt_from_dict({"format": "something-else"})
+
+
+class TestOtherModels:
+    def test_random_forest_learns(self, regression_data):
+        X, y, X_test, y_test = regression_data
+        forest = RandomForestRegressor(ForestParams(n_estimators=30, max_depth=6), rng=0)
+        forest.fit(X, y)
+        baseline = rmse(y_test, np.full_like(y_test, y.mean()))
+        assert rmse(y_test, forest.predict(X_test)) < baseline
+
+    def test_ridge_recovers_linear_relation(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 4))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 5.0
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        assert rmse(y, model.predict(X)) < 1e-6
+
+    def test_mlp_learns_nonlinear_function(self, regression_data):
+        X, y, X_test, y_test = regression_data
+        mlp = MlpRegressor(MlpParams(hidden_sizes=(32,), epochs=150), rng=0).fit(X, y)
+        baseline = rmse(y_test, np.full_like(y_test, y.mean()))
+        assert rmse(y_test, mlp.predict(X_test)) < baseline
+
+    def test_mlp_unfitted_rejected(self):
+        with pytest.raises(ModelError):
+            MlpRegressor().predict(np.zeros((1, 2)))
+
+    def test_forest_invalid_params(self):
+        with pytest.raises(ModelError):
+            ForestParams(n_estimators=0)
+
+    def test_ridge_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            RidgeRegressor(alpha=-1.0)
+
+
+class TestGnn:
+    def test_node_feature_matrix_shape(self, mult_aig):
+        matrix = node_feature_matrix(mult_aig)
+        assert matrix.shape == (mult_aig.size, 6)
+
+    def test_propagate_smooths_features(self, mult_aig):
+        features = node_feature_matrix(mult_aig)
+        propagated = propagate(mult_aig, features, hops=2)
+        assert propagated.shape == features.shape
+        # Propagation averages, so the max can only shrink or stay equal.
+        assert propagated[:, 2].max() <= features[:, 2].max() + 1e-9
+
+    def test_embedding_is_deterministic(self, mult_aig):
+        gnn = GnnDelayRegressor(GnnParams(hops=2))
+        a = gnn.graph_embedding(mult_aig)
+        b = gnn.graph_embedding(mult_aig)
+        assert np.allclose(a, b)
+
+    def test_gnn_fits_node_count_proxy(self, adder_aig, mult_aig, tiny_aig):
+        # Train the GNN head on a toy task: predict 10 * num_ands.
+        graphs = [tiny_aig, adder_aig, mult_aig] * 4
+        targets = np.array([10.0 * g.num_ands for g in graphs])
+        gnn = GnnDelayRegressor(GnnParams(hops=2, epochs=200, hidden_sizes=(16,)), rng=0)
+        gnn.fit(graphs, targets)
+        predictions = gnn.predict([tiny_aig, mult_aig])
+        assert predictions[1] > predictions[0]
+
+    def test_unfitted_predict_rejected(self, tiny_aig):
+        with pytest.raises(ModelError):
+            GnnDelayRegressor().predict([tiny_aig])
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            GnnParams(hops=0)

@@ -1,0 +1,154 @@
+"""Tests for k-fold cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.gbdt import GbdtParams
+from repro.ml.knn import KnnParams, KnnRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.tuning import (
+    cross_validate,
+    expand_grid,
+    gbdt_factory,
+    grid_search,
+    grid_search_gbdt,
+    kfold_indices,
+)
+
+
+def _data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 1.0, size=(n, 4))
+    targets = 3.0 * features[:, 0] - 2.0 * features[:, 1] + rng.normal(0, 0.05, size=n)
+    return features, targets
+
+
+# --------------------------------------------------------------------------- #
+# k-fold splitting
+# --------------------------------------------------------------------------- #
+def test_kfold_partitions_every_sample_exactly_once():
+    splits = kfold_indices(23, 5, rng=1)
+    assert len(splits) == 5
+    all_validation = np.concatenate([val for _, val in splits])
+    assert sorted(all_validation.tolist()) == list(range(23))
+    for train, val in splits:
+        assert set(train.tolist()).isdisjoint(val.tolist())
+        assert len(train) + len(val) == 23
+
+
+def test_kfold_without_shuffle_is_contiguous():
+    splits = kfold_indices(10, 2, shuffle=False)
+    assert splits[0][1].tolist() == [0, 1, 2, 3, 4]
+    assert splits[1][1].tolist() == [5, 6, 7, 8, 9]
+
+
+def test_kfold_is_seed_deterministic():
+    first = kfold_indices(40, 4, rng=7)
+    second = kfold_indices(40, 4, rng=7)
+    for (t1, v1), (t2, v2) in zip(first, second):
+        assert np.array_equal(t1, t2) and np.array_equal(v1, v2)
+
+
+def test_kfold_validation():
+    with pytest.raises(ModelError):
+        kfold_indices(10, 1)
+    with pytest.raises(ModelError):
+        kfold_indices(3, 5)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-validation
+# --------------------------------------------------------------------------- #
+def test_cross_validate_ridge():
+    features, targets = _data()
+    result = cross_validate(
+        lambda params: RidgeRegressor(**params),
+        features,
+        targets,
+        params={"alpha": 0.1},
+        k=4,
+        rng=0,
+    )
+    assert result.num_folds == 4
+    assert result.mean_score < 0.2  # linear data, tiny noise
+    assert result.std_score >= 0.0
+    assert result.params == {"alpha": 0.1}
+
+
+def test_cross_validate_shape_validation():
+    features, targets = _data()
+    with pytest.raises(ModelError, match="shape"):
+        cross_validate(lambda p: RidgeRegressor(), features, targets[:-1])
+
+
+# --------------------------------------------------------------------------- #
+# Grid expansion and grid search
+# --------------------------------------------------------------------------- #
+def test_expand_grid_cartesian_product():
+    combos = expand_grid({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(combos) == 6
+    assert {"a": 2, "b": "y"} in combos
+
+
+def test_expand_grid_validation():
+    with pytest.raises(ModelError):
+        expand_grid({})
+    with pytest.raises(ModelError):
+        expand_grid({"a": []})
+
+
+def test_grid_search_picks_better_knn_configuration():
+    # With k=1 and uniform weights the model overfits noise; a larger k
+    # should win on held-out folds.
+    rng = np.random.default_rng(5)
+    features = rng.uniform(0, 1, size=(150, 2))
+    targets = features[:, 0] + rng.normal(0, 0.3, size=150)
+    result = grid_search(
+        lambda params: KnnRegressor(KnnParams(**params)),
+        {"n_neighbors": [1, 15], "weights": ["uniform"]},
+        features,
+        targets,
+        k=5,
+        rng=2,
+    )
+    assert result.best_params["n_neighbors"] == 15
+    assert len(result.results) == 2
+    assert result.best_score <= max(r.mean_score for r in result.results)
+
+
+def test_grid_search_gbdt_returns_ranked_configurations():
+    features, targets = _data(n=90)
+    result = grid_search_gbdt(
+        {"max_depth": [2, 4], "learning_rate": [0.2]},
+        features,
+        targets,
+        base_params=GbdtParams(n_estimators=40),
+        k=3,
+        rng=0,
+    )
+    assert len(result.results) == 2
+    assert set(result.best_params) == {"max_depth", "learning_rate"}
+    table = result.format_table()
+    assert "max_depth=2" in table and "max_depth=4" in table
+
+
+def test_gbdt_factory_rejects_unknown_fields():
+    factory = gbdt_factory()
+    with pytest.raises(ModelError, match="unknown"):
+        factory({"bogus_knob": 3})
+
+
+def test_gbdt_factory_merges_base_params():
+    factory = gbdt_factory(GbdtParams(n_estimators=17, learning_rate=0.3))
+    model = factory({"max_depth": 2})
+    assert model.params.n_estimators == 17
+    assert model.params.learning_rate == 0.3
+    assert model.params.max_depth == 2
+
+
+def test_grid_search_best_raises_when_empty():
+    from repro.ml.tuning import GridSearchResult
+
+    with pytest.raises(ModelError):
+        _ = GridSearchResult(results=[]).best

@@ -1,0 +1,50 @@
+"""Direct tests for mapped-netlist simulation (beyond the equivalence check)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.netlist import MappedNetlist
+from repro.mapping.simulate import _evaluate_cell, simulate_netlist
+
+
+def test_evaluate_cell_nand(library):
+    nand = library.cell("NAND2_X1")
+    mask = 0b1111
+    a = 0b1010
+    b = 0b1100
+    assert _evaluate_cell(nand.function, [a, b], mask) == (~(a & b)) & mask
+
+
+def test_evaluate_cell_aoi21(library):
+    aoi = library.cell("AOI21_X1")
+    mask = 0xFF
+    a, b, c = 0b10101010, 0b11001100, 0b11110000
+    expected = (~((a & b) | c)) & mask
+    assert _evaluate_cell(aoi.function, [a, b, c], mask) == expected
+
+
+def test_simulate_netlist_hand_built(library):
+    netlist = MappedNetlist("hand", ["a", "b"], ["f"])
+    nand = library.cell("NAND2_X1")
+    inv = library.cell("INV_X1")
+    n1 = netlist.add_gate(nand, list(netlist.pi_nets))
+    n2 = netlist.add_gate(inv, [n1])
+    netlist.set_po_net(0, n2)
+    a, b = 0b1010, 0b1100
+    outputs = simulate_netlist(netlist, [a, b], 4)
+    assert outputs[0] == (a & b)
+
+
+def test_simulate_netlist_wrong_input_count(library):
+    netlist = MappedNetlist("hand", ["a", "b"], ["f"])
+    netlist.set_po_net(0, netlist.pi_nets[0])
+    with pytest.raises(MappingError):
+        simulate_netlist(netlist, [0b1], 1)
+
+
+def test_simulate_netlist_constant_nets(library):
+    netlist = MappedNetlist("consts", ["a"], ["zero", "one"])
+    netlist.set_po_net(0, netlist.add_constant_net(0))
+    netlist.set_po_net(1, netlist.add_constant_net(1))
+    outputs = simulate_netlist(netlist, [0b01], 2)
+    assert outputs == [0, 0b11]

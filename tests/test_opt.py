@@ -1,0 +1,215 @@
+"""Tests for cost functions, simulated annealing, Pareto utilities, and flows."""
+
+import numpy as np
+import pytest
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.designs.generators import adder_design
+from repro.errors import OptimizationError
+from repro.features.extract import FeatureExtractor
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.opt.annealing import AnnealingConfig, SimulatedAnnealing
+from repro.opt.cost import GroundTruthCost, MlCost, ProxyCost
+from repro.opt.flows import (
+    BaselineFlow,
+    GroundTruthFlow,
+    MlFlow,
+    measure_iteration_runtime,
+)
+from repro.opt.pareto import ParetoPoint, delay_at_matched_area, hypervolume_2d, pareto_front
+from repro.opt.sweep import SweepConfig, run_sweep
+
+
+@pytest.fixture(scope="module")
+def toy_delay_model():
+    """A tiny delay model trained on features of adder variants."""
+    from repro.datagen.generator import DatasetGenerator, GenerationConfig
+
+    generator = DatasetGenerator(GenerationConfig(samples_per_design=8, seed=5))
+    corpus = generator.generate_for_aig("add5", adder_design(bits=5), rng=5)
+    model = GradientBoostingRegressor(
+        GbdtParams(n_estimators=60, max_depth=3, learning_rate=0.1), rng=0
+    )
+    model.fit(corpus.features, corpus.delays_ps)
+    return model
+
+
+class TestCostFunctions:
+    def test_proxy_cost_uses_depth_and_nodes(self, adder_aig):
+        cost = ProxyCost()
+        breakdown = cost.evaluate(adder_aig)
+        assert breakdown.delay == adder_aig.depth()
+        assert breakdown.area == adder_aig.num_ands
+        # Un-calibrated evaluation normalises against itself -> cost = 2.
+        assert breakdown.cost == pytest.approx(2.0)
+
+    def test_calibration_normalises(self, adder_aig):
+        cost = ProxyCost(delay_weight=2.0, area_weight=1.0)
+        cost.calibrate(adder_aig)
+        assert cost.evaluate(adder_aig).cost == pytest.approx(3.0)
+
+    def test_weights_must_be_valid(self):
+        with pytest.raises(OptimizationError):
+            ProxyCost(delay_weight=-1.0)
+        with pytest.raises(OptimizationError):
+            ProxyCost(delay_weight=0.0, area_weight=0.0)
+
+    def test_ground_truth_cost_matches_evaluator(self, adder_aig):
+        cost = GroundTruthCost()
+        breakdown = cost.evaluate(adder_aig)
+        result = cost.evaluator.evaluate(adder_aig)
+        assert breakdown.delay == pytest.approx(result.delay_ps)
+        assert breakdown.area == pytest.approx(result.area_um2)
+
+    def test_ml_cost_uses_model(self, adder_aig, toy_delay_model):
+        extractor = FeatureExtractor()
+        cost = MlCost(toy_delay_model, extractor=extractor)
+        breakdown = cost.evaluate(adder_aig)
+        expected = toy_delay_model.predict(extractor.extract(adder_aig).reshape(1, -1))[0]
+        assert breakdown.delay == pytest.approx(float(expected))
+
+    def test_ml_cost_without_area_model_uses_node_proxy(self, adder_aig, toy_delay_model):
+        cost = MlCost(toy_delay_model, area_per_and_um2=3.0)
+        assert cost.evaluate(adder_aig).area == pytest.approx(adder_aig.num_ands * 3.0)
+
+    def test_ml_cost_requires_model(self):
+        with pytest.raises(OptimizationError):
+            MlCost(None)
+
+
+class TestSimulatedAnnealing:
+    def test_run_improves_or_keeps_proxy_cost(self, adder_aig):
+        annealer = SimulatedAnnealing(
+            ProxyCost(), AnnealingConfig(iterations=10, seed=1), rng=1
+        )
+        result = annealer.run(adder_aig)
+        assert result.best_breakdown.cost <= result.initial_breakdown.cost
+        assert result.iterations_run == 10
+        assert 0 <= result.accepted_moves <= 10
+        assert result.runtime_seconds > 0
+        assert len(result.history) == 10
+
+    def test_best_aig_is_equivalent_to_input(self, adder_aig):
+        annealer = SimulatedAnnealing(
+            ProxyCost(), AnnealingConfig(iterations=6, seed=2), rng=2
+        )
+        result = annealer.run(adder_aig)
+        assert check_equivalence_exact(adder_aig, result.best_aig).equivalent
+
+    def test_history_disabled(self, adder_aig):
+        annealer = SimulatedAnnealing(
+            ProxyCost(), AnnealingConfig(iterations=4, keep_history=False), rng=0
+        )
+        assert annealer.run(adder_aig).history == []
+
+    def test_deterministic_given_seed(self, adder_aig):
+        config = AnnealingConfig(iterations=6, seed=9)
+        a = SimulatedAnnealing(ProxyCost(), config, rng=9).run(adder_aig)
+        b = SimulatedAnnealing(ProxyCost(), config, rng=9).run(adder_aig)
+        assert a.best_breakdown.cost == pytest.approx(b.best_breakdown.cost)
+        assert [r.accepted for r in a.history] == [r.accepted for r in b.history]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(OptimizationError):
+            AnnealingConfig(iterations=0)
+        with pytest.raises(OptimizationError):
+            AnnealingConfig(temperature_decay=1.5)
+        with pytest.raises(OptimizationError):
+            AnnealingConfig(initial_temperature=0.0)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(OptimizationError):
+            SimulatedAnnealing(ProxyCost(), catalog=[])
+
+    def test_stage_timer_collects_components(self, adder_aig):
+        annealer = SimulatedAnnealing(ProxyCost(), AnnealingConfig(iterations=3), rng=0)
+        result = annealer.run(adder_aig)
+        assert "transform" in result.stage_timer.totals
+        assert "evaluation" in result.stage_timer.totals
+
+
+class TestPareto:
+    def test_dominance(self):
+        better = ParetoPoint(1.0, 1.0)
+        worse = ParetoPoint(2.0, 2.0)
+        equal = ParetoPoint(1.0, 1.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(equal)
+
+    def test_pareto_front_filters_dominated(self):
+        points = [
+            ParetoPoint(1.0, 5.0),
+            ParetoPoint(2.0, 3.0),
+            ParetoPoint(3.0, 4.0),  # dominated by (2, 3)
+            ParetoPoint(4.0, 1.0),
+        ]
+        front = pareto_front(points)
+        assert {(p.delay, p.area) for p in front} == {(1.0, 5.0), (2.0, 3.0), (4.0, 1.0)}
+
+    def test_pareto_front_deduplicates(self):
+        points = [ParetoPoint(1.0, 1.0), ParetoPoint(1.0, 1.0)]
+        assert len(pareto_front(points)) == 1
+
+    def test_front_sorted_by_delay(self):
+        points = [ParetoPoint(4.0, 1.0), ParetoPoint(1.0, 5.0), ParetoPoint(2.0, 3.0)]
+        front = pareto_front(points)
+        delays = [p.delay for p in front]
+        assert delays == sorted(delays)
+
+    def test_hypervolume_prefers_better_front(self):
+        reference = (10.0, 10.0)
+        good = [ParetoPoint(1.0, 1.0)]
+        bad = [ParetoPoint(8.0, 8.0)]
+        assert hypervolume_2d(good, reference) > hypervolume_2d(bad, reference)
+
+    def test_hypervolume_empty_front(self):
+        assert hypervolume_2d([], (1.0, 1.0)) == 0.0
+
+    def test_delay_at_matched_area(self):
+        front_a = [ParetoPoint(8.0, 10.0), ParetoPoint(6.0, 20.0)]
+        front_b = [ParetoPoint(10.0, 10.0), ParetoPoint(9.0, 20.0)]
+        improvement = delay_at_matched_area(front_a, front_b)
+        # At area 20 the best A point has delay 6 vs B's 9: 33% better.
+        assert improvement == pytest.approx(1.0 - 6.0 / 9.0)
+
+    def test_delay_at_matched_area_no_overlap(self):
+        assert delay_at_matched_area([ParetoPoint(1.0, 100.0)], [ParetoPoint(1.0, 1.0)]) is None
+
+
+class TestFlows:
+    def test_baseline_flow_runs(self, adder_aig):
+        result = BaselineFlow().run(adder_aig, AnnealingConfig(iterations=4), rng=0)
+        assert result.flow == "baseline"
+        assert result.delay_ps > 0 and result.area_um2 > 0
+        assert check_equivalence_exact(adder_aig, result.annealing.best_aig).equivalent
+
+    def test_ground_truth_flow_runs(self, adder_aig):
+        result = GroundTruthFlow().run(adder_aig, AnnealingConfig(iterations=3), rng=0)
+        assert result.flow == "ground_truth"
+        assert result.ground_truth.delay_ps == pytest.approx(result.annealing.best_breakdown.delay)
+
+    def test_ml_flow_runs(self, adder_aig, toy_delay_model):
+        result = MlFlow(toy_delay_model).run(adder_aig, AnnealingConfig(iterations=4), rng=0)
+        assert result.flow == "ml"
+        assert result.delay_ps > 0
+
+    def test_ml_flow_requires_model(self):
+        with pytest.raises(OptimizationError):
+            MlFlow(None)
+
+    def test_measure_iteration_runtime_ordering(self, adder_aig, toy_delay_model):
+        baseline = measure_iteration_runtime(BaselineFlow(), adder_aig, iterations=3, rng=1)
+        ground_truth = measure_iteration_runtime(GroundTruthFlow(), adder_aig, iterations=3, rng=1)
+        assert baseline.evaluation_seconds < ground_truth.evaluation_seconds
+        assert ground_truth.total_seconds > 0
+
+    def test_sweep_collects_all_settings(self, adder_aig):
+        sweep_config = SweepConfig(
+            delay_weights=(1.0, 2.0), temperature_decays=(0.9,), iterations=3, seed=1
+        )
+        result = run_sweep(BaselineFlow(), adder_aig, sweep_config)
+        assert len(result.runs) == 2
+        assert result.front()
+        assert result.best_delay() > 0
+        assert result.total_runtime_seconds() > 0

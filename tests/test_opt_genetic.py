@@ -1,0 +1,107 @@
+"""Tests for the genetic-algorithm optimizer."""
+
+import pytest
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.errors import OptimizationError
+from repro.opt.cost import ProxyCost
+from repro.opt.genetic import GeneticConfig, GeneticOptimizer
+
+
+class TestGeneticConfig:
+    def test_defaults_are_valid(self):
+        config = GeneticConfig()
+        assert config.population_size >= 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": 0},
+            {"genome_length": 0},
+            {"tournament_size": 0},
+            {"tournament_size": 99},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"elitism": 12},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(OptimizationError):
+            GeneticConfig(**kwargs)
+
+
+@pytest.fixture()
+def small_config():
+    return GeneticConfig(
+        population_size=6, generations=3, genome_length=3, tournament_size=2, elitism=1
+    )
+
+
+class TestGeneticOptimizer:
+    def test_never_worse_than_initial(self, adder_aig, small_config):
+        result = GeneticOptimizer(ProxyCost(), small_config, rng=1).run(adder_aig)
+        assert result.best_breakdown.cost <= result.initial_breakdown.cost
+        assert result.cost_improvement >= 0.0
+
+    def test_best_aig_matches_best_genome_and_stays_equivalent(self, adder_aig, small_config):
+        from repro.transforms.engine import apply_script
+
+        result = GeneticOptimizer(ProxyCost(), small_config, rng=2).run(adder_aig)
+        assert len(result.best_genome) == small_config.genome_length
+        rebuilt = apply_script(adder_aig, result.best_genome).aig
+        assert rebuilt.num_ands == result.best_aig.num_ands
+        assert rebuilt.depth() == result.best_aig.depth()
+        assert check_equivalence_exact(adder_aig, result.best_aig).equivalent
+
+    def test_history_tracks_generations(self, adder_aig, small_config):
+        result = GeneticOptimizer(ProxyCost(), small_config, rng=3).run(adder_aig)
+        assert result.generations_run == small_config.generations
+        assert len(result.history) == small_config.generations
+        for record in result.history:
+            assert record.best_cost <= record.mean_cost
+        best_costs = [record.best_cost for record in result.history]
+        assert best_costs == sorted(best_costs, reverse=True) or min(best_costs) == best_costs[-1]
+
+    def test_history_can_be_disabled(self, adder_aig):
+        config = GeneticConfig(
+            population_size=4, generations=2, genome_length=2, keep_history=False
+        )
+        result = GeneticOptimizer(ProxyCost(), config, rng=3).run(adder_aig)
+        assert result.history == []
+
+    def test_evaluation_cache_limits_cost_calls(self, adder_aig):
+        config = GeneticConfig(population_size=5, generations=4, genome_length=2)
+        result = GeneticOptimizer(ProxyCost(), config, rng=5).run(adder_aig)
+        # With only 6 genes and genome length 2 there are at most 36 distinct
+        # genomes; the cache must never evaluate more than that.
+        assert result.evaluations <= 36
+        assert result.evaluations >= config.population_size
+
+    def test_deterministic_given_seed(self, adder_aig, small_config):
+        first = GeneticOptimizer(ProxyCost(), small_config, rng=11).run(adder_aig)
+        second = GeneticOptimizer(ProxyCost(), small_config, rng=11).run(adder_aig)
+        assert first.best_genome == second.best_genome
+        assert first.best_breakdown.cost == second.best_breakdown.cost
+
+    def test_elitism_keeps_best_cost_monotone(self, adder_aig):
+        config = GeneticConfig(
+            population_size=6, generations=5, genome_length=3, elitism=2, mutation_rate=0.5
+        )
+        result = GeneticOptimizer(ProxyCost(), config, rng=7).run(adder_aig)
+        best_costs = [record.best_cost for record in result.history]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(best_costs, best_costs[1:]))
+
+    def test_empty_gene_alphabet_rejected(self):
+        with pytest.raises(OptimizationError):
+            GeneticOptimizer(ProxyCost(), genes=())
+
+    def test_custom_gene_alphabet(self, adder_aig):
+        config = GeneticConfig(population_size=4, generations=2, genome_length=2)
+        result = GeneticOptimizer(ProxyCost(), config, genes=("b", "rw"), rng=0).run(adder_aig)
+        assert set(result.best_genome) <= {"b", "rw"}
+
+    def test_stage_timer_records_both_stages(self, adder_aig, small_config):
+        result = GeneticOptimizer(ProxyCost(), small_config, rng=1).run(adder_aig)
+        assert "transform" in result.stage_timer.stages()
+        assert "evaluation" in result.stage_timer.stages()

@@ -1,0 +1,109 @@
+"""Tests for the greedy (steepest-descent) optimizer."""
+
+import pytest
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.errors import OptimizationError
+from repro.opt.cost import ProxyCost
+from repro.opt.greedy import GreedyConfig, GreedyOptimizer
+
+
+class TestGreedyConfig:
+    def test_defaults_are_valid(self):
+        config = GreedyConfig()
+        assert config.max_steps >= 1 and config.candidates_per_step >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_steps": 0},
+            {"candidates_per_step": 0},
+            {"patience": 0},
+            {"restarts": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(OptimizationError):
+            GreedyConfig(**kwargs)
+
+
+class TestGreedyOptimizer:
+    def test_never_worse_than_initial(self, adder_aig):
+        optimizer = GreedyOptimizer(
+            ProxyCost(), GreedyConfig(max_steps=8, candidates_per_step=2), rng=3
+        )
+        result = optimizer.run(adder_aig)
+        assert result.best_breakdown.cost <= result.initial_breakdown.cost
+        assert result.cost_improvement >= 0.0
+
+    def test_best_aig_is_equivalent_to_input(self, adder_aig):
+        optimizer = GreedyOptimizer(
+            ProxyCost(), GreedyConfig(max_steps=5, candidates_per_step=2), rng=1
+        )
+        result = optimizer.run(adder_aig)
+        assert check_equivalence_exact(adder_aig, result.best_aig).equivalent
+
+    def test_history_and_counters_are_consistent(self, adder_aig):
+        config = GreedyConfig(max_steps=6, candidates_per_step=3, patience=2, restarts=1)
+        result = GreedyOptimizer(ProxyCost(), config, rng=2).run(adder_aig)
+        assert result.steps_run == len(result.history)
+        assert result.steps_run <= config.max_steps
+        # one calibration evaluation plus candidates_per_step per recorded step
+        assert result.evaluations == 1 + config.candidates_per_step * result.steps_run
+        assert result.accepted_moves == sum(1 for step in result.history if step.accepted)
+
+    def test_history_can_be_disabled(self, adder_aig):
+        config = GreedyConfig(max_steps=4, candidates_per_step=2, keep_history=False)
+        result = GreedyOptimizer(ProxyCost(), config, rng=2).run(adder_aig)
+        assert result.history == []
+        assert result.steps_run > 0
+
+    def test_patience_stops_the_search(self, adder_aig):
+        # A single identity-like move catalog cannot improve anything, so the
+        # run must stop after `patience` stalled steps rather than max_steps.
+        config = GreedyConfig(max_steps=50, candidates_per_step=1, patience=2)
+        optimizer = GreedyOptimizer(ProxyCost(), config, catalog=[["st"]], rng=0)
+        result = optimizer.run(adder_aig)
+        assert result.steps_run <= config.patience + 1
+        assert result.accepted_moves == 0
+
+    def test_restarts_run_independent_passes(self, adder_aig):
+        config = GreedyConfig(max_steps=3, candidates_per_step=1, patience=1, restarts=3)
+        result = GreedyOptimizer(ProxyCost(), config, rng=4).run(adder_aig)
+        restarts_seen = {step.restart for step in result.history}
+        assert restarts_seen <= {0, 1, 2}
+        assert len(restarts_seen) >= 1
+
+    def test_deterministic_given_seed(self, adder_aig):
+        config = GreedyConfig(max_steps=5, candidates_per_step=2)
+        first = GreedyOptimizer(ProxyCost(), config, rng=9).run(adder_aig)
+        second = GreedyOptimizer(ProxyCost(), config, rng=9).run(adder_aig)
+        assert first.best_breakdown.cost == second.best_breakdown.cost
+        assert [s.script for s in first.history] == [s.script for s in second.history]
+
+    def test_stage_timer_records_both_stages(self, adder_aig):
+        result = GreedyOptimizer(
+            ProxyCost(), GreedyConfig(max_steps=3, candidates_per_step=2), rng=1
+        ).run(adder_aig)
+        assert "transform" in result.stage_timer.stages()
+        assert "evaluation" in result.stage_timer.stages()
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(OptimizationError):
+            GreedyOptimizer(ProxyCost(), catalog=[])
+
+    def test_improves_depth_on_unbalanced_chain(self):
+        # A long AND chain is badly unbalanced; greedy search with the proxy
+        # cost should find a balanced version with smaller depth.
+        from repro.aig.graph import Aig
+
+        aig = Aig("chain")
+        literals = [aig.add_pi(f"x{i}") for i in range(8)]
+        acc = literals[0]
+        for lit in literals[1:]:
+            acc = aig.add_and(acc, lit)
+        aig.add_po(acc, "y")
+        result = GreedyOptimizer(
+            ProxyCost(), GreedyConfig(max_steps=10, candidates_per_step=3), rng=0
+        ).run(aig)
+        assert result.best_aig.depth() < aig.depth()

@@ -1,0 +1,95 @@
+"""Tests for the hybrid ML + periodic-ground-truth cost and flow."""
+
+import pytest
+
+from repro.designs.generators import adder_design
+from repro.errors import OptimizationError
+from repro.evaluation import GroundTruthEvaluator
+from repro.opt.annealing import AnnealingConfig
+from repro.opt.hybrid import HybridFlow, HybridMlCost
+
+
+@pytest.fixture(scope="module")
+def hybrid_delay_model():
+    """A tiny delay model trained on adder variants (shared across tests)."""
+    from repro.datagen.generator import DatasetGenerator, GenerationConfig
+    from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+
+    generator = DatasetGenerator(GenerationConfig(samples_per_design=8, seed=6))
+    corpus = generator.generate_for_aig("add5", adder_design(bits=5), rng=6)
+    model = GradientBoostingRegressor(
+        GbdtParams(n_estimators=50, max_depth=3, learning_rate=0.12), rng=0
+    )
+    model.fit(corpus.features, corpus.delays_ps)
+    return model
+
+
+class TestHybridMlCost:
+    def test_requires_model_and_valid_knobs(self, hybrid_delay_model):
+        with pytest.raises(OptimizationError):
+            HybridMlCost(None)
+        with pytest.raises(OptimizationError):
+            HybridMlCost(hybrid_delay_model, validate_every=0)
+        with pytest.raises(OptimizationError):
+            HybridMlCost(hybrid_delay_model, correction_smoothing=0.0)
+
+    def test_validates_on_schedule(self, adder_aig, hybrid_delay_model):
+        cost = HybridMlCost(hybrid_delay_model, validate_every=3)
+        for _ in range(7):
+            cost.evaluate(adder_aig)
+        assert cost.evaluation_count == 7
+        assert len(cost.validations) == 2  # evaluations 3 and 6
+        assert cost.validations[0].evaluation_index == 3
+        assert cost.validations[1].evaluation_index == 6
+
+    def test_validated_evaluation_returns_ground_truth(self, adder_aig, hybrid_delay_model):
+        evaluator = GroundTruthEvaluator()
+        truth = evaluator.evaluate(adder_aig)
+        cost = HybridMlCost(hybrid_delay_model, validate_every=1, evaluator=evaluator)
+        breakdown = cost.evaluate(adder_aig)
+        assert breakdown.delay == pytest.approx(truth.delay_ps)
+        assert breakdown.area == pytest.approx(truth.area_um2)
+
+    def test_correction_moves_towards_truth_ratio(self, adder_aig, hybrid_delay_model):
+        cost = HybridMlCost(
+            hybrid_delay_model, validate_every=1, correction_smoothing=1.0
+        )
+        cost.evaluate(adder_aig)
+        record = cost.validations[0]
+        expected = record.true_delay / record.predicted_delay
+        assert cost.delay_correction == pytest.approx(expected)
+        # A later un-validated evaluation must apply the correction.
+        cost.validate_every = 1000
+        corrected = cost.evaluate(adder_aig)
+        assert corrected.delay == pytest.approx(record.predicted_delay * expected)
+
+    def test_validation_summary(self, adder_aig, hybrid_delay_model):
+        cost = HybridMlCost(hybrid_delay_model, validate_every=2)
+        empty = cost.validation_summary()
+        assert empty.checks == 0 and empty.final_correction == 1.0
+        for _ in range(4):
+            cost.evaluate(adder_aig)
+        summary = cost.validation_summary()
+        assert summary.checks == 2
+        assert summary.mean_delay_error_percent >= 0.0
+        assert summary.max_delay_error_percent >= summary.mean_delay_error_percent
+
+    def test_area_model_is_optional(self, adder_aig, hybrid_delay_model):
+        cost = HybridMlCost(hybrid_delay_model, validate_every=100, area_per_and_um2=2.5)
+        breakdown = cost.evaluate(adder_aig)
+        assert breakdown.area == pytest.approx(adder_aig.num_ands * 2.5)
+
+
+class TestHybridFlow:
+    def test_flow_runs_and_reports_ground_truth(self, adder_aig, hybrid_delay_model):
+        flow = HybridFlow(hybrid_delay_model, validate_every=3)
+        result = flow.run(adder_aig, config=AnnealingConfig(iterations=6), rng=1)
+        assert result.flow == "hybrid_ml"
+        assert result.delay_ps > 0 and result.area_um2 > 0
+        assert flow.last_cost is not None
+        assert flow.last_cost.evaluation_count >= 6
+        assert flow.last_cost.validations  # at least one mid-run check
+
+    def test_flow_requires_model(self):
+        with pytest.raises(OptimizationError):
+            HybridFlow(None)

@@ -1,0 +1,142 @@
+"""Tests for post-mapping optimization (gate sizing and fanout buffering)."""
+
+import pytest
+
+from repro.aig.simulate import exhaustive_pi_patterns
+from repro.designs.generators import adder_design, multiplier_design
+from repro.errors import MappingError
+from repro.mapping.mapper import map_aig
+from repro.mapping.postopt import (
+    PostMappingOptimizer,
+    PostOptOptions,
+    PostOptReport,
+)
+from repro.mapping.simulate import simulate_netlist
+from repro.sta.analysis import analyze_timing
+
+
+@pytest.fixture(scope="module")
+def mapped_adder(library):
+    return map_aig(adder_design(bits=6), library)
+
+
+@pytest.fixture(scope="module")
+def mapped_mult(library):
+    return map_aig(multiplier_design(bits=5), library)
+
+
+def _functionally_equal(a, b, num_pis):
+    """Exhaustive comparison when feasible, wide random simulation otherwise."""
+    if num_pis <= 12:
+        patterns = exhaustive_pi_patterns(num_pis)
+        num_patterns = 1 << num_pis
+    else:
+        from repro.aig.simulate import random_pi_patterns
+
+        num_patterns = 256
+        patterns = random_pi_patterns(num_pis, num_patterns, rng=0)
+    return simulate_netlist(a, patterns, num_patterns) == simulate_netlist(
+        b, patterns, num_patterns
+    )
+
+
+class TestOptions:
+    def test_defaults_valid(self):
+        options = PostOptOptions()
+        assert options.max_passes >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_passes": 0}, {"buffer_fanout_threshold": 1}, {"max_buffers_per_pass": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(MappingError):
+            PostOptOptions(**kwargs)
+
+
+class TestPostMappingOptimizer:
+    def test_delay_never_degrades(self, library, mapped_adder):
+        optimizer = PostMappingOptimizer(library)
+        optimized, report = optimizer.optimize(mapped_adder)
+        assert report.delay_after_ps <= report.delay_before_ps + 1e-9
+        assert report.delay_improvement_percent >= -1e-9
+        assert optimized.num_gates >= mapped_adder.num_gates  # buffers only add gates
+
+    def test_report_matches_netlists(self, library, mapped_adder):
+        optimizer = PostMappingOptimizer(library)
+        optimized, report = optimizer.optimize(mapped_adder)
+        timing = analyze_timing(optimized, po_load_ff=library.po_load_ff)
+        assert report.delay_after_ps == pytest.approx(timing.max_delay_ps)
+        assert report.area_after_um2 == pytest.approx(optimized.area_um2())
+        assert report.area_before_um2 == pytest.approx(mapped_adder.area_um2())
+        assert report.passes_run >= 1
+
+    def test_function_is_preserved(self, library, mapped_adder):
+        optimizer = PostMappingOptimizer(library)
+        optimized, _ = optimizer.optimize(mapped_adder)
+        assert _functionally_equal(mapped_adder, optimized, len(mapped_adder.pi_names))
+
+    def test_sizing_improves_multiplier_delay(self, library, mapped_mult):
+        optimizer = PostMappingOptimizer(
+            library, PostOptOptions(enable_buffering=False, enable_area_recovery=False)
+        )
+        _, report = optimizer.optimize(mapped_mult)
+        # The multiplier has long critical paths through X1 cells; upsizing
+        # at least one of them must pay off.
+        assert report.upsized_gates > 0
+        assert report.delay_after_ps < report.delay_before_ps
+
+    def test_sizing_only_swaps_same_function(self, library, mapped_mult):
+        optimizer = PostMappingOptimizer(library)
+        optimized, _ = optimizer.optimize(mapped_mult)
+        before = mapped_mult.cell_histogram()
+        after = optimized.cell_histogram()
+        # Total instances may grow only through buffers.
+        buffers = sum(count for name, count in after.items() if name.startswith("BUF"))
+        assert sum(after.values()) - buffers <= sum(before.values())
+
+    def test_area_recovery_does_not_hurt_delay(self, library, mapped_mult):
+        optimizer = PostMappingOptimizer(
+            library,
+            PostOptOptions(enable_sizing=False, enable_buffering=False, max_passes=1),
+        )
+        _, report = optimizer.optimize(mapped_mult)
+        assert report.delay_after_ps <= report.delay_before_ps + 1e-9
+        assert report.area_after_um2 <= report.area_before_um2 + 1e-9
+
+    def test_all_moves_disabled_is_identity(self, library, mapped_adder):
+        optimizer = PostMappingOptimizer(
+            library,
+            PostOptOptions(
+                enable_sizing=False, enable_area_recovery=False, enable_buffering=False
+            ),
+        )
+        optimized, report = optimizer.optimize(mapped_adder)
+        assert report.delay_after_ps == pytest.approx(report.delay_before_ps)
+        assert report.area_after_um2 == pytest.approx(report.area_before_um2)
+        assert optimized.num_gates == mapped_adder.num_gates
+        assert report.upsized_gates == report.downsized_gates == report.buffers_inserted == 0
+
+    def test_original_netlist_is_untouched(self, library, mapped_adder):
+        gates_before = list(mapped_adder.gates)
+        area_before = mapped_adder.area_um2()
+        PostMappingOptimizer(library).optimize(mapped_adder)
+        assert mapped_adder.gates == gates_before
+        assert mapped_adder.area_um2() == pytest.approx(area_before)
+
+    def test_optimized_netlist_validates(self, library, mapped_mult):
+        optimized, _ = PostMappingOptimizer(library).optimize(mapped_mult)
+        optimized.validate()  # raises on structural damage
+
+    def test_report_percent_helpers(self):
+        report = PostOptReport(
+            delay_before_ps=200.0,
+            delay_after_ps=150.0,
+            area_before_um2=100.0,
+            area_after_um2=110.0,
+        )
+        assert report.delay_improvement_percent == pytest.approx(25.0)
+        assert report.area_change_percent == pytest.approx(10.0)
+        zero = PostOptReport(0.0, 0.0, 0.0, 0.0)
+        assert zero.delay_improvement_percent == 0.0
+        assert zero.area_change_percent == 0.0

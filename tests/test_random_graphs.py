@@ -1,0 +1,57 @@
+"""Tests for random AIG generation."""
+
+import pytest
+
+from repro.aig.random_graphs import random_aig, random_cone_aig
+from repro.errors import AigError
+
+
+def test_random_aig_respects_interface():
+    aig = random_aig(8, 3, 100, rng=0)
+    assert aig.num_pis == 8
+    assert aig.num_pos == 3
+    assert aig.num_ands <= 100
+    assert aig.num_ands > 50  # generator should come close to the target
+
+
+def test_random_aig_deterministic_with_seed():
+    a = random_aig(6, 2, 50, rng=13)
+    b = random_aig(6, 2, 50, rng=13)
+    assert a.num_ands == b.num_ands
+    assert a.po_literals() == b.po_literals()
+
+
+def test_random_aig_different_seeds_differ():
+    a = random_aig(6, 2, 80, rng=1)
+    b = random_aig(6, 2, 80, rng=2)
+    assert (a.num_ands, a.depth(), tuple(a.po_literals())) != (
+        b.num_ands,
+        b.depth(),
+        tuple(b.po_literals()),
+    )
+
+
+def test_random_aig_has_depth():
+    aig = random_aig(8, 2, 150, rng=3)
+    assert aig.depth() >= 5
+
+
+def test_random_aig_validation():
+    with pytest.raises(AigError):
+        random_aig(1, 1, 10)
+    with pytest.raises(AigError):
+        random_aig(4, 0, 10)
+
+
+def test_random_cone_single_output():
+    aig = random_cone_aig(8, depth=5, rng=4)
+    assert aig.num_pos == 1
+    assert aig.num_pis == 8
+    assert aig.depth() >= 1
+
+
+def test_random_cone_validation():
+    with pytest.raises(AigError):
+        random_cone_aig(1, 3)
+    with pytest.raises(AigError):
+        random_cone_aig(4, 0)

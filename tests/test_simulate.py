@@ -1,0 +1,121 @@
+"""Tests for bit-parallel AIG simulation."""
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import (
+    cone_truth_table,
+    exhaustive_pi_patterns,
+    literal_values,
+    node_signatures,
+    po_truth_tables,
+    random_pi_patterns,
+    simulate,
+    simulate_pos,
+)
+from repro.aig.literals import literal_var, negate
+from repro.errors import AigError
+
+
+def test_exhaustive_patterns_are_truth_tables():
+    patterns = exhaustive_pi_patterns(3)
+    assert patterns[0] == 0b10101010
+    assert patterns[1] == 0b11001100
+    assert patterns[2] == 0b11110000
+
+
+def test_simulate_and_gate():
+    aig = Aig()
+    a, b = aig.add_pi(), aig.add_pi()
+    out = aig.add_and(a, b)
+    aig.add_po(out)
+    values = simulate_pos(aig, exhaustive_pi_patterns(2), 4)
+    assert values[0] == 0b1000
+
+
+def test_simulate_wrong_input_count_raises(tiny_aig):
+    with pytest.raises(AigError):
+        simulate(tiny_aig, [0b1], 1)
+
+
+def test_po_truth_tables_adder(adder_aig):
+    tables = po_truth_tables(adder_aig)
+    num_patterns = 1 << adder_aig.num_pis
+    for pattern in range(0, num_patterns, 37):  # spot-check a subset
+        a = pattern & 0xF
+        b = (pattern >> 4) & 0xF
+        total = a + b
+        for bit in range(5):
+            expected = (total >> bit) & 1
+            assert (tables[bit] >> pattern) & 1 == expected
+
+
+def test_po_truth_tables_multiplier(mult_aig):
+    tables = po_truth_tables(mult_aig)
+    num_patterns = 1 << mult_aig.num_pis
+    for pattern in range(0, num_patterns, 53):
+        a = pattern & 0xF
+        b = (pattern >> 4) & 0xF
+        product = a * b
+        for bit in range(8):
+            assert (tables[bit] >> pattern) & 1 == (product >> bit) & 1
+
+
+def test_literal_values_handles_complement(tiny_aig):
+    num_patterns = 1 << tiny_aig.num_pis
+    values = simulate(tiny_aig, exhaustive_pi_patterns(tiny_aig.num_pis), num_patterns)
+    lit = tiny_aig.po_literals()[0]
+    direct = literal_values(tiny_aig, values, [lit], num_patterns)[0]
+    inverted = literal_values(tiny_aig, values, [negate(lit)], num_patterns)[0]
+    assert direct ^ inverted == (1 << num_patterns) - 1
+
+
+def test_random_patterns_deterministic_with_seed():
+    assert random_pi_patterns(4, 64, rng=7) == random_pi_patterns(4, 64, rng=7)
+
+
+def test_node_signatures_shape(medium_random_aig):
+    signatures = node_signatures(medium_random_aig, num_patterns=64, rng=3)
+    assert len(signatures) == medium_random_aig.size
+
+
+class TestConeTruthTable:
+    def test_simple_cone(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        leaves = [literal_var(a), literal_var(b), literal_var(c)]
+        table = cone_truth_table(aig, abc, leaves)
+        assert table == 0b10000000
+
+    def test_complemented_root(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        ab = aig.add_and(a, b)
+        leaves = [literal_var(a), literal_var(b)]
+        assert cone_truth_table(aig, negate(ab), leaves) == 0b0111
+
+    def test_leaf_is_cut_boundary(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        ab = aig.add_and(a, b)
+        out = aig.add_and(ab, c)
+        # Treat the internal node ab as a leaf: function is leaf0 & c.
+        leaves = [literal_var(ab), literal_var(c)]
+        assert cone_truth_table(aig, out, leaves) == 0b1000
+
+    def test_outside_cone_raises(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        ab = aig.add_and(a, b)
+        out = aig.add_and(ab, c)
+        with pytest.raises(AigError):
+            cone_truth_table(aig, out, [literal_var(a)])
+
+    def test_max_vars_guard(self, medium_random_aig):
+        leaves = medium_random_aig.pi_vars
+        with pytest.raises(AigError):
+            cone_truth_table(
+                medium_random_aig, medium_random_aig.po_literals()[0], leaves, max_vars=4
+            )

@@ -1,0 +1,129 @@
+"""Tests for static timing analysis and the ground-truth evaluator."""
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.evaluation import GroundTruthEvaluator, evaluate_aig
+from repro.library.sky130_lite import load_sky130_lite
+from repro.mapping.mapper import map_aig
+from repro.mapping.netlist import MappedNetlist
+from repro.sta.analysis import analyze_timing, compute_net_loads
+from repro.sta.report import format_cell_usage, format_timing_report
+
+
+@pytest.fixture()
+def inverter_chain_netlist(library):
+    """PI -> INV -> INV -> PO, built by hand for exact delay arithmetic."""
+    netlist = MappedNetlist("chain", ["a"], ["f"])
+    inv = library.cell("INV_X1")
+    n1 = netlist.add_gate(inv, [netlist.pi_nets[0]])
+    n2 = netlist.add_gate(inv, [n1])
+    netlist.set_po_net(0, n2)
+    return netlist, inv
+
+
+class TestNetLoads:
+    def test_loads_sum_pin_caps_and_po_load(self, inverter_chain_netlist):
+        netlist, inv = inverter_chain_netlist
+        loads = compute_net_loads(netlist, po_load_ff=6.0)
+        # PI net drives one INV pin.
+        assert loads[netlist.pi_nets[0]] == pytest.approx(inv.pins[0].capacitance_ff)
+        # PO net drives nothing but the output load.
+        assert loads[netlist.po_nets[0]] == pytest.approx(6.0)
+
+
+class TestArrivalTimes:
+    def test_two_inverter_chain_delay(self, inverter_chain_netlist):
+        netlist, inv = inverter_chain_netlist
+        report = analyze_timing(netlist, po_load_ff=6.0)
+        pin = inv.pins[0]
+        first_stage = pin.delay_ps(pin.capacitance_ff)  # loaded by second INV
+        second_stage = pin.delay_ps(6.0)  # loaded by the PO
+        assert report.max_delay_ps == pytest.approx(first_stage + second_stage)
+
+    def test_arrival_monotone_along_path(self, adder_aig, library):
+        netlist = map_aig(adder_aig, library)
+        report = analyze_timing(netlist, po_load_ff=library.po_load_ff)
+        previous = -1.0
+        for arc in report.critical_path:
+            assert arc.arrival_ps >= previous
+            previous = arc.arrival_ps
+
+    def test_critical_path_ends_at_worst_po(self, mult_aig, library):
+        netlist = map_aig(mult_aig, library)
+        report = analyze_timing(netlist, po_load_ff=library.po_load_ff)
+        worst_name = report.critical_po()
+        index = netlist.po_names.index(worst_name)
+        assert report.critical_path[-1].output_net == netlist.po_nets[index]
+        assert report.po_arrival_ps[worst_name] == pytest.approx(report.max_delay_ps)
+
+    def test_required_times_and_slack(self, adder_aig, library):
+        netlist = map_aig(adder_aig, library)
+        report = analyze_timing(netlist, po_load_ff=library.po_load_ff)
+        # With the clock set to the max delay, the worst slack is ~zero and
+        # never positive beyond rounding.
+        assert report.worst_slack_ps == pytest.approx(0.0, abs=1e-6)
+        relaxed = analyze_timing(
+            netlist, po_load_ff=library.po_load_ff, clock_period_ps=report.max_delay_ps + 100
+        )
+        assert relaxed.worst_slack_ps == pytest.approx(100.0, abs=1e-6)
+
+    def test_bigger_po_load_increases_delay(self, adder_aig, library):
+        netlist = map_aig(adder_aig, library)
+        small = analyze_timing(netlist, po_load_ff=1.0)
+        large = analyze_timing(netlist, po_load_ff=30.0)
+        assert large.max_delay_ps > small.max_delay_ps
+
+
+class TestReports:
+    def test_timing_report_text(self, adder_aig, library):
+        netlist = map_aig(adder_aig, library)
+        report = analyze_timing(netlist, po_load_ff=library.po_load_ff)
+        text = format_timing_report(netlist, report)
+        assert "Max delay" in text
+        assert "Critical path:" in text
+        for name in netlist.po_names:
+            assert name in text
+
+    def test_cell_usage_text(self, adder_aig, library):
+        netlist = map_aig(adder_aig, library)
+        text = format_cell_usage(netlist)
+        assert "total" in text
+
+
+class TestGroundTruthEvaluator:
+    def test_evaluate_returns_positive_ppa(self, adder_aig):
+        result = evaluate_aig(adder_aig)
+        assert result.delay_ps > 0
+        assert result.area_um2 > 0
+        assert result.num_gates > 0
+        assert result.netlist is not None
+        assert result.as_tuple() == (result.delay_ps, result.area_um2)
+
+    def test_evaluator_reuse_is_consistent(self, adder_aig):
+        evaluator = GroundTruthEvaluator()
+        first = evaluator.evaluate(adder_aig)
+        second = evaluator.evaluate(adder_aig)
+        assert first.delay_ps == pytest.approx(second.delay_ps)
+        assert first.area_um2 == pytest.approx(second.area_um2)
+
+    def test_keep_netlist_flag(self, adder_aig):
+        evaluator = GroundTruthEvaluator(keep_netlist=False)
+        result = evaluator.evaluate(adder_aig)
+        assert result.netlist is None
+
+    def test_depth_reduction_tends_to_reduce_delay(self):
+        # A deliberately unbalanced AND chain vs its balanced version: the
+        # mapped delay of the balanced form must be smaller.
+        from repro.transforms.balance import Balance
+
+        aig = Aig("chain")
+        pis = [aig.add_pi(f"x{i}") for i in range(12)]
+        current = pis[0]
+        for lit in pis[1:]:
+            current = aig.add_and(current, lit)
+        aig.add_po(current, "f")
+        balanced = Balance().apply(aig)
+        unbalanced_delay = evaluate_aig(aig).delay_ps
+        balanced_delay = evaluate_aig(balanced).delay_ps
+        assert balanced_delay < unbalanced_delay

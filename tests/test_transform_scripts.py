@@ -1,0 +1,113 @@
+"""Tests for transformation scripts, the catalog, and the engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.equivalence import check_equivalence_exact
+from repro.aig.random_graphs import random_aig
+from repro.errors import TransformError
+from repro.transforms.engine import apply_script, apply_transform
+from repro.transforms.scripts import (
+    NAMED_SCRIPTS,
+    primitive_transforms,
+    resolve_script,
+    script_catalog,
+)
+from repro.transforms.strash import Strash
+
+
+class TestScripts:
+    def test_primitive_registry_names(self):
+        registry = primitive_transforms()
+        for name in ("b", "rw", "rwz", "rf", "rfz", "rs", "st"):
+            assert name in registry
+
+    def test_resolve_script(self):
+        transforms = resolve_script(["b", "rw"])
+        assert [t.name for t in transforms] == ["b", "rw"]
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(TransformError):
+            resolve_script(["nonsense"])
+
+    def test_named_scripts_resolvable(self):
+        for name, steps in NAMED_SCRIPTS.items():
+            assert resolve_script(steps), name
+
+    def test_catalog_size_and_uniqueness(self):
+        catalog = script_catalog(103)
+        assert len(catalog) == 103
+        assert len({tuple(s) for s in catalog}) == 103
+
+    def test_catalog_smaller_sizes(self):
+        assert len(script_catalog(10)) == 10
+        assert len(script_catalog(1)) == 1
+
+    def test_catalog_rejects_zero(self):
+        with pytest.raises(TransformError):
+            script_catalog(0)
+
+    def test_catalog_scripts_use_known_primitives(self):
+        registry = primitive_transforms()
+        for script in script_catalog(103):
+            for step in script:
+                assert step in registry
+
+
+class TestEngine:
+    def test_apply_named_script(self, adder_aig):
+        result = apply_script(adder_aig, "compress")
+        assert len(result.steps) == len(NAMED_SCRIPTS["compress"])
+        assert check_equivalence_exact(adder_aig, result.aig).equivalent
+
+    def test_apply_script_with_verification(self, adder_aig):
+        result = apply_script(adder_aig, ["b", "rw"], verify=True)
+        assert result.final_stats.num_ands == result.aig.num_ands
+
+    def test_apply_single_primitive_name(self, adder_aig):
+        result = apply_script(adder_aig, "b")
+        assert len(result.steps) == 1
+
+    def test_apply_transform_instance(self, adder_aig):
+        new = apply_transform(adder_aig, Strash())
+        assert check_equivalence_exact(adder_aig, new).equivalent
+
+    def test_empty_script_rejected(self, adder_aig):
+        with pytest.raises(TransformError):
+            apply_script(adder_aig, [])
+
+    def test_script_result_summary(self, adder_aig):
+        result = apply_script(adder_aig, ["b", "rs"])
+        summary = result.summary()
+        assert "b" in summary and "rs" in summary
+
+    def test_initial_and_final_stats(self, adder_aig):
+        result = apply_script(adder_aig, "compress")
+        assert result.initial_stats.num_ands == adder_aig.num_ands
+        assert result.final_stats.num_ands == result.aig.num_ands
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    script=st.lists(
+        st.sampled_from(["b", "rw", "rwz", "rf", "rfz", "rs", "st"]),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_random_scripts_preserve_equivalence(seed, script):
+    """Property: any script over the primitives preserves the function."""
+    aig = random_aig(8, 3, 120, rng=seed)
+    result = apply_script(aig, script)
+    assert check_equivalence_exact(aig, result.aig).equivalent
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_compress2_preserves_equivalence(seed):
+    """Property: the long composite script preserves the function."""
+    aig = random_aig(7, 2, 90, rng=seed)
+    result = apply_script(aig, "compress2")
+    assert check_equivalence_exact(aig, result.aig).equivalent

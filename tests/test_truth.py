@@ -1,0 +1,192 @@
+"""Tests for truth-table utilities (including hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.truth import (
+    apply_input_negation,
+    apply_permutation,
+    cofactor,
+    count_ones,
+    cube_to_truth,
+    depends_on,
+    expand_truth,
+    is_const0,
+    is_const1,
+    isop,
+    npn_canonical,
+    npn_class,
+    p_canonical,
+    sop_to_truth,
+    support,
+    table_mask,
+    truth_and,
+    truth_from_bits,
+    truth_not,
+    truth_or,
+    truth_to_bits,
+    truth_to_hex,
+    truth_xor,
+    var_truth,
+)
+from repro.errors import TruthTableError
+
+
+class TestBasics:
+    def test_table_mask(self):
+        assert table_mask(0) == 1
+        assert table_mask(2) == 0xF
+        assert table_mask(4) == 0xFFFF
+
+    def test_var_truth_patterns(self):
+        assert var_truth(0, 2) == 0b1010
+        assert var_truth(1, 2) == 0b1100
+
+    def test_var_truth_out_of_range(self):
+        with pytest.raises(TruthTableError):
+            var_truth(3, 2)
+
+    def test_not_and_or_xor(self):
+        a = var_truth(0, 2)
+        b = var_truth(1, 2)
+        assert truth_not(a, 2) == 0b0101
+        assert truth_and(a, b) == 0b1000
+        assert truth_or(a, b) == 0b1110
+        assert truth_xor(a, b) == 0b0110
+
+    def test_const_checks(self):
+        assert is_const0(0, 3)
+        assert is_const1(table_mask(3), 3)
+        assert not is_const0(1, 3)
+
+    def test_count_ones(self):
+        assert count_ones(0b0110, 2) == 2
+        assert count_ones(table_mask(3), 3) == 8
+
+    def test_bits_roundtrip(self):
+        bits = [1, 0, 0, 1, 1, 1, 0, 0]
+        assert truth_to_bits(truth_from_bits(bits), 3) == bits
+
+    def test_truth_from_bits_rejects_bad_length(self):
+        with pytest.raises(TruthTableError):
+            truth_from_bits([1, 0, 1])
+
+    def test_truth_to_hex(self):
+        assert truth_to_hex(0b0110, 2) == "6"
+        assert truth_to_hex(0xABCD, 4) == "abcd"
+
+
+class TestCofactorSupport:
+    def test_cofactor_of_and(self):
+        a_and_b = truth_and(var_truth(0, 2), var_truth(1, 2))
+        assert cofactor(a_and_b, 2, 0, 1) == var_truth(1, 2)
+        assert cofactor(a_and_b, 2, 0, 0) == 0
+
+    def test_depends_on(self):
+        a = var_truth(0, 3)
+        assert depends_on(a, 3, 0)
+        assert not depends_on(a, 3, 1)
+
+    def test_support(self):
+        f = truth_and(var_truth(0, 4), var_truth(2, 4))
+        assert support(f, 4) == [0, 2]
+
+    def test_expand_truth(self):
+        # one-variable identity moved to position 2 of a 3-var space
+        expanded = expand_truth(0b10, 1, [2], 3)
+        assert expanded == var_truth(2, 3)
+
+
+class TestIsop:
+    @pytest.mark.parametrize("num_vars", [1, 2, 3, 4])
+    def test_isop_covers_exactly(self, num_vars):
+        import random
+
+        rnd = random.Random(num_vars)
+        for _ in range(30):
+            table = rnd.randrange(1 << (1 << num_vars))
+            cubes = isop(table, 0, num_vars)
+            assert sop_to_truth(cubes, num_vars) == table
+
+    def test_isop_with_dont_cares_between_bounds(self):
+        on_set = 0b1000
+        dc_set = 0b0110
+        cubes = isop(on_set, dc_set, 2)
+        result = sop_to_truth(cubes, 2)
+        assert result & on_set == on_set
+        assert result & ~(on_set | dc_set) & table_mask(2) == 0
+
+    def test_isop_constant0(self):
+        assert isop(0, 0, 3) == []
+
+    def test_isop_constant1(self):
+        cubes = isop(table_mask(3), 0, 3)
+        assert sop_to_truth(cubes, 3) == table_mask(3)
+
+    def test_isop_single_cube(self):
+        # f = x0 & !x1 is a single cube and the cover should say so.
+        table = 0b0010
+        cubes = isop(table, 0, 2)
+        assert len(cubes) == 1
+        assert sop_to_truth(cubes, 2) == table
+
+    def test_cube_to_truth(self):
+        cube = (0b01, 0b10)  # x0 & !x1
+        assert cube_to_truth(cube, 2) == 0b0010
+
+
+class TestNpn:
+    def test_and_family_single_class(self):
+        # AND, OR, NAND, NOR are all NPN-equivalent.
+        classes = {
+            npn_class(0b1000, 2),
+            npn_class(0b1110, 2),
+            npn_class(0b0111, 2),
+            npn_class(0b0001, 2),
+        }
+        assert len(classes) == 1
+
+    def test_xor_family_single_class(self):
+        assert npn_class(0b0110, 2) == npn_class(0b1001, 2)
+
+    def test_xor_and_and_differ(self):
+        assert npn_class(0b0110, 2) != npn_class(0b1000, 2)
+
+    def test_npn_limit(self):
+        with pytest.raises(TruthTableError):
+            npn_canonical(0, 6)
+
+    def test_p_canonical_permutation_invariance(self):
+        f = truth_and(var_truth(0, 3), var_truth(2, 3))
+        g = truth_and(var_truth(1, 3), var_truth(0, 3))
+        assert p_canonical(f, 3) == p_canonical(g, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_isop_roundtrip_property(table):
+    """ISOP of any 4-variable function covers exactly that function."""
+    cubes = isop(table, 0, 4)
+    assert sop_to_truth(cubes, 4) == table
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=st.integers(min_value=0, max_value=(1 << 8) - 1),
+    perm=st.permutations(range(3)),
+    neg_mask=st.integers(min_value=0, max_value=7),
+)
+def test_npn_invariance_property(table, perm, neg_mask):
+    """NPN canonical form is invariant under permutation/negation of inputs."""
+    transformed = apply_input_negation(
+        apply_permutation(table, 3, list(perm)), 3, neg_mask
+    )
+    assert npn_class(table, 3) == npn_class(transformed, 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=st.integers(min_value=0, max_value=(1 << 8) - 1))
+def test_npn_output_negation_property(table):
+    """A function and its complement share one NPN class."""
+    assert npn_class(table, 3) == npn_class(truth_not(table, 3), 3)

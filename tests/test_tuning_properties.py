@@ -1,0 +1,85 @@
+"""Property-based tests for the tuning utilities and the k-NN baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.aiger_binary import _decode_delta, _encode_delta
+from repro.ml.knn import KnnParams, KnnRegressor
+from repro.ml.tuning import expand_grid, kfold_indices
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_samples=st.integers(min_value=5, max_value=200),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_kfold_is_a_partition(num_samples, k, seed):
+    k = min(k, num_samples)
+    if k < 2:
+        return
+    splits = kfold_indices(num_samples, k, rng=seed)
+    assert len(splits) == k
+    validation_union = np.concatenate([val for _, val in splits])
+    assert sorted(validation_union.tolist()) == list(range(num_samples))
+    for train, val in splits:
+        combined = np.concatenate([train, val])
+        assert sorted(combined.tolist()) == list(range(num_samples))
+        assert set(train.tolist()).isdisjoint(set(val.tolist()))
+        # folds are balanced to within one sample
+        assert abs(len(val) - num_samples / k) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    grid=st.dictionaries(
+        keys=st.sampled_from(["a", "b", "c"]),
+        values=st.lists(st.integers(0, 5), min_size=1, max_size=4, unique=True),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_expand_grid_size_and_membership(grid):
+    combos = expand_grid(grid)
+    expected = 1
+    for values in grid.values():
+        expected *= len(values)
+    assert len(combos) == expected
+    for combo in combos:
+        assert set(combo) == set(grid)
+        for name, value in combo.items():
+            assert value in grid[name]
+    # all combinations are distinct
+    assert len({tuple(sorted(c.items())) for c in combos}) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**40))
+def test_aiger_varint_roundtrip(value):
+    encoded = _encode_delta(value)
+    decoded, cursor = _decode_delta(encoded, 0)
+    assert decoded == value
+    assert cursor == len(encoded)
+    # continuation bit is set on every byte except the last
+    assert all(byte & 0x80 for byte in encoded[:-1])
+    assert not encoded[-1] & 0x80
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_neighbors=st.integers(min_value=1, max_value=10),
+    weights=st.sampled_from(["uniform", "distance"]),
+)
+def test_knn_predictions_stay_within_target_range(seed, n_neighbors, weights):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-5, 5, size=(40, 3))
+    targets = rng.uniform(-100, 100, size=40)
+    model = KnnRegressor(KnnParams(n_neighbors=n_neighbors, weights=weights))
+    model.fit(features, targets)
+    queries = rng.uniform(-10, 10, size=(15, 3))
+    predictions = model.predict(queries)
+    # A (weighted) average of neighbour targets can never leave their range.
+    assert predictions.min() >= targets.min() - 1e-9
+    assert predictions.max() <= targets.max() + 1e-9

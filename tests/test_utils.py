@@ -1,0 +1,89 @@
+"""Tests for shared utilities (RNG plumbing, timers, validation)."""
+
+import random
+import time
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import StageTimer, Timer
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_seed_is_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_ensure_rng_passthrough(self):
+        generator = random.Random(1)
+        assert ensure_rng(generator) is generator
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_ensure_rng_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rng_independent_streams(self):
+        parent = random.Random(0)
+        child_a = spawn_rng(parent, stream=0)
+        parent = random.Random(0)
+        child_b = spawn_rng(parent, stream=1)
+        assert child_a.random() != child_b.random()
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        assert timer.stop() > 0.0
+
+    def test_stage_timer_accumulates(self):
+        stages = StageTimer()
+        with stages.time("a"):
+            time.sleep(0.005)
+        with stages.time("a"):
+            pass
+        with stages.time("b"):
+            pass
+        assert stages.counts["a"] == 2
+        assert stages.total("a") >= 0.004
+        assert stages.mean("a") <= stages.total("a")
+        assert stages.stages() == ["a", "b"]
+        assert stages.total("missing") == 0.0
+        assert stages.mean("missing") == 0.0
+
+
+class TestValidation:
+    def test_check_type(self):
+        assert check_type(3, int, "x") == 3
+        assert check_type("s", (int, str), "x") == "s"
+        with pytest.raises(TypeError):
+            check_type(3.5, int, "x")
+
+    def test_check_positive(self):
+        assert check_positive(2.0, "x") == 2.0
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "x")
