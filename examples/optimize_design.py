@@ -2,20 +2,21 @@
 """Compare the three AIG optimization flows on one design (Fig. 3 / Fig. 5).
 
 Runs the baseline (proxy-metric) flow, the ground-truth flow (mapping + STA
-in the loop), and the ML-enhanced flow on the same design with the same
-annealing budget, then reports the ground-truth delay/area each flow reaches
-and the per-iteration cost that got it there.
+in the loop), and the ML-enhanced flow through one
+:class:`repro.api.SynthesisSession` with the same annealing budget, then
+reports the ground-truth delay/area each flow reaches and the per-iteration
+cost that got it there.  Because all three flows share the session's
+fingerprint-keyed evaluator, repeated structures (rejected SA moves,
+reconverging scripts) cost a dictionary hit instead of a mapping + STA run.
 
 Run with:  python examples/optimize_design.py [--design EX68] [--iterations 25]
 """
 
 import argparse
 
-from repro.datagen import DatasetGenerator, GenerationConfig
-from repro.designs import build_design
+from repro.api import OptimizeRequest, SynthesisSession
 from repro.experiments.report import format_table
 from repro.ml import GbdtParams, GradientBoostingRegressor
-from repro.opt import AnnealingConfig, BaselineFlow, GroundTruthFlow, MlFlow
 
 
 def parse_args() -> argparse.Namespace:
@@ -29,34 +30,39 @@ def parse_args() -> argparse.Namespace:
 
 def main() -> None:
     args = parse_args()
-    aig = build_design(args.design)
+    session = SynthesisSession()
+    aig = session.load_design(args.design)
     print(f"optimizing {args.design}: {aig.num_ands} AND nodes, depth {aig.depth()}")
 
     # Train the delay/area predictors on perturbed variants of this design
-    # (in a production setting the model would come from the shared training
-    # designs; see examples/train_timing_model.py).
-    generator = DatasetGenerator(GenerationConfig(samples_per_design=args.samples, seed=args.seed))
-    corpus = generator.generate_for_aig(args.design, aig, rng=args.seed)
-    delay_model = GradientBoostingRegressor(
-        GbdtParams(n_estimators=200, max_depth=5, learning_rate=0.08), rng=0
-    ).fit(corpus.features, corpus.delays_ps)
-    area_model = GradientBoostingRegressor(
-        GbdtParams(n_estimators=200, max_depth=5, learning_rate=0.08), rng=1
-    ).fit(corpus.features, corpus.areas_um2)
+    # (in a production setting the models would come from the shared training
+    # designs; see examples/train_timing_model.py).  One train_model call
+    # generates and labels the corpus; the area model is fitted from the
+    # same corpus without regenerating anything.
+    params = GbdtParams(n_estimators=200, max_depth=5, learning_rate=0.08)
+    train = session.train_model([aig], samples=args.samples, seed=args.seed,
+                                params=params, register_as="delay")
+    corpus = train.corpora[aig.name]
+    area_model = GradientBoostingRegressor(params, rng=args.seed)
+    area_model.fit(corpus.features, corpus.areas_um2)
+    session.models.register("area", area_model)
 
-    config = AnnealingConfig(iterations=args.iterations, seed=args.seed)
-    flows = [
-        BaselineFlow(),
-        GroundTruthFlow(),
-        MlFlow(delay_model, area_model=area_model),
+    requests = [
+        OptimizeRequest(design=args.design, flow="baseline"),
+        OptimizeRequest(design=args.design, flow="ground-truth"),
+        OptimizeRequest(design=args.design, flow="ml",
+                        delay_model="delay", area_model="area"),
     ]
     rows = []
-    for flow in flows:
-        result = flow.run(aig, config=config, delay_weight=2.0, area_weight=1.0, rng=args.seed)
+    for request in requests:
+        request.iterations = args.iterations
+        request.delay_weight, request.area_weight = 2.0, 1.0
+        request.seed = args.seed
+        result = session.optimize(request)
         annealing = result.annealing
         rows.append(
             (
-                flow.name,
+                result.flow,
                 f"{result.delay_ps:.1f}",
                 f"{result.area_um2:.1f}",
                 f"{annealing.accepted_moves}/{annealing.iterations_run}",
@@ -79,8 +85,11 @@ def main() -> None:
             title="Three-flow comparison (ground-truth PPA of the best AIG found)",
         )
     )
+    stats = session.cache_stats
+    print(f"\nsession PPA cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.0%} hit rate)")
     print(
-        "\nThe ML flow should track the ground-truth flow's quality while its "
+        "The ML flow should track the ground-truth flow's quality while its "
         "per-evaluation cost stays close to the baseline's."
     )
 

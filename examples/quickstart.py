@@ -1,30 +1,29 @@
 #!/usr/bin/env python3
-"""Quickstart: build a design, optimize it, map it, and time it.
+"""Quickstart: one SynthesisSession serves evaluation, mapping, and training.
 
-This walks through the core objects of the library in ~40 lines:
+This walks through the service-layer API of the library in ~40 lines:
 
-1. build a benchmark AIG (a stand-in for the paper's IWLS designs),
+1. open a :class:`repro.api.SynthesisSession` (owns the cell library and a
+   fingerprint-keyed PPA cache),
 2. look at the proxy metrics the baseline flow optimizes (depth, node count),
 3. apply an ABC-style transformation script,
 4. run technology mapping + static timing analysis (the ground truth),
-5. extract the Table II features and predict delay with a freshly trained
-   (tiny) model.
+5. train a tiny delay predictor on perturbed variants and use it — noting
+   how the session cache absorbs the duplicate structures along the way.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.datagen import DatasetGenerator, GenerationConfig
-from repro.designs import build_design
-from repro.evaluation import evaluate_aig
-from repro.features import FeatureExtractor
-from repro.ml import GbdtParams, GradientBoostingRegressor, percent_error_stats
+from repro.api import SynthesisSession
+from repro.ml import GbdtParams
 from repro.sta import format_timing_report
-from repro.transforms import apply_script
 
 
 def main() -> None:
+    session = SynthesisSession()
+
     # 1. Build a benchmark design (EX68: 14 inputs, 7 outputs).
-    aig = build_design("EX68")
+    aig = session.load_design("EX68")
     print(f"design {aig.name}: {aig.num_pis} PIs, {aig.num_pos} POs, "
           f"{aig.num_ands} AND nodes, depth {aig.depth()}")
 
@@ -33,11 +32,11 @@ def main() -> None:
     print(f"proxy area   = {aig.num_ands} nodes")
 
     # 3. Apply the classic 'compress2' optimization script.
-    optimized = apply_script(aig, "compress2", verify=True).aig
+    optimized = session.transform(aig, "compress2", verify=True).aig
     print(f"after compress2: {optimized.num_ands} nodes, depth {optimized.depth()}")
 
     # 4. Ground truth: map to the sky130-lite library and run STA.
-    result = evaluate_aig(optimized)
+    result = session.map(optimized)
     print(f"post-mapping delay = {result.delay_ps:.1f} ps, "
           f"area = {result.area_um2:.1f} um^2, {result.num_gates} gates")
     print()
@@ -45,19 +44,26 @@ def main() -> None:
     print()
 
     # 5. Train a small delay predictor on variants of this design and use it.
-    generator = DatasetGenerator(GenerationConfig(samples_per_design=15, seed=7))
-    corpus = generator.generate_for_aig("EX68", aig, rng=7)
-    model = GradientBoostingRegressor(
-        GbdtParams(n_estimators=120, max_depth=4, learning_rate=0.08), rng=0
+    train = session.train_model(
+        [aig],
+        samples=15,
+        seed=7,
+        params=GbdtParams(n_estimators=120, max_depth=4, learning_rate=0.08),
+        register_as="quickstart-delay",
     )
-    model.fit(corpus.features, corpus.delays_ps)
-    stats = percent_error_stats(corpus.delays_ps, model.predict(corpus.features))
-    print(f"delay model fit on {len(corpus.aigs)} variants: {stats}")
+    corpus = train.corpora[aig.name]
+    print(f"delay model fit on {len(corpus.aigs)} variants: "
+          f"mean %err {train.mean_fit_error_percent:.2f}, "
+          f"max {train.max_fit_error_percent:.2f}")
 
-    features = FeatureExtractor().extract(optimized).reshape(1, -1)
-    predicted = model.predict(features)[0]
+    predicted = session.predict(optimized, "quickstart-delay")
+    truth = session.evaluate(optimized)
     print(f"ML-predicted delay of the optimized AIG = {predicted:.1f} ps "
-          f"(ground truth {result.delay_ps:.1f} ps)")
+          f"(ground truth {truth.delay_ps:.1f} ps)")
+
+    stats = session.cache_stats
+    print(f"session PPA cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.0%} hit rate)")
 
 
 if __name__ == "__main__":

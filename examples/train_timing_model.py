@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Train the post-mapping delay predictor (the paper's Table III pipeline).
 
-Generates labelled AIG variants for the training designs, fits the
+Generates labelled AIG variants for the training designs through a
+:class:`repro.api.SynthesisSession` (cached, optionally parallel), fits the
 gradient-boosted model, evaluates it on designs it has never seen, and saves
 the trained model to JSON.
 
@@ -14,7 +15,7 @@ design set so the example finishes in about a minute.
 import argparse
 from pathlib import Path
 
-from repro.datagen import DatasetGenerator, GenerationConfig
+from repro.api import SynthesisSession
 from repro.experiments.report import format_table
 from repro.ml import GbdtParams, GradientBoostingRegressor, percent_error_stats, save_gbdt
 
@@ -24,6 +25,8 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--samples", type=int, default=20, help="AIG variants per design")
     parser.add_argument("--full", action="store_true", help="use all eight EXxx designs")
     parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="labelling process-pool size (default: serial)")
     parser.add_argument(
         "--output", type=Path, default=Path("delay_model.json"), help="model output path"
     )
@@ -39,13 +42,13 @@ def main() -> None:
         train_designs = ["EX00", "EX68"]
         test_designs = ["EX02"]
 
-    generator = DatasetGenerator(
-        GenerationConfig(samples_per_design=args.samples, seed=args.seed)
-    )
+    session = SynthesisSession(parallel_workers=args.workers)
     print(f"generating {args.samples} labelled variants for "
           f"{len(train_designs) + len(test_designs)} designs ...")
-    corpora = generator.generate(train_designs + test_designs, rng=args.seed)
-    dataset = generator.to_dataset(corpora)
+    corpora = session.generate_corpora(
+        train_designs + test_designs, samples=args.samples, seed=args.seed
+    )
+    dataset = session.build_dataset(corpora)
     print(dataset.summary())
 
     train = dataset.for_designs(train_designs)
@@ -55,6 +58,7 @@ def main() -> None:
     )
     print(f"training on {len(train)} samples ...")
     model.fit(train.features, train.labels)
+    session.models.register("delay", model)
 
     rows = []
     for design, corpus in corpora.items():
@@ -66,13 +70,18 @@ def main() -> None:
                        title="Delay-prediction accuracy (cf. paper Table III)"))
 
     importance = model.feature_importance()
-    names = generator.extractor.feature_names
+    names = dataset.feature_names
     top = sorted(zip(names, importance), key=lambda item: -item[1])[:8]
     print()
     print(format_table(["feature", "importance"], top, title="Top feature importances"))
 
+    cache = session.cache_stats
+    if cache is not None:
+        print(f"\nlabelling cache: {cache.hits} hits / {cache.misses} misses")
+
     save_gbdt(model, args.output)
-    print(f"\nmodel saved to {args.output}")
+    print(f"model saved to {args.output}")
+    session.close()
 
 
 if __name__ == "__main__":

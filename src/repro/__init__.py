@@ -5,14 +5,52 @@ standard-cell library, technology mapping, STA) topped by the paper's
 contribution (graph-level feature extraction, gradient-boosted delay
 prediction, and the ML-enhanced simulated-annealing optimization flow).
 
+The public entry point is the service layer in :mod:`repro.api`: a
+:class:`~repro.api.SynthesisSession` owns the cell library, a cached (and
+optionally process-parallel) PPA evaluator, and a registry of trained
+models, and serves evaluation, optimization, dataset generation, and
+training through typed requests.
+
 Quickstart
 ----------
->>> from repro.designs import build_design
->>> aig = build_design("EX68", seed=1)
->>> aig.num_pis
-14
+>>> from repro import SynthesisSession
+>>> session = SynthesisSession()
+>>> result = session.evaluate("EX68")
+>>> result.delay_ps > 0
+True
+>>> session.optimize(design="EX68", flow="baseline", iterations=5, seed=1).flow
+'baseline'
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "CachedEvaluator",
+    "EvalRequest",
+    "Evaluator",
+    "GroundTruthEvaluator",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "ParallelEvaluator",
+    "PpaResult",
+    "SynthesisSession",
+    "__version__",
+    "default_session",
+    "evaluate_aig",
+]
+
+_API_EXPORTS = frozenset(__all__) - {"__version__"}
+
+
+def __getattr__(name: str):
+    # The service layer is re-exported lazily so `import repro` stays cheap
+    # and the api -> opt -> repro.* import chain never becomes circular.
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -20,6 +20,7 @@ construction.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -292,6 +293,42 @@ class Aig:
             consumers[literal_var(self._fanin0[var])].append(var)
             consumers[literal_var(self._fanin1[var])].append(var)
         return consumers
+
+    def fingerprint(self) -> str:
+        """Order-insensitive structural hash of the logic feeding the POs.
+
+        Two AIGs receive the same fingerprint exactly when they have the same
+        number of primary inputs and, for every primary output position, the
+        same AND/inverter structure over the same PI positions.  The hash is
+        insensitive to node creation order, to the relative order of the two
+        fanins of an AND, to node names, and to dead (PO-unreachable) logic,
+        which makes it a sound memoisation key for PPA evaluation: structural
+        revisits during annealing or perturbation-based data generation hash
+        to the same value.
+        """
+        digest_size = 16
+        node_hash: List[bytes] = [b"\x00" * digest_size] * self.size
+        node_hash[0] = hashlib.blake2b(b"const0", digest_size=digest_size).digest()
+        for index, var in enumerate(self._pis):
+            node_hash[var] = hashlib.blake2b(
+                b"pi:%d" % index, digest_size=digest_size
+            ).digest()
+        for var in range(1, self.size):
+            if self._is_pi[var]:
+                continue
+            f0, f1 = self._fanin0[var], self._fanin1[var]
+            e0 = node_hash[literal_var(f0)] + (b"1" if is_complemented(f0) else b"0")
+            e1 = node_hash[literal_var(f1)] + (b"1" if is_complemented(f1) else b"0")
+            lo, hi = (e0, e1) if e0 <= e1 else (e1, e0)
+            node_hash[var] = hashlib.blake2b(
+                b"and:" + lo + hi, digest_size=digest_size
+            ).digest()
+        top = hashlib.blake2b(digest_size=digest_size)
+        top.update(b"aig:%d:%d" % (self.num_pis, self.num_pos))
+        for lit in self._pos:
+            top.update(node_hash[literal_var(lit)])
+            top.update(b"1" if is_complemented(lit) else b"0")
+        return top.hexdigest()
 
     def stats(self) -> AigStats:
         """Return the proxy-metric summary for this graph."""

@@ -1,0 +1,58 @@
+"""Service-layer API: sessions, typed requests, and pluggable evaluators.
+
+This package is the single stable surface clients should program against:
+
+* :class:`SynthesisSession` — façade owning library, evaluator, and models;
+* :class:`OptimizeRequest` / :class:`OptimizeResult` / :class:`EvalRequest`
+  / :class:`TrainResult` — typed request/response dataclasses;
+* :class:`~repro.evaluation.Evaluator` protocol with three implementations:
+  :class:`~repro.evaluation.GroundTruthEvaluator` (mapping + STA),
+  :class:`CachedEvaluator` (fingerprint-memoised), and
+  :class:`ParallelEvaluator` (process-pool batches);
+* flow/model registries for plugging in new flows and trained predictors.
+"""
+
+from repro.api.evaluators import (
+    CachedEvaluator,
+    CacheStats,
+    Evaluator,
+    GroundTruthEvaluator,
+    ParallelEvaluator,
+)
+from repro.api.registry import (
+    ModelRegistry,
+    available_flows,
+    create_flow,
+    register_flow,
+)
+from repro.api.session import (
+    EvalRequest,
+    OptimizeRequest,
+    OptimizeResult,
+    SynthesisSession,
+    TrainResult,
+    default_session,
+    load_design,
+)
+from repro.evaluation import PpaResult, evaluate_aig
+
+__all__ = [
+    "CacheStats",
+    "CachedEvaluator",
+    "EvalRequest",
+    "Evaluator",
+    "GroundTruthEvaluator",
+    "ModelRegistry",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "ParallelEvaluator",
+    "PpaResult",
+    "SynthesisSession",
+    "TrainResult",
+    "available_flows",
+    "create_flow",
+    "default_session",
+    "evaluate_aig",
+    "load_design",
+    "register_flow",
+]

@@ -25,38 +25,29 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.designs.registry import ALL_DESIGNS, build_design
+from repro.api import OptimizeRequest, SynthesisSession, default_session
+from repro.api.session import load_design
+from repro.designs.registry import ALL_DESIGNS
 from repro.errors import ReproError
-from repro.evaluation import evaluate_aig
 from repro.features.extract import FeatureExtractor
-from repro.io.aiger import read_aag, write_aag
-from repro.io.aiger_binary import read_aig_binary, write_aig_binary
-from repro.io.bench import read_bench, write_bench
-from repro.io.blif import read_blif, write_blif
+from repro.io.aiger import write_aag
+from repro.io.aiger_binary import write_aig_binary
+from repro.io.bench import write_bench
+from repro.io.blif import write_blif
 from repro.io.dot import write_aig_dot
 from repro.io.verilog import write_aig_verilog, write_mapped_verilog
 from repro.sta.report import format_cell_usage, format_timing_report
-from repro.transforms.engine import apply_script
 from repro.transforms.scripts import NAMED_SCRIPTS
 
 
-def load_design(name_or_path: str):
-    """Resolve a CLI design argument to an AIG."""
-    path = Path(name_or_path)
-    suffix = path.suffix.lower()
-    if suffix == ".aag":
-        return read_aag(path)
-    if suffix == ".aig":
-        return read_aig_binary(path)
-    if suffix == ".bench":
-        return read_bench(path)
-    if suffix == ".blif":
-        return read_blif(path)
-    return build_design(name_or_path)
+def _session() -> SynthesisSession:
+    """The shared session every CLI command runs against."""
+    return default_session()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
+    session = _session()
+    aig = session.load_design(args.design)
     stats = aig.stats()
     print(f"design   : {stats.name}")
     print(f"inputs   : {stats.num_pis}")
@@ -64,7 +55,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"and nodes: {stats.num_ands}")
     print(f"depth    : {stats.depth}")
     if args.ppa:
-        result = evaluate_aig(aig)
+        result = session.evaluate(aig)
         print(f"mapped gates     : {result.num_gates}")
         print(f"post-map delay   : {result.delay_ps:.1f} ps")
         print(f"post-map area    : {result.area_um2:.1f} um^2")
@@ -72,9 +63,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
+    session = _session()
+    aig = session.load_design(args.design)
     before = aig.stats()
-    result = apply_script(aig, args.script, verify=args.verify)
+    result = session.transform(aig, args.script, verify=args.verify)
     after = result.final_stats
     print(result.summary())
     print(
@@ -88,8 +80,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    aig = load_design(args.design)
-    result = evaluate_aig(aig)
+    result = _session().map(args.design)
     print(format_timing_report(result.netlist, result.timing))
     print()
     print(format_cell_usage(result.netlist))
@@ -144,12 +135,12 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_postopt(args: argparse.Namespace) -> int:
-    from repro.library.sky130_lite import load_sky130_lite
     from repro.mapping.mapper import TechnologyMapper
     from repro.mapping.postopt import PostMappingOptimizer, PostOptOptions
 
-    aig = load_design(args.design)
-    library = load_sky130_lite()
+    session = _session()
+    aig = session.load_design(args.design)
+    library = session.library
     netlist = TechnologyMapper(library).map(aig)
     options = PostOptOptions(
         enable_sizing=not args.no_sizing,
@@ -175,47 +166,38 @@ def _cmd_postopt(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.datagen.generator import DatasetGenerator, GenerationConfig
-    from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
-    from repro.ml.metrics import percent_error_stats
+    from repro.ml.gbdt import GbdtParams
     from repro.ml.model_io import save_gbdt
 
-    generator = DatasetGenerator(
-        GenerationConfig(samples_per_design=args.samples, seed=args.seed)
-    )
-    corpora = {}
-    for name in args.designs:
-        aig = load_design(name)
-        corpora[name] = generator.generate_for_aig(aig.name, aig, rng=args.seed)
-        print(f"labelled {len(corpora[name].aigs)} variants of {name}")
-    dataset = generator.to_dataset(corpora)
-    labels = dataset.areas if args.target == "area" else dataset.labels
-    model = GradientBoostingRegressor(
-        GbdtParams(
+    result = _session().train_model(
+        args.designs,
+        samples=args.samples,
+        target=args.target,
+        seed=args.seed,
+        params=GbdtParams(
             n_estimators=args.estimators,
             learning_rate=args.learning_rate,
             max_depth=args.max_depth,
         ),
-        rng=args.seed,
     )
-    model.fit(dataset.features, labels)
-    stats = percent_error_stats(labels, model.predict(dataset.features))
-    print(f"training fit ({args.target}): mean %err {stats.mean:.2f}, max {stats.max:.2f}")
-    save_gbdt(model, args.model)
+    for name, corpus in result.corpora.items():
+        print(f"labelled {len(corpus.aigs)} variants of {name}")
+    print(
+        f"training fit ({args.target}): mean %err "
+        f"{result.mean_fit_error_percent:.2f}, max {result.max_fit_error_percent:.2f}"
+    )
+    save_gbdt(result.model, args.model)
     print(f"wrote model to {args.model}")
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    from repro.ml.model_io import load_gbdt
-
-    aig = load_design(args.design)
-    model = load_gbdt(args.model)
-    features = FeatureExtractor().extract(aig).reshape(1, -1)
-    predicted = float(model.predict(features)[0])
+    session = _session()
+    aig = session.load_design(args.design)
+    predicted = session.predict(aig, args.model)
     print(f"predicted post-mapping delay = {predicted:.1f} ps")
     if args.ppa:
-        result = evaluate_aig(aig)
+        result = session.evaluate(aig)
         error = abs(predicted - result.delay_ps) / result.delay_ps * 100.0
         print(f"ground-truth delay           = {result.delay_ps:.1f} ps  (error {error:.2f}%)")
         print(f"ground-truth area            = {result.area_um2:.1f} um^2")
@@ -223,47 +205,41 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
-    from repro.ml.model_io import load_gbdt
-    from repro.opt.annealing import AnnealingConfig
-    from repro.opt.flows import BaselineFlow, GroundTruthFlow, MlFlow
-    from repro.opt.hybrid import HybridFlow
-
-    aig = load_design(args.design)
     if args.flow in ("ml", "hybrid") and not args.model:
         print("error: --model is required for the ml and hybrid flows", file=sys.stderr)
         return 2
-    if args.flow == "baseline":
-        flow = BaselineFlow()
-    elif args.flow == "ground-truth":
-        flow = GroundTruthFlow()
-    elif args.flow == "ml":
-        flow = MlFlow(load_gbdt(args.model))
-    else:
-        flow = HybridFlow(load_gbdt(args.model), validate_every=args.validate_every)
-    config = AnnealingConfig(iterations=args.iterations, keep_history=False)
-    result = flow.run(
-        aig,
-        config=config,
-        delay_weight=args.delay_weight,
-        area_weight=args.area_weight,
-        rng=args.seed,
+    session = _session()
+    needs_model = args.flow in ("ml", "hybrid")
+    result = session.optimize(
+        OptimizeRequest(
+            design=args.design,
+            flow=args.flow,
+            iterations=args.iterations,
+            delay_weight=args.delay_weight,
+            area_weight=args.area_weight,
+            seed=args.seed,
+            delay_model=args.model if needs_model else None,
+            validate_every=args.validate_every,
+        )
     )
-    initial = evaluate_aig(aig)
+    initial = result.initial
     print(f"flow               : {result.flow}")
     print(f"iterations         : {args.iterations}")
     print(f"initial delay/area : {initial.delay_ps:.1f} ps / {initial.area_um2:.1f} um^2")
     print(f"final   delay/area : {result.delay_ps:.1f} ps / {result.area_um2:.1f} um^2")
     print(f"accepted moves     : {result.annealing.accepted_moves}")
     print(f"runtime            : {result.annealing.runtime_seconds:.2f} s")
-    if args.flow == "hybrid" and flow.last_cost is not None:
-        summary = flow.last_cost.validation_summary()
+    flow = result.flow_instance
+    last_cost = getattr(flow, "last_cost", None)
+    if args.flow == "hybrid" and last_cost is not None:
+        summary = last_cost.validation_summary()
         print(
             f"hybrid validation  : {summary.checks} checks, "
             f"mean %err {summary.mean_delay_error_percent:.2f}, "
             f"correction {summary.final_correction:.3f}"
         )
     if args.output:
-        write_aag(result.annealing.best_aig, args.output)
+        write_aag(result.best_aig, args.output)
         print(f"wrote optimized AIG to {args.output}")
     return 0
 

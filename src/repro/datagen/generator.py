@@ -21,6 +21,7 @@ from repro.datagen.labeler import LabeledSample, Labeler
 from repro.datagen.perturb import generate_variants
 from repro.designs.registry import build_design
 from repro.errors import DatasetError
+from repro.evaluation import Evaluator
 from repro.features.extract import FeatureConfig, FeatureExtractor
 from repro.library.library import CellLibrary
 from repro.ml.dataset import TimingDataset
@@ -61,10 +62,11 @@ class DatasetGenerator:
         self,
         config: Optional[GenerationConfig] = None,
         library: Optional[CellLibrary] = None,
+        evaluator: Optional[Evaluator] = None,
     ) -> None:
         self.config = config or GenerationConfig()
         self.extractor = FeatureExtractor(self.config.feature_config)
-        self.labeler = Labeler(library)
+        self.labeler = Labeler(library, evaluator=evaluator)
 
     # ------------------------------------------------------------------ #
     def generate_for_aig(self, design_name: str, base: Aig, rng: RngLike = None) -> DesignCorpus:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.aig.graph import Aig
-from repro.evaluation import GroundTruthEvaluator, PpaResult
+from repro.evaluation import Evaluator, GroundTruthEvaluator, PpaResult
 from repro.library.library import CellLibrary
 
 
@@ -28,14 +28,23 @@ class LabeledSample:
 
 
 class Labeler:
-    """Maps + times AIG variants, producing :class:`LabeledSample` records."""
+    """Maps + times AIG variants, producing :class:`LabeledSample` records.
+
+    Labelling goes through an injected :class:`~repro.evaluation.Evaluator`,
+    so a caller can hand in a cached or process-parallel one (see
+    :mod:`repro.api.evaluators`) and every variant batch is deduplicated
+    and/or fanned out across workers.
+    """
 
     def __init__(
         self,
         library: Optional[CellLibrary] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        evaluator: Optional[Evaluator] = None,
     ) -> None:
-        self._evaluator = GroundTruthEvaluator(library)
+        self._evaluator: Evaluator = (
+            evaluator if evaluator is not None else GroundTruthEvaluator(library)
+        )
         self._progress = progress
 
     @property
@@ -43,12 +52,25 @@ class Labeler:
         """The cell library used for labelling."""
         return self._evaluator.library
 
+    @property
+    def evaluator(self) -> Evaluator:
+        """The evaluator labelling is routed through."""
+        return self._evaluator
+
     def label(self, design: str, aigs: Sequence[Aig]) -> List[LabeledSample]:
         """Label every AIG in *aigs* with its post-mapping delay and area."""
-        samples: List[LabeledSample] = []
+        aigs = list(aigs)
         total = len(aigs)
-        for index, aig in enumerate(aigs):
-            result: PpaResult = self._evaluator.evaluate(aig)
+        if self._progress is None:
+            # Batch path: lets cached/parallel evaluators dedupe and fan out.
+            results = self._evaluator.evaluate_many(aigs)
+        else:
+            results = []
+            for index, aig in enumerate(aigs):
+                results.append(self._evaluator.evaluate(aig))
+                self._progress(index + 1, total)
+        samples: List[LabeledSample] = []
+        for aig, result in zip(aigs, results):
             samples.append(
                 LabeledSample(
                     design=design,
@@ -58,6 +80,4 @@ class Labeler:
                     num_gates=result.num_gates,
                 )
             )
-            if self._progress is not None:
-                self._progress(index + 1, total)
         return samples

@@ -4,12 +4,19 @@ This is the expensive step of the paper's ground-truth optimization flow and
 the label generator for the ML dataset: given an AIG, map it onto the cell
 library and run static timing analysis, returning the post-mapping maximum
 delay and total cell area.
+
+The :class:`Evaluator` protocol defined here is the seam the service layer
+(:mod:`repro.api`) plugs into: :class:`GroundTruthEvaluator` is the reference
+implementation, and :class:`repro.api.evaluators.CachedEvaluator` /
+:class:`repro.api.evaluators.ParallelEvaluator` wrap it with memoisation and
+process-pool fan-out without the optimization flows having to care which one
+they were handed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.aig.graph import Aig
 from repro.library.library import CellLibrary
@@ -34,6 +41,28 @@ class PpaResult:
         return (self.delay_ps, self.area_um2)
 
 
+@runtime_checkable
+class Evaluator(Protocol):
+    """Anything that can turn AIGs into :class:`PpaResult` records.
+
+    Implementations must expose the cell library they report PPA against so
+    flows can hand the same library to reports and post-mapping steps.
+    """
+
+    @property
+    def library(self) -> CellLibrary:  # pragma: no cover - protocol
+        """The cell library the PPA numbers refer to."""
+        ...
+
+    def evaluate(self, aig: Aig) -> PpaResult:  # pragma: no cover - protocol
+        """Return the post-mapping delay/area of *aig*."""
+        ...
+
+    def evaluate_many(self, aigs: Sequence[Aig]) -> List[PpaResult]:  # pragma: no cover
+        """Evaluate a batch of AIGs, preserving order."""
+        ...
+
+
 class GroundTruthEvaluator:
     """Maps AIGs and runs STA, reusing one mapper/library across calls."""
 
@@ -43,26 +72,57 @@ class GroundTruthEvaluator:
         mapping_options: Optional[MappingOptions] = None,
         keep_netlist: bool = False,
     ) -> None:
-        self.library = library if library is not None else load_sky130_lite()
-        self.mapper = TechnologyMapper(self.library, mapping_options)
+        self._library = library if library is not None else load_sky130_lite()
+        self.mapper = TechnologyMapper(self._library, mapping_options)
         self.keep_netlist = keep_netlist
 
-    def evaluate(self, aig: Aig) -> PpaResult:
-        """Map *aig*, run STA, and return its post-mapping delay and area."""
+    @property
+    def library(self) -> CellLibrary:
+        """The cell library all evaluations map onto."""
+        return self._library
+
+    def evaluate(self, aig: Aig, keep_netlist: Optional[bool] = None) -> PpaResult:
+        """Map *aig*, run STA, and return its post-mapping delay and area.
+
+        *keep_netlist* overrides the instance default for this one call so a
+        shared evaluator can serve both lightweight PPA queries and netlist
+        exports.
+        """
+        keep = self.keep_netlist if keep_netlist is None else keep_netlist
         netlist = self.mapper.map(aig)
         report = analyze_timing(
-            netlist, po_load_ff=self.library.po_load_ff, with_critical_path=False
+            netlist, po_load_ff=self._library.po_load_ff, with_critical_path=False
         )
         return PpaResult(
             delay_ps=report.max_delay_ps,
             area_um2=netlist.area_um2(),
             num_gates=netlist.num_gates,
-            netlist=netlist if self.keep_netlist else None,
-            timing=report if self.keep_netlist else None,
+            netlist=netlist if keep else None,
+            timing=report if keep else None,
         )
+
+    def evaluate_many(self, aigs: Sequence[Aig]) -> List[PpaResult]:
+        """Evaluate a batch of AIGs serially, preserving order."""
+        return [self.evaluate(aig) for aig in aigs]
 
     def __call__(self, aig: Aig) -> PpaResult:
         return self.evaluate(aig)
+
+
+_DEFAULT_EVALUATOR: Optional[GroundTruthEvaluator] = None
+
+
+def default_evaluator() -> GroundTruthEvaluator:
+    """The process-wide default evaluator (sky130-lite, netlists kept).
+
+    Built on first use and reused afterwards, so repeated one-shot
+    :func:`evaluate_aig` calls do not rebuild the cell library index and
+    mapper every time.
+    """
+    global _DEFAULT_EVALUATOR
+    if _DEFAULT_EVALUATOR is None:
+        _DEFAULT_EVALUATOR = GroundTruthEvaluator(keep_netlist=True)
+    return _DEFAULT_EVALUATOR
 
 
 def evaluate_aig(
@@ -70,5 +130,12 @@ def evaluate_aig(
     library: Optional[CellLibrary] = None,
     mapping_options: Optional[MappingOptions] = None,
 ) -> PpaResult:
-    """One-shot convenience wrapper around :class:`GroundTruthEvaluator`."""
+    """One-shot convenience wrapper around :class:`GroundTruthEvaluator`.
+
+    With default arguments this routes through the shared
+    :func:`default_evaluator`, so the library and mapper are built once per
+    process rather than once per call.
+    """
+    if library is None and mapping_options is None:
+        return default_evaluator().evaluate(aig)
     return GroundTruthEvaluator(library, mapping_options, keep_netlist=True).evaluate(aig)

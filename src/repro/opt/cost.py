@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.aig.graph import Aig
 from repro.errors import OptimizationError
-from repro.evaluation import GroundTruthEvaluator
+from repro.evaluation import Evaluator, GroundTruthEvaluator
 from repro.features.extract import FeatureExtractor
 from repro.library.library import CellLibrary
 
@@ -101,14 +101,16 @@ class GroundTruthCost(CostFunction):
         library: Optional[CellLibrary] = None,
         delay_weight: float = 1.0,
         area_weight: float = 1.0,
-        evaluator: Optional[GroundTruthEvaluator] = None,
+        evaluator: Optional[Evaluator] = None,
     ) -> None:
         super().__init__(delay_weight, area_weight)
-        self._evaluator = evaluator if evaluator is not None else GroundTruthEvaluator(library)
+        self._evaluator: Evaluator = (
+            evaluator if evaluator is not None else GroundTruthEvaluator(library)
+        )
 
     @property
-    def evaluator(self) -> GroundTruthEvaluator:
-        """The underlying mapper + STA evaluator."""
+    def evaluator(self) -> Evaluator:
+        """The underlying mapper + STA evaluator (possibly cached/parallel)."""
         return self._evaluator
 
     def measure(self, aig: Aig) -> tuple:

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.aig.graph import Aig
 from repro.errors import OptimizationError
-from repro.evaluation import GroundTruthEvaluator, PpaResult
+from repro.evaluation import Evaluator, GroundTruthEvaluator, PpaResult
 from repro.features.extract import FeatureExtractor
 from repro.library.library import CellLibrary
 from repro.opt.annealing import AnnealingConfig, AnnealingResult, SimulatedAnnealing
@@ -56,8 +56,19 @@ class OptimizationFlow(abc.ABC):
 
     name: str = "flow"
 
-    def __init__(self, library: Optional[CellLibrary] = None) -> None:
-        self._evaluator = GroundTruthEvaluator(library)
+    def __init__(
+        self,
+        library: Optional[CellLibrary] = None,
+        evaluator: Optional[Evaluator] = None,
+    ) -> None:
+        self._evaluator: Evaluator = (
+            evaluator if evaluator is not None else GroundTruthEvaluator(library)
+        )
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The injected PPA evaluator (ground-truth, cached, or parallel)."""
+        return self._evaluator
 
     @property
     def library(self) -> CellLibrary:
@@ -124,8 +135,9 @@ class MlFlow(OptimizationFlow):
         area_model=None,
         extractor: Optional[FeatureExtractor] = None,
         library: Optional[CellLibrary] = None,
+        evaluator: Optional[Evaluator] = None,
     ) -> None:
-        super().__init__(library)
+        super().__init__(library, evaluator=evaluator)
         if delay_model is None:
             raise OptimizationError("MlFlow requires a trained delay model")
         self.delay_model = delay_model
@@ -172,8 +184,11 @@ def measure_iteration_runtime(
     run_config = config or AnnealingConfig(iterations=iterations, keep_history=False)
     result = flow.run(aig, config=run_config, rng=rng)
     timer = result.annealing.stage_timer
-    evaluations = max(timer.counts.get("evaluation", 1) - 1, 1)  # exclude calibration
-    transforms = max(timer.counts.get("transform", 1), 1)
+    # The SA engine books the pre-loop cost calibration under its own
+    # "calibration" stage, so "evaluation" holds exactly one entry per SA
+    # iteration regardless of history or calibration settings.
+    evaluations = max(timer.counts.get("evaluation", 0), 1)
+    transforms = max(timer.counts.get("transform", 0), 1)
     return IterationRuntime(
         flow=flow.name,
         design=aig.name,

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.aig.graph import Aig
 from repro.errors import OptimizationError
-from repro.evaluation import GroundTruthEvaluator
+from repro.evaluation import Evaluator, GroundTruthEvaluator
 from repro.features.extract import FeatureExtractor
 from repro.library.library import CellLibrary
 from repro.opt.cost import CostFunction
@@ -73,7 +73,7 @@ class HybridMlCost(CostFunction):
         validate_every: int = 10,
         correction_smoothing: float = 0.5,
         extractor: Optional[FeatureExtractor] = None,
-        evaluator: Optional[GroundTruthEvaluator] = None,
+        evaluator: Optional[Evaluator] = None,
         library: Optional[CellLibrary] = None,
         delay_weight: float = 1.0,
         area_weight: float = 1.0,
@@ -166,8 +166,9 @@ class HybridFlow(OptimizationFlow):
         correction_smoothing: float = 0.5,
         extractor: Optional[FeatureExtractor] = None,
         library: Optional[CellLibrary] = None,
+        evaluator: Optional[Evaluator] = None,
     ) -> None:
-        super().__init__(library)
+        super().__init__(library, evaluator=evaluator)
         if delay_model is None:
             raise OptimizationError("HybridFlow requires a trained delay model")
         self.delay_model = delay_model
