@@ -29,6 +29,7 @@ __all__ = [
     "EvalRequest",
     "Evaluator",
     "GroundTruthEvaluator",
+    "IncrementalEvaluator",
     "OptimizeRequest",
     "OptimizeResult",
     "ParallelEvaluator",

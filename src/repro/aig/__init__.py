@@ -6,9 +6,10 @@ from repro.aig.analysis import (
     critical_path_nodes,
     po_depths,
     structural_summary,
+    transitive_fanout,
     weighted_po_depths,
 )
-from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.cuts import Cut, enumerate_cuts, merge_node_cuts
 from repro.aig.equivalence import (
     EquivalenceResult,
     check_equivalence,
@@ -16,6 +17,15 @@ from repro.aig.equivalence import (
     check_equivalence_random,
 )
 from repro.aig.graph import Aig, AigStats
+from repro.aig.journal import (
+    JournalEntry,
+    MutationJournal,
+    StructuralDiff,
+    dirty_cone,
+    node_hashes,
+    node_hashes_cached,
+    structural_diff,
+)
 from repro.aig.literals import (
     CONST0,
     CONST1,
@@ -52,13 +62,22 @@ __all__ = [
     "critical_path_nodes",
     "enumerate_cuts",
     "exhaustive_pi_patterns",
+    "JournalEntry",
+    "MutationJournal",
+    "StructuralDiff",
+    "dirty_cone",
     "is_complemented",
     "literal_var",
     "make_literal",
+    "merge_node_cuts",
     "negate",
     "negate_if",
+    "node_hashes",
+    "node_hashes_cached",
     "node_signatures",
     "po_depths",
+    "structural_diff",
+    "transitive_fanout",
     "po_truth_tables",
     "random_aig",
     "random_cone_aig",

@@ -9,7 +9,7 @@ path counts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.aig.graph import Aig
 from repro.aig.literals import literal_var
@@ -114,6 +114,32 @@ def count_paths_per_po(aig: Aig, cap: int = 10**12) -> List[int]:
         total = paths[literal_var(f0)] + paths[literal_var(f1)]
         paths[var] = min(total, cap)
     return [min(paths[literal_var(lit)], cap) for lit in aig.po_literals()]
+
+
+def transitive_fanout(
+    aig: Aig, roots: Iterable[int], include_roots: bool = True
+) -> Set[int]:
+    """Variables reachable from *roots* (variable ids) via fanout edges.
+
+    This is the *dirty cone* of incremental evaluation: when only the root
+    nodes were perturbed, every node whose mapping choice or arrival time can
+    differ lies in the transitive fanout of the roots (consumers see changed
+    structure, arrival times, or fanout-dependent area flow).
+    """
+    consumers = aig.fanouts()
+    root_list = [var for var in roots if 0 <= var < aig.size]
+    reached: Set[int] = set(root_list) if include_roots else set()
+    stack = list(root_list)
+    visited: Set[int] = set(root_list)
+    while stack:
+        var = stack.pop()
+        for consumer in consumers[var]:
+            if consumer in visited:
+                continue
+            visited.add(consumer)
+            reached.add(consumer)
+            stack.append(consumer)
+    return reached
 
 
 def po_cone_sizes(aig: Aig) -> List[int]:

@@ -62,6 +62,37 @@ def _prune_dominated(cuts: List[Cut]) -> List[Cut]:
     return kept
 
 
+def merge_node_cuts(
+    var: int,
+    cuts0: Sequence[Cut],
+    cuts1: Sequence[Cut],
+    k: int,
+    max_cuts_per_node: int,
+    include_trivial: bool = True,
+) -> List[Cut]:
+    """Cut list of AND node *var* from its two fanins' cut lists.
+
+    This is the per-node step of :func:`enumerate_cuts`, exposed separately
+    so the incremental mapper can recompute cuts for dirty nodes only while
+    producing exactly the lists a full enumeration would.
+    """
+    merged: List[Cut] = []
+    for cut0 in cuts0:
+        for cut1 in cuts1:
+            candidate = merge_cuts(cut0, cut1, var, k)
+            if candidate is not None:
+                merged.append(candidate)
+    merged = _prune_dominated(merged)
+    # Prefer smaller cuts; deterministic ordering keeps runs reproducible.
+    merged.sort(key=lambda c: (c.size, c.leaves))
+    merged = merged[:max_cuts_per_node]
+    trivial = Cut(var, (var,))
+    node_cuts = merged + [trivial] if include_trivial else merged
+    if not node_cuts:
+        node_cuts = [trivial]
+    return node_cuts
+
+
 def enumerate_cuts(
     aig: Aig,
     k: int = 4,
@@ -96,21 +127,9 @@ def enumerate_cuts(
     for var in aig.and_vars():
         f0, f1 = aig.fanins(var)
         v0, v1 = literal_var(f0), literal_var(f1)
-        merged: List[Cut] = []
-        for cut0 in cuts[v0]:
-            for cut1 in cuts[v1]:
-                candidate = merge_cuts(cut0, cut1, var, k)
-                if candidate is not None:
-                    merged.append(candidate)
-        merged = _prune_dominated(merged)
-        # Prefer smaller cuts; deterministic ordering keeps runs reproducible.
-        merged.sort(key=lambda c: (c.size, c.leaves))
-        merged = merged[:max_cuts_per_node]
-        trivial = Cut(var, (var,))
-        node_cuts = merged + [trivial] if include_trivial else merged
-        if not node_cuts:
-            node_cuts = [trivial]
-        cuts[var] = node_cuts
+        cuts[var] = merge_node_cuts(
+            var, cuts[v0], cuts[v1], k, max_cuts_per_node, include_trivial
+        )
     return cuts
 
 

@@ -20,10 +20,14 @@ construction.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.aig.journal import (
+    MutationJournal,
+    fingerprint_from_hashes,
+    node_hashes_cached,
+)
 from repro.aig.literals import (
     CONST0,
     CONST1,
@@ -67,6 +71,12 @@ class Aig:
         self._pos: List[int] = []
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[int, int], int] = {}
+        # Mutation journal for incremental evaluation; disabled by default so
+        # the construction hot path only pays a boolean check.
+        self.journal = MutationJournal()
+        # Cache for journal.node_hashes_cached: valid while size is
+        # unchanged (node arrays are append-only, PO edits don't matter).
+        self._node_hash_cache: Optional[List[bytes]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -77,6 +87,8 @@ class Aig:
         self._is_pi[var] = True
         self._pis.append(var)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        if self.journal.enabled:
+            self.journal.note_var(var)
         return make_literal(var)
 
     def add_po(self, lit: int, name: Optional[str] = None) -> int:
@@ -84,6 +96,8 @@ class Aig:
         self._check_literal(lit)
         self._pos.append(lit)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        if self.journal.enabled:
+            self.journal.note_po(len(self._pos) - 1, literal_var(lit))
         return len(self._pos) - 1
 
     def add_and(self, a: int, b: int) -> int:
@@ -112,6 +126,8 @@ class Aig:
         self._fanin0[var] = a
         self._fanin1[var] = b
         self._strash[key] = var
+        if self.journal.enabled:
+            self.journal.note_var(var)
         return make_literal(var)
 
     # Convenience gates built from ANDs ----------------------------------
@@ -219,6 +235,8 @@ class Aig:
         if not 0 <= index < len(self._pos):
             raise AigError(f"PO index {index} out of range")
         self._pos[index] = lit
+        if self.journal.enabled:
+            self.journal.note_po(index, literal_var(lit))
 
     def is_pi(self, var: int) -> bool:
         """True when variable *var* is a primary input."""
@@ -301,34 +319,38 @@ class Aig:
         number of primary inputs and, for every primary output position, the
         same AND/inverter structure over the same PI positions.  The hash is
         insensitive to node creation order, to the relative order of the two
-        fanins of an AND, to node names, and to dead (PO-unreachable) logic,
-        which makes it a sound memoisation key for PPA evaluation: structural
-        revisits during annealing or perturbation-based data generation hash
-        to the same value.
+        fanins of an AND, to node names, and to dead (PO-unreachable) logic.
+
+        That makes it the right key for *structural similarity* (the
+        incremental evaluator's baseline matching), but NOT a sound key for
+        memoising mapper/STA results: cut enumeration truncates and breaks
+        ties by variable id, so two graphs with equal fingerprints but
+        different node numbering can map to (slightly) different delay and
+        area.  Result caches must key on :meth:`exact_key` instead.
         """
-        digest_size = 16
-        node_hash: List[bytes] = [b"\x00" * digest_size] * self.size
-        node_hash[0] = hashlib.blake2b(b"const0", digest_size=digest_size).digest()
-        for index, var in enumerate(self._pis):
-            node_hash[var] = hashlib.blake2b(
-                b"pi:%d" % index, digest_size=digest_size
-            ).digest()
-        for var in range(1, self.size):
-            if self._is_pi[var]:
-                continue
-            f0, f1 = self._fanin0[var], self._fanin1[var]
-            e0 = node_hash[literal_var(f0)] + (b"1" if is_complemented(f0) else b"0")
-            e1 = node_hash[literal_var(f1)] + (b"1" if is_complemented(f1) else b"0")
-            lo, hi = (e0, e1) if e0 <= e1 else (e1, e0)
-            node_hash[var] = hashlib.blake2b(
-                b"and:" + lo + hi, digest_size=digest_size
-            ).digest()
-        top = hashlib.blake2b(digest_size=digest_size)
-        top.update(b"aig:%d:%d" % (self.num_pis, self.num_pos))
-        for lit in self._pos:
-            top.update(node_hash[literal_var(lit)])
-            top.update(b"1" if is_complemented(lit) else b"0")
-        return top.hexdigest()
+        return fingerprint_from_hashes(self, node_hashes_cached(self))
+
+    def exact_key(self) -> str:
+        """Representation-exact digest of the graph (ids, fanins, PIs, POs).
+
+        Two AIGs receive the same exact key only when their variable arrays
+        are identical — same nodes in the same creation order with the same
+        fanin literals and the same PO bindings.  Evaluation on such graphs
+        is fully deterministic, which makes this (unlike
+        :meth:`fingerprint`) a sound memoisation key for PPA results.
+        Names are excluded: they never influence mapping or timing.
+        """
+        import array
+        import hashlib
+
+        payload = array.array("q")
+        payload.append(self.num_pis)
+        payload.extend(self._pis)
+        payload.extend(self._fanin0)
+        payload.extend(self._fanin1)
+        payload.append(-1)
+        payload.extend(self._pos)
+        return hashlib.blake2b(payload.tobytes(), digest_size=16).hexdigest()
 
     def stats(self) -> AigStats:
         """Return the proxy-metric summary for this graph."""
@@ -354,6 +376,12 @@ class Aig:
         other._pos = list(self._pos)
         other._po_names = list(self._po_names)
         other._strash = dict(self._strash)
+        # Journal enablement is inherited (derived graphs keep recording);
+        # recorded entries belong to this graph and are not copied.  The
+        # hash cache transfers by reference: it describes the same arrays,
+        # and any growth on either side replaces (never mutates) it.
+        other.journal.enabled = self.journal.enabled
+        other._node_hash_cache = self._node_hash_cache
         return other
 
     def cleanup(self, name: Optional[str] = None) -> "Aig":
@@ -375,6 +403,9 @@ class Aig:
             old_to_new[var] = new.add_and(f0, f1)
         for lit, po_name in zip(self._pos, self._po_names):
             new.add_po(self._map_literal(lit, old_to_new), po_name)
+        # Enabled only after construction so the rebuild itself is not
+        # journalled as a sea of touched nodes.
+        new.journal.enabled = self.journal.enabled
         return new
 
     def _reachable_vars(self) -> set:

@@ -5,11 +5,12 @@ This package is the single stable surface clients should program against:
 * :class:`SynthesisSession` — façade owning library, evaluator, and models;
 * :class:`OptimizeRequest` / :class:`OptimizeResult` / :class:`EvalRequest`
   / :class:`TrainResult` — typed request/response dataclasses;
-* :class:`~repro.evaluation.Evaluator` protocol with three implementations:
+* :class:`~repro.evaluation.Evaluator` protocol with four implementations:
   :class:`~repro.evaluation.GroundTruthEvaluator` (mapping + STA),
-  :class:`CachedEvaluator` (fingerprint-memoised), and
-  :class:`ParallelEvaluator` (process-pool batches);
-* flow/model registries for plugging in new flows and trained predictors.
+  :class:`CachedEvaluator` (fingerprint-memoised),
+  :class:`ParallelEvaluator` (process-pool batches), and
+  :class:`IncrementalEvaluator` (dirty-cone re-mapping + incremental STA);
+* flow/evaluator/model registries for plugging in new strategies.
 """
 
 from repro.api.evaluators import (
@@ -18,11 +19,16 @@ from repro.api.evaluators import (
     Evaluator,
     GroundTruthEvaluator,
     ParallelEvaluator,
+    evaluator_context_key,
 )
+from repro.api.incremental import IncrementalEvaluator, IncrementalStats
 from repro.api.registry import (
     ModelRegistry,
+    available_evaluators,
     available_flows,
+    create_evaluator,
     create_flow,
+    register_evaluator,
     register_flow,
 )
 from repro.api.session import (
@@ -42,6 +48,8 @@ __all__ = [
     "EvalRequest",
     "Evaluator",
     "GroundTruthEvaluator",
+    "IncrementalEvaluator",
+    "IncrementalStats",
     "ModelRegistry",
     "OptimizeRequest",
     "OptimizeResult",
@@ -49,10 +57,14 @@ __all__ = [
     "PpaResult",
     "SynthesisSession",
     "TrainResult",
+    "available_evaluators",
     "available_flows",
+    "create_evaluator",
     "create_flow",
     "default_session",
     "evaluate_aig",
+    "evaluator_context_key",
     "load_design",
+    "register_evaluator",
     "register_flow",
 ]

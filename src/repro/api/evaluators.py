@@ -4,12 +4,15 @@ The optimization flows and the dataset labeler only see the
 :class:`~repro.evaluation.Evaluator` protocol; these wrappers change *how*
 the mapping + STA work gets done without changing *what* the callers observe:
 
-* :class:`CachedEvaluator` memoises results on the AIG structural
-  fingerprint (:meth:`repro.aig.graph.Aig.fingerprint`).  Simulated
-  annealing revisits structures constantly (rejected moves return to the
-  previous AIG, scripts often reconverge to the same graph) and
-  perturbation-based data generation produces duplicate structures, so the
-  repeated-mapping hot path becomes a dictionary hit.
+* :class:`CachedEvaluator` memoises results on the exact graph key
+  (:meth:`repro.aig.graph.Aig.exact_key`) paired with the library/options
+  identity.  Simulated annealing revisits graphs constantly (rejected moves
+  return to the previous AIG, scripts often reconverge to the same graph)
+  and perturbation-based data generation produces duplicates, so the
+  repeated-mapping hot path becomes a dictionary hit.  The key is exact by
+  necessity: mapping results are sensitive to node numbering (cut
+  truncation breaks ties by variable id), so the order-insensitive
+  structural fingerprint used before this was not a sound cache key.
 * :class:`ParallelEvaluator` fans batches across a process pool for dataset
   labelling and Pareto sweeps, falling back to in-process evaluation when
   the pool cannot be used (single item, one worker, or a sandbox that
@@ -20,13 +23,39 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import astuple, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aig.graph import Aig
 from repro.evaluation import Evaluator, GroundTruthEvaluator, PpaResult
 from repro.library.library import CellLibrary
 from repro.mapping.mapper import MappingOptions
+
+
+def evaluator_context_key(evaluator: Evaluator) -> str:
+    """Identity of the library + mapping configuration behind an evaluator.
+
+    Structural AIG fingerprints alone are not sound cache keys: the same
+    structure maps to different delay/area under a different cell library or
+    different mapper knobs.  This key captures both so cached results can
+    never leak across evaluation contexts.
+    """
+    options = getattr(evaluator, "mapping_options", None)
+    if options is None:
+        mapper = getattr(evaluator, "mapper", None)
+        options = getattr(mapper, "options", None)
+    if options is None:
+        serial = getattr(evaluator, "_serial", None)
+        options = getattr(getattr(serial, "mapper", None), "options", None)
+    if options is None:
+        # Unknown evaluator type: its options are invisible, so fold the
+        # type into the key. Custom evaluators that want full cache safety
+        # under option changes should expose a `mapping_options` attribute.
+        options_key: object = f"<{type(evaluator).__module__}.{type(evaluator).__qualname__}>"
+    else:
+        options_key = astuple(options)
+    return f"{evaluator.library.fingerprint()}|{options_key}"
+
 
 __all__ = [
     "CacheStats",
@@ -34,6 +63,7 @@ __all__ = [
     "Evaluator",
     "GroundTruthEvaluator",
     "ParallelEvaluator",
+    "evaluator_context_key",
 ]
 
 
@@ -58,7 +88,7 @@ class CacheStats:
 
 
 class CachedEvaluator:
-    """Memoises an inner evaluator on the AIG structural fingerprint.
+    """Memoises an inner evaluator on the exact graph representation.
 
     Results are stored without netlists/timing reports (they are dropped by
     the inner evaluator's default configuration), so entries are a few
@@ -77,7 +107,7 @@ class CachedEvaluator:
         self.inner: Evaluator = inner if inner is not None else GroundTruthEvaluator(library)
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._cache: "OrderedDict[str, PpaResult]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[str, str], PpaResult]" = OrderedDict()
 
     @property
     def library(self) -> CellLibrary:
@@ -93,8 +123,14 @@ class CachedEvaluator:
         self.stats = CacheStats()
 
     def evaluate(self, aig: Aig) -> PpaResult:
-        """Return the cached PPA of *aig*'s structure, computing it on miss."""
-        key = aig.fingerprint()
+        """Return the cached PPA of *aig*'s structure, computing it on miss.
+
+        The key pairs the exact graph digest with the inner evaluator's
+        library/options identity, so neither a structurally-similar-but-
+        renumbered graph nor a swapped inner evaluator can ever be served a
+        result computed for different inputs.
+        """
+        key = (evaluator_context_key(self.inner), aig.exact_key())
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -108,16 +144,17 @@ class CachedEvaluator:
     def evaluate_many(self, aigs: Sequence[Aig]) -> List[PpaResult]:
         """Batch evaluation with intra-batch deduplication.
 
-        Only one representative per distinct fingerprint is forwarded to the
+        Only one representative per distinct graph is forwarded to the
         inner evaluator (whose own ``evaluate_many`` may run in parallel);
         duplicates within the batch are cache hits.
         """
-        keys = [aig.fingerprint() for aig in aigs]
-        pending: Dict[str, Aig] = {}
+        context = evaluator_context_key(self.inner)
+        keys = [(context, aig.exact_key()) for aig in aigs]
+        pending: Dict[Tuple[str, str], Aig] = {}
         for key, aig in zip(keys, aigs):
             if key not in self._cache and key not in pending:
                 pending[key] = aig
-        fresh: Dict[str, PpaResult] = {}
+        fresh: Dict[Tuple[str, str], PpaResult] = {}
         if pending:
             computed = self.inner.evaluate_many(list(pending.values()))
             fresh = dict(zip(pending.keys(), computed))
@@ -157,7 +194,7 @@ class CachedEvaluator:
         Netlist and timing payloads are stripped so cached entries stay
         lightweight regardless of how the result was produced.
         """
-        key = aig.fingerprint()
+        key = (evaluator_context_key(self.inner), aig.exact_key())
         if result.netlist is not None or result.timing is not None:
             result = PpaResult(
                 delay_ps=result.delay_ps,
@@ -166,7 +203,7 @@ class CachedEvaluator:
             )
         self._store(key, result)
 
-    def _store(self, key: str, result: PpaResult) -> None:
+    def _store(self, key: Tuple[str, str], result: PpaResult) -> None:
         self._cache[key] = result
         self._cache.move_to_end(key)
         if self.max_entries is not None:

@@ -1,11 +1,14 @@
-"""Registries for optimization flows and trained models.
+"""Registries for optimization flows, evaluators, and trained models.
 
 The flow registry maps stable public names ("baseline", "ground-truth",
 "ml", "hybrid") to factories that build the corresponding
 :class:`~repro.opt.flows.OptimizationFlow` with an injected evaluator, so
 new flows can be plugged in without touching the session or the CLI.  The
-model registry lets sessions refer to trained predictors by name or by the
-JSON path produced by ``repro train``.
+evaluator registry does the same for PPA evaluation strategies
+("ground-truth", "cached", "parallel", "incremental"), which is what
+``SynthesisSession(evaluator_kind=...)`` and the CLI's ``--evaluator`` flag
+resolve through.  The model registry lets sessions refer to trained
+predictors by name or by the JSON path produced by ``repro train``.
 """
 
 from __future__ import annotations
@@ -111,6 +114,93 @@ register_flow("baseline", _make_baseline)
 register_flow("ground_truth", _make_ground_truth)
 register_flow("ml", _make_ml)
 register_flow("hybrid", _make_hybrid)
+
+
+# --------------------------------------------------------------------------- #
+# Evaluator registry
+# --------------------------------------------------------------------------- #
+EvaluatorFactory = Callable[..., Evaluator]
+
+_EVALUATOR_FACTORIES: Dict[str, EvaluatorFactory] = {}
+
+
+def register_evaluator(
+    name: str, factory: EvaluatorFactory, overwrite: bool = False
+) -> None:
+    """Register an evaluator *factory* under *name* ("-"/"_" interchangeable).
+
+    Factories are called with keyword arguments ``library``,
+    ``mapping_options``, ``cache_entries``, ``parallel_workers``, and
+    ``max_dirty_fraction``; each factory picks the ones it needs and must
+    ignore the rest.
+    """
+    key = _canonical(name)
+    if not overwrite and key in _EVALUATOR_FACTORIES:
+        raise OptimizationError(f"evaluator {name!r} is already registered")
+    _EVALUATOR_FACTORIES[key] = factory
+
+
+def available_evaluators() -> List[str]:
+    """Sorted names of all registered evaluator kinds."""
+    return sorted(_EVALUATOR_FACTORIES)
+
+
+def create_evaluator(name: str, **kwargs: Any) -> Evaluator:
+    """Instantiate the registered evaluator kind *name*."""
+    key = _canonical(name)
+    factory = _EVALUATOR_FACTORIES.get(key)
+    if factory is None:
+        raise OptimizationError(
+            f"unknown evaluator {name!r}; available: {', '.join(available_evaluators())}"
+        )
+    return factory(**kwargs)
+
+
+def _make_ground_truth_evaluator(
+    library=None, mapping_options=None, **_: Any
+) -> Evaluator:
+    from repro.evaluation import GroundTruthEvaluator
+
+    return GroundTruthEvaluator(library, mapping_options)
+
+
+def _make_cached_evaluator(
+    library=None, mapping_options=None, cache_entries: Optional[int] = None, **_: Any
+) -> Evaluator:
+    from repro.api.evaluators import CachedEvaluator
+    from repro.evaluation import GroundTruthEvaluator
+
+    return CachedEvaluator(
+        GroundTruthEvaluator(library, mapping_options), max_entries=cache_entries
+    )
+
+
+def _make_parallel_evaluator(
+    library=None, mapping_options=None, parallel_workers: Optional[int] = None, **_: Any
+) -> Evaluator:
+    from repro.api.evaluators import ParallelEvaluator
+
+    return ParallelEvaluator(library, mapping_options, max_workers=parallel_workers)
+
+
+def _make_incremental_evaluator(
+    library=None,
+    mapping_options=None,
+    max_dirty_fraction: Optional[float] = None,
+    **_: Any,
+) -> Evaluator:
+    from repro.api.incremental import IncrementalEvaluator
+
+    kwargs: Dict[str, Any] = {}
+    if max_dirty_fraction is not None:
+        kwargs["max_dirty_fraction"] = max_dirty_fraction
+    return IncrementalEvaluator(library, mapping_options, **kwargs)
+
+
+register_evaluator("ground_truth", _make_ground_truth_evaluator)
+register_evaluator("cached", _make_cached_evaluator)
+register_evaluator("parallel", _make_parallel_evaluator)
+register_evaluator("incremental", _make_incremental_evaluator)
 
 
 class ModelRegistry:

@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.aig.graph import Aig, AigStats
 from repro.api.evaluators import CachedEvaluator, CacheStats, ParallelEvaluator
-from repro.api.registry import ModelRegistry, available_flows, create_flow
+from repro.api.registry import (
+    ModelRegistry,
+    available_evaluators,
+    available_flows,
+    create_evaluator,
+    create_flow,
+)
 from repro.errors import OptimizationError
 from repro.evaluation import Evaluator, GroundTruthEvaluator, PpaResult
 from repro.library.library import CellLibrary
@@ -171,6 +177,11 @@ class SynthesisSession:
     parallel_workers:
         When > 1, batch evaluations (dataset labelling, ``evaluate_many``)
         fan out across a process pool of this size.
+    evaluator_kind:
+        Name of a registered evaluator strategy ("ground-truth", "cached",
+        "parallel", "incremental"); resolved through the evaluator registry
+        and used as-is.  ``"incremental"`` re-maps/re-times only the dirty
+        cone of each candidate relative to recently evaluated baselines.
     evaluator:
         Fully custom evaluator; overrides all of the above wiring.
     """
@@ -182,10 +193,19 @@ class SynthesisSession:
         cache: bool = True,
         cache_entries: Optional[int] = None,
         parallel_workers: Optional[int] = None,
+        evaluator_kind: Optional[str] = None,
         evaluator: Optional[Evaluator] = None,
     ) -> None:
         if evaluator is not None:
             self._evaluator = evaluator
+        elif evaluator_kind is not None:
+            self._evaluator = create_evaluator(
+                evaluator_kind,
+                library=library,
+                mapping_options=mapping_options,
+                cache_entries=cache_entries,
+                parallel_workers=parallel_workers,
+            )
         else:
             base: Evaluator
             if parallel_workers is not None and parallel_workers > 1:
@@ -221,10 +241,25 @@ class SynthesisSession:
             return self._evaluator.stats
         return None
 
+    @property
+    def evaluator_stats(self) -> Optional[Any]:
+        """Whatever work counters the evaluator exposes (``stats``), if any.
+
+        :class:`CachedEvaluator` reports hit/miss counts,
+        :class:`~repro.api.incremental.IncrementalEvaluator` reports
+        full/incremental/hit splits and node-visit counters.
+        """
+        return getattr(self._evaluator, "stats", None)
+
     @staticmethod
     def flows() -> List[str]:
         """Names of the registered optimization flows."""
         return available_flows()
+
+    @staticmethod
+    def evaluator_kinds() -> List[str]:
+        """Names of the registered evaluator strategies."""
+        return available_evaluators()
 
     # ------------------------------------------------------------------ #
     # Designs and evaluation
@@ -288,6 +323,13 @@ class SynthesisSession:
         elif kwargs:
             request = replace(request, **kwargs)
         aig = self.load_design(request.design)
+        if self._wants_journal() and not aig.journal.enabled:
+            # Work on a journaling clone: transforms then record touched
+            # nodes + parent fingerprints that the incremental evaluator
+            # uses to locate its baseline state, while the caller's graph
+            # stays untouched and nothing carries over to the next call.
+            aig = aig.clone()
+            aig.journal.enable()
         flow = create_flow(
             request.flow,
             evaluator=self._evaluator,
@@ -427,6 +469,11 @@ class SynthesisSession:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _wants_journal(self) -> bool:
+        from repro.api.incremental import IncrementalEvaluator
+
+        return isinstance(self._evaluator, IncrementalEvaluator)
 
     def _netlist_eval(self) -> GroundTruthEvaluator:
         if self._netlist_evaluator is None:

@@ -208,7 +208,11 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     if args.flow in ("ml", "hybrid") and not args.model:
         print("error: --model is required for the ml and hybrid flows", file=sys.stderr)
         return 2
-    session = _session()
+    if args.evaluator is None:
+        # Default: the shared session (cached ground-truth evaluation).
+        session = _session()
+    else:
+        session = SynthesisSession(evaluator_kind=args.evaluator)
     needs_model = args.flow in ("ml", "hybrid")
     result = session.optimize(
         OptimizeRequest(
@@ -238,6 +242,15 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             f"mean %err {summary.mean_delay_error_percent:.2f}, "
             f"correction {summary.final_correction:.3f}"
         )
+    if args.evaluator == "incremental":
+        stats = session.evaluator_stats
+        if stats is not None:
+            print(
+                f"incremental eval   : {stats.incremental_maps} incremental / "
+                f"{stats.full_maps} full / {stats.structural_hits} hits, "
+                f"node visits {stats.dp_nodes_evaluated}/{stats.dp_nodes_possible} "
+                f"({stats.dp_visit_reduction:.2f}x reduction)"
+            )
     if args.output:
         write_aag(result.best_aig, args.output)
         print(f"wrote optimized AIG to {args.output}")
@@ -328,6 +341,13 @@ def build_parser() -> argparse.ArgumentParser:
         dest="flow",
     )
     flow.add_argument("--model", type=Path, help="trained delay model (ml / hybrid flows)")
+    flow.add_argument(
+        "--evaluator",
+        choices=("ground-truth", "cached", "parallel", "incremental"),
+        default=None,
+        help="PPA evaluation strategy (default: the shared cached evaluator); "
+        "'incremental' re-maps and re-times only the dirty cone per candidate",
+    )
     flow.add_argument("--iterations", type=int, default=30)
     flow.add_argument("--delay-weight", type=float, default=1.0)
     flow.add_argument("--area-weight", type=float, default=1.0)

@@ -90,16 +90,21 @@ def run_optimizer_comparison(
     area_model=None,
     initial: Optional[Aig] = None,
     include_proxy_baseline: bool = True,
+    evaluator=None,
 ) -> OptimizerComparisonResult:
     """Drive SA, greedy search, and a GA with the same ML cost function.
 
     The evaluation budget of every algorithm is derived from
     ``config.sa_iterations`` so the comparison is evaluation-count fair.
+    An injected *evaluator* (cached/parallel/incremental) serves every
+    ground-truth check, so repeated and structurally overlapping best-AIG
+    evaluations share one state pool.
     """
     cfg = config or ExperimentConfig()
     design_name = design or (cfg.test_designs[0] if cfg.test_designs else cfg.train_designs[0])
     aig = initial if initial is not None else build_design(design_name)
-    evaluator = GroundTruthEvaluator()
+    if evaluator is None:
+        evaluator = GroundTruthEvaluator()
     initial_ppa = evaluator.evaluate(aig)
 
     budget = max(cfg.sa_iterations, 4)

@@ -133,6 +133,35 @@ class CellLibrary:
                 matches.sort(key=lambda m: (m.num_inverters, m.cell.area_um2))
 
     # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content digest of the library (name, PO load, every cell's data).
+
+        Two libraries get the same fingerprint exactly when every PPA-
+        relevant datum matches, which makes it a sound component of
+        evaluation cache keys: results computed against different libraries
+        can never collide.  Computed once and cached (libraries are
+        immutable after construction).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(f"lib:{self.name}:{self.po_load_ff!r}".encode())
+        for cell in self.cells:
+            digest.update(
+                f"|{cell.name}:{cell.function}:{cell.num_inputs}:"
+                f"{cell.area_um2!r}:{cell.output_name}".encode()
+            )
+            for pin in cell.pins:
+                digest.update(
+                    f";{pin.name}:{pin.capacitance_ff!r}:"
+                    f"{pin.intrinsic_ps!r}:{pin.resistance_ps_per_ff!r}".encode()
+                )
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def cell(self, name: str) -> Cell:
         """Look a cell up by name."""
         if name not in self._by_name:

@@ -8,6 +8,11 @@ from repro.mapping.mapper import (
     TechnologyMapper,
     map_aig,
 )
+from repro.mapping.incremental import (
+    IncrementalMapper,
+    IncrementalMapStats,
+    MappingState,
+)
 from repro.mapping.matcher import classify_single_input, reduce_to_support
 from repro.mapping.netlist import MappedGate, MappedNetlist
 from repro.mapping.postopt import PostMappingOptimizer, PostOptOptions, PostOptReport
@@ -16,11 +21,14 @@ __all__ = [
     "AliasChoice",
     "CellChoice",
     "ConstantChoice",
+    "IncrementalMapStats",
+    "IncrementalMapper",
     "MappedGate",
     "MappedNetlist",
     "MappingOptions",
     "PostMappingOptimizer",
     "PostOptOptions",
+    "MappingState",
     "PostOptReport",
     "TechnologyMapper",
     "classify_single_input",

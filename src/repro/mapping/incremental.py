@@ -1,0 +1,421 @@
+"""Incremental technology mapping via dirty-cone re-evaluation.
+
+The classic mapper (:class:`~repro.mapping.mapper.TechnologyMapper`) treats
+every AIG as brand new: it enumerates cuts, evaluates matches, and builds a
+netlist for *all* nodes.  Inside an optimization loop this is wasteful — a
+single local transform perturbs a small cone of logic and leaves everything
+else structurally identical.
+
+:class:`IncrementalMapper` keeps per-node match state
+(:class:`MappingState`) from a previously mapped *baseline* graph and, for a
+new candidate graph:
+
+1. matches candidate nodes to baseline nodes by structural hash
+   (:func:`repro.aig.journal.node_hashes`);
+2. marks *dirty* every node that is unmatched, whose fanout count changed,
+   or that lies in the transitive fanout of another dirty node (the dirty
+   cone — a node's cut set, match choice, arrival and area flow depend only
+   on its transitive-fanin structure plus the fanout counts inside it);
+3. re-runs cut enumeration and the choice DP for dirty nodes only, reusing
+   the baseline's cuts/choices/arrival/area-flow for clean nodes (leaf ids
+   renamed through the hash correspondence);
+4. re-emits the netlist from the merged choices through a *persistent* net
+   policy, so structurally unchanged nodes keep their net ids across
+   evaluations — which is what lets the STA layer propagate arrivals
+   incrementally.
+
+Reuse is only sound when the relative variable order of matched nodes is
+preserved (cut ordering and DP tie-breaks compare variable ids); when it is
+not, or when the dirty region exceeds ``max_dirty_fraction`` of the design,
+the mapper signals the caller to fall back to a full re-map.  The
+differential suite in ``tests/test_incremental.py`` asserts bitwise-identical
+results against the ground-truth path under randomized transform sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.cuts import Cut, merge_node_cuts
+from repro.aig.graph import Aig
+from repro.aig.journal import fingerprint_from_hashes, node_hashes_cached
+from repro.aig.literals import literal_var
+from repro.library.library import CellLibrary
+from repro.mapping.mapper import (
+    AliasChoice,
+    CellChoice,
+    ConstantChoice,
+    MappingOptions,
+    NetPolicy,
+    NodeChoice,
+    TechnologyMapper,
+)
+from repro.mapping.netlist import MappedNetlist
+
+
+@dataclass
+class IncrementalMapStats:
+    """What one :meth:`IncrementalMapper.map` call actually did."""
+
+    mode: str  #: "full" or "incremental"
+    total_ands: int = 0
+    dirty_ands: int = 0
+    dp_nodes: int = 0  #: AND nodes whose cut DP was (re)computed
+    reused_nodes: int = 0  #: AND nodes whose match state was reused
+    reason: str = ""  #: why a full map was performed, when it was
+
+
+class PersistentNetAllocator:
+    """Stable net ids keyed by (role, node hash) across re-evaluations.
+
+    Primary-input nets are always ``0 .. num_pis - 1`` (the
+    :class:`MappedNetlist` constructor's assignment); every created net —
+    cell outputs, match-completion inverters, shared negation inverters, and
+    constant ties — draws from a monotone counter and is remembered by the
+    structural hash of the AIG node it implements, so the same logical net
+    keeps its id for as long as the node survives.
+    """
+
+    def __init__(self, num_pis: int) -> None:
+        self.num_pis = num_pis
+        self.next_net = num_pis
+        self.assignments: Dict[Tuple[str, object], int] = {}
+
+    def get(self, key: Tuple[str, object]) -> int:
+        """Return the stable id for *key*, allocating one on first use."""
+        net = self.assignments.get(key)
+        if net is None:
+            net = self.next_net
+            self.next_net += 1
+            self.assignments[key] = net
+        return net
+
+    def fork_pruned(self, live_hashes: set) -> "PersistentNetAllocator":
+        """Copy for a derived graph, dropping entries for vanished nodes.
+
+        The counter is never rewound, so a dropped id is not reused — stale
+        ids simply become holes until a full re-map resets the allocator.
+        """
+        fork = PersistentNetAllocator(self.num_pis)
+        fork.next_net = self.next_net
+        fork.assignments = {
+            key: net
+            for key, net in self.assignments.items()
+            if key[0] == "const" or key[1] in live_hashes
+        }
+        return fork
+
+
+class _PersistentNetPolicy(NetPolicy):
+    """Net policy binding emission to a :class:`PersistentNetAllocator`."""
+
+    def __init__(
+        self,
+        netlist: MappedNetlist,
+        alloc: PersistentNetAllocator,
+        hashes: Sequence[bytes],
+    ) -> None:
+        self._netlist = netlist
+        self._alloc = alloc
+        self._hashes = hashes
+
+    def _pinned(self, role: str, var: int) -> int:
+        net = self._alloc.get((role, self._hashes[var]))
+        self._netlist.ensure_net(net)
+        return net
+
+    def cell_output(self, var: int) -> Optional[int]:
+        return self._pinned("cell", var)
+
+    def output_inverter(self, var: int) -> Optional[int]:
+        return self._pinned("oinv", var)
+
+    def negation_inverter(self, var: int) -> Optional[int]:
+        return self._pinned("ninv", var)
+
+    def constant(self, value: int) -> int:
+        net = self._alloc.get(("const", value))
+        self._netlist.ensure_net(net)
+        self._netlist.constant_nets.setdefault(net, value)
+        return net
+
+
+@dataclass
+class MappingState:
+    """Per-node match state of one mapped baseline graph."""
+
+    fingerprint: str
+    size: int
+    num_pis: int
+    num_ands: int
+    hashes: List[bytes]
+    var_of_hash: Dict[bytes, int]
+    fanout: List[int]
+    cuts: Dict[int, List[Cut]]
+    arrival: Dict[int, float]
+    area_flow: Dict[int, float]
+    choices: Dict[int, NodeChoice]
+    netlist: MappedNetlist
+    alloc: PersistentNetAllocator
+
+
+class IncrementalMapper:
+    """Maps candidate AIGs incrementally against cached baseline state."""
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        options: Optional[MappingOptions] = None,
+        max_dirty_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 <= max_dirty_fraction <= 1.0:
+            raise ValueError("max_dirty_fraction must be in [0, 1]")
+        self.mapper = TechnologyMapper(library, options)
+        self.max_dirty_fraction = max_dirty_fraction
+
+    @property
+    def library(self) -> CellLibrary:
+        """The cell library both mapping paths target."""
+        return self.mapper.library
+
+    @property
+    def options(self) -> MappingOptions:
+        """The shared mapping knobs."""
+        return self.mapper.options
+
+    # ------------------------------------------------------------------ #
+    def map_full(self, aig: Aig) -> Tuple[MappingState, IncrementalMapStats]:
+        """Map *aig* from scratch and build fresh baseline state.
+
+        The emitted netlist is identical (gate order *and* net ids) to what
+        :meth:`TechnologyMapper.map` produces, because the persistent
+        allocator starts empty and therefore assigns ids in emission order.
+        """
+        mapper = self.mapper
+        hashes = node_hashes_cached(aig)
+        fanout = aig.fanout_counts()
+        cuts = mapper.enumerate_all_cuts(aig)
+        arrival: Dict[int, float] = {0: 0.0}
+        area_flow: Dict[int, float] = {0: 0.0}
+        choices: Dict[int, NodeChoice] = {}
+        for var in aig.pi_vars:
+            arrival[var] = 0.0
+            area_flow[var] = 0.0
+        dp_nodes = 0
+        for var in aig.and_vars():
+            choice, cand_arrival, cand_area = mapper._choose_for_node(
+                aig, var, cuts.get(var) or [], arrival, area_flow, fanout
+            )
+            choices[var] = choice
+            arrival[var] = cand_arrival
+            area_flow[var] = cand_area
+            dp_nodes += 1
+        alloc = PersistentNetAllocator(aig.num_pis)
+        netlist = self._emit(aig, choices, hashes, alloc)
+        state = MappingState(
+            fingerprint=fingerprint_from_hashes(aig, hashes),
+            size=aig.size,
+            num_pis=aig.num_pis,
+            num_ands=aig.num_ands,
+            hashes=hashes,
+            var_of_hash=self._hash_index(hashes),
+            fanout=fanout,
+            cuts=cuts,
+            arrival=arrival,
+            area_flow=area_flow,
+            choices=choices,
+            netlist=netlist,
+            alloc=alloc,
+        )
+        stats = IncrementalMapStats(
+            mode="full",
+            total_ands=aig.num_ands,
+            dirty_ands=aig.num_ands,
+            dp_nodes=dp_nodes,
+            reused_nodes=0,
+        )
+        return state, stats
+
+    # ------------------------------------------------------------------ #
+    def map_incremental(
+        self,
+        aig: Aig,
+        baseline: MappingState,
+        hashes: Optional[List[bytes]] = None,
+    ) -> Optional[Tuple[MappingState, IncrementalMapStats]]:
+        """Map *aig* reusing *baseline*'s per-node state where sound.
+
+        Returns ``None`` when incremental mapping cannot be applied safely
+        or profitably (interface mismatch, variable order not preserved,
+        dirty region above ``max_dirty_fraction``, or a badly fragmented net
+        id space); callers then run :meth:`map_full`.
+        """
+        if self.max_dirty_fraction == 0.0:
+            # 0 means "incremental reuse disabled", not "tolerate zero dirt"
+            # (a renumbered-but-identical graph has zero dirty nodes).
+            return None
+        if aig.num_pis != baseline.num_pis:
+            return None
+        # A fragmented allocator makes net-keyed dictionaries (loads,
+        # arrivals) grow without bound; force a compacting full map.
+        live_estimate = baseline.netlist.num_gates + baseline.num_pis + 4
+        if baseline.alloc.next_net > max(256, 4 * live_estimate):
+            return None
+        if hashes is None:
+            hashes = node_hashes_cached(aig)
+        size = aig.size
+
+        # --- match by structural hash; require preserved relative order --- #
+        match: List[Optional[int]] = [None] * size
+        seen_baseline: set = set()
+        last_matched = -1
+        order_preserved = True
+        var_of_hash = baseline.var_of_hash
+        for var in range(size):
+            old = var_of_hash.get(hashes[var])
+            if old is None or old in seen_baseline:
+                continue
+            seen_baseline.add(old)
+            match[var] = old
+            if old <= last_matched:
+                order_preserved = False
+                break
+            last_matched = old
+        if not order_preserved:
+            return None
+
+        # --- dirty marking: unmatched, fanout-changed, or downstream --- #
+        fanout = aig.fanout_counts()
+        baseline_fanout = baseline.fanout
+        dirty = bytearray(size)
+        is_and = [False] * size
+        for var in range(size):
+            old = match[var]
+            if old is None or fanout[var] != baseline_fanout[old]:
+                dirty[var] = 1
+        dirty_ands = 0
+        total_ands = 0
+        for var in aig.and_vars():
+            is_and[var] = True
+            total_ands += 1
+            if not dirty[var]:
+                f0, f1 = aig.fanins(var)
+                if dirty[literal_var(f0)] or dirty[literal_var(f1)]:
+                    dirty[var] = 1
+            if dirty[var]:
+                dirty_ands += 1
+        if dirty_ands > self.max_dirty_fraction * max(total_ands, 1):
+            return None
+
+        # --- DP over dirty nodes, state reuse for clean ones --- #
+        mapper = self.mapper
+        k = mapper.cut_size
+        max_cuts = mapper.options.max_cuts_per_node
+        new_of_old: Dict[int, int] = {0: 0}
+        for var in range(size):
+            old = match[var]
+            if old is not None:
+                new_of_old[old] = var
+
+        cuts: Dict[int, List[Cut]] = {0: [Cut(0, (0,))]}
+        for var in aig.pi_vars:
+            cuts[var] = [Cut(var, (var,))]
+        arrival: Dict[int, float] = {0: 0.0}
+        area_flow: Dict[int, float] = {0: 0.0}
+        choices: Dict[int, NodeChoice] = {}
+        for var in aig.pi_vars:
+            arrival[var] = 0.0
+            area_flow[var] = 0.0
+
+        dp_nodes = 0
+        baseline_cuts = baseline.cuts
+        baseline_choices = baseline.choices
+        baseline_arrival = baseline.arrival
+        baseline_area = baseline.area_flow
+        for var in range(1, size):
+            if not is_and[var]:
+                continue
+            if dirty[var]:
+                f0, f1 = aig.fanins(var)
+                node_cuts = merge_node_cuts(
+                    var,
+                    cuts[literal_var(f0)],
+                    cuts[literal_var(f1)],
+                    k,
+                    max_cuts,
+                    include_trivial=True,
+                )
+                choice, cand_arrival, cand_area = mapper._choose_for_node(
+                    aig, var, node_cuts, arrival, area_flow, fanout
+                )
+                dp_nodes += 1
+            else:
+                old = match[var]
+                node_cuts = [
+                    Cut(var, tuple(new_of_old[leaf] for leaf in cut.leaves))
+                    for cut in baseline_cuts[old]
+                ]
+                choice = self._remap_choice(baseline_choices[old], new_of_old)
+                cand_arrival = baseline_arrival[old]
+                cand_area = baseline_area[old]
+            cuts[var] = node_cuts
+            choices[var] = choice
+            arrival[var] = cand_arrival
+            area_flow[var] = cand_area
+
+        alloc = baseline.alloc.fork_pruned(set(hashes))
+        netlist = self._emit(aig, choices, hashes, alloc)
+        state = MappingState(
+            fingerprint=fingerprint_from_hashes(aig, hashes),
+            size=size,
+            num_pis=aig.num_pis,
+            num_ands=total_ands,
+            hashes=hashes,
+            var_of_hash=self._hash_index(hashes),
+            fanout=fanout,
+            cuts=cuts,
+            arrival=arrival,
+            area_flow=area_flow,
+            choices=choices,
+            netlist=netlist,
+            alloc=alloc,
+        )
+        stats = IncrementalMapStats(
+            mode="incremental",
+            total_ands=total_ands,
+            dirty_ands=dirty_ands,
+            dp_nodes=dp_nodes,
+            reused_nodes=total_ands - dp_nodes,
+        )
+        return state, stats
+
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self,
+        aig: Aig,
+        choices: Dict[int, NodeChoice],
+        hashes: Sequence[bytes],
+        alloc: PersistentNetAllocator,
+    ) -> MappedNetlist:
+        netlist = MappedNetlist(aig.name, aig.pi_names, aig.po_names)
+        policy = _PersistentNetPolicy(netlist, alloc, hashes)
+        return self.mapper._emit_netlist(aig, choices, netlist, policy)
+
+    @staticmethod
+    def _remap_choice(choice: NodeChoice, new_of_old: Dict[int, int]) -> NodeChoice:
+        if isinstance(choice, ConstantChoice):
+            return choice
+        if isinstance(choice, AliasChoice):
+            return AliasChoice(leaf=new_of_old[choice.leaf], negated=choice.negated)
+        return CellChoice(
+            match=choice.match,
+            leaves=tuple(new_of_old[leaf] for leaf in choice.leaves),
+        )
+
+    @staticmethod
+    def _hash_index(hashes: Sequence[bytes]) -> Dict[bytes, int]:
+        index: Dict[bytes, int] = {}
+        for var, digest in enumerate(hashes):
+            index.setdefault(digest, var)
+        return index

@@ -77,6 +77,40 @@ class MappingOptions:
             raise MappingError("cut_size must be at least 2")
 
 
+class NetPolicy:
+    """Net-id assignment strategy used by :meth:`TechnologyMapper._emit_netlist`.
+
+    Methods return a preassigned net id for the net about to be created, or
+    ``None`` to let the netlist allocate the next fresh id.
+    """
+
+    def cell_output(self, var: int) -> Optional[int]:  # pragma: no cover - interface
+        """Output net of the cell implementing AND node *var*."""
+        return None
+
+    def output_inverter(self, var: int) -> Optional[int]:  # pragma: no cover
+        """Output net of the inverter completing a negated-output match."""
+        return None
+
+    def negation_inverter(self, var: int) -> Optional[int]:  # pragma: no cover
+        """Output net of the shared inverter producing ``!var``."""
+        return None
+
+    def constant(self, value: int) -> int:  # pragma: no cover - interface
+        """Net tied to constant *value* (must register it with the netlist)."""
+        raise NotImplementedError
+
+
+class FreshNetPolicy(NetPolicy):
+    """Allocate every created net freshly in emission order (the default)."""
+
+    def __init__(self, netlist: MappedNetlist) -> None:
+        self._netlist = netlist
+
+    def constant(self, value: int) -> int:
+        return self._netlist.add_constant_net(value)
+
+
 class TechnologyMapper:
     """Maps AIGs onto a :class:`~repro.library.library.CellLibrary`."""
 
@@ -97,15 +131,27 @@ class TechnologyMapper:
     # ------------------------------------------------------------------ #
     # Phase 1: dynamic programming over cuts
     # ------------------------------------------------------------------ #
-    def _select_choices(self, aig: Aig) -> Tuple[Dict[int, NodeChoice], Dict[int, float]]:
-        opts = self.options
-        k = min(opts.cut_size, self.library.max_match_inputs)
-        # Trivial cuts must stay in the per-node lists so that every node's
-        # structural fanin-pair cut is produced by the merge step; the
-        # fanin-pair cut is what guarantees a match (AND-family cell) exists.
-        cuts = enumerate_cuts(
-            aig, k=k, max_cuts_per_node=opts.max_cuts_per_node, include_trivial=True
+    @property
+    def cut_size(self) -> int:
+        """Effective cut size (bounded by what the library can match)."""
+        return min(self.options.cut_size, self.library.max_match_inputs)
+
+    def enumerate_all_cuts(self, aig: Aig) -> Dict[int, List[Cut]]:
+        """Cut lists for every variable, as used by the mapping DP.
+
+        Trivial cuts must stay in the per-node lists so that every node's
+        structural fanin-pair cut is produced by the merge step; the
+        fanin-pair cut is what guarantees a match (AND-family cell) exists.
+        """
+        return enumerate_cuts(
+            aig,
+            k=self.cut_size,
+            max_cuts_per_node=self.options.max_cuts_per_node,
+            include_trivial=True,
         )
+
+    def _select_choices(self, aig: Aig) -> Tuple[Dict[int, NodeChoice], Dict[int, float]]:
+        cuts = self.enumerate_all_cuts(aig)
         fanout = aig.fanout_counts()
         arrival: Dict[int, float] = {0: 0.0}
         area_flow: Dict[int, float] = {0: 0.0}
@@ -115,39 +161,59 @@ class TechnologyMapper:
             area_flow[var] = 0.0
 
         for var in aig.and_vars():
-            best_key: Optional[Tuple[float, float]] = None
-            best_choice: Optional[NodeChoice] = None
-            best_metrics: Optional[Tuple[float, float]] = None
             node_cuts = cuts.get(var) or []
-            for cut in node_cuts:
-                candidate = self._evaluate_cut(aig, var, cut, arrival, area_flow, fanout)
-                if candidate is None:
-                    continue
-                choice, cand_arrival, cand_area = candidate
-                key = (
-                    (cand_arrival, cand_area)
-                    if opts.mode == "delay"
-                    else (cand_area, cand_arrival)
-                )
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best_choice = choice
-                    best_metrics = (cand_arrival, cand_area)
-            if best_choice is None:
-                # Fall back to the structural fanin-pair cut, which always
-                # matches an AND-family cell in any sane library.
-                f0, f1 = aig.fanins(var)
-                fallback_cut = Cut(var, tuple(sorted({literal_var(f0), literal_var(f1)})))
-                candidate = self._evaluate_cut(aig, var, fallback_cut, arrival, area_flow, fanout)
-                if candidate is None:
-                    raise MappingError(
-                        f"no match found for node {var}; the library is missing basic cells"
-                    )
-                best_choice, cand_arrival, cand_area = candidate
-                best_metrics = (cand_arrival, cand_area)
-            choices[var] = best_choice
-            arrival[var], area_flow[var] = best_metrics
+            choice, cand_arrival, cand_area = self._choose_for_node(
+                aig, var, node_cuts, arrival, area_flow, fanout
+            )
+            choices[var] = choice
+            arrival[var], area_flow[var] = cand_arrival, cand_area
         return choices, arrival
+
+    def _choose_for_node(
+        self,
+        aig: Aig,
+        var: int,
+        node_cuts: Sequence[Cut],
+        arrival: Dict[int, float],
+        area_flow: Dict[int, float],
+        fanout: Sequence[int],
+    ) -> Tuple[NodeChoice, float, float]:
+        """Best (choice, arrival, area-flow) for one AND node over its cuts.
+
+        Shared by the full DP and the incremental mapper's dirty-node
+        recomputation, so both always make identical decisions.
+        """
+        opts = self.options
+        best_key: Optional[Tuple[float, float]] = None
+        best_choice: Optional[NodeChoice] = None
+        best_metrics: Optional[Tuple[float, float]] = None
+        for cut in node_cuts:
+            candidate = self._evaluate_cut(aig, var, cut, arrival, area_flow, fanout)
+            if candidate is None:
+                continue
+            choice, cand_arrival, cand_area = candidate
+            key = (
+                (cand_arrival, cand_area)
+                if opts.mode == "delay"
+                else (cand_area, cand_arrival)
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_choice = choice
+                best_metrics = (cand_arrival, cand_area)
+        if best_choice is None:
+            # Fall back to the structural fanin-pair cut, which always
+            # matches an AND-family cell in any sane library.
+            f0, f1 = aig.fanins(var)
+            fallback_cut = Cut(var, tuple(sorted({literal_var(f0), literal_var(f1)})))
+            candidate = self._evaluate_cut(aig, var, fallback_cut, arrival, area_flow, fanout)
+            if candidate is None:
+                raise MappingError(
+                    f"no match found for node {var}; the library is missing basic cells"
+                )
+            best_choice, cand_arrival, cand_area = candidate
+            best_metrics = (cand_arrival, cand_area)
+        return best_choice, best_metrics[0], best_metrics[1]
 
     def _evaluate_cut(
         self,
@@ -216,12 +282,37 @@ class TechnologyMapper:
     # ------------------------------------------------------------------ #
     def _build_netlist(self, aig: Aig, choices: Dict[int, NodeChoice]) -> MappedNetlist:
         netlist = MappedNetlist(aig.name, aig.pi_names, aig.po_names)
+        return self._emit_netlist(aig, choices, netlist, FreshNetPolicy(netlist))
+
+    def _emit_netlist(
+        self,
+        aig: Aig,
+        choices: Dict[int, NodeChoice],
+        netlist: MappedNetlist,
+        nets: "NetPolicy",
+    ) -> MappedNetlist:
+        """Instantiate the chosen cells into *netlist*.
+
+        The emission order is fully determined by *choices* (needed nodes in
+        variable order, shared inverters created at first demand), so two
+        emissions from identical choices produce identical gate lists.  The
+        *nets* policy controls net-id assignment: :class:`FreshNetPolicy`
+        allocates in emission order (the classic mapper behavior), while the
+        incremental mapper's persistent policy pins nodes to stable ids so
+        unchanged regions keep their nets across re-evaluations.
+        """
         net_of: Dict[int, int] = {}
         for var, net in zip(aig.pi_vars, netlist.pi_nets):
             net_of[var] = net
         inverted_net: Dict[int, int] = {}
 
         needed = self._collect_needed(aig, choices)
+
+        def add_gate(cell, inputs: List[int], preassigned: Optional[int]) -> int:
+            if preassigned is None:
+                return netlist.add_gate(cell, inputs)
+            netlist.ensure_net(preassigned)
+            return netlist.add_gate(cell, inputs, output=preassigned)
 
         def get_positive_net(var: int) -> int:
             if var not in net_of:
@@ -232,7 +323,7 @@ class TechnologyMapper:
             if var in inverted_net:
                 return inverted_net[var]
             source = get_positive_net(var)
-            out = netlist.add_gate(self._inv_cell, [source])
+            out = add_gate(self._inv_cell, [source], nets.negation_inverter(var))
             inverted_net[var] = out
             return out
 
@@ -242,7 +333,7 @@ class TechnologyMapper:
         for var in sorted(needed):
             choice = choices[var]
             if isinstance(choice, ConstantChoice):
-                net_of[var] = netlist.add_constant_net(choice.value)
+                net_of[var] = nets.constant(choice.value)
             elif isinstance(choice, AliasChoice):
                 net_of[var] = get_net(choice.leaf, choice.negated)
             else:
@@ -251,16 +342,16 @@ class TechnologyMapper:
                 for pin_index in range(match.cell.num_inputs):
                     leaf = choice.leaves[match.pin_to_leaf[pin_index]]
                     pin_nets.append(get_net(leaf, match.pin_negated[pin_index]))
-                out = netlist.add_gate(match.cell, pin_nets)
+                out = add_gate(match.cell, pin_nets, nets.cell_output(var))
                 if match.output_negated:
-                    out = netlist.add_gate(self._inv_cell, [out])
+                    out = add_gate(self._inv_cell, [out], nets.output_inverter(var))
                 net_of[var] = out
 
         for index, lit in enumerate(aig.po_literals()):
             var = literal_var(lit)
             negated = is_complemented(lit)
             if var == 0:
-                net = netlist.add_constant_net(1 if negated else 0)
+                net = nets.constant(1 if negated else 0)
             else:
                 net = get_net(var, negated)
             netlist.set_po_net(index, net)

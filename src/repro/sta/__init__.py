@@ -3,7 +3,10 @@
 from repro.sta.analysis import (
     TimingArc,
     TimingReport,
+    TimingState,
+    TimingUpdateStats,
     analyze_timing,
+    analyze_timing_incremental,
     compute_net_loads,
 )
 from repro.sta.report import format_cell_usage, format_timing_report
@@ -11,7 +14,10 @@ from repro.sta.report import format_cell_usage, format_timing_report
 __all__ = [
     "TimingArc",
     "TimingReport",
+    "TimingState",
+    "TimingUpdateStats",
     "analyze_timing",
+    "analyze_timing_incremental",
     "compute_net_loads",
     "format_cell_usage",
     "format_timing_report",

@@ -134,6 +134,258 @@ def analyze_timing(
     )
 
 
+# --------------------------------------------------------------------------- #
+# Incremental STA
+# --------------------------------------------------------------------------- #
+@dataclass
+class TimingState:
+    """Carry-over state of one STA run, keyed by (persistent) net ids.
+
+    Produced and consumed by :func:`analyze_timing_incremental`.  The state
+    is only meaningful when the next netlist keeps stable net ids for its
+    unchanged region, which is what the incremental mapper's persistent net
+    policy guarantees.
+    """
+
+    loads: Dict[int, float]
+    arrival: Dict[int, float]
+    required_raw: Dict[int, float]  #: pre-fixup values (inf = unconstrained)
+    period: float
+    po_net_set: frozenset
+    gate_by_output: Dict[int, MappedGate]
+    consumer_count: Dict[int, int]  #: distinct consumer gates per net
+
+
+@dataclass
+class TimingUpdateStats:
+    """How much work one incremental STA update actually performed."""
+
+    total_gates: int = 0
+    arrival_recomputed: int = 0
+    required_recomputed: int = 0
+    required_full: bool = False
+
+
+def _gates_equal(a: MappedGate, b: MappedGate) -> bool:
+    # Cells are shared library singletons, so identity comparison suffices
+    # and avoids a deep dataclass comparison per gate.
+    return a.cell is b.cell and a.inputs == b.inputs and a.output == b.output
+
+
+def analyze_timing_incremental(
+    netlist: MappedNetlist,
+    po_load_ff: float = 5.0,
+    clock_period_ps: Optional[float] = None,
+    prev: Optional[TimingState] = None,
+) -> Tuple[TimingReport, TimingState, TimingUpdateStats]:
+    """STA with arrival/required propagation seeded from a previous run.
+
+    Produces a report bitwise-identical to
+    ``analyze_timing(netlist, po_load_ff, clock_period_ps,
+    with_critical_path=False)`` — a gate's arrival is only reused when its
+    record, its output load, and all its input arrivals are unchanged, and a
+    net's required time is only reused when the clock period and every
+    consumer contribution is unchanged, so every skipped computation would
+    have reproduced the previous value exactly.  Without *prev* this is a
+    plain full analysis that additionally returns carry-over state.
+    """
+    stats = TimingUpdateStats(total_gates=netlist.num_gates)
+    loads = compute_net_loads(netlist, po_load_ff)
+    prev_arrival = prev.arrival if prev is not None else {}
+    prev_loads = prev.loads if prev is not None else {}
+    prev_gates = prev.gate_by_output if prev is not None else {}
+
+    arrival: Dict[int, float] = {}
+    changed: set = set()
+    for net in netlist.pi_nets:
+        arrival[net] = 0.0
+        if prev_arrival.get(net) != 0.0:
+            changed.add(net)
+    for net in netlist.constant_nets:
+        arrival[net] = 0.0
+        if prev_arrival.get(net) != 0.0:
+            changed.add(net)
+
+    gate_by_output: Dict[int, MappedGate] = {}
+    for gate in netlist.gates:
+        out = gate.output
+        gate_by_output[out] = gate
+        out_load = loads[out]
+        prev_gate = prev_gates.get(out)
+        if (
+            prev_gate is not None
+            and _gates_equal(prev_gate, gate)
+            and prev_loads.get(out) == out_load
+            and not any(net in changed for net in gate.inputs)
+        ):
+            arrival[out] = prev_arrival[out]
+            continue
+        best_arrival = 0.0
+        first = True
+        for net, pin in zip(gate.inputs, gate.cell.pins):
+            if net not in arrival:
+                raise TimingError(
+                    f"gate {gate.cell.name} consumes net {net} with unknown arrival "
+                    "(netlist not topologically ordered?)"
+                )
+            candidate = arrival[net] + pin.delay_ps(out_load)
+            if first or candidate > best_arrival:
+                best_arrival = candidate
+                first = False
+        arrival[out] = best_arrival
+        stats.arrival_recomputed += 1
+        if prev_arrival.get(out) != best_arrival:
+            changed.add(out)
+
+    po_arrival: Dict[str, float] = {}
+    for name, net in zip(netlist.po_names, netlist.po_nets):
+        if net is None:
+            raise TimingError(f"primary output {name!r} is unconnected")
+        po_arrival[name] = arrival[net]
+    max_delay = max(po_arrival.values()) if po_arrival else 0.0
+    period = clock_period_ps if clock_period_ps is not None else max_delay
+    po_net_set = frozenset(net for net in netlist.po_nets if net is not None)
+
+    # One entry per *distinct* consumer gate, so a gate driving a net into
+    # two of its pins is visited once (its contribution loop covers both
+    # pins) and consumer-set changes are detectable by count.
+    consumers: Dict[int, List[MappedGate]] = {}
+    for gate in netlist.gates:
+        for net in dict.fromkeys(gate.inputs):
+            consumers.setdefault(net, []).append(gate)
+    consumer_count = {net: len(gates) for net, gates in consumers.items()}
+
+    required_raw = _incremental_required(
+        netlist,
+        arrival,
+        loads,
+        period,
+        po_net_set,
+        consumers,
+        consumer_count,
+        prev,
+        prev_loads,
+        prev_gates,
+        stats,
+    )
+    required = {
+        net: (period if value == float("inf") else value)
+        for net, value in required_raw.items()
+    }
+
+    report = TimingReport(
+        max_delay_ps=max_delay,
+        po_arrival_ps=po_arrival,
+        net_arrival_ps=arrival,
+        net_required_ps=required,
+        net_load_ff=loads,
+        critical_path=[],
+        clock_period_ps=period,
+    )
+    state = TimingState(
+        loads=loads,
+        arrival=arrival,
+        required_raw=required_raw,
+        period=period,
+        po_net_set=po_net_set,
+        gate_by_output=gate_by_output,
+        consumer_count=consumer_count,
+    )
+    return report, state, stats
+
+
+def _incremental_required(
+    netlist: MappedNetlist,
+    arrival: Dict[int, float],
+    loads: Dict[int, float],
+    period: float,
+    po_net_set: frozenset,
+    consumers: Dict[int, List[MappedGate]],
+    consumer_count: Dict[int, int],
+    prev: Optional[TimingState],
+    prev_loads: Dict[int, float],
+    prev_gates: Dict[int, MappedGate],
+    stats: TimingUpdateStats,
+) -> Dict[int, float]:
+    """Per-net required times (raw, inf = unconstrained), reusing *prev*.
+
+    The classic reverse pass accumulates a running minimum; here each net's
+    required time is the minimum over its PO constraint and one contribution
+    per consumer pin, computed from the consumer output's *final* required
+    time — the same value, since min is order-insensitive and every float
+    operation uses identical operands.
+    """
+    inf = float("inf")
+    if prev is None or period != prev.period or po_net_set != prev.po_net_set:
+        # Period or PO binding changed: every PO seed differs, the change
+        # cascades through the whole cone — recompute everything.
+        stats.required_full = True
+        required: Dict[int, float] = {net: inf for net in arrival}
+        for net in po_net_set:
+            if period < required[net]:
+                required[net] = period
+        for gate in reversed(netlist.gates):
+            out_required = required.get(gate.output, inf)
+            out_load = loads[gate.output]
+            for net, pin in zip(gate.inputs, gate.cell.pins):
+                candidate = out_required - pin.delay_ps(out_load)
+                if candidate < required.get(net, inf):
+                    required[net] = candidate
+        stats.required_recomputed = len(required)
+        return required
+
+    prev_required = prev.required_raw
+    prev_consumer_count = prev.consumer_count
+
+    # Reverse definition order: every net is processed after all of its
+    # consumers' outputs, so consumer required times are final when read.
+    order: List[int] = list(netlist.pi_nets)
+    order.extend(netlist.constant_nets)
+    order.extend(gate.output for gate in netlist.gates)
+
+    required_raw: Dict[int, float] = {}
+    req_changed: set = set()
+    for net in reversed(order):
+        # Reuse needs the exact same contribution multiset as last time:
+        # same number of distinct consumers, each with an unchanged gate
+        # record, output load, and (final) output required time.  Count
+        # equality plus per-consumer identity rules out vanished consumers.
+        reusable = (
+            net in prev_required
+            and consumer_count.get(net, 0) == prev_consumer_count.get(net, 0)
+        )
+        if reusable:
+            for consumer in consumers.get(net, ()):  # noqa: B007
+                out = consumer.output
+                prev_gate = prev_gates.get(out)
+                if (
+                    prev_gate is None
+                    or not _gates_equal(prev_gate, consumer)
+                    or prev_loads.get(out) != loads[out]
+                    or out in req_changed
+                ):
+                    reusable = False
+                    break
+        if reusable:
+            required_raw[net] = prev_required[net]
+            continue
+        value = period if net in po_net_set else inf
+        for consumer in consumers.get(net, ()):
+            out_load = loads[consumer.output]
+            out_required = required_raw[consumer.output]
+            for in_net, pin in zip(consumer.inputs, consumer.cell.pins):
+                if in_net != net:
+                    continue
+                candidate = out_required - pin.delay_ps(out_load)
+                if candidate < value:
+                    value = candidate
+        required_raw[net] = value
+        stats.required_recomputed += 1
+        if prev_required.get(net) != value:
+            req_changed.add(net)
+    return required_raw
+
+
 def _propagate_required(
     netlist: MappedNetlist,
     arrival: Dict[int, float],

@@ -116,6 +116,53 @@ class TestCachedEvaluator:
         assert isinstance(CachedEvaluator(GroundTruthEvaluator(library)), Evaluator)
         assert isinstance(GroundTruthEvaluator(library), Evaluator)
 
+    def test_no_cross_library_collision(self, library, adder_aig):
+        """Regression: keys include the library identity, so a cache whose
+        inner evaluator is swapped to another library must recompute rather
+        than serve the other library's numbers."""
+        import dataclasses
+
+        from repro.library.library import CellLibrary
+
+        scaled = CellLibrary(
+            "sky130-lite-x2",
+            [dataclasses.replace(cell, area_um2=cell.area_um2 * 2) for cell in library],
+            po_load_ff=library.po_load_ff,
+        )
+        assert scaled.fingerprint() != library.fingerprint()
+
+        cached = CachedEvaluator(GroundTruthEvaluator(library))
+        original = cached.evaluate(adder_aig)
+        cached.inner = GroundTruthEvaluator(scaled)
+        rescaled = cached.evaluate(adder_aig)
+        assert cached.stats.misses == 2, "swapped library must not be a cache hit"
+        assert rescaled.area_um2 != original.area_um2
+        expected = GroundTruthEvaluator(scaled).evaluate(adder_aig)
+        assert rescaled.as_tuple() == expected.as_tuple()
+        # Both contexts stay resident side by side.
+        cached.inner = GroundTruthEvaluator(library)
+        assert cached.evaluate(adder_aig).as_tuple() == original.as_tuple()
+        assert cached.stats.hits == 1
+
+    def test_renumbered_identical_structure_is_not_a_hit(self, library):
+        """Regression: mapping is sensitive to node numbering (cut
+        truncation ties), so results are keyed on the exact representation
+        rather than the order-insensitive fingerprint."""
+        base = _build_majority(0)
+        renumbered = _build_majority(1)
+        assert base.fingerprint() == renumbered.fingerprint()
+        assert base.exact_key() != renumbered.exact_key()
+
+        cached = CachedEvaluator(GroundTruthEvaluator(library))
+        first = cached.evaluate(base)
+        second = cached.evaluate(renumbered)
+        assert cached.stats.misses == 2
+        # Same structure, same numbers here — but each was computed for its
+        # own representation rather than served from the other's entry.
+        plain = GroundTruthEvaluator(library)
+        assert first.as_tuple() == plain.evaluate(base).as_tuple()
+        assert second.as_tuple() == plain.evaluate(renumbered).as_tuple()
+
 
 class TestParallelEvaluator:
     def test_parallel_matches_serial(self, library, adder_aig, tiny_aig):

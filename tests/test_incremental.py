@@ -1,0 +1,386 @@
+"""Differential and property tests for the incremental evaluation engine.
+
+The incremental PPA evaluator is only allowed to exist because this suite
+holds: across randomized AIGs and randomized transform sequences, every
+result it produces must be *bitwise identical* to the ground-truth
+evaluator's (same mapping decisions, same float arithmetic), including on
+both sides of the dirty-fraction fallback boundary.  The journal property
+tests pin down the dirty-cone contract: replayed dirty sets over-approximate
+every node whose mapping choice or arrival time actually changed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.aig.journal import (
+    MutationJournal,
+    dirty_cone,
+    node_hashes,
+    structural_diff,
+)
+from repro.aig.random_graphs import random_aig
+from repro.api.incremental import IncrementalEvaluator
+from repro.api.session import SynthesisSession
+from repro.errors import AigError
+from repro.evaluation import GroundTruthEvaluator
+from repro.mapping.incremental import IncrementalMapper
+from repro.mapping.mapper import TechnologyMapper
+from repro.sta.analysis import analyze_timing, analyze_timing_incremental
+from repro.transforms.engine import apply_script
+
+PRIMITIVES = ["b", "rw", "rwz", "rf", "rfz", "rs", "st"]
+
+
+def _random_case(seed: int) -> Aig:
+    rng = random.Random(9000 + seed)
+    return random_aig(
+        num_pis=rng.randint(4, 8),
+        num_pos=rng.randint(2, 4),
+        num_ands=rng.randint(25, 80),
+        rng=random.Random(100 + seed),
+        name=f"case{seed}",
+    )
+
+
+def _random_scripts(seed: int, steps: int):
+    rng = random.Random(5000 + seed)
+    return [
+        [PRIMITIVES[rng.randrange(len(PRIMITIVES))] for _ in range(rng.randint(1, 3))]
+        for _ in range(steps)
+    ]
+
+
+def _assert_ppa_equal(reference, candidate, context: str) -> None:
+    assert candidate.delay_ps == reference.delay_ps, context
+    assert candidate.area_um2 == reference.area_um2, context
+    assert candidate.num_gates == reference.num_gates, context
+
+
+# --------------------------------------------------------------------------- #
+# Differential suite: incremental == ground truth, bit for bit
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(50))
+def test_incremental_matches_ground_truth_over_transform_sequences(seed, library):
+    """50 random AIGs x random transform sequences: exact result parity."""
+    ground_truth = GroundTruthEvaluator(library)
+    incremental = IncrementalEvaluator(library)
+    current = _random_case(seed)
+    current.journal.enable()
+    for step, script in enumerate(_random_scripts(seed, steps=4)):
+        reference = ground_truth.evaluate(current)
+        candidate = incremental.evaluate(current)
+        _assert_ppa_equal(
+            reference, candidate, f"seed={seed} step={step} script={script}"
+        )
+        current = apply_script(current, script).aig
+    # Also check the final graph of the sequence.
+    _assert_ppa_equal(
+        ground_truth.evaluate(current),
+        incremental.evaluate(current),
+        f"seed={seed} final",
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+def test_fallback_threshold_boundary_is_result_invariant(fraction, library):
+    """The dirty-fraction fallback must never change results, only work done.
+
+    0.0 forces the full path on every evaluation, 1.0 never falls back on
+    dirty-region size; all thresholds (including values straddled by actual
+    dirty fractions of the sequence) must agree with ground truth exactly.
+    """
+    ground_truth = GroundTruthEvaluator(library)
+    incremental = IncrementalEvaluator(library, max_dirty_fraction=fraction)
+    current = _random_case(7)
+    current.journal.enable()
+    for script in _random_scripts(7, steps=5):
+        _assert_ppa_equal(
+            ground_truth.evaluate(current),
+            incremental.evaluate(current),
+            f"fraction={fraction}",
+        )
+        current = apply_script(current, script).aig
+    if fraction == 0.0:
+        assert incremental.stats.incremental_maps == 0
+
+
+def test_fallback_triggers_exactly_at_the_configured_fraction(library):
+    """Two evaluators whose thresholds bracket an observed dirty fraction
+    disagree on the path taken (full vs incremental) but not on the result."""
+    # Walk a transform chain until one step yields a dirty fraction strictly
+    # inside (0, 1) relative to its predecessor (seeds chosen so one does).
+    rng = random.Random(4)
+    current = random_aig(
+        num_pis=8, num_pos=4, num_ands=150, rng=random.Random(781), name="boundary"
+    )
+    mapper = IncrementalMapper(library, max_dirty_fraction=1.0)
+    chosen = None
+    for _ in range(8):
+        state, _ = mapper.map_full(current)
+        script = [PRIMITIVES[rng.randrange(7)] for _ in range(rng.randint(1, 2))]
+        nxt = apply_script(current, script).aig
+        mapped = mapper.map_incremental(nxt, state)
+        if mapped is not None:
+            _, stats = mapped
+            fraction = stats.dirty_ands / max(stats.total_ands, 1)
+            if 0.05 < fraction < 0.95:
+                chosen = (current, nxt, fraction)
+                break
+        current = nxt
+    assert chosen is not None, "chain produced no interior dirty fraction"
+    base, nxt, fraction = chosen
+
+    below = IncrementalEvaluator(library, max_dirty_fraction=fraction * 0.99)
+    above = IncrementalEvaluator(library, max_dirty_fraction=min(1.0, fraction * 1.01))
+    ground_truth = GroundTruthEvaluator(library)
+    for evaluator in (below, above):
+        evaluator.evaluate(base)
+        _assert_ppa_equal(
+            ground_truth.evaluate(nxt), evaluator.evaluate(nxt), "boundary"
+        )
+    assert below.last_map_stats.mode == "full"
+    assert above.last_map_stats.mode == "incremental"
+
+
+def test_structural_revisit_returns_stored_result_without_work(library):
+    evaluator = IncrementalEvaluator(library)
+    aig = _random_case(3)
+    first = evaluator.evaluate(aig)
+    visits_before = evaluator.stats.dp_nodes_evaluated
+    again = evaluator.evaluate(aig.clone())
+    assert evaluator.stats.structural_hits == 1
+    assert evaluator.stats.dp_nodes_evaluated == visits_before
+    _assert_ppa_equal(first, again, "revisit")
+
+
+def test_greedy_and_genetic_identical_under_incremental_evaluator(library):
+    """The injected-evaluator seam: swapping ground-truth evaluation for
+    incremental evaluation must leave every optimizer decision unchanged."""
+    from repro.opt.cost import GroundTruthCost
+    from repro.opt.genetic import GeneticConfig, GeneticOptimizer
+    from repro.opt.greedy import GreedyConfig, GreedyOptimizer
+
+    aig = _random_case(41)
+    aig.journal.enable()
+
+    greedy_config = GreedyConfig(
+        max_steps=3, candidates_per_step=2, patience=2, keep_history=False
+    )
+    reference = GreedyOptimizer(
+        GroundTruthCost(evaluator=GroundTruthEvaluator(library)), greedy_config, rng=5
+    ).run(aig)
+    candidate = GreedyOptimizer(
+        GroundTruthCost(evaluator=IncrementalEvaluator(library)), greedy_config, rng=5
+    ).run(aig)
+    assert candidate.best_breakdown == reference.best_breakdown
+    assert candidate.accepted_moves == reference.accepted_moves
+
+    genetic_config = GeneticConfig(
+        population_size=4, generations=2, genome_length=3, keep_history=False
+    )
+    reference = GeneticOptimizer(
+        GroundTruthCost(evaluator=GroundTruthEvaluator(library)), genetic_config, rng=7
+    ).run(aig)
+    candidate = GeneticOptimizer(
+        GroundTruthCost(evaluator=IncrementalEvaluator(library)), genetic_config, rng=7
+    ).run(aig)
+    assert candidate.best_breakdown == reference.best_breakdown
+    assert candidate.best_genome == reference.best_genome
+
+
+# --------------------------------------------------------------------------- #
+# Incremental mapper / STA internals
+# --------------------------------------------------------------------------- #
+def test_map_full_netlist_identical_to_classic_mapper(library):
+    aig = _random_case(5)
+    classic = TechnologyMapper(library).map(aig)
+    state, stats = IncrementalMapper(library).map_full(aig)
+    assert stats.mode == "full"
+    assert state.netlist.num_gates == classic.num_gates
+    assert state.netlist.area_um2() == classic.area_um2()
+    assert [
+        (g.cell.name, g.inputs, g.output) for g in state.netlist.gates
+    ] == [(g.cell.name, g.inputs, g.output) for g in classic.gates]
+    assert state.netlist.po_nets == classic.po_nets
+
+
+def test_incremental_sta_report_matches_full_reanalysis(library):
+    """After an incremental evaluation, re-running full STA on the emitted
+    netlist reproduces every arrival/required value the incremental pass
+    kept or computed."""
+    evaluator = IncrementalEvaluator(library, max_dirty_fraction=1.0, keep_netlist=True)
+    current = _random_case(13)
+    current.journal.enable()
+    incremental_seen = False
+    for script in _random_scripts(13, steps=6):
+        result = evaluator.evaluate(current)
+        if (
+            evaluator.last_map_stats is not None
+            and evaluator.last_map_stats.mode == "incremental"
+        ):
+            incremental_seen = True
+        reference = analyze_timing(
+            result.netlist, po_load_ff=library.po_load_ff, with_critical_path=False
+        )
+        assert result.timing.max_delay_ps == reference.max_delay_ps
+        assert result.timing.net_arrival_ps == reference.net_arrival_ps
+        assert result.timing.net_required_ps == reference.net_required_ps
+        assert result.timing.po_arrival_ps == reference.po_arrival_ps
+        current = apply_script(current, script).aig
+    assert incremental_seen, "sequence never exercised the incremental path"
+
+
+def test_analyze_timing_incremental_without_prev_equals_full(library):
+    aig = _random_case(17)
+    netlist = TechnologyMapper(library).map(aig)
+    reference = analyze_timing(
+        netlist, po_load_ff=library.po_load_ff, with_critical_path=False
+    )
+    report, state, stats = analyze_timing_incremental(
+        netlist, po_load_ff=library.po_load_ff
+    )
+    assert report.max_delay_ps == reference.max_delay_ps
+    assert report.net_arrival_ps == reference.net_arrival_ps
+    assert report.net_required_ps == reference.net_required_ps
+    assert stats.arrival_recomputed == netlist.num_gates
+    # A second run against the fresh state reuses every gate.
+    report2, _, stats2 = analyze_timing_incremental(
+        netlist, po_load_ff=library.po_load_ff, prev=state
+    )
+    assert stats2.arrival_recomputed == 0
+    assert not stats2.required_full
+    assert report2.net_arrival_ps == reference.net_arrival_ps
+    assert report2.net_required_ps == reference.net_required_ps
+
+
+# --------------------------------------------------------------------------- #
+# Journal properties
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_journal_dirty_cone_covers_all_changed_mapping_state(seed, library):
+    """Replayed dirty sets are a superset of nodes whose mapping choice or
+    arrival time actually changed, checked against full recomputes."""
+    parent = _random_case(20 + seed)
+    parent.journal.enable()
+    rng = random.Random(40 + seed)
+    script = [PRIMITIVES[rng.randrange(len(PRIMITIVES))]]
+    child = apply_script(parent, script).aig
+
+    # One transform -> one journal entry whose touched ids (valid in
+    # `child`) replay to the dirty cone via transitive fanout.
+    entry = child.journal.last_entry()
+    assert entry is not None
+    assert entry.parent_key == parent.exact_key()
+    diff = structural_diff(parent, child)
+    assert entry.touched == diff.touched
+    cone = dirty_cone(child, entry.touched)
+
+    mapper = IncrementalMapper(library)
+    parent_state, _ = mapper.map_full(parent)
+    child_state, _ = mapper.map_full(child)
+    child_hashes = node_hashes(child)
+    parent_index = parent_state.var_of_hash
+    for var in child.and_vars():
+        if var in cone:
+            continue
+        old = parent_index.get(child_hashes[var])
+        assert old is not None, f"clean node {var} must exist in the parent"
+        assert child_state.arrival[var] == parent_state.arrival[old]
+        assert child_state.area_flow[var] == parent_state.area_flow[old]
+        assert type(child_state.choices[var]) is type(parent_state.choices[old])
+
+
+def test_journal_nesting_merges_into_outer_scope():
+    aig = Aig("j")
+    aig.journal.enable()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    aig.journal.clear()
+
+    aig.journal.begin("outer")
+    x = aig.add_and(a, b)
+    aig.journal.begin("inner")
+    y = aig.add_and(x, a ^ 1)
+    inner = aig.journal.commit()
+    assert inner is None  # folded into the enclosing scope
+    assert aig.journal.depth == 1
+    entry = aig.journal.commit(parent_key="fp")
+    assert entry is not None
+    assert entry.transform == "outer"
+    assert entry.touched == {x // 2, y // 2}
+    assert entry.parent_key == "fp"
+    assert aig.journal.depth == 0
+
+
+def test_journal_commit_without_begin_raises():
+    journal = MutationJournal(enabled=True)
+    with pytest.raises(AigError):
+        journal.commit()
+
+
+def test_journal_clear_drops_entries_and_open_scopes():
+    aig = Aig("k")
+    aig.journal.enable()
+    a = aig.add_pi()
+    b = aig.add_pi()
+    aig.journal.begin("t")
+    aig.add_and(a, b)
+    aig.journal.clear()
+    assert len(aig.journal) == 0
+    assert aig.journal.depth == 0
+    assert aig.journal.touched_union() == frozenset()
+
+
+def test_journal_disabled_by_default_and_records_po_edits():
+    aig = Aig("m")
+    a = aig.add_pi()
+    b = aig.add_pi()
+    x = aig.add_and(a, b)
+    aig.add_po(x)
+    assert len(aig.journal) == 0
+    assert aig.journal.touched_union() == frozenset()
+
+    aig.journal.enable()
+    aig.set_po_literal(0, a)
+    assert x // 2 not in aig.journal.touched_union()
+    assert a // 2 in aig.journal.touched_union()
+
+
+def test_journal_state_does_not_leak_across_session_calls(library):
+    """Two optimize calls on one session: the caller's graph is untouched
+    and per-call working graphs never accumulate foreign journal entries."""
+    session = SynthesisSession(library=library, evaluator_kind="incremental")
+    design = _random_case(33)
+    assert not design.journal.enabled
+
+    first = session.optimize(design=design, flow="ground-truth", iterations=2, seed=1)
+    second = session.optimize(design=design, flow="ground-truth", iterations=2, seed=2)
+
+    # The user's graph was cloned, not journaled in place.
+    assert not design.journal.enabled
+    assert len(design.journal) == 0
+    # Each produced graph carries at most the entry of its own producing
+    # transform — nothing from the sibling call leaked in.
+    for result in (first, second):
+        best = result.best_aig
+        assert best.journal.depth == 0
+        assert len(best.journal.entries) <= 1
+
+
+def test_sessions_with_incremental_evaluator_are_isolated(library):
+    """State cached in one session's evaluator never alters another
+    session's results."""
+    design = _random_case(34)
+    lone = SynthesisSession(library=library, evaluator_kind="incremental")
+    shared_a = SynthesisSession(library=library, evaluator_kind="incremental")
+    shared_b = SynthesisSession(library=library, evaluator_kind="incremental")
+
+    warm = shared_a.optimize(design=design, flow="ground-truth", iterations=3, seed=5)
+    cold = shared_b.optimize(design=design, flow="ground-truth", iterations=3, seed=5)
+    fresh = lone.optimize(design=design, flow="ground-truth", iterations=3, seed=5)
+    assert warm.final.delay_ps == cold.final.delay_ps == fresh.final.delay_ps
+    assert warm.final.area_um2 == cold.final.area_um2 == fresh.final.area_um2
