@@ -26,6 +26,7 @@ from repro.version import __version__
 
 __all__ = [
     "CachedEvaluator",
+    "CampaignSpec",
     "EvalRequest",
     "Evaluator",
     "GroundTruthEvaluator",
@@ -34,22 +35,34 @@ __all__ = [
     "OptimizeResult",
     "ParallelEvaluator",
     "PpaResult",
+    "ResultStore",
     "SynthesisSession",
     "__version__",
+    "campaign_report",
+    "campaign_status",
     "default_session",
     "evaluate_aig",
+    "run_campaign",
 ]
 
-_API_EXPORTS = frozenset(__all__) - {"__version__"}
+_CAMPAIGN_EXPORTS = frozenset(
+    {"CampaignSpec", "ResultStore", "campaign_report", "campaign_status", "run_campaign"}
+)
+_API_EXPORTS = frozenset(__all__) - {"__version__"} - _CAMPAIGN_EXPORTS
 
 
 def __getattr__(name: str):
-    # The service layer is re-exported lazily so `import repro` stays cheap
-    # and the api -> opt -> repro.* import chain never becomes circular.
+    # The service and campaign layers are re-exported lazily so
+    # `import repro` stays cheap and the api -> opt -> repro.* import chain
+    # never becomes circular.
     if name in _API_EXPORTS:
         from repro import api
 
         return getattr(api, name)
+    if name in _CAMPAIGN_EXPORTS:
+        from repro import campaign
+
+        return getattr(campaign, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

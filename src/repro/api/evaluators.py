@@ -249,7 +249,9 @@ class ParallelEvaluator:
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         if self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        self.min_batch_size = max(min_batch_size, 2)
+        if min_batch_size < 1:
+            raise ValueError("min_batch_size must be at least 1")
+        self.min_batch_size = min_batch_size
         self._mapping_options = mapping_options
         self._serial = GroundTruthEvaluator(library, mapping_options)
         self._pool = None
@@ -280,10 +282,10 @@ class ParallelEvaluator:
         try:
             return list(pool.map(_worker_evaluate, batch, chunksize=chunksize))
         except Exception:
-            # Broken pool / unpicklable payload: degrade to serial once and
-            # stop trying to parallelise.
-            self._pool_broken = True
+            # Broken pool / unpicklable payload: degrade to serial and stop
+            # trying to parallelise until close() resets the latch.
             self.close()
+            self._pool_broken = True
             return self._serial.evaluate_many(batch)
 
     def __call__(self, aig: Aig) -> PpaResult:
@@ -305,10 +307,16 @@ class ParallelEvaluator:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool (idempotent).
+
+        Also clears the broken-pool latch, so a context-managed evaluator
+        that degraded to serial after a transient pool failure tries the
+        pool again on its next use.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self._pool_broken = False
 
     def __enter__(self) -> "ParallelEvaluator":
         return self

@@ -1,0 +1,59 @@
+"""Campaign engine: resumable, process-parallel suite runs.
+
+The paper's headline results are suite-level — every flow × optimizer ×
+seed over the benchmark designs.  This package turns that sweep into a
+first-class, declarative object:
+
+* :class:`CampaignSpec` — the designs × flows × optimizers × evaluators ×
+  seeds matrix, expanded into independent :class:`CampaignCell` units keyed
+  by a deterministic content hash;
+* :class:`ResultStore` — a crash-safe, append-only JSONL store so a killed
+  campaign resumes by executing only the missing cells;
+* :func:`run_campaign` / :func:`run_cells` — the process-parallel engine,
+  bitwise-reproducible at any worker count thanks to per-cell
+  :func:`~repro.utils.rng.spawn_rng` streams;
+* :func:`campaign_report` — per-design medians, train/test splits, and
+  stage-time breakdowns derived from a store.
+"""
+
+from repro.campaign.report import CampaignReport, campaign_report, design_role
+from repro.campaign.runner import (
+    CampaignStatus,
+    EngineCell,
+    EngineSummary,
+    campaign_status,
+    engine_cells,
+    execute_cell,
+    run_campaign,
+    run_cells,
+)
+from repro.campaign.spec import (
+    OPTIMIZERS,
+    CampaignCell,
+    CampaignSpec,
+    cell_id_for,
+    design_token,
+)
+from repro.campaign.store import TIMING_FIELDS, ResultStore, strip_timing
+
+__all__ = [
+    "OPTIMIZERS",
+    "TIMING_FIELDS",
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignStatus",
+    "EngineCell",
+    "EngineSummary",
+    "ResultStore",
+    "campaign_report",
+    "campaign_status",
+    "cell_id_for",
+    "design_role",
+    "design_token",
+    "engine_cells",
+    "execute_cell",
+    "run_campaign",
+    "run_cells",
+    "strip_timing",
+]

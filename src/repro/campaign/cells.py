@@ -1,0 +1,128 @@
+"""The standard campaign cell worker: one design × flow × optimizer × seed.
+
+This module is imported by name inside pool workers, so everything here must
+be importable from a fresh process and the cell function must accept one
+plain payload dict (see :meth:`repro.campaign.spec.CampaignCell.payload`).
+
+Each cell is completely self-contained: it builds its own evaluator and
+flow, loads the design (registry name or external netlist file), and derives
+its randomness from a non-consuming :func:`~repro.utils.rng.spawn_rng`
+stream keyed by the cell id — never from process-global state — so the same
+cell computes bitwise-identical results in any worker, at any worker count,
+in any scheduling order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.campaign.spec import OPTIMIZERS
+from repro.errors import CampaignError
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+def cell_rng(cell_id: str, seed: int) -> random.Random:
+    """The cell's private RNG stream, a pure function of (cell id, seed)."""
+    parent = ensure_rng(seed)
+    stream = int(cell_id[:12], 16)
+    return spawn_rng(parent, stream=stream)
+
+
+def _load_model(reference: Optional[str]):
+    if not reference:
+        return None
+    from repro.ml.model_io import load_gbdt
+
+    return load_gbdt(reference)
+
+
+def run_optimize_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one optimize cell and return its (JSON-serialisable) result."""
+    from repro.api.registry import create_evaluator, create_flow
+    from repro.api.session import load_design
+    from repro.opt.annealing import AnnealingConfig
+
+    optimizer = str(payload["optimizer"])
+    if optimizer not in OPTIMIZERS:
+        raise CampaignError(f"unknown optimizer {optimizer!r}")
+    iterations = int(payload["iterations"])
+    delay_weight = float(payload["delay_weight"])
+    area_weight = float(payload["area_weight"])
+    seed = int(payload["seed"])
+    rng = cell_rng(str(payload["cell_id"]), seed)
+
+    aig = load_design(str(payload["design"]))
+    evaluator = create_evaluator(str(payload["evaluator"]))
+    flow = create_flow(
+        str(payload["flow"]),
+        evaluator=evaluator,
+        delay_model=_load_model(payload.get("delay_model")),
+        area_model=_load_model(payload.get("area_model")),
+    )
+    initial = evaluator.evaluate(aig)
+
+    if optimizer == "sa":
+        flow_result = flow.run(
+            aig,
+            config=AnnealingConfig(iterations=iterations, keep_history=False),
+            delay_weight=delay_weight,
+            area_weight=area_weight,
+            rng=rng,
+        )
+        best_aig = flow_result.annealing.best_aig
+        final = flow_result.ground_truth
+        evaluations = flow_result.annealing.iterations_run + 1
+        runtime = flow_result.annealing.runtime_seconds
+        stage_totals = dict(flow_result.annealing.stage_timer.totals)
+    else:
+        cost = flow.make_cost(delay_weight, area_weight)
+        if optimizer == "greedy":
+            from repro.opt.budget import greedy_config_for_budget
+            from repro.opt.greedy import GreedyOptimizer
+
+            result = GreedyOptimizer(
+                cost, greedy_config_for_budget(iterations), rng=rng
+            ).run(aig)
+        else:  # genetic
+            from repro.opt.budget import genetic_config_for_budget
+            from repro.opt.genetic import GeneticOptimizer
+
+            result = GeneticOptimizer(
+                cost, genetic_config_for_budget(iterations), rng=rng
+            ).run(aig)
+        best_aig = result.best_aig
+        final = evaluator.evaluate(best_aig)
+        evaluations = result.evaluations
+        runtime = result.runtime_seconds
+        stage_totals = dict(result.stage_timer.totals)
+
+    record: Dict[str, Any] = {
+        key: payload[key]
+        for key in (
+            "design",
+            "design_fingerprint",
+            "flow",
+            "optimizer",
+            "evaluator",
+            "seed",
+            "iterations",
+            "delay_weight",
+            "area_weight",
+            "context",
+        )
+    }
+    record.update(
+        {
+            "initial_delay_ps": initial.delay_ps,
+            "initial_area_um2": initial.area_um2,
+            "final_delay_ps": final.delay_ps,
+            "final_area_um2": final.area_um2,
+            "num_ands_before": aig.num_ands,
+            "num_ands_after": best_aig.num_ands,
+            "evaluations": evaluations,
+            "runtime_seconds": runtime,
+            "stage_seconds": stage_totals,
+        }
+    )
+    return record

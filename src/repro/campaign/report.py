@@ -1,0 +1,221 @@
+"""Aggregation of campaign result stores into suite-level reports.
+
+The paper's suite claims are per-design medians over seeds, split into the
+train and unseen-design test sets, plus stage-time breakdowns — this module
+derives exactly those views from a :class:`~repro.campaign.store.ResultStore`
+(only the latest, successful record per cell counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Tuple
+
+from repro.campaign.store import ResultStore
+from repro.experiments.report import format_table
+
+
+def design_role(design: str) -> str:
+    """Paper role of a design: train/test for EXxx, external otherwise."""
+    from repro.designs.registry import DESIGN_SPECS
+
+    if design in DESIGN_SPECS:
+        return DESIGN_SPECS[design].role
+    if design == "mult":
+        return "aux"
+    return "external"
+
+
+def _improvement_percent(record: Dict[str, object]) -> float:
+    initial = float(record.get("initial_delay_ps", 0.0) or 0.0)
+    final = float(record.get("final_delay_ps", 0.0) or 0.0)
+    if initial == 0.0:
+        return 0.0
+    return (initial - final) / initial * 100.0
+
+
+@dataclass
+class GroupRow:
+    """Aggregate of one (design, flow, optimizer, evaluator) group."""
+
+    design: str
+    role: str
+    flow: str
+    optimizer: str
+    evaluator: str
+    runs: int
+    median_delay_ps: float
+    median_area_um2: float
+    median_improvement_percent: float
+    mean_runtime_seconds: float
+
+
+@dataclass
+class CampaignReport:
+    """Suite-level aggregation of a campaign's successful cells."""
+
+    records: List[Dict[str, object]]
+    failed: List[Dict[str, object]] = field(default_factory=list)
+
+    def group_rows(self) -> List[GroupRow]:
+        """Per-design medians over seeds, one row per matrix point."""
+        groups: Dict[Tuple[str, str, str, str], List[Dict[str, object]]] = {}
+        for record in self.records:
+            key = (
+                str(record.get("design", "?")),
+                str(record.get("flow", "?")),
+                str(record.get("optimizer", "?")),
+                str(record.get("evaluator", "?")),
+            )
+            groups.setdefault(key, []).append(record)
+        rows: List[GroupRow] = []
+        for (design, flow, optimizer, evaluator), members in sorted(groups.items()):
+            runtimes = [float(m.get("runtime_seconds", 0.0) or 0.0) for m in members]
+            rows.append(
+                GroupRow(
+                    design=design,
+                    role=design_role(design),
+                    flow=flow,
+                    optimizer=optimizer,
+                    evaluator=evaluator,
+                    runs=len(members),
+                    median_delay_ps=median(
+                        [float(m.get("final_delay_ps", 0.0) or 0.0) for m in members]
+                    ),
+                    median_area_um2=median(
+                        [float(m.get("final_area_um2", 0.0) or 0.0) for m in members]
+                    ),
+                    median_improvement_percent=median(
+                        [_improvement_percent(m) for m in members]
+                    ),
+                    mean_runtime_seconds=sum(runtimes) / len(runtimes),
+                )
+            )
+        return rows
+
+    def split_summary(self) -> Dict[str, Dict[str, float]]:
+        """Median improvement and run counts per train/test/external split."""
+        by_role: Dict[str, List[float]] = {}
+        for record in self.records:
+            role = design_role(str(record.get("design", "?")))
+            by_role.setdefault(role, []).append(_improvement_percent(record))
+        return {
+            role: {
+                "runs": float(len(values)),
+                "median_improvement_percent": median(values),
+            }
+            for role, values in sorted(by_role.items())
+        }
+
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Total seconds per optimizer stage, summed across all cells."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            stages = record.get("stage_seconds")
+            if not isinstance(stages, dict):
+                continue
+            for stage, seconds in stages.items():
+                totals[stage] = totals.get(stage, 0.0) + float(seconds)
+        return totals
+
+    # ------------------------------------------------------------------ #
+    def format_report(self) -> str:
+        """Render the full suite report as aligned text tables."""
+        lines: List[str] = []
+        title = f"Campaign report — {len(self.records)} cells"
+        if self.failed:
+            title += f" ({len(self.failed)} failed)"
+        lines.append(title)
+        lines.append("")
+        lines.append(
+            format_table(
+                [
+                    "design",
+                    "role",
+                    "flow",
+                    "optimizer",
+                    "evaluator",
+                    "runs",
+                    "delay med (ps)",
+                    "area med (um2)",
+                    "improv med",
+                    "mean runtime",
+                ],
+                [
+                    (
+                        row.design,
+                        row.role,
+                        row.flow,
+                        row.optimizer,
+                        row.evaluator,
+                        row.runs,
+                        f"{row.median_delay_ps:.1f}",
+                        f"{row.median_area_um2:.1f}",
+                        f"{row.median_improvement_percent:+.2f}%",
+                        f"{row.mean_runtime_seconds:.2f}s",
+                    )
+                    for row in self.group_rows()
+                ],
+                title="Per-design medians over seeds",
+            )
+        )
+        split = self.split_summary()
+        if split:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["split", "runs", "median delay improvement"],
+                    [
+                        (
+                            role,
+                            int(stats["runs"]),
+                            f"{stats['median_improvement_percent']:+.2f}%",
+                        )
+                        for role, stats in split.items()
+                    ],
+                    title="Train/test split summary",
+                )
+            )
+        stages = self.stage_breakdown()
+        if stages:
+            total = sum(stages.values()) or 1.0
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["stage", "seconds", "share"],
+                    [
+                        (stage, f"{seconds:.3f}", f"{seconds / total * 100.0:.1f}%")
+                        for stage, seconds in sorted(
+                            stages.items(), key=lambda item: -item[1]
+                        )
+                    ],
+                    title="Stage-time breakdown (all cells)",
+                )
+            )
+        if self.failed:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["cell", "error"],
+                    [
+                        (
+                            str(record.get("cell_id", "?")),
+                            str(record.get("error", "?"))[:80],
+                        )
+                        for record in self.failed
+                    ],
+                    title="Failed cells (retried on the next run)",
+                )
+            )
+        return "\n".join(lines)
+
+
+def campaign_report(store: ResultStore) -> CampaignReport:
+    """Build a :class:`CampaignReport` from the latest record per cell."""
+    latest = store.latest()
+    ok = [record for record in latest.values() if record.get("status") == "ok"]
+    failed = [record for record in latest.values() if record.get("status") != "ok"]
+    ok.sort(key=lambda record: str(record.get("cell_id", "")))
+    failed.sort(key=lambda record: str(record.get("cell_id", "")))
+    return CampaignReport(records=ok, failed=failed)

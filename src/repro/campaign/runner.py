@@ -1,0 +1,224 @@
+"""The campaign execution engine: resumable, process-parallel cell runs.
+
+The engine is deliberately generic: a cell is just a deterministic id, a
+fully-qualified worker function (``"package.module:function"``), and a
+picklable payload.  :func:`run_cells` skips every cell whose id already has
+a successful record in the :class:`~repro.campaign.store.ResultStore`, runs
+the remainder — across a process pool when asked — and appends each outcome
+as it lands, so a killed run resumes by executing only the missing cells.
+
+Results are appended in submission order regardless of which worker finishes
+first, and each cell derives all of its randomness from its own id and seed
+(via non-consuming :func:`repro.utils.rng.spawn_rng` streams), so the store
+contents are identical — modulo wall-clock fields — at any worker count.
+
+On top of the generic engine, :func:`run_campaign` executes a
+:class:`~repro.campaign.spec.CampaignSpec` with the standard optimize-cell
+worker, and :func:`campaign_status` reports completed/failed/pending counts
+for a spec against a store.  The experiment modules (Table IV, the
+optimizer comparison) drive their own cell kinds through the same engine.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError
+
+#: worker function used for standard campaign optimize cells.
+OPTIMIZE_CELL_FN = "repro.campaign.cells:run_optimize_cell"
+
+
+@dataclass(frozen=True)
+class EngineCell:
+    """One schedulable unit: id + worker function + picklable payload."""
+
+    cell_id: str
+    fn: str
+    payload: Dict[str, Any]
+
+
+@dataclass
+class EngineSummary:
+    """Outcome of one :func:`run_cells` invocation."""
+
+    total: int
+    skipped: int
+    executed: int
+    failed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every executed cell succeeded."""
+        return not self.failed
+
+
+def _resolve_fn(path: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    module_name, _, func_name = path.partition(":")
+    if not module_name or not func_name:
+        raise CampaignError(f"cell fn must be 'module:function', got {path!r}")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, func_name, None)
+    if not callable(fn):
+        raise CampaignError(f"cell fn {path!r} does not resolve to a callable")
+    return fn
+
+
+def execute_cell(cell_id: str, fn_path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell (in whatever process this is) and return its record.
+
+    Worker exceptions become ``status: "error"`` records rather than
+    propagating, so one bad cell never aborts the rest of a campaign.
+    """
+    start = time.perf_counter()
+    try:
+        result = _resolve_fn(fn_path)(payload) or {}
+        record: Dict[str, Any] = {"cell_id": cell_id, "status": "ok"}
+        record.update(result)
+    except Exception as exc:
+        record = {
+            "cell_id": cell_id,
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    record["cell_seconds"] = time.perf_counter() - start
+    return record
+
+
+def _run_pool(
+    pending: Sequence[EngineCell],
+    workers: int,
+    record_result: Callable[[Dict[str, Any]], None],
+) -> List[EngineCell]:
+    """Execute *pending* on a process pool; return cells that did not land.
+
+    Pool-level failures (no subprocess support, broken pool mid-run) are
+    swallowed — the caller re-runs the leftovers serially, so results never
+    depend on whether a pool was actually available.
+    """
+    done: set = set()
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (pool.submit(execute_cell, cell.cell_id, cell.fn, cell.payload), cell)
+                for cell in pending
+            ]
+            # Collect in submission order so the store layout is identical
+            # to a serial run even though execution is concurrent.
+            for future, cell in futures:
+                try:
+                    record = future.result()
+                except Exception:
+                    continue
+                record_result(record)
+                done.add(cell.cell_id)
+    except Exception:
+        pass
+    return [cell for cell in pending if cell.cell_id not in done]
+
+
+def run_cells(
+    cells: Sequence[EngineCell],
+    store: ResultStore,
+    max_workers: int = 1,
+    on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> EngineSummary:
+    """Execute every cell not already completed in *store*.
+
+    Duplicate ids are executed once; completed ids are skipped; failed ids
+    are retried.  Each record is appended to the store the moment it is
+    available, which is what makes a killed run resumable.
+    """
+    if max_workers < 1:
+        raise CampaignError("max_workers must be at least 1")
+    unique: List[EngineCell] = []
+    seen: set = set()
+    for cell in cells:
+        if cell.cell_id in seen:
+            continue
+        seen.add(cell.cell_id)
+        unique.append(cell)
+    completed = store.completed_ids()
+    pending = [cell for cell in unique if cell.cell_id not in completed]
+    failed: List[str] = []
+
+    def record_result(record: Dict[str, Any]) -> None:
+        store.append(record)
+        if record.get("status") != "ok":
+            failed.append(str(record["cell_id"]))
+        if on_record is not None:
+            on_record(record)
+
+    leftover: Sequence[EngineCell] = pending
+    if max_workers > 1 and len(pending) > 1:
+        leftover = _run_pool(pending, min(max_workers, len(pending)), record_result)
+    for cell in leftover:
+        record_result(execute_cell(cell.cell_id, cell.fn, cell.payload))
+    return EngineSummary(
+        total=len(unique),
+        skipped=len(unique) - len(pending),
+        executed=len(pending),
+        failed=failed,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Campaign-level wrappers
+# --------------------------------------------------------------------------- #
+def engine_cells(spec: CampaignSpec) -> List[EngineCell]:
+    """The spec's cells wired to the standard optimize-cell worker."""
+    return [
+        EngineCell(cell_id=cell.cell_id, fn=OPTIMIZE_CELL_FN, payload=cell.payload())
+        for cell in spec.expand()
+    ]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    max_workers: int = 1,
+    on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> EngineSummary:
+    """Run (or resume) *spec* against *store*; only missing cells execute."""
+    return run_cells(engine_cells(spec), store, max_workers=max_workers, on_record=on_record)
+
+
+@dataclass
+class CampaignStatus:
+    """Progress of a spec against a store."""
+
+    total: int
+    completed: int
+    failed: int
+    pending_ids: List[str] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        """Number of cells still to run (includes failed cells to retry)."""
+        return len(self.pending_ids)
+
+    @property
+    def done(self) -> bool:
+        """Whether every cell of the spec has a successful record."""
+        return self.pending == 0
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
+    """How much of *spec* the *store* already covers."""
+    ids = [cell.cell_id for cell in spec.expand()]
+    completed = store.completed_ids()
+    failed = store.failed_ids()
+    pending_ids = [cell_id for cell_id in ids if cell_id not in completed]
+    return CampaignStatus(
+        total=len(ids),
+        completed=len(ids) - len(pending_ids),
+        failed=sum(1 for cell_id in ids if cell_id in failed),
+        pending_ids=pending_ids,
+    )

@@ -1,0 +1,253 @@
+"""Declarative campaign specifications and their expansion into cells.
+
+A :class:`CampaignSpec` describes a *suite-level* run — the cross product of
+designs × flows × optimizers × evaluator kinds × seeds that the paper's
+headline tables sweep — and expands it into independent
+:class:`CampaignCell` units of work.  Each cell is identified by a
+deterministic content hash of everything that affects its result (design
+identity, flow, optimizer, evaluator kind, seed, iteration budget, cost
+weights, model paths, and the library/mapping-options context), so a
+crash-safe result store can skip completed cells on resume and two runs of
+the same matrix always agree on which cell is which.
+
+Designs are ``DesignLike``: a registered benchmark name (``EX00`` … ``EX68``,
+``mult``) or a path to an external ``.aag``/``.aig``/``.bench``/``.blif``
+netlist.  File designs are fingerprinted by content, so editing the file
+changes the cell id and invalidates any stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import CampaignError
+
+#: search algorithms a campaign cell can drive (all share the flow's cost).
+OPTIMIZERS: Tuple[str, ...] = ("sa", "greedy", "genetic")
+
+#: file suffixes accepted as external design references.
+DESIGN_FILE_SUFFIXES: Tuple[str, ...] = (".aag", ".aig", ".bench", ".blif")
+
+DesignRef = Union[str, Path]
+
+
+def canonical_name(name: str) -> str:
+    """Normalise a flow/optimizer/evaluator name ("-" and "_" match)."""
+    return name.strip().lower().replace("-", "_")
+
+
+def cell_id_for(identity: Mapping[str, object]) -> str:
+    """Deterministic id of a cell: SHA-256 over its canonical identity JSON."""
+    material = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+def design_token(design: DesignRef) -> Tuple[str, str]:
+    """Resolve a design reference to a ``(token, fingerprint)`` pair.
+
+    Registry names normalise to their canonical form and fingerprint as
+    ``registry:<NAME>``; external netlist files keep their path as the token
+    and fingerprint by file content, opening the campaign runner to
+    arbitrary third-party designs.
+    """
+    text = str(design)
+    suffix = Path(text).suffix.lower()
+    if suffix in DESIGN_FILE_SUFFIXES:
+        path = Path(text)
+        if not path.is_file():
+            raise CampaignError(f"design file not found: {path}")
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+        return str(path), f"file:{digest}"
+    name = "mult" if text.lower() == "mult" else text.upper()
+    if name != "mult":
+        from repro.designs.registry import design_spec
+
+        design_spec(name)  # raises DesignError for unknown names
+    return name, f"registry:{name}"
+
+
+def model_fingerprint(model: object) -> Optional[str]:
+    """Content identity of a trained model (or model file) for cell ids.
+
+    A path is hashed by file content — retraining a model in place must
+    invalidate the cells that used it, exactly like editing a design file.
+    A model object is hashed through its JSON serialisation when it is a
+    GBDT; other model types fall back to their class name, which at least
+    separates cells across model implementations.
+    """
+    if model is None:
+        return None
+    if isinstance(model, (str, Path)):
+        path = Path(model)
+        if path.is_file():
+            return f"file:{hashlib.sha256(path.read_bytes()).hexdigest()[:16]}"
+        return f"path:{path}"
+    try:
+        from repro.ml.model_io import gbdt_to_dict
+
+        payload = json.dumps(gbdt_to_dict(model), sort_keys=True)
+        return f"gbdt:{hashlib.sha256(payload.encode('utf-8')).hexdigest()[:16]}"
+    except Exception:
+        return f"type:{type(model).__module__}.{type(model).__qualname__}"
+
+
+def default_context_fingerprint() -> str:
+    """Identity of the default library + mapper configuration.
+
+    Folded into every cell id so results computed against one cell library
+    can never satisfy a campaign run against another.
+    """
+    from repro.library.sky130_lite import load_sky130_lite
+
+    return f"{load_sky130_lite().fingerprint()}|default-mapping"
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent unit of campaign work.
+
+    ``design`` is the canonical design token (registry name or file path);
+    ``design_fingerprint`` pins the design content.  The remaining fields
+    mirror :class:`CampaignSpec` for a single matrix point.
+    """
+
+    design: str
+    design_fingerprint: str
+    flow: str
+    optimizer: str
+    evaluator: str
+    seed: int
+    iterations: int
+    delay_weight: float
+    area_weight: float
+    context: str
+    delay_model: Optional[str] = None
+    area_model: Optional[str] = None
+    delay_model_fingerprint: Optional[str] = None
+    area_model_fingerprint: Optional[str] = None
+
+    def identity(self) -> Dict[str, object]:
+        """Everything that affects this cell's result, JSON-canonical."""
+        return {
+            "design": self.design,
+            "design_fingerprint": self.design_fingerprint,
+            "flow": self.flow,
+            "optimizer": self.optimizer,
+            "evaluator": self.evaluator,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "delay_weight": self.delay_weight,
+            "area_weight": self.area_weight,
+            "context": self.context,
+            "delay_model": self.delay_model,
+            "area_model": self.area_model,
+            "delay_model_fingerprint": self.delay_model_fingerprint,
+            "area_model_fingerprint": self.area_model_fingerprint,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Deterministic content hash identifying this cell."""
+        return cell_id_for(self.identity())
+
+    def payload(self) -> Dict[str, object]:
+        """The picklable work order handed to the cell worker."""
+        payload = self.identity()
+        payload["cell_id"] = self.cell_id
+        return payload
+
+
+@dataclass
+class CampaignSpec:
+    """The declarative matrix of a suite run."""
+
+    designs: Sequence[DesignRef]
+    flows: Sequence[str] = ("baseline",)
+    optimizers: Sequence[str] = ("sa",)
+    evaluators: Sequence[str] = ("cached",)
+    seeds: Sequence[int] = (0,)
+    iterations: int = 12
+    delay_weight: float = 1.0
+    area_weight: float = 1.0
+    delay_model: Optional[str] = None
+    area_model: Optional[str] = None
+    #: library/options fingerprint; resolved lazily when left empty.
+    context: str = field(default="")
+
+    def validate(self) -> None:
+        """Reject empty or unknown matrix axes before any work starts."""
+        from repro.api.registry import available_evaluators, available_flows
+
+        if not self.designs:
+            raise CampaignError("campaign needs at least one design")
+        if not self.flows or not self.optimizers or not self.evaluators:
+            raise CampaignError("flows, optimizers, and evaluators must be non-empty")
+        if not self.seeds:
+            raise CampaignError("campaign needs at least one seed")
+        known_flows = set(available_flows())
+        for flow in self.flows:
+            key = canonical_name(flow)
+            if key not in known_flows:
+                raise CampaignError(
+                    f"unknown flow {flow!r}; available: {sorted(known_flows)}"
+                )
+            if key in ("ml", "hybrid") and not self.delay_model:
+                raise CampaignError(
+                    f"flow {flow!r} needs a trained delay model (delay_model=...)"
+                )
+        for optimizer in self.optimizers:
+            if canonical_name(optimizer) not in OPTIMIZERS:
+                raise CampaignError(
+                    f"unknown optimizer {optimizer!r}; available: {list(OPTIMIZERS)}"
+                )
+        known_evaluators = set(available_evaluators())
+        for evaluator in self.evaluators:
+            if canonical_name(evaluator) not in known_evaluators:
+                raise CampaignError(
+                    f"unknown evaluator {evaluator!r}; available: {sorted(known_evaluators)}"
+                )
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise CampaignError(f"seeds must be integers, got {seed!r}")
+        if self.iterations < 1:
+            raise CampaignError("iterations must be at least 1")
+
+    def expand(self) -> List[CampaignCell]:
+        """Expand the matrix into its independent cells (validated, deduped)."""
+        self.validate()
+        context = self.context or default_context_fingerprint()
+        tokens = [design_token(design) for design in self.designs]
+        delay_model_fp = model_fingerprint(self.delay_model)
+        area_model_fp = model_fingerprint(self.area_model)
+        cells: List[CampaignCell] = []
+        seen: set = set()
+        for token, fingerprint in tokens:
+            for flow in self.flows:
+                for optimizer in self.optimizers:
+                    for evaluator in self.evaluators:
+                        for seed in self.seeds:
+                            cell = CampaignCell(
+                                design=token,
+                                design_fingerprint=fingerprint,
+                                flow=canonical_name(flow),
+                                optimizer=canonical_name(optimizer),
+                                evaluator=canonical_name(evaluator),
+                                seed=seed,
+                                iterations=self.iterations,
+                                delay_weight=self.delay_weight,
+                                area_weight=self.area_weight,
+                                context=context,
+                                delay_model=self.delay_model,
+                                area_model=self.area_model,
+                                delay_model_fingerprint=delay_model_fp,
+                                area_model_fingerprint=area_model_fp,
+                            )
+                            if cell.cell_id in seen:
+                                continue
+                            seen.add(cell.cell_id)
+                            cells.append(cell)
+        return cells

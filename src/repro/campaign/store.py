@@ -1,0 +1,113 @@
+"""Crash-safe JSONL result store for campaign runs.
+
+Each completed (or failed) cell appends exactly one JSON line keyed by its
+deterministic ``cell_id``.  Appends are flushed and fsynced, so a campaign
+killed mid-run loses at most the cell that was being written; on reload a
+torn trailing line is ignored rather than poisoning the whole store.  The
+latest record per cell id wins, which lets a failed cell be retried and its
+new outcome supersede the old one.
+
+A store constructed without a path is purely in-memory — the experiment
+modules use that mode when the caller did not ask for resumability.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.errors import CampaignError
+
+#: record fields that legitimately differ between runs of the same cell.
+TIMING_FIELDS = ("cell_seconds", "runtime_seconds", "stage_seconds")
+
+
+def strip_timing(record: Dict[str, object]) -> Dict[str, object]:
+    """A copy of *record* without its wall-clock fields.
+
+    Two stores produced by the same campaign (at any worker count) must be
+    identical after this projection — that is the engine's reproducibility
+    contract, and what the worker-count invariance tests compare.
+    """
+    return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
+
+
+class ResultStore:
+    """Append-only JSONL store of per-cell result records."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: List[Dict[str, object]] = []
+        if self.path is not None and self.path.exists():
+            self._records = self._read()
+
+    # ------------------------------------------------------------------ #
+    def _read(self) -> List[Dict[str, object]]:
+        records: List[Dict[str, object]] = []
+        assert self.path is not None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail write from a killed run; everything before
+                    # it is intact, so just drop the fragment.
+                    continue
+                if isinstance(record, dict) and "cell_id" in record:
+                    records.append(record)
+        return records
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict[str, object]) -> None:
+        """Record one cell outcome, durably when the store is file-backed."""
+        if "cell_id" not in record:
+            raise CampaignError("result records must carry a cell_id")
+        self._records.append(record)
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """All records in append order (including superseded ones)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def latest(self) -> Dict[str, Dict[str, object]]:
+        """Latest record per cell id (retries supersede earlier failures)."""
+        latest: Dict[str, Dict[str, object]] = {}
+        for record in self._records:
+            latest[str(record["cell_id"])] = record
+        return latest
+
+    def completed_ids(self) -> Set[str]:
+        """Ids whose latest record succeeded — skipped on resume."""
+        return {
+            cell_id
+            for cell_id, record in self.latest().items()
+            if record.get("status") == "ok"
+        }
+
+    def failed_ids(self) -> Set[str]:
+        """Ids whose latest record is an error — retried on resume."""
+        return {
+            cell_id
+            for cell_id, record in self.latest().items()
+            if record.get("status") != "ok"
+        }
+
+    def result_for(self, cell_id: str) -> Optional[Dict[str, object]]:
+        """Latest record for *cell_id*, or ``None`` if never attempted."""
+        return self.latest().get(cell_id)

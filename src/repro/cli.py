@@ -27,6 +27,13 @@ from typing import List, Optional
 
 from repro.api import OptimizeRequest, SynthesisSession, default_session
 from repro.api.session import load_design
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    campaign_report,
+    campaign_status,
+    run_campaign,
+)
 from repro.designs.registry import ALL_DESIGNS
 from repro.errors import ReproError
 from repro.features.extract import FeatureExtractor
@@ -257,6 +264,92 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        designs=tuple(args.designs),
+        flows=tuple(args.flows),
+        optimizers=tuple(args.optimizers),
+        evaluators=tuple(args.evaluators),
+        seeds=tuple(args.seeds),
+        iterations=args.iterations,
+        delay_weight=args.delay_weight,
+        area_weight=args.area_weight,
+        delay_model=str(args.model) if args.model else None,
+        area_model=str(args.area_model) if args.area_model else None,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args)
+    store = ResultStore(args.store)
+
+    def progress(record) -> None:
+        status = record.get("status")
+        label = f"cell {record['cell_id']}"
+        if status == "ok":
+            print(f"{label}: ok ({record.get('cell_seconds', 0.0):.2f}s)")
+        else:
+            print(f"{label}: FAILED — {record.get('error')}")
+
+    summary = run_campaign(spec, store, max_workers=args.workers, on_record=progress)
+    print(
+        f"campaign: {summary.total} cells, {summary.skipped} already done, "
+        f"{summary.executed} executed, {len(summary.failed)} failed"
+    )
+    print(f"store: {store.path}")
+    return 0 if summary.ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.designs:
+        status = campaign_status(_campaign_spec(args), store)
+        print(f"total cells : {status.total}")
+        print(f"completed   : {status.completed}")
+        print(f"failed      : {status.failed}")
+        print(f"pending     : {status.pending}")
+        if status.pending and args.verbose:
+            for cell_id in status.pending_ids:
+                print(f"  pending {cell_id}")
+        return 0 if status.done else 1
+    latest = store.latest()
+    ok = sum(1 for record in latest.values() if record.get("status") == "ok")
+    print(f"records     : {len(store)} ({len(latest)} distinct cells)")
+    print(f"completed   : {ok}")
+    print(f"failed      : {len(latest) - ok}")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"error: store {args.store} is empty or missing", file=sys.stderr)
+        return 2
+    print(campaign_report(store).format_report())
+    return 0
+
+
+def _add_campaign_matrix_args(parser: argparse.ArgumentParser, required: bool) -> None:
+    parser.add_argument(
+        "--designs",
+        nargs="+",
+        required=required,
+        default=None if required else [],
+        help="registry names (EX00…EX68, mult) and/or .aag/.aig/.bench/.blif files",
+    )
+    parser.add_argument("--flows", nargs="+", default=["baseline"])
+    parser.add_argument(
+        "--optimizers", nargs="+", default=["sa"], help="any of: sa, greedy, genetic"
+    )
+    parser.add_argument("--evaluators", nargs="+", default=["cached"])
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0])
+    parser.add_argument("--iterations", type=int, default=12)
+    parser.add_argument("--delay-weight", type=float, default=1.0)
+    parser.add_argument("--area-weight", type=float, default=1.0)
+    parser.add_argument("--model", type=Path, help="delay model JSON (ml/hybrid flows)")
+    parser.add_argument("--area-model", type=Path, help="area model JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -355,6 +448,40 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--seed", type=int, default=1)
     flow.add_argument("--output", type=Path, help="write the best AIG (AIGER)")
     flow.set_defaults(handler=_cmd_flow)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="resumable suite runs: designs × flows × optimizers × seeds",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign against a JSONL result store"
+    )
+    campaign_run.add_argument(
+        "--store", type=Path, required=True, help="JSONL result store (appended to)"
+    )
+    _add_campaign_matrix_args(campaign_run, required=True)
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
+    )
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="progress of a store (vs a matrix when --designs is given)"
+    )
+    campaign_status_p.add_argument("--store", type=Path, required=True)
+    campaign_status_p.add_argument(
+        "--verbose", action="store_true", help="list pending cell ids"
+    )
+    _add_campaign_matrix_args(campaign_status_p, required=False)
+    campaign_status_p.set_defaults(handler=_cmd_campaign_status)
+
+    campaign_report_p = campaign_sub.add_parser(
+        "report", help="aggregate a store into a suite report"
+    )
+    campaign_report_p.add_argument("--store", type=Path, required=True)
+    campaign_report_p.set_defaults(handler=_cmd_campaign_report)
 
     return parser
 

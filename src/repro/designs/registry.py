@@ -63,20 +63,38 @@ def build_design(name: str, seed: Optional[int] = None, use_cache: bool = True) 
     ``name`` is one of the EXxx names or ``"mult"`` for the plain multiplier
     used in the proxy-correlation study (Fig. 1 / Table I).  The optional
     *seed* overrides the registered seed (useful for generating design
-    variants in tests).  Results are cached per (name, seed) and cloned on
+    variants in tests); the multiplier is fully deterministic, so passing a
+    seed for it is rejected rather than silently ignored.  Results are
+    cached per (name, effective seed) — passing the registered seed
+    explicitly hits the same entry as passing ``None`` — and cloned on
     return so callers can mutate them freely.
     """
     key_name = name.upper() if name.lower() != "mult" else "mult"
-    cache_key = (key_name, seed)
-    if use_cache and cache_key in _CACHE:
-        return _CACHE[cache_key].clone()
     if key_name == "mult":
+        if seed is not None:
+            raise DesignError(
+                "the 'mult' workload is deterministic and takes no seed; "
+                "pass seed=None"
+            )
+        cache_key = ("mult", None)
+        if use_cache and cache_key in _CACHE:
+            return _CACHE[cache_key].clone()
         aig = multiplier_design(bits=7, name="mult")
     else:
         spec = design_spec(key_name)
-        if seed is not None:
+        effective_seed = spec.seed if seed is None else seed
+        cache_key = (key_name, effective_seed)
+        if use_cache and cache_key in _CACHE:
+            return _CACHE[cache_key].clone()
+        if effective_seed != spec.seed:
             spec = DesignSpec(
-                spec.name, spec.num_pis, spec.num_pos, spec.target_ands, spec.core, seed, spec.role
+                spec.name,
+                spec.num_pis,
+                spec.num_pos,
+                spec.target_ands,
+                spec.core,
+                effective_seed,
+                spec.role,
             )
         aig = build_from_spec(spec)
     if use_cache:

@@ -61,3 +61,11 @@ class OptimizationError(ReproError):
 
 class DesignError(ReproError):
     """Raised when a named benchmark design cannot be constructed."""
+
+
+class TimerError(ReproError):
+    """Raised when a stopwatch is used out of order (stop before start)."""
+
+
+class CampaignError(ReproError):
+    """Raised for invalid campaign specifications or corrupt result stores."""

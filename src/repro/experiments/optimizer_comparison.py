@@ -7,22 +7,34 @@ ML cost function drives simulated annealing, a greedy steepest-descent
 search, and a genetic algorithm, each given (approximately) the same number
 of cost evaluations, and the resulting best AIGs are compared on their
 *ground-truth* post-mapping delay and area.
+
+Each algorithm is one campaign-engine cell, so the comparison can be
+resumed from a file-backed store or fanned across workers like any other
+suite run (an injected evaluator forces serial in-process execution so its
+shared state stays meaningful).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.aig.graph import Aig
+from repro.campaign.runner import EngineCell, run_cells
+from repro.campaign.spec import cell_id_for, model_fingerprint
+from repro.campaign.store import ResultStore
 from repro.designs.registry import build_design
+from repro.errors import CampaignError
 from repro.evaluation import GroundTruthEvaluator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.opt.annealing import AnnealingConfig, SimulatedAnnealing
+from repro.opt.budget import genetic_config_for_budget, greedy_config_for_budget
 from repro.opt.cost import MlCost, ProxyCost
-from repro.opt.genetic import GeneticConfig, GeneticOptimizer
-from repro.opt.greedy import GreedyConfig, GreedyOptimizer
+from repro.opt.genetic import GeneticOptimizer
+from repro.opt.greedy import GreedyOptimizer
+
+_CELL_FN = "repro.experiments.optimizer_comparison:run_optimizer_cell"
 
 
 @dataclass
@@ -83,6 +95,50 @@ class OptimizerComparisonResult:
         )
 
 
+def run_optimizer_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one search algorithm on one design and report ground-truth PPA."""
+    algorithm = str(payload["algorithm"])
+    cost_kind = str(payload["cost_function"])
+    budget = int(payload["budget"])
+    seed = int(payload["seed"])
+    aig: Aig = payload["aig"] if payload.get("aig") is not None else build_design(
+        str(payload["design"])
+    )
+    evaluator = payload.get("evaluator") or GroundTruthEvaluator()
+    if cost_kind == "ml":
+        cost = MlCost(payload["delay_model"], area_model=payload.get("area_model"))
+    else:
+        cost = ProxyCost()
+
+    if algorithm == "simulated_annealing":
+        result = SimulatedAnnealing(
+            cost, AnnealingConfig(iterations=budget, keep_history=False), rng=seed
+        ).run(aig)
+        evaluations = result.iterations_run + 1
+    elif algorithm == "greedy":
+        result = GreedyOptimizer(
+            cost, greedy_config_for_budget(budget), rng=seed
+        ).run(aig)
+        evaluations = result.evaluations
+    elif algorithm == "genetic":
+        result = GeneticOptimizer(
+            cost, genetic_config_for_budget(budget), rng=seed
+        ).run(aig)
+        evaluations = result.evaluations
+    else:
+        raise CampaignError(f"unknown algorithm {algorithm!r}")
+
+    ppa = evaluator.evaluate(result.best_aig)
+    return {
+        "algorithm": algorithm,
+        "cost_function": cost_kind,
+        "ground_truth_delay_ps": ppa.delay_ps,
+        "ground_truth_area_um2": ppa.area_um2,
+        "cost_evaluations": evaluations,
+        "runtime_seconds": result.runtime_seconds,
+    }
+
+
 def run_optimizer_comparison(
     delay_model,
     config: Optional[ExperimentConfig] = None,
@@ -91,6 +147,8 @@ def run_optimizer_comparison(
     initial: Optional[Aig] = None,
     include_proxy_baseline: bool = True,
     evaluator=None,
+    store: Optional[ResultStore] = None,
+    max_workers: int = 1,
 ) -> OptimizerComparisonResult:
     """Drive SA, greedy search, and a GA with the same ML cost function.
 
@@ -98,99 +156,77 @@ def run_optimizer_comparison(
     ``config.sa_iterations`` so the comparison is evaluation-count fair.
     An injected *evaluator* (cached/parallel/incremental) serves every
     ground-truth check, so repeated and structurally overlapping best-AIG
-    evaluations share one state pool.
+    evaluations share one state pool; injecting one forces serial execution
+    (a process pool would silently fork that shared state).
     """
     cfg = config or ExperimentConfig()
     design_name = design or (cfg.test_designs[0] if cfg.test_designs else cfg.train_designs[0])
     aig = initial if initial is not None else build_design(design_name)
-    if evaluator is None:
-        evaluator = GroundTruthEvaluator()
-    initial_ppa = evaluator.evaluate(aig)
+    shared_evaluator = evaluator
+    if shared_evaluator is not None:
+        max_workers = 1
+    initial_ppa = (shared_evaluator or GroundTruthEvaluator()).evaluate(aig)
 
     budget = max(cfg.sa_iterations, 4)
-    rows: List[OptimizerRow] = []
-
-    def ml_cost() -> MlCost:
-        return MlCost(delay_model, area_model=area_model)
-
-    # Simulated annealing (the paper's search paradigm).
-    annealer = SimulatedAnnealing(
-        ml_cost(), AnnealingConfig(iterations=budget, keep_history=False), rng=cfg.seed
-    )
-    sa_result = annealer.run(aig)
-    sa_ppa = evaluator.evaluate(sa_result.best_aig)
-    rows.append(
-        OptimizerRow(
-            algorithm="simulated_annealing",
-            cost_function="ml",
-            ground_truth_delay_ps=sa_ppa.delay_ps,
-            ground_truth_area_um2=sa_ppa.area_um2,
-            cost_evaluations=sa_result.iterations_run + 1,
-            runtime_seconds=sa_result.runtime_seconds,
-        )
-    )
-
-    # Greedy steepest descent with the same evaluation budget.
-    candidates_per_step = 2
-    greedy_config = GreedyConfig(
-        max_steps=max(1, budget // candidates_per_step),
-        candidates_per_step=candidates_per_step,
-        patience=max(2, budget // 4),
-        keep_history=False,
-    )
-    greedy_result = GreedyOptimizer(ml_cost(), greedy_config, rng=cfg.seed + 1).run(aig)
-    greedy_ppa = evaluator.evaluate(greedy_result.best_aig)
-    rows.append(
-        OptimizerRow(
-            algorithm="greedy",
-            cost_function="ml",
-            ground_truth_delay_ps=greedy_ppa.delay_ps,
-            ground_truth_area_um2=greedy_ppa.area_um2,
-            cost_evaluations=greedy_result.evaluations,
-            runtime_seconds=greedy_result.runtime_seconds,
-        )
-    )
-
-    # Genetic algorithm with population*generations ~= budget.
-    population = max(4, min(8, budget))
-    generations = max(1, budget // population)
-    genetic_config = GeneticConfig(
-        population_size=population,
-        generations=generations,
-        genome_length=4,
-        keep_history=False,
-    )
-    genetic_result = GeneticOptimizer(ml_cost(), genetic_config, rng=cfg.seed + 2).run(aig)
-    genetic_ppa = evaluator.evaluate(genetic_result.best_aig)
-    rows.append(
-        OptimizerRow(
-            algorithm="genetic",
-            cost_function="ml",
-            ground_truth_delay_ps=genetic_ppa.delay_ps,
-            ground_truth_area_um2=genetic_ppa.area_um2,
-            cost_evaluations=genetic_result.evaluations,
-            runtime_seconds=genetic_result.runtime_seconds,
-        )
-    )
-
-    # Proxy-cost SA baseline for context (the conventional flow).
+    matrix = [
+        ("simulated_annealing", "ml", cfg.seed),
+        ("greedy", "ml", cfg.seed + 1),
+        ("genetic", "ml", cfg.seed + 2),
+    ]
     if include_proxy_baseline:
-        proxy_annealer = SimulatedAnnealing(
-            ProxyCost(), AnnealingConfig(iterations=budget, keep_history=False), rng=cfg.seed
+        # Proxy-cost SA baseline for context (the conventional flow).
+        matrix.append(("simulated_annealing", "proxy", cfg.seed))
+
+    cells: List[EngineCell] = []
+    for algorithm, cost_kind, seed in matrix:
+        identity = {
+            "experiment": "optimizer_comparison",
+            "design": design_name,
+            "aig_key": aig.exact_key() if initial is not None else None,
+            "algorithm": algorithm,
+            "cost_function": cost_kind,
+            "budget": budget,
+            "seed": seed,
+            # Retraining a model must invalidate resumed cells that used it.
+            "delay_model": model_fingerprint(delay_model) if cost_kind == "ml" else None,
+            "area_model": model_fingerprint(area_model) if cost_kind == "ml" else None,
+        }
+        payload = dict(identity)
+        payload.update(
+            {
+                "aig": initial,
+                "delay_model": delay_model,
+                "area_model": area_model,
+                "evaluator": shared_evaluator,
+            }
         )
-        proxy_result = proxy_annealer.run(aig)
-        proxy_ppa = evaluator.evaluate(proxy_result.best_aig)
+        cells.append(
+            EngineCell(cell_id=cell_id_for(identity), fn=_CELL_FN, payload=payload)
+        )
+
+    result_store = store if store is not None else ResultStore()
+    run_cells(cells, result_store, max_workers=max_workers)
+
+    latest = result_store.latest()
+    rows: List[OptimizerRow] = []
+    for cell in cells:
+        record = latest.get(cell.cell_id)
+        if record is None or record.get("status") != "ok":
+            error = record.get("error", "never executed") if record else "never executed"
+            raise CampaignError(
+                f"optimizer cell {cell.payload['algorithm']}/"
+                f"{cell.payload['cost_function']} failed: {error}"
+            )
         rows.append(
             OptimizerRow(
-                algorithm="simulated_annealing",
-                cost_function="proxy",
-                ground_truth_delay_ps=proxy_ppa.delay_ps,
-                ground_truth_area_um2=proxy_ppa.area_um2,
-                cost_evaluations=proxy_result.iterations_run + 1,
-                runtime_seconds=proxy_result.runtime_seconds,
+                algorithm=str(record["algorithm"]),
+                cost_function=str(record["cost_function"]),
+                ground_truth_delay_ps=float(record["ground_truth_delay_ps"]),
+                ground_truth_area_um2=float(record["ground_truth_area_um2"]),
+                cost_evaluations=int(record["cost_evaluations"]),
+                runtime_seconds=float(record["runtime_seconds"]),
             )
         )
-
     return OptimizerComparisonResult(
         design=design_name,
         initial_delay_ps=initial_ppa.delay_ps,

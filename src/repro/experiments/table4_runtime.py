@@ -5,21 +5,32 @@ The paper's Table IV breaks the per-iteration cost into: the baseline flow
 mapping + STA time, and the ML flow's additional feature-extraction +
 inference time, reporting the percentage reduction of the ML column relative
 to the ground-truth column (average ~81 %, maximum ~89 %).
+
+Each design is one campaign-engine cell, so the measurement sweep shares the
+suite runner's machinery: pass a file-backed
+:class:`~repro.campaign.store.ResultStore` to make the sweep resumable, and
+``max_workers > 1`` to fan the designs across a process pool.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.campaign.runner import EngineCell, run_cells
+from repro.campaign.spec import cell_id_for, model_fingerprint
+from repro.campaign.store import ResultStore
 from repro.designs.registry import build_design
+from repro.errors import CampaignError
 from repro.evaluation import GroundTruthEvaluator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.features.extract import FeatureExtractor
 from repro.opt.annealing import AnnealingConfig
 from repro.opt.flows import BaselineFlow, measure_iteration_runtime
+
+_CELL_FN = "repro.experiments.table4_runtime:run_table4_cell"
 
 
 @dataclass
@@ -89,50 +100,94 @@ class Table4Result:
         )
 
 
+def run_table4_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Measure the three per-iteration cost components on one design."""
+    name = str(payload["design"])
+    iterations = int(payload["iterations"])
+    repeats = int(payload["repeats"])
+    delay_model = payload["delay_model"]
+
+    aig = build_design(name)
+    baseline = BaselineFlow()
+    evaluator = GroundTruthEvaluator()
+    extractor = FeatureExtractor()
+    run_config = AnnealingConfig(iterations=iterations, keep_history=False)
+    base_rt = measure_iteration_runtime(
+        baseline, aig, iterations=iterations, rng=int(payload["seed"]), config=run_config
+    )
+    # Ground-truth column: mapping + STA on the current AIG.
+    start = time.perf_counter()
+    for _ in range(repeats):
+        evaluator.evaluate(aig)
+    mapping_sta = (time.perf_counter() - start) / repeats
+    # ML column: feature extraction + model inference.
+    start = time.perf_counter()
+    for _ in range(repeats):
+        features = extractor.extract(aig).reshape(1, -1)
+        delay_model.predict(features)
+    ml_inference = (time.perf_counter() - start) / repeats
+    return {
+        "design": name,
+        "num_ands": aig.num_ands,
+        "baseline_seconds": base_rt.total_seconds,
+        "mapping_sta_seconds": mapping_sta,
+        "ml_inference_seconds": ml_inference,
+    }
+
+
 def run_table4_runtime(
     delay_model,
     config: Optional[ExperimentConfig] = None,
     designs: Optional[Sequence[str]] = None,
     repeats: int = 3,
+    store: Optional[ResultStore] = None,
+    max_workers: int = 1,
 ) -> Table4Result:
     """Measure the three per-iteration cost components on every design.
 
     ``delay_model`` is a trained delay predictor (typically from the Table III
-    experiment); its inference time is what the ML column measures.
+    experiment); its inference time is what the ML column measures.  The
+    per-design sweep runs through the campaign engine: *store* (file-backed)
+    makes it resumable, *max_workers* fans designs across a process pool.
     """
     cfg = config or ExperimentConfig()
     names = list(designs) if designs is not None else cfg.all_designs()
-    baseline = BaselineFlow()
-    evaluator = GroundTruthEvaluator()
-    extractor = FeatureExtractor()
-    run_config = AnnealingConfig(iterations=cfg.runtime_iterations, keep_history=False)
-
-    rows: List[FlowRuntimeRow] = []
-    train_set = set(cfg.train_designs)
+    cells: List[EngineCell] = []
     for name in names:
-        aig = build_design(name)
-        base_rt = measure_iteration_runtime(
-            baseline, aig, iterations=cfg.runtime_iterations, rng=cfg.seed, config=run_config
+        identity = {
+            "experiment": "table4_runtime",
+            "design": name,
+            "iterations": cfg.runtime_iterations,
+            "repeats": repeats,
+            "seed": cfg.seed,
+            # Retraining the model must invalidate resumed cells: its
+            # inference time is the ML column being measured.
+            "delay_model": model_fingerprint(delay_model),
+        }
+        payload = dict(identity)
+        payload["delay_model"] = delay_model
+        cells.append(
+            EngineCell(cell_id=cell_id_for(identity), fn=_CELL_FN, payload=payload)
         )
-        # Ground-truth column: mapping + STA on the current AIG.
-        start = time.perf_counter()
-        for _ in range(repeats):
-            evaluator.evaluate(aig)
-        mapping_sta = (time.perf_counter() - start) / repeats
-        # ML column: feature extraction + model inference.
-        start = time.perf_counter()
-        for _ in range(repeats):
-            features = extractor.extract(aig).reshape(1, -1)
-            delay_model.predict(features)
-        ml_inference = (time.perf_counter() - start) / repeats
+    result_store = store if store is not None else ResultStore()
+    run_cells(cells, result_store, max_workers=max_workers)
+
+    latest = result_store.latest()
+    train_set = set(cfg.train_designs)
+    rows: List[FlowRuntimeRow] = []
+    for name, cell in zip(names, cells):
+        record = latest.get(cell.cell_id)
+        if record is None or record.get("status") != "ok":
+            error = record.get("error", "never executed") if record else "never executed"
+            raise CampaignError(f"table4 cell for design {name!r} failed: {error}")
         rows.append(
             FlowRuntimeRow(
                 design=name,
                 role="train" if name in train_set else "test",
-                num_ands=aig.num_ands,
-                baseline_seconds=base_rt.total_seconds,
-                mapping_sta_seconds=mapping_sta,
-                ml_inference_seconds=ml_inference,
+                num_ands=int(record["num_ands"]),
+                baseline_seconds=float(record["baseline_seconds"]),
+                mapping_sta_seconds=float(record["mapping_sta_seconds"]),
+                ml_inference_seconds=float(record["ml_inference_seconds"]),
             )
         )
     return Table4Result(rows=rows)

@@ -46,6 +46,11 @@ class AnnealingConfig:
             raise OptimizationError("temperature_decay must be in (0, 1]")
         if self.initial_temperature <= 0:
             raise OptimizationError("initial_temperature must be positive")
+        if self.min_temperature <= 0:
+            # A non-positive floor reaches max(temperature, min_temperature)
+            # once the decay bottoms out and divides the Metropolis test by
+            # zero (or flips its sign).
+            raise OptimizationError("min_temperature must be positive")
 
 
 @dataclass

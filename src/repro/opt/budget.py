@@ -1,0 +1,37 @@
+"""Evaluation-budget-fair configurations for the non-SA search algorithms.
+
+The optimizer comparison (and the campaign engine's ``greedy``/``genetic``
+cells) give every algorithm approximately the same number of cost
+evaluations as an SA run of *budget* iterations.  Both call sites derive
+their configurations here so the "same algorithm" never silently runs with
+two different tunings.
+"""
+
+from __future__ import annotations
+
+from repro.opt.genetic import GeneticConfig
+from repro.opt.greedy import GreedyConfig
+
+#: candidates scored per greedy step (keeps steps × candidates ≈ budget).
+GREEDY_CANDIDATES_PER_STEP = 2
+
+
+def greedy_config_for_budget(budget: int) -> GreedyConfig:
+    """Greedy-search configuration spending ~*budget* cost evaluations."""
+    return GreedyConfig(
+        max_steps=max(1, budget // GREEDY_CANDIDATES_PER_STEP),
+        candidates_per_step=GREEDY_CANDIDATES_PER_STEP,
+        patience=max(2, budget // 4),
+        keep_history=False,
+    )
+
+
+def genetic_config_for_budget(budget: int) -> GeneticConfig:
+    """GA configuration with population × generations ≈ *budget*."""
+    population = max(4, min(8, budget))
+    return GeneticConfig(
+        population_size=population,
+        generations=max(1, budget // population),
+        genome_length=4,
+        keep_history=False,
+    )

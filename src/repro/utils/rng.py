@@ -8,6 +8,7 @@ that experiments are reproducible end to end.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
@@ -36,7 +37,13 @@ def spawn_rng(rng: random.Random, stream: int = 0) -> random.Random:
     """Derive an independent child generator from *rng*.
 
     Used when a component needs its own stream (e.g. one per SA run in a
-    sweep) without perturbing the parent generator's sequence.
+    sweep, one per campaign cell) without perturbing the parent generator's
+    sequence: the child seed is a hash of a *snapshot* of the parent's state
+    and the stream index, so spawning any number of children leaves the
+    parent's own sequence untouched, and the same (parent state, stream)
+    pair always yields the same child regardless of how many other streams
+    were spawned or in what order.
     """
-    seed = rng.getrandbits(64) ^ (0x9E3779B97F4A7C15 * (stream + 1) & (2**64 - 1))
+    material = repr((rng.getstate(), stream)).encode("utf-8")
+    seed = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
     return random.Random(seed)

@@ -4,11 +4,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.errors import TimerError
 
 
 class Timer:
     """Context-manager stopwatch.
+
+    ``elapsed`` is 0.0 until the timer has been stopped at least once, and
+    :meth:`stop` on a timer that was never started raises :class:`TimerError`
+    (it used to silently return the ``perf_counter`` epoch offset, thousands
+    of bogus seconds).
 
     Example
     -------
@@ -20,15 +27,20 @@ class Timer:
     """
 
     def __init__(self) -> None:
-        self._start: float = 0.0
+        self._start: Optional[float] = None
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self.start()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch has been started and not yet stopped."""
+        return self._start is not None
 
     def start(self) -> None:
         """Start (or restart) the stopwatch."""
@@ -36,7 +48,10 @@ class Timer:
 
     def stop(self) -> float:
         """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise TimerError("Timer.stop() called before start()")
         self.elapsed = time.perf_counter() - self._start
+        self._start = None
         return self.elapsed
 
 

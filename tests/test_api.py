@@ -185,6 +185,25 @@ class TestParallelEvaluator:
         assert isinstance(evaluator, Evaluator)
         evaluator.close()
 
+    def test_min_batch_size_validated_not_clamped(self, library):
+        # Regression: min_batch_size < 2 was silently raised to 2, so a
+        # caller asking for 1 got different behavior with no signal.
+        with pytest.raises(ValueError):
+            ParallelEvaluator(library, min_batch_size=0)
+        evaluator = ParallelEvaluator(library, max_workers=2, min_batch_size=1)
+        assert evaluator.min_batch_size == 1
+        evaluator.close()
+
+    def test_close_clears_broken_pool_latch(self, library, adder_aig):
+        evaluator = ParallelEvaluator(library, max_workers=2)
+        evaluator._pool_broken = True
+        # Broken latch forces the serial path...
+        results = evaluator.evaluate_many([adder_aig, adder_aig.clone()])
+        assert len(results) == 2 and evaluator._pool is None
+        # ...and close() re-arms the pool for the next use.
+        evaluator.close()
+        assert evaluator._pool_broken is False
+
 
 class TestDefaultEvaluator:
     def test_one_shot_calls_share_the_default_evaluator(self, adder_aig):

@@ -245,3 +245,28 @@ class TestNamedDesigns:
         aig = build_design("mult")
         assert aig.num_pis == 14
         assert aig.num_pos == 14
+
+    def test_mult_rejects_seed(self):
+        # Regression: the seed was silently ignored, yet each distinct value
+        # grew its own duplicate cache entry.
+        with pytest.raises(DesignError):
+            build_design("mult", seed=5)
+
+    def test_cache_deduplicates_default_and_explicit_seed(self):
+        from repro.designs import registry
+
+        registry.clear_design_cache()
+        default = build_design("EX68")
+        explicit = build_design("EX68", seed=DESIGN_SPECS["EX68"].seed)
+        assert default.num_ands == explicit.num_ands
+        assert list(registry._CACHE) == [("EX68", DESIGN_SPECS["EX68"].seed)]
+        registry.clear_design_cache()
+
+    def test_cache_key_per_override_seed(self):
+        from repro.designs import registry
+
+        registry.clear_design_cache()
+        build_design("EX68")
+        build_design("EX68", seed=999)
+        assert len(registry._CACHE) == 2
+        registry.clear_design_cache()

@@ -116,6 +116,12 @@ class TestSimulatedAnnealing:
             AnnealingConfig(temperature_decay=1.5)
         with pytest.raises(OptimizationError):
             AnnealingConfig(initial_temperature=0.0)
+        # Regression: a non-positive floor reached max(T, min_temperature)
+        # and divided the Metropolis test by zero.
+        with pytest.raises(OptimizationError):
+            AnnealingConfig(min_temperature=0.0)
+        with pytest.raises(OptimizationError):
+            AnnealingConfig(min_temperature=-1e-9)
 
     def test_empty_catalog_rejected(self):
         with pytest.raises(OptimizationError):

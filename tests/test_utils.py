@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.errors import TimerError
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timer import StageTimer, Timer
 from repro.utils.validation import (
@@ -37,6 +38,34 @@ class TestRng:
         child_b = spawn_rng(parent, stream=1)
         assert child_a.random() != child_b.random()
 
+    def test_spawn_rng_does_not_perturb_parent(self):
+        # Regression: getrandbits-based derivation advanced the parent, so
+        # two same-seeded parents diverged after a single spawn.
+        spawned = random.Random(123)
+        untouched = random.Random(123)
+        spawn_rng(spawned, stream=0)
+        spawn_rng(spawned, stream=1)
+        assert [spawned.random() for _ in range(5)] == [
+            untouched.random() for _ in range(5)
+        ]
+
+    def test_spawn_rng_same_state_same_stream_is_reproducible(self):
+        child_a = spawn_rng(random.Random(9), stream=3)
+        child_b = spawn_rng(random.Random(9), stream=3)
+        assert [child_a.random() for _ in range(5)] == [
+            child_b.random() for _ in range(5)
+        ]
+
+    def test_spawn_rng_order_independent(self):
+        # Spawning other streams first must not change a given stream.
+        parent = random.Random(4)
+        direct = spawn_rng(parent, stream=5)
+        parent = random.Random(4)
+        for stream in (0, 1, 2):
+            spawn_rng(parent, stream=stream)
+        after_others = spawn_rng(parent, stream=5)
+        assert direct.random() == after_others.random()
+
 
 class TestTimer:
     def test_context_manager_measures_time(self):
@@ -49,6 +78,32 @@ class TestTimer:
         timer.start()
         time.sleep(0.005)
         assert timer.stop() > 0.0
+
+    def test_stop_without_start_raises(self):
+        # Regression: stop() on a fresh timer used to return the raw
+        # perf_counter epoch offset (thousands of bogus seconds).
+        timer = Timer()
+        with pytest.raises(TimerError):
+            timer.stop()
+        assert timer.elapsed == 0.0
+
+    def test_double_stop_raises(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        with pytest.raises(TimerError):
+            timer.stop()
+
+    def test_elapsed_is_zero_before_any_run(self):
+        assert Timer().elapsed == 0.0
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
 
     def test_stage_timer_accumulates(self):
         stages = StageTimer()
