@@ -36,17 +36,31 @@ __all__ = [
     "ParallelEvaluator",
     "PpaResult",
     "ResultStore",
+    "ShardedResultStore",
     "SynthesisSession",
     "__version__",
     "campaign_report",
     "campaign_status",
     "default_session",
+    "diff_stores",
     "evaluate_aig",
+    "merge_store",
+    "open_store",
     "run_campaign",
 ]
 
 _CAMPAIGN_EXPORTS = frozenset(
-    {"CampaignSpec", "ResultStore", "campaign_report", "campaign_status", "run_campaign"}
+    {
+        "CampaignSpec",
+        "ResultStore",
+        "ShardedResultStore",
+        "campaign_report",
+        "campaign_status",
+        "diff_stores",
+        "merge_store",
+        "open_store",
+        "run_campaign",
+    }
 )
 _API_EXPORTS = frozenset(__all__) - {"__version__"} - _CAMPAIGN_EXPORTS
 

@@ -35,10 +35,12 @@ from repro.api.session import (
     EvalRequest,
     OptimizeRequest,
     OptimizeResult,
+    SessionPool,
     SynthesisSession,
     TrainResult,
     default_session,
     load_design,
+    worker_session_pool,
 )
 from repro.evaluation import PpaResult, evaluate_aig
 
@@ -55,6 +57,7 @@ __all__ = [
     "OptimizeResult",
     "ParallelEvaluator",
     "PpaResult",
+    "SessionPool",
     "SynthesisSession",
     "TrainResult",
     "available_evaluators",
@@ -67,4 +70,5 @@ __all__ = [
     "load_design",
     "register_evaluator",
     "register_flow",
+    "worker_session_pool",
 ]

@@ -492,3 +492,87 @@ def default_session() -> SynthesisSession:
     if _DEFAULT_SESSION is None:
         _DEFAULT_SESSION = SynthesisSession()
     return _DEFAULT_SESSION
+
+
+# --------------------------------------------------------------------------- #
+# Persistent session pools (per-worker evaluator reuse)
+# --------------------------------------------------------------------------- #
+class SessionPool:
+    """Process-local pool of persistent sessions, one per configuration.
+
+    The campaign engine's pool workers used to build a fresh evaluator for
+    every cell, throwing away the warmed cell-library index, mapper, PPA
+    cache, and incremental-mapper state each time.  A :class:`SessionPool`
+    keys one long-lived :class:`SynthesisSession` by (evaluation-context
+    fingerprint, evaluator kind), so consecutive cells of the same design
+    running in the same worker share all of that state.  Keys with
+    different library/options fingerprints never share a session, which is
+    what keeps pooled results independent of which cells happened to land
+    on which worker.
+
+    Pooled cached sessions are LRU-bounded (*cache_entries*) so arbitrarily
+    long campaigns cannot grow a worker's memory without limit.
+    """
+
+    def __init__(self, cache_entries: Optional[int] = 4096) -> None:
+        self.cache_entries = cache_entries
+        self._sessions: Dict[Any, SynthesisSession] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def keys(self) -> List[Any]:
+        """The configuration keys with a live session."""
+        return list(self._sessions)
+
+    def get(
+        self,
+        evaluator_kind: str = "cached",
+        context: str = "",
+        library: Optional[CellLibrary] = None,
+        mapping_options: Optional[MappingOptions] = None,
+    ) -> SynthesisSession:
+        """The persistent session for this exact evaluation configuration.
+
+        *context* is an opaque evaluation-context fingerprint (the campaign
+        cell's library/options identity); an explicitly passed *library* or
+        *mapping_options* is folded into the key as well, so two callers
+        with different libraries can never be handed each other's session.
+        The session is built on first use and reused — warm — afterwards.
+        """
+        from dataclasses import astuple
+
+        kind = evaluator_kind.strip().lower().replace("-", "_")
+        key = (
+            context,
+            kind,
+            None if library is None else library.fingerprint(),
+            None if mapping_options is None else astuple(mapping_options),
+        )
+        session = self._sessions.get(key)
+        if session is None:
+            session = SynthesisSession(
+                library=library,
+                mapping_options=mapping_options,
+                evaluator_kind=kind,
+                cache_entries=self.cache_entries,
+            )
+            self._sessions[key] = session
+        return session
+
+    def clear(self) -> None:
+        """Close and drop every pooled session."""
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+
+
+_WORKER_SESSION_POOL: Optional[SessionPool] = None
+
+
+def worker_session_pool() -> SessionPool:
+    """This process's session pool (one per campaign pool worker)."""
+    global _WORKER_SESSION_POOL
+    if _WORKER_SESSION_POOL is None:
+        _WORKER_SESSION_POOL = SessionPool()
+    return _WORKER_SESSION_POOL

@@ -1,4 +1,4 @@
-"""Campaign engine: resumable, process-parallel suite runs.
+"""Campaign engine: resumable, process-parallel, multi-machine suite runs.
 
 The paper's headline results are suite-level — every flow × optimizer ×
 seed over the benchmark designs.  This package turns that sweep into a
@@ -7,16 +7,35 @@ first-class, declarative object:
 * :class:`CampaignSpec` — the designs × flows × optimizers × evaluators ×
   seeds matrix, expanded into independent :class:`CampaignCell` units keyed
   by a deterministic content hash;
-* :class:`ResultStore` — a crash-safe, append-only JSONL store so a killed
-  campaign resumes by executing only the missing cells;
-* :func:`run_campaign` / :func:`run_cells` — the process-parallel engine,
-  bitwise-reproducible at any worker count thanks to per-cell
-  :func:`~repro.utils.rng.spawn_rng` streams;
-* :func:`campaign_report` — per-design medians, train/test splits, and
-  stage-time breakdowns derived from a store.
+* :class:`ResultStore` / :class:`ShardedResultStore` — crash-safe,
+  append-only JSONL stores; the sharded variant keeps one single-writer
+  file per worker/machine in a shared directory, merged on read, so
+  several machines can chew on one spec (``repro campaign merge`` compacts
+  the shards into one canonical file);
+* :func:`run_campaign` / :func:`run_cells` — the process-parallel engine
+  with a pluggable :class:`~repro.campaign.schedule.Scheduler` seam
+  (``"matrix"`` legacy order, ``"cost"`` slowest-expected-first), appending
+  records in canonical matrix order so stores are bitwise-reproducible —
+  modulo timing fields — at any worker count, under either scheduler, and
+  across shard layouts;
+* :func:`campaign_report` / :func:`diff_stores` — per-design medians,
+  train/test splits, stage-time breakdowns, and store-vs-baseline diffs
+  with per-cell regressions highlighted.
+
+Cells executing in pool workers share per-worker persistent
+:class:`~repro.api.session.SynthesisSession` state (library index, mapper,
+PPA cache) through :func:`repro.api.session.worker_session_pool`, keyed by
+evaluation context so different libraries never share a session.
 """
 
-from repro.campaign.report import CampaignReport, campaign_report, design_role
+from repro.campaign.report import (
+    CampaignDiff,
+    CampaignReport,
+    CellDelta,
+    campaign_report,
+    design_role,
+    diff_stores,
+)
 from repro.campaign.runner import (
     CampaignStatus,
     EngineCell,
@@ -24,8 +43,21 @@ from repro.campaign.runner import (
     campaign_status,
     engine_cells,
     execute_cell,
+    in_pooled_worker,
     run_campaign,
     run_cells,
+)
+from repro.campaign.schedule import (
+    CostScheduler,
+    MatrixScheduler,
+    Scheduler,
+    resolve_scheduler,
+)
+from repro.campaign.shards import (
+    ShardedResultStore,
+    default_shard_name,
+    merge_store,
+    open_store,
 )
 from repro.campaign.spec import (
     OPTIMIZERS,
@@ -34,25 +66,47 @@ from repro.campaign.spec import (
     cell_id_for,
     design_token,
 )
-from repro.campaign.store import TIMING_FIELDS, ResultStore, strip_timing
+from repro.campaign.store import (
+    TIMING_FIELDS,
+    CellResultStore,
+    ResultStore,
+    canonical_records,
+    compact_store,
+    strip_timing,
+)
 
 __all__ = [
     "OPTIMIZERS",
     "TIMING_FIELDS",
     "CampaignCell",
+    "CampaignDiff",
     "CampaignReport",
     "CampaignSpec",
     "CampaignStatus",
+    "CellDelta",
+    "CellResultStore",
+    "CostScheduler",
     "EngineCell",
     "EngineSummary",
+    "MatrixScheduler",
     "ResultStore",
+    "Scheduler",
+    "ShardedResultStore",
     "campaign_report",
     "campaign_status",
+    "canonical_records",
     "cell_id_for",
+    "compact_store",
+    "default_shard_name",
     "design_role",
     "design_token",
+    "diff_stores",
     "engine_cells",
     "execute_cell",
+    "in_pooled_worker",
+    "merge_store",
+    "open_store",
+    "resolve_scheduler",
     "run_campaign",
     "run_cells",
     "strip_timing",

@@ -4,20 +4,34 @@ This module is imported by name inside pool workers, so everything here must
 be importable from a fresh process and the cell function must accept one
 plain payload dict (see :meth:`repro.campaign.spec.CampaignCell.payload`).
 
-Each cell is completely self-contained: it builds its own evaluator and
-flow, loads the design (registry name or external netlist file), and derives
-its randomness from a non-consuming :func:`~repro.utils.rng.spawn_rng`
-stream keyed by the cell id — never from process-global state — so the same
-cell computes bitwise-identical results in any worker, at any worker count,
-in any scheduling order.
+Each cell derives its randomness from a non-consuming
+:func:`~repro.utils.rng.spawn_rng` stream keyed by the cell id — never from
+process-global state — so the same cell computes bitwise-identical results
+in any worker, at any worker count, in any scheduling order.
+
+Cells are *logically* self-contained but share heavyweight state through
+this process's persistent :class:`~repro.api.session.SessionPool`, keyed by
+(evaluation-context fingerprint, evaluator kind): the cell library index,
+technology mapper, PPA cache, and incremental-mapper state stay warm across
+consecutive cells of the same design in the same worker.  Sharing is sound
+because every evaluator keys its state on the exact graph plus the
+library/options identity — a pooled evaluator returns the same numbers a
+fresh one would, just faster.
+
+Nested-pool guard: when the cell asks for the ``"parallel"`` evaluator but
+is already executing inside the engine's process pool
+(:func:`~repro.campaign.runner.in_pooled_worker`), the inner evaluator is
+forced serial — a pool-per-worker would oversubscribe the host without
+changing any result (the parallel evaluator's serial fallback computes
+identical numbers by contract).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
-from repro.campaign.spec import OPTIMIZERS
+from repro.campaign.spec import OPTIMIZERS, canonical_name
 from repro.errors import CampaignError
 from repro.utils.rng import ensure_rng, spawn_rng
 
@@ -29,17 +43,47 @@ def cell_rng(cell_id: str, seed: int) -> random.Random:
     return spawn_rng(parent, stream=stream)
 
 
-def _load_model(reference: Optional[str]):
+#: loaded models keyed by (reference, content fingerprint) — the fingerprint
+#: makes retraining a model file in place a cache miss, never a stale hit.
+_MODEL_CACHE: Dict[Tuple[str, Optional[str]], Any] = {}
+
+
+def _load_model(reference: Optional[str], fingerprint: Optional[str] = None):
     if not reference:
         return None
-    from repro.ml.model_io import load_gbdt
+    key = (str(reference), fingerprint)
+    model = _MODEL_CACHE.get(key)
+    if model is None:
+        from repro.ml.model_io import load_gbdt
 
-    return load_gbdt(reference)
+        model = load_gbdt(reference)
+        if len(_MODEL_CACHE) >= 8:  # campaigns use at most a couple of models
+            _MODEL_CACHE.pop(next(iter(_MODEL_CACHE)))
+        _MODEL_CACHE[key] = model
+    return model
+
+
+def session_for_cell(payload: Dict[str, Any]):
+    """The persistent worker session serving *payload*'s evaluation context.
+
+    Applies the nested-pool guard: ``"parallel"`` cells running inside the
+    engine's pool get the serial ground-truth evaluator instead (identical
+    numbers, no pool-inside-pool).
+    """
+    from repro.api.session import worker_session_pool
+    from repro.campaign.runner import in_pooled_worker
+
+    kind = canonical_name(str(payload.get("evaluator", "cached")))
+    if kind == "parallel" and in_pooled_worker():
+        kind = "ground_truth"
+    return worker_session_pool().get(
+        evaluator_kind=kind, context=str(payload.get("context", ""))
+    )
 
 
 def run_optimize_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one optimize cell and return its (JSON-serialisable) result."""
-    from repro.api.registry import create_evaluator, create_flow
+    from repro.api.registry import create_flow
     from repro.api.session import load_design
     from repro.opt.annealing import AnnealingConfig
 
@@ -53,12 +97,17 @@ def run_optimize_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     rng = cell_rng(str(payload["cell_id"]), seed)
 
     aig = load_design(str(payload["design"]))
-    evaluator = create_evaluator(str(payload["evaluator"]))
+    session = session_for_cell(payload)
+    evaluator = session.evaluator
     flow = create_flow(
         str(payload["flow"]),
         evaluator=evaluator,
-        delay_model=_load_model(payload.get("delay_model")),
-        area_model=_load_model(payload.get("area_model")),
+        delay_model=_load_model(
+            payload.get("delay_model"), payload.get("delay_model_fingerprint")
+        ),
+        area_model=_load_model(
+            payload.get("area_model"), payload.get("area_model_fingerprint")
+        ),
     )
     initial = evaluator.evaluate(aig)
 

@@ -2,17 +2,20 @@
 
 The paper's suite claims are per-design medians over seeds, split into the
 train and unseen-design test sets, plus stage-time breakdowns — this module
-derives exactly those views from a :class:`~repro.campaign.store.ResultStore`
-(only the latest, successful record per cell counts).
+derives exactly those views from a result store (single-file or sharded;
+only the winning, successful record per cell counts).  :func:`diff_stores`
+additionally compares one store against a baseline store cell by cell, with
+per-cell regressions highlighted — the view behind ``repro campaign report
+--baseline``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import median
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.campaign.store import ResultStore
+from repro.campaign.store import CellResultStore
 from repro.experiments.report import format_table
 
 
@@ -211,7 +214,7 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def campaign_report(store: ResultStore) -> CampaignReport:
+def campaign_report(store: CellResultStore) -> CampaignReport:
     """Build a :class:`CampaignReport` from the latest record per cell."""
     latest = store.latest()
     ok = [record for record in latest.values() if record.get("status") == "ok"]
@@ -219,3 +222,167 @@ def campaign_report(store: ResultStore) -> CampaignReport:
     ok.sort(key=lambda record: str(record.get("cell_id", "")))
     failed.sort(key=lambda record: str(record.get("cell_id", "")))
     return CampaignReport(records=ok, failed=failed)
+
+
+# --------------------------------------------------------------------------- #
+# Store-vs-baseline diffs
+# --------------------------------------------------------------------------- #
+def _metric(record: Dict[str, object], key: str) -> Optional[float]:
+    value = record.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def _delta_percent(current: Optional[float], baseline: Optional[float]) -> Optional[float]:
+    if current is None or baseline is None or baseline == 0.0:
+        return None
+    return (current - baseline) / baseline * 100.0
+
+
+@dataclass
+class CellDelta:
+    """One cell's change between a store and a baseline store."""
+
+    cell_id: str
+    design: str
+    flow: str
+    optimizer: str
+    seed: object
+    outcome: str  # "regressed" | "improved" | "unchanged" | "new" | "missing" | "broke" | "fixed"
+    delay_delta_percent: Optional[float] = None
+    area_delta_percent: Optional[float] = None
+
+    def label(self) -> str:
+        """Compact matrix-point label for tables."""
+        return f"{self.design}/{self.flow}/{self.optimizer}/s{self.seed}"
+
+
+@dataclass
+class CampaignDiff:
+    """Cell-by-cell comparison of a store against a baseline store.
+
+    A cell *regresses* when its final delay or area grew by more than
+    *tolerance_percent* relative to the baseline record, or when it flipped
+    from success to failure ("broke").
+    """
+
+    deltas: List[CellDelta]
+    tolerance_percent: float
+
+    def by_outcome(self, outcome: str) -> List[CellDelta]:
+        """Deltas with the given outcome."""
+        return [delta for delta in self.deltas if delta.outcome == outcome]
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        """Cells worse than baseline (metric regressions and new failures)."""
+        return self.by_outcome("regressed") + self.by_outcome("broke")
+
+    @property
+    def ok(self) -> bool:
+        """Whether no cell regressed relative to the baseline."""
+        return not self.regressions
+
+    def format_report(self) -> str:
+        """Render the diff as aligned text tables, regressions first."""
+        counts: Dict[str, int] = {}
+        for delta in self.deltas:
+            counts[delta.outcome] = counts.get(delta.outcome, 0) + 1
+        lines = [
+            f"Campaign diff — {len(self.deltas)} cells compared "
+            f"(tolerance ±{self.tolerance_percent:.1f}%)",
+            "  "
+            + ", ".join(f"{name}: {counts[name]}" for name in sorted(counts))
+            if counts
+            else "  (no overlapping cells)",
+        ]
+
+        def fmt(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value:+.2f}%"
+
+        highlighted = self.regressions + self.by_outcome("improved")
+        if highlighted:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["cell", "matrix point", "outcome", "delay Δ", "area Δ"],
+                    [
+                        (
+                            delta.cell_id[:12],
+                            delta.label(),
+                            delta.outcome.upper()
+                            if delta.outcome in ("regressed", "broke")
+                            else delta.outcome,
+                            fmt(delta.delay_delta_percent),
+                            fmt(delta.area_delta_percent),
+                        )
+                        for delta in highlighted
+                    ],
+                    title="Per-cell changes vs baseline (regressions first)",
+                )
+            )
+        return "\n".join(lines)
+
+
+def diff_stores(
+    store: CellResultStore,
+    baseline: CellResultStore,
+    tolerance_percent: float = 0.5,
+) -> CampaignDiff:
+    """Compare *store* against *baseline* cell by cell.
+
+    Works on any store type — single-file and merged sharded stores diff
+    identically because the comparison runs on the winning record per cell.
+    Cells present on only one side are reported as ``new`` / ``missing``
+    rather than regressions.
+    """
+    current = store.latest()
+    base = baseline.latest()
+    deltas: List[CellDelta] = []
+    for cell_id in sorted(set(current) | set(base)):
+        record = current.get(cell_id)
+        base_record = base.get(cell_id)
+        source = record or base_record or {}
+        meta = dict(
+            cell_id=cell_id,
+            design=str(source.get("design", "?")),
+            flow=str(source.get("flow", "?")),
+            optimizer=str(source.get("optimizer", "?")),
+            seed=source.get("seed", "?"),
+        )
+        if record is None:
+            deltas.append(CellDelta(outcome="missing", **meta))
+            continue
+        if base_record is None:
+            deltas.append(CellDelta(outcome="new", **meta))
+            continue
+        current_ok = record.get("status") == "ok"
+        baseline_ok = base_record.get("status") == "ok"
+        if current_ok != baseline_ok:
+            deltas.append(
+                CellDelta(outcome="broke" if baseline_ok else "fixed", **meta)
+            )
+            continue
+        delay_delta = _delta_percent(
+            _metric(record, "final_delay_ps"), _metric(base_record, "final_delay_ps")
+        )
+        area_delta = _delta_percent(
+            _metric(record, "final_area_um2"), _metric(base_record, "final_area_um2")
+        )
+        changes = [d for d in (delay_delta, area_delta) if d is not None]
+        if any(change > tolerance_percent for change in changes):
+            outcome = "regressed"
+        elif any(change < -tolerance_percent for change in changes):
+            outcome = "improved"
+        else:
+            outcome = "unchanged"
+        deltas.append(
+            CellDelta(
+                outcome=outcome,
+                delay_delta_percent=delay_delta,
+                area_delta_percent=area_delta,
+                **meta,
+            )
+        )
+    return CampaignDiff(deltas=deltas, tolerance_percent=tolerance_percent)

@@ -3,35 +3,53 @@
 The engine is deliberately generic: a cell is just a deterministic id, a
 fully-qualified worker function (``"package.module:function"``), and a
 picklable payload.  :func:`run_cells` skips every cell whose id already has
-a successful record in the :class:`~repro.campaign.store.ResultStore`, runs
-the remainder — across a process pool when asked — and appends each outcome
-as it lands, so a killed run resumes by executing only the missing cells.
+a successful record in the result store (single-file
+:class:`~repro.campaign.store.ResultStore` or sharded
+:class:`~repro.campaign.shards.ShardedResultStore`), hands the remainder to
+a pluggable :class:`~repro.campaign.schedule.Scheduler` for submission
+ordering, runs them — across a process pool when asked — and appends each
+outcome as it lands, so a killed run resumes by executing only the missing
+cells.
 
-Results are appended in submission order regardless of which worker finishes
-first, and each cell derives all of its randomness from its own id and seed
-(via non-consuming :func:`repro.utils.rng.spawn_rng` streams), so the store
-contents are identical — modulo wall-clock fields — at any worker count.
+Records are appended in **canonical matrix order** regardless of the
+scheduler's submission order or which worker finishes first, and each cell
+derives all of its randomness from its own id and seed (via non-consuming
+:func:`repro.utils.rng.spawn_rng` streams), so single-file store contents
+are identical — modulo wall-clock fields — at any worker count and under
+any scheduler, and sharded runs agree on their canonical view.
 
 On top of the generic engine, :func:`run_campaign` executes a
 :class:`~repro.campaign.spec.CampaignSpec` with the standard optimize-cell
 worker, and :func:`campaign_status` reports completed/failed/pending counts
-for a spec against a store.  The experiment modules (Table IV, the
-optimizer comparison) drive their own cell kinds through the same engine.
+for a spec against a store.  The experiment modules (Fig. 2, Fig. 5,
+Table IV, the optimizer comparison, the learning curve) drive their own
+cell kinds through the same engine.
 """
 
 from __future__ import annotations
 
 import importlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.campaign.schedule import SchedulerLike, resolve_scheduler
 from repro.campaign.spec import CampaignCell, CampaignSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import CellResultStore
 from repro.errors import CampaignError
 
 #: worker function used for standard campaign optimize cells.
 OPTIMIZE_CELL_FN = "repro.campaign.cells:run_optimize_cell"
+
+#: set to "1" in pool-worker processes so cell code can detect that it is
+#: already running under the engine's process pool (the nested-pool guard).
+POOLED_ENV = "REPRO_CAMPAIGN_POOLED"
+
+
+def in_pooled_worker() -> bool:
+    """Whether this process is a campaign-engine pool worker."""
+    return os.environ.get(POOLED_ENV) == "1"
 
 
 @dataclass(frozen=True)
@@ -90,54 +108,117 @@ def execute_cell(cell_id: str, fn_path: str, payload: Dict[str, Any]) -> Dict[st
     return record
 
 
+def _pool_worker_init() -> None:
+    """Mark pool workers so nested-parallelism guards can trigger."""
+    os.environ[POOLED_ENV] = "1"
+
+
+class _CanonicalAppender:
+    """Flushes completed records to the store in canonical matrix order.
+
+    Cells may *execute* in any order (cost scheduling, pool racing); the
+    store layout must not depend on that, so records are buffered until
+    every earlier-in-matrix record has landed.  A crash loses the buffered
+    out-of-order records, which the next run simply re-executes — under a
+    cost-scheduled pool, where submission order is roughly anti-correlated
+    with matrix order, that buffered region can be large (the ROADMAP's
+    completion-sidecar item would make it durable too); matrix-scheduled
+    and serial runs flush promptly.  A record is only dropped from the
+    buffer once the store accepted it, so a failing ``append`` propagates
+    without losing anything.
+    """
+
+    def __init__(
+        self,
+        canonical: Sequence[EngineCell],
+        record_result: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        self._order = [cell.cell_id for cell in canonical]
+        self._record_result = record_result
+        self._pending: Dict[str, Dict[str, Any]] = {}
+        self._next = 0
+        self.added: set = set()
+
+    def add(self, record: Dict[str, Any]) -> None:
+        cell_id = str(record["cell_id"])
+        self.added.add(cell_id)
+        self._pending[cell_id] = record
+        while self._next < len(self._order):
+            ready = self._pending.get(self._order[self._next])
+            if ready is None:
+                break
+            self._record_result(ready)
+            del self._pending[self._order[self._next]]
+            self._next += 1
+
+    @property
+    def drained(self) -> bool:
+        return self._next == len(self._order)
+
+
 def _run_pool(
-    pending: Sequence[EngineCell],
+    scheduled: Sequence[EngineCell],
     workers: int,
-    record_result: Callable[[Dict[str, Any]], None],
+    appender: _CanonicalAppender,
 ) -> List[EngineCell]:
-    """Execute *pending* on a process pool; return cells that did not land.
+    """Execute *scheduled* on a process pool; return cells that did not land.
 
     Pool-level failures (no subprocess support, broken pool mid-run) are
     swallowed — the caller re-runs the leftovers serially, so results never
-    depend on whether a pool was actually available.
+    depend on whether a pool was actually available.  Store failures while
+    flushing a record are *not* swallowed: a store that cannot record is
+    fatal to the campaign, and nothing buffered is lost on the way out.
     """
-    done: set = set()
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (pool.submit(execute_cell, cell.cell_id, cell.fn, cell.payload), cell)
-                for cell in pending
-            ]
-            # Collect in submission order so the store layout is identical
-            # to a serial run even though execution is concurrent.
-            for future, cell in futures:
-                try:
-                    record = future.result()
-                except Exception:
-                    continue
-                record_result(record)
-                done.add(cell.cell_id)
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=_pool_worker_init)
     except Exception:
-        pass
-    return [cell for cell in pending if cell.cell_id not in done]
+        return list(scheduled)
+    with pool:
+        futures = []
+        try:
+            for cell in scheduled:
+                futures.append(
+                    (pool.submit(execute_cell, cell.cell_id, cell.fn, cell.payload), cell)
+                )
+        except Exception:
+            # Submission failed (broken/unsupported pool); whatever was
+            # submitted is still collected below, the rest runs serially.
+            pass
+        # Collect in submission order; the appender re-serialises the
+        # store layout to canonical matrix order either way.
+        for future, cell in futures:
+            try:
+                record = future.result()
+            except Exception:
+                continue
+            appender.add(record)
+    return [cell for cell in scheduled if cell.cell_id not in appender.added]
 
 
 def run_cells(
     cells: Sequence[EngineCell],
-    store: ResultStore,
+    store: CellResultStore,
     max_workers: int = 1,
     on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+    scheduler: SchedulerLike = None,
 ) -> EngineSummary:
     """Execute every cell not already completed in *store*.
 
     Duplicate ids are executed once; completed ids are skipped; failed ids
-    are retried.  Each record is appended to the store the moment it is
-    available, which is what makes a killed run resumable.
+    are retried.  *scheduler* (``"matrix"``, ``"cost"``, or a
+    :class:`~repro.campaign.schedule.Scheduler` instance) picks the pool
+    *submission* order of the pending cells; records always land in the
+    store in canonical matrix order, so the resulting store is scheduler-
+    and worker-count-independent.  Serial execution (``max_workers == 1``,
+    or pool leftovers) runs in canonical order directly — cost scheduling
+    only helps a pool drain, and canonical serial order keeps every record
+    durable the moment its cell completes.
     """
     if max_workers < 1:
         raise CampaignError("max_workers must be at least 1")
+    policy = resolve_scheduler(scheduler)
     unique: List[EngineCell] = []
     seen: set = set()
     for cell in cells:
@@ -147,6 +228,14 @@ def run_cells(
         unique.append(cell)
     completed = store.completed_ids()
     pending = [cell for cell in unique if cell.cell_id not in completed]
+    scheduled = policy.order(pending, store)
+    if sorted(cell.cell_id for cell in scheduled) != sorted(
+        cell.cell_id for cell in pending
+    ):
+        raise CampaignError(
+            f"scheduler {type(policy).__name__} must return a permutation of "
+            "the pending cells"
+        )
     failed: List[str] = []
 
     def record_result(record: Dict[str, Any]) -> None:
@@ -156,11 +245,19 @@ def run_cells(
         if on_record is not None:
             on_record(record)
 
+    appender = _CanonicalAppender(pending, record_result)
     leftover: Sequence[EngineCell] = pending
-    if max_workers > 1 and len(pending) > 1:
-        leftover = _run_pool(pending, min(max_workers, len(pending)), record_result)
+    if max_workers > 1 and len(scheduled) > 1:
+        pooled_leftover = _run_pool(
+            scheduled, min(max_workers, len(scheduled)), appender
+        )
+        leftover_ids = {cell.cell_id for cell in pooled_leftover}
+        # Serial fallback keeps canonical order so appends stay prompt.
+        leftover = [cell for cell in pending if cell.cell_id in leftover_ids]
     for cell in leftover:
-        record_result(execute_cell(cell.cell_id, cell.fn, cell.payload))
+        appender.add(execute_cell(cell.cell_id, cell.fn, cell.payload))
+    if pending and not appender.drained:
+        raise CampaignError("engine bug: not every pending cell produced a record")
     return EngineSummary(
         total=len(unique),
         skipped=len(unique) - len(pending),
@@ -182,12 +279,19 @@ def engine_cells(spec: CampaignSpec) -> List[EngineCell]:
 
 def run_campaign(
     spec: CampaignSpec,
-    store: ResultStore,
+    store: CellResultStore,
     max_workers: int = 1,
     on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+    scheduler: SchedulerLike = None,
 ) -> EngineSummary:
     """Run (or resume) *spec* against *store*; only missing cells execute."""
-    return run_cells(engine_cells(spec), store, max_workers=max_workers, on_record=on_record)
+    return run_cells(
+        engine_cells(spec),
+        store,
+        max_workers=max_workers,
+        on_record=on_record,
+        scheduler=scheduler,
+    )
 
 
 @dataclass
@@ -210,7 +314,7 @@ class CampaignStatus:
         return self.pending == 0
 
 
-def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
+def campaign_status(spec: CampaignSpec, store: CellResultStore) -> CampaignStatus:
     """How much of *spec* the *store* already covers."""
     ids = [cell.cell_id for cell in spec.expand()]
     completed = store.completed_ids()

@@ -1,0 +1,197 @@
+"""Sharded multi-writer result stores: one JSONL shard per worker/machine.
+
+A :class:`ShardedResultStore` is a *directory* of single-writer JSONL shard
+files.  Each engine process appends (flush + fsync, exactly like
+:class:`~repro.campaign.store.ResultStore`) only to its own shard — named
+after the host and pid by default, or explicitly via ``shard=`` so several
+machines can mount one directory and chew on the same spec without ever
+contending on a file.  Reads merge every ``*.jsonl`` shard in the
+directory, so each writer's resume pass skips cells any *other* writer
+already completed.
+
+Merge rule ("latest record per cell wins" across shards): a successful
+record always supersedes an error record, and among records of equal
+success the one later in the deterministic scan order (sorted shard names,
+append order within a shard) wins.  Within one shard the scan order is the
+chronology of that writer, so single-writer semantics are unchanged; across
+shards the rule is deterministic and guarantees a retried-and-recovered
+cell is never shadowed by its old failure, whichever machine retried it.
+
+``repro campaign merge`` compacts a shard directory (or any store) into a
+single canonical file via :func:`merge_store`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Union
+
+from repro.campaign.store import (
+    CellResultStore,
+    ResultStore,
+    append_jsonl_record,
+    compact_store,
+    read_jsonl_records,
+)
+from repro.errors import CampaignError
+
+SHARD_SUFFIX = ".jsonl"
+
+
+def default_shard_name() -> str:
+    """Writer identity for this process: ``<hostname>-<pid>``."""
+    host = socket.gethostname() or "host"
+    return f"{host}-{os.getpid()}"
+
+
+def _sanitize_shard(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c in "-_." else "-" for c in name.strip())
+    cleaned = cleaned.strip(".")
+    if not cleaned:
+        raise CampaignError(f"invalid shard name {name!r}")
+    return cleaned
+
+
+class ShardedResultStore:
+    """A directory of single-writer JSONL shards, merged on read.
+
+    Appends go to this writer's shard only; every read re-scans the whole
+    directory so concurrent writers' completed cells are visible to this
+    process's next resume check without any coordination.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], shard: Optional[str] = None
+    ) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise CampaignError(
+                f"sharded store path {self.directory} exists and is not a directory"
+            )
+        self.shard = _sanitize_shard(shard) if shard else _sanitize_shard(default_shard_name())
+        self.path = self.directory  # store-location attribute shared with ResultStore
+        #: parsed shard files keyed by path -> ((mtime_ns, size), records);
+        #: invalidated by the (mtime, size) stamp, so our own appends and
+        #: concurrent writers' appends both trigger a re-read while repeated
+        #: back-to-back queries (status, resume, report) parse nothing twice.
+        self._parse_cache: Dict[Path, object] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_path(self) -> Path:
+        """The JSONL file this writer appends to."""
+        return self.directory / f"{self.shard}{SHARD_SUFFIX}"
+
+    def shard_paths(self) -> List[Path]:
+        """All shard files, in the deterministic scan order (sorted names)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"*{SHARD_SUFFIX}"))
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record to this writer's own shard."""
+        if "cell_id" not in record:
+            raise CampaignError("result records must carry a cell_id")
+        append_jsonl_record(self.shard_path, record)
+
+    # ------------------------------------------------------------------ #
+    def _read_shard(self, path: Path) -> List[Dict[str, object]]:
+        try:
+            stat = path.stat()
+        except OSError:
+            return []
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        cached = self._parse_cache.get(path)
+        if isinstance(cached, tuple) and cached[0] == stamp:
+            return cached[1]
+        records = read_jsonl_records(path)
+        self._parse_cache[path] = (stamp, records)
+        return records
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """Every record of every shard, in deterministic scan order.
+
+        The directory is re-scanned on each access, so records appended by
+        concurrent writers since the last call are included; unchanged
+        shard files are served from the parse cache rather than re-parsed.
+        """
+        merged: List[Dict[str, object]] = []
+        for path in self.shard_paths():
+            merged.extend(self._read_shard(path))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def latest(self) -> Dict[str, Dict[str, object]]:
+        """Winning record per cell id under the cross-shard merge rule."""
+        best: Dict[str, Dict[str, object]] = {}
+        for record in self.records:
+            cell_id = str(record["cell_id"])
+            previous = best.get(cell_id)
+            if (
+                previous is None
+                or record.get("status") == "ok"
+                or previous.get("status") != "ok"
+            ):
+                best[cell_id] = record
+        return best
+
+    def completed_ids(self) -> Set[str]:
+        """Ids completed by *any* writer — each machine skips these."""
+        return {
+            cell_id
+            for cell_id, record in self.latest().items()
+            if record.get("status") == "ok"
+        }
+
+    def failed_ids(self) -> Set[str]:
+        """Ids whose winning record across all shards is an error."""
+        return {
+            cell_id
+            for cell_id, record in self.latest().items()
+            if record.get("status") != "ok"
+        }
+
+    def result_for(self, cell_id: str) -> Optional[Dict[str, object]]:
+        """Winning record for *cell_id*, or ``None`` if never attempted."""
+        return self.latest().get(cell_id)
+
+
+# --------------------------------------------------------------------------- #
+def open_store(
+    path: Union[str, Path], shard: Optional[str] = None
+) -> CellResultStore:
+    """Open *path* as the right store type.
+
+    An existing directory — or a new path with no file suffix — opens as a
+    :class:`ShardedResultStore` (with this process's writer *shard*);
+    anything else opens as a single-file :class:`ResultStore`.  Passing
+    ``shard=`` for a single-file store is rejected rather than ignored.
+    """
+    target = Path(path)
+    if target.is_dir() or (not target.exists() and target.suffix == ""):
+        return ShardedResultStore(target, shard=shard)
+    if shard is not None:
+        raise CampaignError(
+            f"--shard only applies to sharded store directories, not {target}"
+        )
+    return ResultStore(target)
+
+
+def merge_store(
+    source: Union[str, Path, CellResultStore], output: Union[str, Path]
+) -> ResultStore:
+    """Compact *source* (a store or a store path) into one canonical file.
+
+    The output holds the winning record per cell, sorted by cell id — so a
+    sharded multi-machine run and a serial single-writer run of the same
+    spec merge to byte-identical files modulo
+    :data:`~repro.campaign.store.TIMING_FIELDS`.
+    """
+    store = open_store(source) if isinstance(source, (str, Path)) else source
+    return compact_store(store, output)

@@ -1,14 +1,22 @@
-"""Crash-safe JSONL result store for campaign runs.
+"""Crash-safe JSONL result stores for campaign runs.
 
-Each completed (or failed) cell appends exactly one JSON line keyed by its
-deterministic ``cell_id``.  Appends are flushed and fsynced, so a campaign
-killed mid-run loses at most the cell that was being written; on reload a
-torn trailing line is ignored rather than poisoning the whole store.  The
-latest record per cell id wins, which lets a failed cell be retried and its
-new outcome supersede the old one.
+Two implementations share the :class:`CellResultStore` protocol:
 
-A store constructed without a path is purely in-memory — the experiment
-modules use that mode when the caller did not ask for resumability.
+* :class:`ResultStore` (here) — one append-fsync JSONL file (or purely
+  in-memory when constructed without a path), written by a single engine
+  process.  Appends are flushed and fsynced, so a campaign killed mid-run
+  loses at most the cell being written; on reload a torn trailing line is
+  ignored rather than poisoning the whole store.
+* :class:`~repro.campaign.shards.ShardedResultStore` — a directory of such
+  files, one per writer, so several engine processes (or machines) can chew
+  on one spec concurrently and merge on read.
+
+The latest record per cell id wins, which lets a failed cell be retried and
+its new outcome supersede the old one.  :func:`canonical_records` projects
+any store onto its canonical view — the latest record per cell, sorted by
+cell id — which is the layout-independent object the engine's determinism
+contract is stated over, and :func:`compact_store` persists exactly that
+view (what ``repro campaign merge`` writes).
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Protocol, Set, Union, runtime_checkable
 
 from repro.errors import CampaignError
 
@@ -27,40 +35,123 @@ TIMING_FIELDS = ("cell_seconds", "runtime_seconds", "stage_seconds")
 def strip_timing(record: Dict[str, object]) -> Dict[str, object]:
     """A copy of *record* without its wall-clock fields.
 
-    Two stores produced by the same campaign (at any worker count) must be
-    identical after this projection — that is the engine's reproducibility
-    contract, and what the worker-count invariance tests compare.
+    Two stores produced by the same campaign (at any worker count, under
+    either scheduler) must be identical after this projection — that is the
+    engine's reproducibility contract, and what the worker-count invariance
+    tests compare.  Sharded runs satisfy the same contract on their
+    :func:`canonical_records` view.
     """
     return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
 
 
+@runtime_checkable
+class CellResultStore(Protocol):
+    """Anything the campaign engine can append cell outcomes to.
+
+    ``records`` is every record in the store's deterministic scan order
+    (including superseded ones); ``latest`` reduces that to one record per
+    cell id with retries superseding earlier failures.
+    """
+
+    def append(self, record: Dict[str, object]) -> None:  # pragma: no cover
+        """Record one cell outcome durably."""
+        ...
+
+    @property
+    def records(self) -> List[Dict[str, object]]:  # pragma: no cover
+        """All records in deterministic scan order."""
+        ...
+
+    def latest(self) -> Dict[str, Dict[str, object]]:  # pragma: no cover
+        """Winning record per cell id."""
+        ...
+
+    def completed_ids(self) -> Set[str]:  # pragma: no cover
+        """Ids whose winning record succeeded — skipped on resume."""
+        ...
+
+    def failed_ids(self) -> Set[str]:  # pragma: no cover
+        """Ids whose winning record is an error — retried on resume."""
+        ...
+
+    def result_for(self, cell_id: str) -> Optional[Dict[str, object]]:  # pragma: no cover
+        """Winning record for *cell_id*, or ``None`` if never attempted."""
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover
+        ...
+
+
+def read_jsonl_records(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read one JSONL store file, dropping torn tail lines from killed runs."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail write from a killed run; everything before it
+                # is intact, so just drop the fragment.
+                continue
+            if isinstance(record, dict) and "cell_id" in record:
+                records.append(record)
+    return records
+
+
+def append_jsonl_record(path: Path, record: Dict[str, object]) -> None:
+    """Durably append one record to a JSONL store file (flush + fsync)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def canonical_records(store: CellResultStore) -> List[Dict[str, object]]:
+    """The store's canonical view: winning record per cell, sorted by id.
+
+    This projection is independent of worker count, scheduler, and shard
+    layout, so it is what cross-layout store comparisons (and ``repro
+    campaign merge``) operate on.
+    """
+    latest = store.latest()
+    return [latest[cell_id] for cell_id in sorted(latest)]
+
+
+def compact_store(
+    store: CellResultStore, output: Union[str, Path]
+) -> "ResultStore":
+    """Write the canonical view of *store* to a fresh single-file store.
+
+    The output is byte-identical for any two stores with the same canonical
+    view modulo :data:`TIMING_FIELDS` — merging a sharded multi-machine run
+    and compacting a serial single-writer run of the same spec produce the
+    same file.
+    """
+    path = Path(output)
+    if path.exists():
+        path.unlink()
+    compacted = ResultStore(path)
+    for record in canonical_records(store):
+        compacted.append(record)
+    return compacted
+
+
 class ResultStore:
-    """Append-only JSONL store of per-cell result records."""
+    """Append-only single-file JSONL store of per-cell result records.
+
+    A store constructed without a path is purely in-memory — the experiment
+    modules use that mode when the caller did not ask for resumability.
+    """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self.path = Path(path) if path is not None else None
         self._records: List[Dict[str, object]] = []
         if self.path is not None and self.path.exists():
-            self._records = self._read()
-
-    # ------------------------------------------------------------------ #
-    def _read(self) -> List[Dict[str, object]]:
-        records: List[Dict[str, object]] = []
-        assert self.path is not None
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn tail write from a killed run; everything before
-                    # it is intact, so just drop the fragment.
-                    continue
-                if isinstance(record, dict) and "cell_id" in record:
-                    records.append(record)
-        return records
+            self._records = read_jsonl_records(self.path)
 
     # ------------------------------------------------------------------ #
     def append(self, record: Dict[str, object]) -> None:
@@ -70,11 +161,7 @@ class ResultStore:
         self._records.append(record)
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        append_jsonl_record(self.path, record)
 
     # ------------------------------------------------------------------ #
     @property

@@ -29,9 +29,11 @@ from repro.api import OptimizeRequest, SynthesisSession, default_session
 from repro.api.session import load_design
 from repro.campaign import (
     CampaignSpec,
-    ResultStore,
     campaign_report,
     campaign_status,
+    diff_stores,
+    merge_store,
+    open_store,
     run_campaign,
 )
 from repro.designs.registry import ALL_DESIGNS
@@ -281,7 +283,7 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _campaign_spec(args)
-    store = ResultStore(args.store)
+    store = open_store(args.store, shard=args.shard)
 
     def progress(record) -> None:
         status = record.get("status")
@@ -291,7 +293,13 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         else:
             print(f"{label}: FAILED — {record.get('error')}")
 
-    summary = run_campaign(spec, store, max_workers=args.workers, on_record=progress)
+    summary = run_campaign(
+        spec,
+        store,
+        max_workers=args.workers,
+        on_record=progress,
+        scheduler=args.scheduler,
+    )
     print(
         f"campaign: {summary.total} cells, {summary.skipped} already done, "
         f"{summary.executed} executed, {len(summary.failed)} failed"
@@ -301,7 +309,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     if args.designs:
         status = campaign_status(_campaign_spec(args), store)
         print(f"total cells : {status.total}")
@@ -321,11 +329,32 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     if len(store) == 0:
         print(f"error: store {args.store} is empty or missing", file=sys.stderr)
         return 2
+    if args.baseline is not None:
+        baseline = open_store(args.baseline)
+        if len(baseline) == 0:
+            print(
+                f"error: baseline store {args.baseline} is empty or missing",
+                file=sys.stderr,
+            )
+            return 2
+        diff = diff_stores(store, baseline, tolerance_percent=args.tolerance)
+        print(diff.format_report())
+        return 0 if diff.ok else 1
     print(campaign_report(store).format_report())
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    source = open_store(args.store)
+    if len(source) == 0:
+        print(f"error: store {args.store} is empty or missing", file=sys.stderr)
+        return 2
+    merged = merge_store(source, args.output)
+    print(f"merged {len(source)} records into {len(merged)} cells: {args.output}")
     return 0
 
 
@@ -459,11 +488,28 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run (or resume) a campaign against a JSONL result store"
     )
     campaign_run.add_argument(
-        "--store", type=Path, required=True, help="JSONL result store (appended to)"
+        "--store",
+        type=Path,
+        required=True,
+        help="result store: a .jsonl file (single writer) or a directory "
+        "(sharded, one file per writer — several machines can share it)",
     )
     _add_campaign_matrix_args(campaign_run, required=True)
     campaign_run.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
+    )
+    campaign_run.add_argument(
+        "--scheduler",
+        choices=("matrix", "cost"),
+        default="matrix",
+        help="cell submission order: legacy matrix order, or slowest "
+        "expected cost first (refined from observed runtimes in the store)",
+    )
+    campaign_run.add_argument(
+        "--shard",
+        default=None,
+        help="writer name inside a sharded store directory "
+        "(default: <hostname>-<pid>)",
     )
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
@@ -478,10 +524,36 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status_p.set_defaults(handler=_cmd_campaign_status)
 
     campaign_report_p = campaign_sub.add_parser(
-        "report", help="aggregate a store into a suite report"
+        "report", help="aggregate a store into a suite report (or diff two stores)"
     )
     campaign_report_p.add_argument("--store", type=Path, required=True)
+    campaign_report_p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline store to diff against, with per-cell regressions "
+        "highlighted (single-file or sharded; exit code 1 on regressions)",
+    )
+    campaign_report_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="regression tolerance in percent for --baseline diffs",
+    )
     campaign_report_p.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge",
+        help="compact a store (e.g. a shard directory) into one canonical "
+        "JSONL file, latest record per cell, sorted by cell id",
+    )
+    campaign_merge.add_argument(
+        "--store", type=Path, required=True, help="source store (file or shard dir)"
+    )
+    campaign_merge.add_argument(
+        "--output", type=Path, required=True, help="merged single-file store to write"
+    )
+    campaign_merge.set_defaults(handler=_cmd_campaign_merge)
 
     return parser
 

@@ -4,7 +4,11 @@ The paper times one iteration of the original (proxy-driven) optimization
 flow against one iteration of the ground-truth flow (which adds technology
 mapping and STA) on the eight benchmark designs and observes slowdowns of up
 to roughly 20x, growing with design size.  This experiment measures the same
-two quantities per design with the SA engine's stage timers.
+two quantities per design with the SA engine's stage timers.  Each design is
+one campaign-engine cell, so the sweep is resumable from a file-backed (or
+sharded) store and fans across a process pool like any other suite run; the
+cells deliberately build *fresh* flows and evaluators — runtime is the
+quantity being measured, so nothing here may come out of a warm cache.
 
 Note on absolute ratios: the paper's transformations run inside ABC (C code),
 so its per-iteration baseline cost is very small; in this pure-Python stack
@@ -18,13 +22,20 @@ unaffected by this difference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.campaign.runner import EngineCell, run_cells
+from repro.campaign.schedule import SchedulerLike
+from repro.campaign.spec import cell_id_for, default_context_fingerprint
+from repro.campaign.store import CellResultStore, ResultStore
 from repro.designs.registry import build_design
+from repro.errors import CampaignError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.opt.annealing import AnnealingConfig
 from repro.opt.flows import BaselineFlow, GroundTruthFlow, measure_iteration_runtime
+
+_CELL_FN = "repro.experiments.fig2_runtime:run_fig2_cell"
 
 
 @dataclass
@@ -202,32 +213,81 @@ def run_fig2_incremental(
     return Fig2IncrementalResult(rows=rows)
 
 
+def run_fig2_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Time baseline vs ground-truth iterations on one design.
+
+    Flows and evaluators are built fresh inside the cell: the measured
+    quantity *is* the from-scratch per-iteration cost, so warm worker
+    sessions must not serve it.
+    """
+    name = str(payload["design"])
+    iterations = int(payload["iterations"])
+    seed = int(payload["seed"])
+    aig = build_design(name)
+    run_config = AnnealingConfig(iterations=iterations, keep_history=False)
+    base_rt = measure_iteration_runtime(
+        BaselineFlow(), aig, iterations=iterations, rng=seed, config=run_config
+    )
+    gt_rt = measure_iteration_runtime(
+        GroundTruthFlow(), aig, iterations=iterations, rng=seed, config=run_config
+    )
+    return {
+        "design": name,
+        # The cost scheduler normalises observed runtimes by this budget.
+        "iterations": iterations,
+        "num_ands": aig.num_ands,
+        "baseline_seconds": base_rt.total_seconds,
+        "ground_truth_seconds": gt_rt.total_seconds,
+    }
+
+
 def run_fig2_runtime(
     config: Optional[ExperimentConfig] = None,
     designs: Optional[Sequence[str]] = None,
     catalog: Optional[Sequence[List[str]]] = None,
+    store: Optional[CellResultStore] = None,
+    max_workers: int = 1,
+    scheduler: SchedulerLike = None,
 ) -> Fig2Result:
-    """Measure baseline vs ground-truth per-iteration runtime on each design."""
+    """Measure baseline vs ground-truth per-iteration runtime on each design.
+
+    The per-design sweep runs through the campaign engine: *store*
+    (file- or directory-backed) makes it resumable, *max_workers* fans
+    designs across a process pool, *scheduler* picks the submission order.
+    """
     cfg = config or ExperimentConfig()
     names = list(designs) if designs is not None else cfg.all_designs()
-    baseline = BaselineFlow()
-    ground_truth = GroundTruthFlow()
-    run_config = AnnealingConfig(iterations=cfg.runtime_iterations, keep_history=False)
-    rows: List[RuntimeComparison] = []
+    # The measured ground-truth cost depends on the cell library and mapper
+    # configuration, so resumed cells must invalidate when those change.
+    context = default_context_fingerprint()
+    cells: List[EngineCell] = []
     for name in names:
-        aig = build_design(name)
-        base_rt = measure_iteration_runtime(
-            baseline, aig, iterations=cfg.runtime_iterations, rng=cfg.seed, config=run_config
+        identity = {
+            "experiment": "fig2_runtime",
+            "design": name,
+            "iterations": cfg.runtime_iterations,
+            "seed": cfg.seed,
+            "context": context,
+        }
+        cells.append(
+            EngineCell(cell_id=cell_id_for(identity), fn=_CELL_FN, payload=dict(identity))
         )
-        gt_rt = measure_iteration_runtime(
-            ground_truth, aig, iterations=cfg.runtime_iterations, rng=cfg.seed, config=run_config
-        )
+    result_store = store if store is not None else ResultStore()
+    run_cells(cells, result_store, max_workers=max_workers, scheduler=scheduler)
+
+    latest = result_store.latest()
+    rows: List[RuntimeComparison] = []
+    for name, cell in zip(names, cells):
+        record = latest.get(cell.cell_id)
+        if record is None or record.get("status") != "ok":
+            error = record.get("error", "never executed") if record else "never executed"
+            raise CampaignError(f"fig2 cell for design {name!r} failed: {error}")
         rows.append(
             RuntimeComparison(
                 design=name,
-                num_ands=aig.num_ands,
-                baseline_seconds=base_rt.total_seconds,
-                ground_truth_seconds=gt_rt.total_seconds,
+                num_ands=int(record["num_ands"]),
+                baseline_seconds=float(record["baseline_seconds"]),
+                ground_truth_seconds=float(record["ground_truth_seconds"]),
             )
         )
     return Fig2Result(rows=rows)

@@ -7,21 +7,35 @@ numbers of variants per training design and evaluated, at every size, on the
 full corpora of the unseen test designs.  The resulting curve shows how
 quickly accuracy saturates and supports the scaled-down defaults documented
 in DESIGN.md.
+
+Each curve point (one training-set size) is an independent model fit, so
+every point is one campaign-engine cell: pass a file-backed (or sharded)
+store to resume an interrupted curve, and ``max_workers > 1`` to fit the
+points concurrently.  Cell identities fingerprint the labelled corpora by
+content — regenerating the data invalidates every resumed point.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import astuple, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign.runner import EngineCell, run_cells
+from repro.campaign.schedule import SchedulerLike
+from repro.campaign.spec import cell_id_for
+from repro.campaign.store import CellResultStore, ResultStore
 from repro.datagen.generator import DatasetGenerator, DesignCorpus, GenerationConfig
+from repro.errors import CampaignError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
-from repro.ml.gbdt import GradientBoostingRegressor
+from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
 from repro.ml.metrics import percent_error_stats
+
+_CELL_FN = "repro.experiments.learning_curve:run_learning_curve_cell"
 
 
 @dataclass
@@ -64,6 +78,48 @@ class LearningCurveResult:
         )
 
 
+def corpora_fingerprint(corpora: Dict[str, DesignCorpus]) -> str:
+    """Content identity of labelled corpora for campaign cell ids.
+
+    Hashes the features and delay labels of every design, so regenerated
+    (or re-labelled) data invalidates any resumed curve point exactly like
+    editing a design file invalidates its optimize cells.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(corpora):
+        corpus = corpora[name]
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(corpus.features).tobytes())
+        digest.update(np.ascontiguousarray(corpus.delays_ps).tobytes())
+    return digest.hexdigest()[:16]
+
+
+#: corpora shared with in-process (and fork-inherited pool) cell workers,
+#: keyed by content fingerprint so stale data can never be picked up.
+_CORPORA_REGISTRY: Dict[str, Dict[str, DesignCorpus]] = {}
+
+
+def _register_corpora(fingerprint: str, corpora: Dict[str, DesignCorpus]) -> None:
+    if len(_CORPORA_REGISTRY) >= 2 and fingerprint not in _CORPORA_REGISTRY:
+        _CORPORA_REGISTRY.pop(next(iter(_CORPORA_REGISTRY)))
+    _CORPORA_REGISTRY[fingerprint] = corpora
+
+
+def _corpora_travel_inline() -> bool:
+    """Whether cell payloads must carry the corpora themselves.
+
+    Serial cells run in this process and pool workers on fork platforms
+    inherit the registry, so the multi-megabyte corpora only need to ride
+    inside every payload (pickled once per cell) on spawn-style platforms.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_start_method() != "fork"
+    except Exception:  # pragma: no cover - platform without a start method
+        return True
+
+
 def _mean_error(
     model: GradientBoostingRegressor, corpora: Dict[str, DesignCorpus], designs: Sequence[str]
 ) -> float:
@@ -75,16 +131,56 @@ def _mean_error(
     return float(np.mean(errors)) if errors else 0.0
 
 
+def run_learning_curve_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Fit the delay model at one training-set size and score it."""
+    corpora: Optional[Dict[str, DesignCorpus]] = _CORPORA_REGISTRY.get(
+        str(payload["corpora"])
+    )
+    if corpora is None:
+        corpora = payload["corpora_obj"]
+    count = int(payload["samples_per_design"])
+    train_designs = list(payload["train_designs"])
+    test_designs = list(payload["test_designs"])
+    params = GbdtParams(*payload["gbdt_params"])
+
+    features = []
+    labels = []
+    for design in train_designs:
+        corpus = corpora[design]
+        take = min(count, corpus.features.shape[0])
+        features.append(corpus.features[:take])
+        labels.append(corpus.delays_ps[:take])
+    train_features = np.vstack(features)
+    train_labels = np.concatenate(labels)
+
+    start = time.perf_counter()
+    model = GradientBoostingRegressor(params, rng=int(payload["seed"]))
+    model.fit(train_features, train_labels)
+    elapsed = time.perf_counter() - start
+
+    return {
+        "samples_per_design": count,
+        "train_error_percent": _mean_error(model, corpora, train_designs),
+        "test_error_percent": _mean_error(model, corpora, test_designs),
+        "training_seconds": elapsed,
+    }
+
+
 def run_learning_curve(
     config: Optional[ExperimentConfig] = None,
     sample_counts: Optional[Sequence[int]] = None,
     corpora: Optional[Dict[str, DesignCorpus]] = None,
+    store: Optional[CellResultStore] = None,
+    max_workers: int = 1,
+    scheduler: SchedulerLike = None,
 ) -> LearningCurveResult:
     """Train the delay model at several training-set sizes and evaluate each.
 
     When *corpora* is supplied it must contain at least ``max(sample_counts)``
     variants per training design; smaller training sets are produced by
     truncation so every point reuses the same labelled data (no re-labelling).
+    The per-size sweep runs through the campaign engine: *store* makes it
+    resumable, *max_workers* fits curve points concurrently.
     """
     cfg = config or ExperimentConfig()
     if sample_counts is None:
@@ -102,30 +198,47 @@ def run_learning_curve(
 
     train_designs = [d for d in cfg.train_designs if d in corpora]
     test_designs = [d for d in cfg.test_designs if d in corpora]
+    data_fingerprint = corpora_fingerprint(corpora)
+    _register_corpora(data_fingerprint, corpora)
+    ship_inline = max_workers > 1 and _corpora_travel_inline()
+    params_tuple = list(astuple(cfg.gbdt_params))
 
+    cells: List[EngineCell] = []
+    counts = sorted(sample_counts)
+    for count in counts:
+        identity = {
+            "experiment": "learning_curve",
+            "samples_per_design": count,
+            "train_designs": train_designs,
+            "test_designs": test_designs,
+            "corpora": data_fingerprint,
+            "gbdt_params": params_tuple,
+            "seed": cfg.seed,
+        }
+        payload = dict(identity)
+        if ship_inline:
+            payload["corpora_obj"] = corpora
+        cells.append(
+            EngineCell(cell_id=cell_id_for(identity), fn=_CELL_FN, payload=payload)
+        )
+    result_store = store if store is not None else ResultStore()
+    run_cells(cells, result_store, max_workers=max_workers, scheduler=scheduler)
+
+    latest = result_store.latest()
     points: List[LearningCurvePoint] = []
-    for count in sorted(sample_counts):
-        features = []
-        labels = []
-        for design in train_designs:
-            corpus = corpora[design]
-            take = min(count, corpus.features.shape[0])
-            features.append(corpus.features[:take])
-            labels.append(corpus.delays_ps[:take])
-        train_features = np.vstack(features)
-        train_labels = np.concatenate(labels)
-
-        start = time.perf_counter()
-        model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed)
-        model.fit(train_features, train_labels)
-        elapsed = time.perf_counter() - start
-
+    for count, cell in zip(counts, cells):
+        record = latest.get(cell.cell_id)
+        if record is None or record.get("status") != "ok":
+            error = record.get("error", "never executed") if record else "never executed"
+            raise CampaignError(
+                f"learning-curve cell for {count} samples/design failed: {error}"
+            )
         points.append(
             LearningCurvePoint(
-                samples_per_design=count,
-                train_error_percent=_mean_error(model, corpora, train_designs),
-                test_error_percent=_mean_error(model, corpora, test_designs),
-                training_seconds=elapsed,
+                samples_per_design=int(record["samples_per_design"]),
+                train_error_percent=float(record["train_error_percent"]),
+                test_error_percent=float(record["test_error_percent"]),
+                training_seconds=float(record["training_seconds"]),
             )
         )
 

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.runner import EngineCell, run_cells
-from repro.campaign.spec import cell_id_for, model_fingerprint
-from repro.campaign.store import ResultStore
+from repro.campaign.schedule import SchedulerLike
+from repro.campaign.spec import cell_id_for, default_context_fingerprint, model_fingerprint
+from repro.campaign.store import CellResultStore, ResultStore
 from repro.designs.registry import build_design
 from repro.errors import CampaignError
 from repro.evaluation import GroundTruthEvaluator
@@ -128,6 +129,8 @@ def run_table4_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     ml_inference = (time.perf_counter() - start) / repeats
     return {
         "design": name,
+        # The cost scheduler normalises observed runtimes by this budget.
+        "iterations": iterations,
         "num_ands": aig.num_ands,
         "baseline_seconds": base_rt.total_seconds,
         "mapping_sta_seconds": mapping_sta,
@@ -140,18 +143,23 @@ def run_table4_runtime(
     config: Optional[ExperimentConfig] = None,
     designs: Optional[Sequence[str]] = None,
     repeats: int = 3,
-    store: Optional[ResultStore] = None,
+    store: Optional[CellResultStore] = None,
     max_workers: int = 1,
+    scheduler: SchedulerLike = None,
 ) -> Table4Result:
     """Measure the three per-iteration cost components on every design.
 
     ``delay_model`` is a trained delay predictor (typically from the Table III
     experiment); its inference time is what the ML column measures.  The
-    per-design sweep runs through the campaign engine: *store* (file-backed)
-    makes it resumable, *max_workers* fans designs across a process pool.
+    per-design sweep runs through the campaign engine: *store* (file- or
+    directory-backed) makes it resumable, *max_workers* fans designs across
+    a process pool, *scheduler* picks the submission order.
     """
     cfg = config or ExperimentConfig()
     names = list(designs) if designs is not None else cfg.all_designs()
+    # The mapping+STA column depends on the cell library and mapper
+    # configuration, so resumed cells must invalidate when those change.
+    context = default_context_fingerprint()
     cells: List[EngineCell] = []
     for name in names:
         identity = {
@@ -160,6 +168,7 @@ def run_table4_runtime(
             "iterations": cfg.runtime_iterations,
             "repeats": repeats,
             "seed": cfg.seed,
+            "context": context,
             # Retraining the model must invalidate resumed cells: its
             # inference time is the ML column being measured.
             "delay_model": model_fingerprint(delay_model),
@@ -170,7 +179,7 @@ def run_table4_runtime(
             EngineCell(cell_id=cell_id_for(identity), fn=_CELL_FN, payload=payload)
         )
     result_store = store if store is not None else ResultStore()
-    run_cells(cells, result_store, max_workers=max_workers)
+    run_cells(cells, result_store, max_workers=max_workers, scheduler=scheduler)
 
     latest = result_store.latest()
     train_set = set(cfg.train_designs)

@@ -40,11 +40,38 @@ class SweepConfig:
 
 
 @dataclass
+class SweepRun:
+    """Lightweight outcome of one sweep setting.
+
+    Campaign cells report these (a full :class:`FlowResult` drags the best
+    AIG and SA trace along, which result stores neither need nor persist);
+    :class:`SweepResult` accepts either kind interchangeably.
+    """
+
+    delay_ps: float
+    area_um2: float
+    runtime_seconds: float
+
+
+def _run_runtime_seconds(run) -> float:
+    """Optimization wall-clock of a :class:`FlowResult` or :class:`SweepRun`."""
+    annealing = getattr(run, "annealing", None)
+    if annealing is not None:
+        return annealing.runtime_seconds
+    return run.runtime_seconds
+
+
+@dataclass
 class SweepResult:
-    """All runs of one flow plus the derived Pareto front."""
+    """All runs of one flow plus the derived Pareto front.
+
+    ``runs`` holds :class:`FlowResult` objects (from :func:`run_sweep`) or
+    :class:`SweepRun` records (reassembled from campaign result stores);
+    both expose the ground-truth ``delay_ps``/``area_um2`` this class reads.
+    """
 
     flow: str
-    runs: List[FlowResult] = field(default_factory=list)
+    runs: List = field(default_factory=list)
 
     def points(self) -> List[ParetoPoint]:
         """Ground-truth (delay, area) of every run."""
@@ -66,7 +93,46 @@ class SweepResult:
 
     def total_runtime_seconds(self) -> float:
         """Total optimization wall-clock across the sweep."""
-        return sum(r.annealing.runtime_seconds for r in self.runs)
+        return sum(_run_runtime_seconds(r) for r in self.runs)
+
+
+def run_sweep_setting(
+    flow: OptimizationFlow,
+    aig: Aig,
+    config: SweepConfig,
+    index: int,
+    rng: RngLike = None,
+) -> FlowResult:
+    """Run *flow* for the *index*-th sweep setting.
+
+    Without an explicit *rng* the run's stream is derived from the sweep
+    seed exactly as :func:`run_sweep` derives it — ``spawn_rng`` children
+    are a pure function of (parent state, stream index) — so a single
+    setting executed in isolation (a campaign cell) reproduces the
+    corresponding run of the full serial sweep bit for bit.
+    """
+    settings = config.settings()
+    if not 0 <= index < len(settings):
+        raise IndexError(f"sweep setting index {index} out of range")
+    delay_weight, area_weight, decay = settings[index]
+    annealing_config = AnnealingConfig(
+        iterations=config.iterations,
+        initial_temperature=config.initial_temperature,
+        temperature_decay=decay,
+        keep_history=False,
+    )
+    run_rng = (
+        ensure_rng(rng)
+        if rng is not None
+        else spawn_rng(ensure_rng(config.seed), stream=index)
+    )
+    return flow.run(
+        aig,
+        config=annealing_config,
+        delay_weight=delay_weight,
+        area_weight=area_weight,
+        rng=run_rng,
+    )
 
 
 def run_sweep(
@@ -79,21 +145,10 @@ def run_sweep(
     sweep = config or SweepConfig()
     generator = ensure_rng(rng if rng is not None else sweep.seed)
     result = SweepResult(flow=flow.name)
-    for index, (delay_weight, area_weight, decay) in enumerate(sweep.settings()):
-        annealing_config = AnnealingConfig(
-            iterations=sweep.iterations,
-            initial_temperature=sweep.initial_temperature,
-            temperature_decay=decay,
-            keep_history=False,
-        )
-        run_rng = spawn_rng(generator, stream=index)
+    for index in range(len(sweep.settings())):
         result.runs.append(
-            flow.run(
-                aig,
-                config=annealing_config,
-                delay_weight=delay_weight,
-                area_weight=area_weight,
-                rng=run_rng,
+            run_sweep_setting(
+                flow, aig, sweep, index, rng=spawn_rng(generator, stream=index)
             )
         )
     return result
