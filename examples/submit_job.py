@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Submit an optimization job to the synthesis service and poll it to done.
+
+Boots ``repro serve`` as a subprocess on a free port, submits a tiny BENCH
+netlist through :class:`repro.service.ServiceClient`, waits for the result,
+then demonstrates the service's dedup/cache contract: resubmitting the
+byte-identical job returns the finished result immediately, with zero new
+cell executions and zero new ground-truth evaluations (the counters are
+asserted, not just printed).
+
+The job store directory (``REPRO_SERVICE_STORE``, default
+``service-store-demo``) survives the server — restart it later and the
+same job id still serves from cache.
+
+Run with:  python examples/submit_job.py
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.service import ServiceClient
+
+BENCH = """\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+g = AND(a, b)
+f = OR(g, c)
+"""
+
+
+def main() -> None:
+    store = os.environ.get("REPRO_SERVICE_STORE", "service-store-demo")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "1",
+         "--store", store],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        boot = server.stdout.readline().strip()
+        url = boot.split("listening on ", 1)[1]
+        print(f"server up at {url} (store: {store})")
+        client = ServiceClient(url)
+        print(f"health: {client.healthz()['status']}")
+
+        job = client.submit(BENCH, "bench", flow="baseline", optimizer="sa",
+                            iterations=6, seed=7)
+        created = "created" if job["_status"] == 201 else "deduplicated"
+        print(f"submitted job {job['job_id']} ({created}, state={job['state']})")
+
+        record = client.wait(job["job_id"], timeout=300)
+        print(
+            f"done: delay {record['initial_delay_ps']:.1f} -> "
+            f"{record['final_delay_ps']:.1f} ps, area "
+            f"{record['initial_area_um2']:.2f} -> {record['final_area_um2']:.2f} um2 "
+            f"({record['evaluations']} evaluations)"
+        )
+
+        before = client.stats()
+        again = client.submit(BENCH, "bench", flow="baseline", optimizer="sa",
+                              iterations=6, seed=7)
+        after = client.stats()
+        assert again["job_id"] == job["job_id"], "identical submission changed id"
+        assert again["_status"] == 200 and again["state"] == "done"
+        assert after["executed_cells"] == before["executed_cells"], (
+            "resubmission executed a new cell"
+        )
+        assert (
+            after["evaluations"]["cache_misses"]
+            == before["evaluations"]["cache_misses"]
+        ), "resubmission cost new ground-truth evaluations"
+        print(
+            "resubmitted identical job: served from cache, "
+            "0 new cells, 0 new ground-truth evaluations"
+        )
+        print(f"service stats: {after['jobs']}")
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()

@@ -47,7 +47,20 @@ __all__ = [
     "merge_store",
     "open_store",
     "run_campaign",
+    "ServiceClient",
+    "ServiceConfig",
+    "SynthesisService",
+    "create_service",
 ]
+
+_SERVICE_EXPORTS = frozenset(
+    {
+        "ServiceClient",
+        "ServiceConfig",
+        "SynthesisService",
+        "create_service",
+    }
+)
 
 _CAMPAIGN_EXPORTS = frozenset(
     {
@@ -62,7 +75,9 @@ _CAMPAIGN_EXPORTS = frozenset(
         "run_campaign",
     }
 )
-_API_EXPORTS = frozenset(__all__) - {"__version__"} - _CAMPAIGN_EXPORTS
+_API_EXPORTS = (
+    frozenset(__all__) - {"__version__"} - _CAMPAIGN_EXPORTS - _SERVICE_EXPORTS
+)
 
 
 def __getattr__(name: str):
@@ -77,6 +92,10 @@ def __getattr__(name: str):
         from repro import campaign
 
         return getattr(campaign, name)
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

@@ -40,6 +40,7 @@ from repro.api.session import (
     TrainResult,
     default_session,
     load_design,
+    all_worker_session_pools,
     worker_session_pool,
 )
 from repro.evaluation import PpaResult, evaluate_aig
@@ -70,5 +71,6 @@ __all__ = [
     "load_design",
     "register_evaluator",
     "register_flow",
+    "all_worker_session_pools",
     "worker_session_pool",
 ]

@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -46,8 +47,8 @@ def load_design(design: DesignLike) -> Aig:
     """Resolve a design reference to an AIG.
 
     Accepts an :class:`Aig` (returned as-is), a path to an AIGER
-    (``.aag``/``.aig``), BENCH, or BLIF file, or a registered benchmark name
-    (``EX00`` … ``EX68``, ``mult``).
+    (``.aag``/``.aig``), BENCH, BLIF, or structural-Verilog (``.v``) file,
+    or a registered benchmark name (``EX00`` … ``EX68``, ``mult``).
     """
     if isinstance(design, Aig):
         return design
@@ -69,6 +70,10 @@ def load_design(design: DesignLike) -> Aig:
         from repro.io.blif import read_blif
 
         return read_blif(path)
+    if suffix == ".v":
+        from repro.io.verilog_read import read_aig_verilog
+
+        return read_aig_verilog(path)
     from repro.designs.registry import build_design
 
     return build_design(str(design))
@@ -525,6 +530,10 @@ class SessionPool:
         """The configuration keys with a live session."""
         return list(self._sessions)
 
+    def sessions(self) -> List[SynthesisSession]:
+        """The live pooled sessions (introspection/stats aggregation)."""
+        return list(self._sessions.values())
+
     def get(
         self,
         evaluator_kind: str = "cached",
@@ -567,12 +576,34 @@ class SessionPool:
         self._sessions.clear()
 
 
-_WORKER_SESSION_POOL: Optional[SessionPool] = None
+_WORKER_SESSION_POOLS = threading.local()
+_ALL_WORKER_SESSION_POOLS: List[SessionPool] = []
+_WORKER_POOL_REGISTRY_LOCK = threading.Lock()
 
 
 def worker_session_pool() -> SessionPool:
-    """This process's session pool (one per campaign pool worker)."""
-    global _WORKER_SESSION_POOL
-    if _WORKER_SESSION_POOL is None:
-        _WORKER_SESSION_POOL = SessionPool()
-    return _WORKER_SESSION_POOL
+    """This worker's session pool, built on first use.
+
+    The pool is **thread-local**: campaign pool workers are single-threaded
+    processes, so they keep exactly the process-wide behaviour they had
+    before, while the synthesis service's worker *threads* each get their
+    own pool — two jobs executing concurrently in one process never share
+    (and never race on) a live :class:`SynthesisSession`.
+    """
+    pool = getattr(_WORKER_SESSION_POOLS, "pool", None)
+    if pool is None:
+        pool = SessionPool()
+        _WORKER_SESSION_POOLS.pool = pool
+        with _WORKER_POOL_REGISTRY_LOCK:
+            _ALL_WORKER_SESSION_POOLS.append(pool)
+    return pool
+
+
+def all_worker_session_pools() -> List[SessionPool]:
+    """Every live worker session pool in this process (all threads).
+
+    Introspection only — the service's ``/stats`` endpoint aggregates cache
+    counters across worker threads through this.
+    """
+    with _WORKER_POOL_REGISTRY_LOCK:
+        return list(_ALL_WORKER_SESSION_POOLS)

@@ -43,6 +43,7 @@ from repro.campaign.runner import (
     campaign_status,
     engine_cells,
     execute_cell,
+    execute_cell_with_policy,
     in_pooled_worker,
     run_campaign,
     run_cells,
@@ -103,6 +104,7 @@ __all__ = [
     "diff_stores",
     "engine_cells",
     "execute_cell",
+    "execute_cell_with_policy",
     "in_pooled_worker",
     "merge_store",
     "open_store",

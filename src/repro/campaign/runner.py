@@ -108,6 +108,121 @@ def execute_cell(cell_id: str, fn_path: str, payload: Dict[str, Any]) -> Dict[st
     return record
 
 
+def _timeout_child(conn, cell_id: str, fn_path: str, payload: Dict[str, Any]) -> None:
+    """Subprocess entry point for timeout-enforced cell execution."""
+    try:
+        record = execute_cell(cell_id, fn_path, payload)
+    except BaseException as exc:  # execute_cell already catches Exception
+        record = {
+            "cell_id": cell_id,
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    try:
+        conn.send(record)
+    finally:
+        conn.close()
+
+
+def _execute_with_timeout(
+    cell_id: str, fn_path: str, payload: Dict[str, Any], timeout_s: float
+) -> Dict[str, Any]:
+    """Run one cell in a child process, killing it after *timeout_s* seconds.
+
+    A dedicated (spawned) child per cell is the only way to actually free a
+    slot pinned by a hung worker — threads cannot be killed, and a pool
+    worker stuck in C code ignores everything short of SIGKILL.  Where
+    subprocesses are unavailable (sandboxes, or a daemonic pool worker that
+    may not fork) the cell runs in-process and the timeout is best-effort
+    unenforced — results are identical either way, only the hang protection
+    is lost.
+    """
+    import multiprocessing
+
+    start = time.perf_counter()
+    try:
+        # spawn, not fork: the service calls this from worker threads, and
+        # forking a multi-threaded process can deadlock the child.
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_timeout_child, args=(child_conn, cell_id, fn_path, payload)
+        )
+        proc.start()
+    except Exception:
+        return execute_cell(cell_id, fn_path, payload)
+    child_conn.close()
+    try:
+        if parent_conn.poll(timeout_s):
+            try:
+                record: Dict[str, Any] = parent_conn.recv()
+            except (EOFError, OSError):
+                record = {
+                    "cell_id": cell_id,
+                    "status": "error",
+                    "error": "WorkerDied: cell worker exited without a result",
+                }
+        else:
+            record = {
+                "cell_id": cell_id,
+                "status": "error",
+                "error": f"TimeoutError: cell exceeded timeout_s={timeout_s}",
+                "timed_out": True,
+            }
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+                proc.kill()
+                proc.join(5.0)
+        else:
+            proc.join()
+        parent_conn.close()
+    record.setdefault("cell_seconds", time.perf_counter() - start)
+    return record
+
+
+def execute_cell_with_policy(
+    cell_id: str,
+    fn_path: str,
+    payload: Dict[str, Any],
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
+) -> Dict[str, Any]:
+    """Run one cell under an opt-in timeout/retry policy.
+
+    With *timeout_s* set, the cell runs in a dedicated child process that is
+    terminated at the deadline, so a hung cell records an ``error`` result
+    (with ``timed_out: true``) and frees its slot instead of pinning a
+    worker forever.  A failing cell is re-executed up to *retries* times
+    with exponential backoff (``retry_backoff_s * 2**attempt``); when any
+    retry policy is active the returned record carries an ``attempts``
+    count.  With the default arguments this is exactly :func:`execute_cell`.
+    """
+    if timeout_s is not None and timeout_s <= 0:
+        raise CampaignError("timeout_s must be positive (or None to disable)")
+    if retries < 0:
+        raise CampaignError("retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise CampaignError("retry_backoff_s must be >= 0")
+    attempt = 0
+    while True:
+        if timeout_s is None:
+            record = execute_cell(cell_id, fn_path, payload)
+        else:
+            record = _execute_with_timeout(cell_id, fn_path, payload, timeout_s)
+        if record.get("status") == "ok" or attempt >= retries:
+            if retries:
+                record["attempts"] = attempt + 1
+            return record
+        backoff = retry_backoff_s * (2.0**attempt)
+        if backoff > 0:
+            time.sleep(backoff)
+        attempt += 1
+
+
 def _pool_worker_init() -> None:
     """Mark pool workers so nested-parallelism guards can trigger."""
     os.environ[POOLED_ENV] = "1"
@@ -160,6 +275,9 @@ def _run_pool(
     scheduled: Sequence[EngineCell],
     workers: int,
     appender: _CanonicalAppender,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> List[EngineCell]:
     """Execute *scheduled* on a process pool; return cells that did not land.
 
@@ -180,7 +298,18 @@ def _run_pool(
         try:
             for cell in scheduled:
                 futures.append(
-                    (pool.submit(execute_cell, cell.cell_id, cell.fn, cell.payload), cell)
+                    (
+                        pool.submit(
+                            execute_cell_with_policy,
+                            cell.cell_id,
+                            cell.fn,
+                            cell.payload,
+                            timeout_s=timeout_s,
+                            retries=retries,
+                            retry_backoff_s=retry_backoff_s,
+                        ),
+                        cell,
+                    )
                 )
         except Exception:
             # Submission failed (broken/unsupported pool); whatever was
@@ -203,6 +332,9 @@ def run_cells(
     max_workers: int = 1,
     on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
     scheduler: SchedulerLike = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> EngineSummary:
     """Execute every cell not already completed in *store*.
 
@@ -215,9 +347,21 @@ def run_cells(
     or pool leftovers) runs in canonical order directly — cost scheduling
     only helps a pool drain, and canonical serial order keeps every record
     durable the moment its cell completes.
+
+    *timeout_s* / *retries* / *retry_backoff_s* opt each cell into the
+    :func:`execute_cell_with_policy` timeout/retry policy: a cell that
+    exceeds *timeout_s* records an ``error`` result (``timed_out: true``)
+    and frees its slot, and failing cells are re-executed up to *retries*
+    times with exponential backoff before their error record is final.
     """
     if max_workers < 1:
         raise CampaignError("max_workers must be at least 1")
+    if timeout_s is not None and timeout_s <= 0:
+        raise CampaignError("timeout_s must be positive (or None to disable)")
+    if retries < 0:
+        raise CampaignError("retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise CampaignError("retry_backoff_s must be >= 0")
     policy = resolve_scheduler(scheduler)
     unique: List[EngineCell] = []
     seen: set = set()
@@ -249,13 +393,27 @@ def run_cells(
     leftover: Sequence[EngineCell] = pending
     if max_workers > 1 and len(scheduled) > 1:
         pooled_leftover = _run_pool(
-            scheduled, min(max_workers, len(scheduled)), appender
+            scheduled,
+            min(max_workers, len(scheduled)),
+            appender,
+            timeout_s=timeout_s,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
         )
         leftover_ids = {cell.cell_id for cell in pooled_leftover}
         # Serial fallback keeps canonical order so appends stay prompt.
         leftover = [cell for cell in pending if cell.cell_id in leftover_ids]
     for cell in leftover:
-        appender.add(execute_cell(cell.cell_id, cell.fn, cell.payload))
+        appender.add(
+            execute_cell_with_policy(
+                cell.cell_id,
+                cell.fn,
+                cell.payload,
+                timeout_s=timeout_s,
+                retries=retries,
+                retry_backoff_s=retry_backoff_s,
+            )
+        )
     if pending and not appender.drained:
         raise CampaignError("engine bug: not every pending cell produced a record")
     return EngineSummary(
@@ -283,6 +441,9 @@ def run_campaign(
     max_workers: int = 1,
     on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
     scheduler: SchedulerLike = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> EngineSummary:
     """Run (or resume) *spec* against *store*; only missing cells execute."""
     return run_cells(
@@ -291,6 +452,9 @@ def run_campaign(
         max_workers=max_workers,
         on_record=on_record,
         scheduler=scheduler,
+        timeout_s=timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
     )
 
 

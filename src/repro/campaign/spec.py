@@ -11,9 +11,9 @@ crash-safe result store can skip completed cells on resume and two runs of
 the same matrix always agree on which cell is which.
 
 Designs are ``DesignLike``: a registered benchmark name (``EX00`` … ``EX68``,
-``mult``) or a path to an external ``.aag``/``.aig``/``.bench``/``.blif``
-netlist.  File designs are fingerprinted by content, so editing the file
-changes the cell id and invalidates any stale results.
+``mult``) or a path to an external ``.aag``/``.aig``/``.bench``/``.blif``/
+``.v`` netlist.  File designs are fingerprinted by content, so editing the
+file changes the cell id and invalidates any stale results.
 """
 
 from __future__ import annotations
@@ -30,7 +30,7 @@ from repro.errors import CampaignError
 OPTIMIZERS: Tuple[str, ...] = ("sa", "greedy", "genetic")
 
 #: file suffixes accepted as external design references.
-DESIGN_FILE_SUFFIXES: Tuple[str, ...] = (".aag", ".aig", ".bench", ".blif")
+DESIGN_FILE_SUFFIXES: Tuple[str, ...] = (".aag", ".aig", ".bench", ".blif", ".v")
 
 DesignRef = Union[str, Path]
 

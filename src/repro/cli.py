@@ -299,6 +299,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         on_record=progress,
         scheduler=args.scheduler,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     print(
         f"campaign: {summary.total} cells, {summary.skipped} already done, "
@@ -358,13 +360,40 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import create_service
+
+    overrides = {
+        "host": args.host,
+        "port": args.port,
+        "workers": args.workers,
+        "store": str(args.store) if args.store else None,
+        "max_queue": args.max_queue,
+        "max_budget": args.max_budget,
+        "retries": args.retries,
+    }
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+    service = create_service(**overrides)
+    # Machine-parsable boot lines: tests and scripts read the bound URL.
+    print(f"repro service listening on {service.url}", flush=True)
+    print(f"repro service store: {service.manager.store_dir}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def _add_campaign_matrix_args(parser: argparse.ArgumentParser, required: bool) -> None:
     parser.add_argument(
         "--designs",
         nargs="+",
         required=required,
         default=None if required else [],
-        help="registry names (EX00…EX68, mult) and/or .aag/.aig/.bench/.blif files",
+        help="registry names (EX00…EX68, mult) and/or .aag/.aig/.bench/.blif/.v files",
     )
     parser.add_argument("--flows", nargs="+", default=["baseline"])
     parser.add_argument(
@@ -511,6 +540,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="writer name inside a sharded store directory "
         "(default: <hostname>-<pid>)",
     )
+    campaign_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell timeout in seconds (a timed-out cell records an "
+        "error result and frees its worker slot; default: no timeout)",
+    )
+    campaign_run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run a failed cell this many times with backoff before "
+        "its error record is final",
+    )
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_status_p = campaign_sub.add_parser(
@@ -554,6 +597,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, required=True, help="merged single-file store to write"
     )
     campaign_merge.set_defaults(handler=_cmd_campaign_merge)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the synthesis job service (HTTP, campaign engine backend)",
+    )
+    serve.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port; 0 picks a free port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="background worker threads"
+    )
+    serve.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="job store directory (journal + results + uploads); jobs "
+        "resume from it after a crash or restart",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, help="unfinished-job cap before 429"
+    )
+    serve.add_argument(
+        "--max-budget",
+        type=int,
+        default=None,
+        help="per-job optimizer iteration cap (over-budget submissions are "
+        "rejected at submit time)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-job cell timeout in seconds"
+    )
+    serve.add_argument(
+        "--retries", type=int, default=None, help="per-job retry count on failure"
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

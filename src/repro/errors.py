@@ -27,6 +27,16 @@ class ParseError(ReproError):
     """Raised when a circuit file (AIGER/BENCH/genlib) cannot be parsed."""
 
 
+class NetlistParseError(ParseError):
+    """Raised by every :mod:`repro.io` netlist reader on malformed input.
+
+    The readers guarantee that no bare ``ValueError``/``KeyError``/
+    ``IndexError`` (or AIG construction error) escapes a parse of untrusted
+    text, so callers — the synthesis service in particular — can map any
+    bad upload to one exception type (HTTP 400, not 500).
+    """
+
+
 class TransformError(ReproError):
     """Raised when a logic transformation fails or breaks equivalence."""
 
@@ -69,3 +79,7 @@ class TimerError(ReproError):
 
 class CampaignError(ReproError):
     """Raised for invalid campaign specifications or corrupt result stores."""
+
+
+class ServiceError(ReproError):
+    """Raised for synthesis-service failures (bad jobs, full queues, config)."""

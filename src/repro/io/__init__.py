@@ -16,7 +16,13 @@ from repro.io.verilog import (
     write_aig_verilog,
     write_mapped_verilog,
 )
-from repro.io.verilog_read import loads_mapped_verilog, read_mapped_verilog
+from repro.io.guard import parse_guard
+from repro.io.verilog_read import (
+    loads_aig_verilog,
+    loads_mapped_verilog,
+    read_aig_verilog,
+    read_mapped_verilog,
+)
 
 __all__ = [
     "aig_to_dot",
@@ -38,8 +44,11 @@ __all__ = [
     "write_blif",
     "dumps_aig_verilog",
     "dumps_mapped_verilog",
+    "loads_aig_verilog",
     "loads_mapped_verilog",
     "netlist_to_dot",
+    "parse_guard",
+    "read_aig_verilog",
     "read_mapped_verilog",
     "write_aig_verilog",
     "write_aig_dot",

@@ -16,7 +16,8 @@ from typing import Dict, List, TextIO, Union
 
 from repro.aig.graph import Aig
 from repro.aig.literals import is_complemented, literal_var, negate_if
-from repro.errors import ParseError
+from repro.errors import NetlistParseError
+from repro.io.guard import parse_guard
 
 PathLike = Union[str, Path]
 
@@ -76,34 +77,44 @@ def _write_aag_stream(aig: Aig, stream: TextIO) -> None:
 def read_aag(source: Union[PathLike, TextIO]) -> Aig:
     """Parse an ASCII AIGER file (combinational only) into an :class:`Aig`."""
     if hasattr(source, "read"):
-        text = source.read()  # type: ignore[union-attr]
+        with parse_guard("ASCII AIGER input"):
+            text = source.read()  # type: ignore[union-attr]
         name = "aag"
     else:
         path = Path(source)
-        text = path.read_text(encoding="utf-8")
+        with parse_guard(f"ASCII AIGER file {path.name}"):
+            text = path.read_text(encoding="utf-8")
         name = path.stem
     return loads_aag(text, name=name)
 
 
 def loads_aag(text: str, name: str = "aag") -> Aig:
-    """Parse ASCII AIGER text into an :class:`Aig`."""
+    """Parse ASCII AIGER text into an :class:`Aig`.
+
+    Raises :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("ASCII AIGER text"):
+        return _loads_aag(text, name)
+
+
+def _loads_aag(text: str, name: str) -> Aig:
     lines = text.splitlines()
     if not lines:
-        raise ParseError("empty AIGER file")
+        raise NetlistParseError("empty AIGER file")
     header = lines[0].split()
     if len(header) != 6 or header[0] != "aag":
-        raise ParseError(f"malformed AIGER header: {lines[0]!r}")
+        raise NetlistParseError(f"malformed AIGER header: {lines[0]!r}")
     try:
         max_var, num_inputs, num_latches, num_outputs, num_ands = map(int, header[1:])
     except ValueError as exc:
-        raise ParseError(f"non-integer field in AIGER header: {lines[0]!r}") from exc
+        raise NetlistParseError(f"non-integer field in AIGER header: {lines[0]!r}") from exc
     if num_latches != 0:
-        raise ParseError("latches are not supported (combinational AIGs only)")
+        raise NetlistParseError("latches are not supported (combinational AIGs only)")
 
     body = lines[1:]
     expected_defs = num_inputs + num_outputs + num_ands
     if len(body) < expected_defs:
-        raise ParseError(
+        raise NetlistParseError(
             f"AIGER body too short: expected at least {expected_defs} lines, "
             f"got {len(body)}"
         )
@@ -117,7 +128,7 @@ def loads_aag(text: str, name: str = "aag") -> Aig:
     for line in body[num_inputs + num_outputs : expected_defs]:
         parts = line.split()
         if len(parts) != 3:
-            raise ParseError(f"malformed AND definition: {line!r}")
+            raise NetlistParseError(f"malformed AND definition: {line!r}")
         and_defs.append(tuple(_parse_int(p) for p in parts))
 
     # Symbol table (optional).
@@ -137,19 +148,19 @@ def loads_aag(text: str, name: str = "aag") -> Aig:
     aiger_var_to_lit: Dict[int, int] = {0: 0}
     for index, lit in enumerate(input_lits):
         if lit % 2 != 0:
-            raise ParseError(f"input literal {lit} must not be complemented")
+            raise NetlistParseError(f"input literal {lit} must not be complemented")
         aiger_var_to_lit[lit // 2] = aig.add_pi(input_names.get(index, f"pi{index}"))
 
     def resolve(lit: int) -> int:
         var = lit // 2
         if var not in aiger_var_to_lit:
-            raise ParseError(f"literal {lit} used before definition")
+            raise NetlistParseError(f"literal {lit} used before definition")
         return negate_if(aiger_var_to_lit[var], lit % 2 == 1)
 
     # AND definitions in AIGER are required to be topologically ordered.
     for lhs, rhs0, rhs1 in and_defs:
         if lhs % 2 != 0:
-            raise ParseError(f"AND output literal {lhs} must not be complemented")
+            raise NetlistParseError(f"AND output literal {lhs} must not be complemented")
         aiger_var_to_lit[lhs // 2] = aig.add_and(resolve(rhs0), resolve(rhs1))
 
     for index, lit in enumerate(output_lits):
@@ -161,4 +172,4 @@ def _parse_int(text: str) -> int:
     try:
         return int(text.strip())
     except ValueError as exc:
-        raise ParseError(f"expected an integer, got {text!r}") from exc
+        raise NetlistParseError(f"expected an integer, got {text!r}") from exc

@@ -18,7 +18,8 @@ from typing import BinaryIO, Dict, List, Tuple, Union
 
 from repro.aig.graph import Aig
 from repro.aig.literals import is_complemented, literal_var, negate_if
-from repro.errors import ParseError
+from repro.errors import NetlistParseError, ParseError
+from repro.io.guard import parse_guard
 
 PathLike = Union[str, Path]
 
@@ -79,7 +80,8 @@ def dumps_aig_binary(aig: Aig) -> bytes:
 def read_aig_binary(source: Union[PathLike, BinaryIO]) -> Aig:
     """Parse a binary AIGER file (combinational only) into an :class:`Aig`."""
     if hasattr(source, "read"):
-        data = source.read()  # type: ignore[union-attr]
+        with parse_guard("binary AIGER input"):
+            data = source.read()  # type: ignore[union-attr]
         name = "aig"
     else:
         path = Path(source)
@@ -89,22 +91,30 @@ def read_aig_binary(source: Union[PathLike, BinaryIO]) -> Aig:
 
 
 def loads_aig_binary(data: bytes, name: str = "aig") -> Aig:
-    """Parse binary AIGER bytes into an :class:`Aig`."""
+    """Parse binary AIGER bytes into an :class:`Aig`.
+
+    Raises :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("binary AIGER data"):
+        return _loads_aig_binary(data, name)
+
+
+def _loads_aig_binary(data: bytes, name: str) -> Aig:
     cursor = 0
     header_line, cursor = _read_line(data, cursor)
     fields = header_line.split()
     if len(fields) != 6 or fields[0] != b"aig":
-        raise ParseError(f"malformed binary AIGER header: {header_line!r}")
+        raise NetlistParseError(f"malformed binary AIGER header: {header_line!r}")
     try:
         max_var, num_inputs, num_latches, num_outputs, num_ands = (
             int(value) for value in fields[1:]
         )
     except ValueError as exc:
-        raise ParseError(f"non-integer field in AIGER header: {header_line!r}") from exc
+        raise NetlistParseError(f"non-integer field in AIGER header: {header_line!r}") from exc
     if num_latches != 0:
-        raise ParseError("latches are not supported (combinational AIGs only)")
+        raise NetlistParseError("latches are not supported (combinational AIGs only)")
     if max_var != num_inputs + num_ands:
-        raise ParseError(
+        raise NetlistParseError(
             f"header mismatch: M={max_var} but I+A={num_inputs + num_ands}"
         )
 
@@ -114,7 +124,7 @@ def loads_aig_binary(data: bytes, name: str = "aig") -> Aig:
         try:
             output_lits.append(int(line))
         except ValueError as exc:
-            raise ParseError(f"malformed output literal line: {line!r}") from exc
+            raise NetlistParseError(f"malformed output literal line: {line!r}") from exc
 
     and_defs: List[Tuple[int, int, int]] = []
     for index in range(num_ands):
@@ -124,7 +134,7 @@ def loads_aig_binary(data: bytes, name: str = "aig") -> Aig:
         rhs0 = lhs - delta0
         rhs1 = rhs0 - delta1
         if rhs0 < 0 or rhs1 < 0:
-            raise ParseError(f"negative fanin literal decoded for AND {lhs}")
+            raise NetlistParseError(f"negative fanin literal decoded for AND {lhs}")
         and_defs.append((lhs, rhs0, rhs1))
 
     input_names, output_names = _parse_symbol_table(data, cursor)
@@ -137,7 +147,7 @@ def loads_aig_binary(data: bytes, name: str = "aig") -> Aig:
     def resolve(lit: int) -> int:
         var = lit // 2
         if var not in index_to_lit:
-            raise ParseError(f"literal {lit} used before definition")
+            raise NetlistParseError(f"literal {lit} used before definition")
         return negate_if(index_to_lit[var], lit % 2 == 1)
 
     for lhs, rhs0, rhs1 in and_defs:
@@ -168,7 +178,7 @@ def _decode_delta(data: bytes, cursor: int) -> Tuple[int, int]:
     shift = 0
     while True:
         if cursor >= len(data):
-            raise ParseError("truncated binary AIGER file inside AND definitions")
+            raise NetlistParseError("truncated binary AIGER file inside AND definitions")
         byte = data[cursor]
         cursor += 1
         value |= (byte & 0x7F) << shift
@@ -180,7 +190,7 @@ def _decode_delta(data: bytes, cursor: int) -> Tuple[int, int]:
 def _read_line(data: bytes, cursor: int) -> Tuple[bytes, int]:
     end = data.find(b"\n", cursor)
     if end < 0:
-        raise ParseError("truncated binary AIGER file (missing newline)")
+        raise NetlistParseError("truncated binary AIGER file (missing newline)")
     return data[cursor:end], end + 1
 
 

@@ -16,7 +16,8 @@ from typing import Dict, List, TextIO, Union
 
 from repro.aig.graph import Aig
 from repro.aig.literals import is_complemented, literal_var, negate
-from repro.errors import ParseError
+from repro.errors import NetlistParseError, ParseError
+from repro.io.guard import parse_guard
 
 PathLike = Union[str, Path]
 
@@ -39,17 +40,27 @@ _SUPPORTED_GATES = {
 def read_bench(source: Union[PathLike, TextIO]) -> Aig:
     """Parse a ``.bench`` file (or stream) into an :class:`Aig`."""
     if hasattr(source, "read"):
-        text = source.read()  # type: ignore[union-attr]
+        with parse_guard("BENCH input"):
+            text = source.read()  # type: ignore[union-attr]
         name = "bench"
     else:
         path = Path(source)
-        text = path.read_text(encoding="utf-8")
+        with parse_guard(f"BENCH file {path.name}"):
+            text = path.read_text(encoding="utf-8")
         name = path.stem
     return loads_bench(text, name=name)
 
 
 def loads_bench(text: str, name: str = "bench") -> Aig:
-    """Parse BENCH text into an :class:`Aig`."""
+    """Parse BENCH text into an :class:`Aig`.
+
+    Raises :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("BENCH text"):
+        return _loads_bench(text, name)
+
+
+def _loads_bench(text: str, name: str) -> Aig:
     inputs: List[str] = []
     outputs: List[str] = []
     gates: List[tuple] = []
@@ -66,11 +77,11 @@ def loads_bench(text: str, name: str = "bench") -> Aig:
             continue
         match = _LINE_RE.match(line)
         if not match:
-            raise ParseError(f"cannot parse BENCH line: {raw_line!r}")
+            raise NetlistParseError(f"cannot parse BENCH line: {raw_line!r}")
         target, gate, args = match.groups()
         gate = gate.upper()
         if gate not in _SUPPORTED_GATES:
-            raise ParseError(f"unsupported BENCH gate type: {gate!r}")
+            raise NetlistParseError(f"unsupported BENCH gate type: {gate!r}")
         operands = [a.strip() for a in args.split(",") if a.strip()]
         gates.append((target, gate, operands))
 
@@ -94,11 +105,11 @@ def loads_bench(text: str, name: str = "bench") -> Aig:
         pending = still_pending
     if pending:
         unresolved = ", ".join(t for t, _, _ in pending[:5])
-        raise ParseError(f"unresolved signals (cycle or missing driver): {unresolved}")
+        raise NetlistParseError(f"unresolved signals (cycle or missing driver): {unresolved}")
 
     for output_name in outputs:
         if output_name not in signals:
-            raise ParseError(f"output {output_name!r} has no driver")
+            raise NetlistParseError(f"output {output_name!r} has no driver")
         aig.add_po(signals[output_name], output_name)
     return aig
 
@@ -106,14 +117,14 @@ def loads_bench(text: str, name: str = "bench") -> Aig:
 def _build_gate(aig: Aig, gate: str, literals: List[int]) -> int:
     if gate in ("NOT", "INV"):
         if len(literals) != 1:
-            raise ParseError("NOT gate requires exactly one operand")
+            raise NetlistParseError("NOT gate requires exactly one operand")
         return negate(literals[0])
     if gate in ("BUF", "BUFF"):
         if len(literals) != 1:
-            raise ParseError("BUF gate requires exactly one operand")
+            raise NetlistParseError("BUF gate requires exactly one operand")
         return literals[0]
     if not literals:
-        raise ParseError(f"{gate} gate requires at least one operand")
+        raise NetlistParseError(f"{gate} gate requires at least one operand")
     if gate == "AND":
         return aig.add_and_multi(literals)
     if gate == "NAND":
@@ -127,7 +138,7 @@ def _build_gate(aig: Aig, gate: str, literals: List[int]) -> int:
         for lit in literals[1:]:
             result = aig.add_xor(result, lit)
         return negate(result) if gate == "XNOR" else result
-    raise ParseError(f"unsupported gate {gate!r}")
+    raise NetlistParseError(f"unsupported gate {gate!r}")
 
 
 def write_bench(aig: Aig, destination: Union[PathLike, TextIO]) -> None:

@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 from repro.aig.graph import Aig
 from repro.aig.literals import CONST0, CONST1, is_complemented, literal_var, negate
-from repro.errors import ParseError
+from repro.errors import NetlistParseError
+from repro.io.guard import parse_guard
 
 PathLike = Union[str, Path]
 
@@ -82,20 +83,30 @@ class _Cover:
 def read_blif(source: Union[PathLike, TextIO]) -> Aig:
     """Parse a BLIF file (or stream) into an :class:`Aig`."""
     if hasattr(source, "read"):
-        text = source.read()  # type: ignore[union-attr]
+        with parse_guard("BLIF input"):
+            text = source.read()  # type: ignore[union-attr]
         name = "blif"
     else:
         path = Path(source)
-        text = path.read_text(encoding="utf-8")
+        with parse_guard(f"BLIF file {path.name}"):
+            text = path.read_text(encoding="utf-8")
         name = path.stem
     return loads_blif(text, default_name=name)
 
 
 def loads_blif(text: str, default_name: str = "blif") -> Aig:
-    """Parse BLIF text (combinational ``.names`` subset) into an :class:`Aig`."""
+    """Parse BLIF text (combinational ``.names`` subset) into an :class:`Aig`.
+
+    Raises :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("BLIF text"):
+        return _loads_blif(text, default_name)
+
+
+def _loads_blif(text: str, default_name: str) -> Aig:
     model_name, inputs, outputs, covers = _parse_blif_sections(text, default_name)
     if not outputs:
-        raise ParseError("BLIF model declares no outputs")
+        raise NetlistParseError("BLIF model declares no outputs")
 
     aig = Aig(model_name)
     signals: Dict[str, int] = {}
@@ -105,7 +116,7 @@ def loads_blif(text: str, default_name: str = "blif") -> Aig:
     cover_of: Dict[str, _Cover] = {}
     for cover in covers:
         if cover.output in cover_of:
-            raise ParseError(f"signal {cover.output!r} is defined by more than one .names")
+            raise NetlistParseError(f"signal {cover.output!r} is defined by more than one .names")
         cover_of[cover.output] = cover
 
     in_progress: set = set()
@@ -114,9 +125,9 @@ def loads_blif(text: str, default_name: str = "blif") -> Aig:
         if signal in signals:
             return signals[signal]
         if signal not in cover_of:
-            raise ParseError(f"signal {signal!r} is used but never defined")
+            raise NetlistParseError(f"signal {signal!r} is used but never defined")
         if signal in in_progress:
-            raise ParseError(f"combinational cycle through signal {signal!r}")
+            raise NetlistParseError(f"combinational cycle through signal {signal!r}")
         in_progress.add(signal)
         cover = cover_of[signal]
         fanin_lits = [resolve(name) for name in cover.inputs]
@@ -156,17 +167,17 @@ def _parse_blif_sections(
                 outputs.extend(tokens[1:])
             elif directive == ".names":
                 if len(tokens) < 2:
-                    raise ParseError(".names needs at least an output signal")
+                    raise NetlistParseError(".names needs at least an output signal")
                 current = _Cover(inputs=tokens[1:-1], output=tokens[-1])
                 covers.append(current)
             elif directive in (".end", ".exdc"):
                 current = None
             elif directive in (".latch", ".subckt", ".gate", ".mlatch"):
-                raise ParseError(f"unsupported BLIF directive {directive!r} (combinational .names only)")
+                raise NetlistParseError(f"unsupported BLIF directive {directive!r} (combinational .names only)")
             # Other dot-directives (.default_input_arrival, ...) are ignored.
             continue
         if current is None:
-            raise ParseError(f"unexpected BLIF line outside a .names block: {raw_line!r}")
+            raise NetlistParseError(f"unexpected BLIF line outside a .names block: {raw_line!r}")
         current.rows.append(_parse_cover_row(line, len(current.inputs)))
     return model_name, inputs, outputs, covers
 
@@ -189,19 +200,19 @@ def _parse_cover_row(line: str, num_inputs: int) -> Tuple[str, str]:
     parts = line.split()
     if num_inputs == 0:
         if len(parts) != 1 or parts[0] not in ("0", "1"):
-            raise ParseError(f"malformed constant cover row: {line!r}")
+            raise NetlistParseError(f"malformed constant cover row: {line!r}")
         return "", parts[0]
     if len(parts) != 2:
-        raise ParseError(f"malformed cover row: {line!r}")
+        raise NetlistParseError(f"malformed cover row: {line!r}")
     pattern, value = parts
     if len(pattern) != num_inputs:
-        raise ParseError(
+        raise NetlistParseError(
             f"cover row {line!r} has {len(pattern)} positions for {num_inputs} inputs"
         )
     if any(ch not in "01-" for ch in pattern):
-        raise ParseError(f"cover row {line!r} contains characters outside 0/1/-")
+        raise NetlistParseError(f"cover row {line!r} contains characters outside 0/1/-")
     if value not in ("0", "1"):
-        raise ParseError(f"cover output value must be 0 or 1, got {value!r}")
+        raise NetlistParseError(f"cover output value must be 0 or 1, got {value!r}")
     return pattern, value
 
 
@@ -211,7 +222,7 @@ def _build_cover(aig: Aig, fanin_lits: List[int], cover: _Cover) -> int:
         return CONST0
     phases = {value for _, value in cover.rows}
     if len(phases) != 1:
-        raise ParseError(
+        raise NetlistParseError(
             f"cover for {cover.output!r} mixes ON-set and OFF-set rows"
         )
     phase = phases.pop()

@@ -1,0 +1,37 @@
+"""Shared parse guard for the netlist readers.
+
+Every reader entry point (``read_*`` / ``loads_*``) runs inside
+:func:`parse_guard`, which converts the stray exceptions malformed input can
+provoke deep inside parsing — ``ValueError`` from ``int()``, ``KeyError`` /
+``IndexError`` from truncated structures, ``UnicodeDecodeError`` from binary
+garbage handed to a text reader, and AIG construction errors from
+inconsistent netlists — into one typed
+:class:`~repro.errors.NetlistParseError`.  Callers (the synthesis service,
+the CLI) can then treat *any* unreadable upload uniformly instead of
+crashing on whichever exception the garbage happened to trigger.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import AigError, NetlistParseError
+
+#: exception types a malformed netlist may provoke inside a reader.
+_GUARDED = (AigError, ValueError, KeyError, IndexError)
+
+
+@contextmanager
+def parse_guard(what: str):
+    """Re-raise stray parse-time exceptions as :class:`NetlistParseError`.
+
+    ``NetlistParseError`` raised inside the block propagates unchanged (it is
+    not in the guarded tuple), as do genuine environment errors such as
+    ``OSError`` for a missing file.
+    """
+    try:
+        yield
+    except _GUARDED as exc:
+        raise NetlistParseError(
+            f"malformed {what}: {type(exc).__name__}: {exc}"
+        ) from exc

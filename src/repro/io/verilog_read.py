@@ -1,12 +1,20 @@
-"""Reader for technology-mapped structural Verilog.
+"""Readers for structural Verilog.
 
-This parses the gate-level netlists produced by
-:func:`repro.io.verilog.write_mapped_verilog` (and any file following the
-same conventions: one module, ``input``/``output``/``wire`` declarations,
-constant ``assign``s, named-port cell instances, and ``assign``s connecting
-primary outputs).  Cells are resolved against a
-:class:`~repro.library.library.CellLibrary`, so a written netlist can be read
-back and re-timed, which is how the round-trip tests validate the writer.
+Two readers are provided, mirroring the two writers in
+:mod:`repro.io.verilog`:
+
+* :func:`read_mapped_verilog` parses the gate-level netlists produced by
+  :func:`repro.io.verilog.write_mapped_verilog` (and any file following the
+  same conventions: one module, ``input``/``output``/``wire`` declarations,
+  constant ``assign``s, named-port cell instances, and ``assign``s
+  connecting primary outputs).  Cells are resolved against a
+  :class:`~repro.library.library.CellLibrary`, so a written netlist can be
+  read back and re-timed, which is how the round-trip tests validate the
+  writer.
+* :func:`read_aig_verilog` parses the flat ``and``/``not`` primitive subset
+  produced by :func:`repro.io.verilog.write_aig_verilog` back into an
+  :class:`~repro.aig.graph.Aig`, so Verilog joins AIGER/BENCH/BLIF as an
+  accepted design-upload format.
 """
 
 from __future__ import annotations
@@ -15,7 +23,10 @@ import re
 from pathlib import Path
 from typing import Dict, List, TextIO, Tuple, Union
 
-from repro.errors import ParseError
+from repro.aig.graph import Aig
+from repro.aig.literals import CONST0, CONST1, negate
+from repro.errors import NetlistParseError, ParseError
+from repro.io.guard import parse_guard
 from repro.library.library import CellLibrary
 from repro.mapping.netlist import MappedNetlist
 
@@ -33,19 +44,28 @@ def read_mapped_verilog(
     source: Union[PathLike, TextIO], library: CellLibrary
 ) -> MappedNetlist:
     """Parse a mapped-Verilog file (or stream) into a :class:`MappedNetlist`."""
-    if hasattr(source, "read"):
-        text = source.read()  # type: ignore[union-attr]
-    else:
-        text = Path(source).read_text(encoding="utf-8")
+    with parse_guard("mapped Verilog input"):
+        if hasattr(source, "read"):
+            text = source.read()  # type: ignore[union-attr]
+        else:
+            text = Path(source).read_text(encoding="utf-8")
     return loads_mapped_verilog(text, library)
 
 
 def loads_mapped_verilog(text: str, library: CellLibrary) -> MappedNetlist:
-    """Parse mapped-Verilog text into a :class:`MappedNetlist`."""
+    """Parse mapped-Verilog text into a :class:`MappedNetlist`.
+
+    Raises :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("mapped Verilog text"):
+        return _loads_mapped_verilog(text, library)
+
+
+def _loads_mapped_verilog(text: str, library: CellLibrary) -> MappedNetlist:
     stripped = _strip_comments(text)
     module = _MODULE_RE.search(stripped)
     if module is None:
-        raise ParseError("no module declaration found in Verilog source")
+        raise NetlistParseError("no module declaration found in Verilog source")
     name = module.group(1)
     statements = _split_statements(stripped[module.end() :])
 
@@ -75,15 +95,15 @@ def loads_mapped_verilog(text: str, library: CellLibrary) -> MappedNetlist:
             if target in po_index:
                 pending_po.append((target, driver))
             else:
-                raise ParseError(
+                raise NetlistParseError(
                     f"assign to non-output signal {target!r} is not supported"
                 )
             continue
-        raise ParseError(f"unrecognised Verilog statement: {statement!r}")
+        raise NetlistParseError(f"unrecognised Verilog statement: {statement!r}")
 
     for target, driver in pending_po:
         if driver not in nets:
-            raise ParseError(f"primary output {target!r} driven by unknown net {driver!r}")
+            raise NetlistParseError(f"primary output {target!r} driven by unknown net {driver!r}")
         netlist.set_po_net(po_index[target], nets[driver])
 
     netlist.validate()
@@ -133,9 +153,9 @@ def _collect_declarations(
         else:
             body.append(statement)
     if not inputs:
-        raise ParseError("module declares no inputs")
+        raise NetlistParseError("module declares no inputs")
     if not outputs:
-        raise ParseError("module declares no outputs")
+        raise NetlistParseError("module declares no outputs")
     return inputs, outputs, wires, body
 
 
@@ -162,7 +182,7 @@ def _add_instance(
 ) -> None:
     cell_name, _instance_name, ports_text = match.group(1), match.group(2), match.group(3)
     if cell_name not in library:
-        raise ParseError(f"instance references unknown cell {cell_name!r}")
+        raise NetlistParseError(f"instance references unknown cell {cell_name!r}")
     cell = library.cell(cell_name)
     connections: Dict[str, str] = {}
     for port_match in _PORT_RE.finditer(ports_text):
@@ -171,15 +191,131 @@ def _add_instance(
     input_nets: List[int] = []
     for pin_name in cell.input_names:
         if pin_name not in connections:
-            raise ParseError(f"instance of {cell_name} leaves pin {pin_name!r} unconnected")
+            raise NetlistParseError(f"instance of {cell_name} leaves pin {pin_name!r} unconnected")
         signal = connections[pin_name]
         if signal not in nets:
-            raise ParseError(f"instance of {cell_name} consumes unknown net {signal!r}")
+            raise NetlistParseError(f"instance of {cell_name} consumes unknown net {signal!r}")
         input_nets.append(nets[signal])
 
     if cell.output_name not in connections:
-        raise ParseError(f"instance of {cell_name} has no output connection")
+        raise NetlistParseError(f"instance of {cell_name} has no output connection")
     output_signal = connections[cell.output_name]
     if output_signal not in nets:
         nets[output_signal] = netlist.new_net()
     netlist.add_gate(cell, input_nets, output=nets[output_signal])
+
+
+# --------------------------------------------------------------------------- #
+# AIG-structural Verilog reader (and/not primitive subset)
+# --------------------------------------------------------------------------- #
+_PRIMITIVE_RE = re.compile(r"^(and|not)\s*\(([^)]*)\)$")
+
+
+def read_aig_verilog(source: Union[PathLike, TextIO]) -> Aig:
+    """Parse structural ``and``/``not`` Verilog (a file or stream) into an AIG."""
+    if hasattr(source, "read"):
+        with parse_guard("Verilog input"):
+            text = source.read()  # type: ignore[union-attr]
+        name = "verilog"
+    else:
+        path = Path(source)
+        with parse_guard(f"Verilog file {path.name}"):
+            text = path.read_text(encoding="utf-8")
+        name = path.stem
+    return loads_aig_verilog(text, default_name=name)
+
+
+def loads_aig_verilog(text: str, default_name: str = "verilog") -> Aig:
+    """Parse the :func:`~repro.io.verilog.write_aig_verilog` subset into an AIG.
+
+    Accepted statements: one module header, ``input``/``output``/``wire``
+    declarations (single names or comma lists), ``and(out, a, b)`` and
+    ``not(out, a)`` primitives, and ``assign``s of constants (``1'b0`` /
+    ``1'b1``) or nets.  Statements may appear in any order; drivers are
+    resolved iteratively like the BENCH reader.  Raises
+    :class:`~repro.errors.NetlistParseError` on any malformed input.
+    """
+    with parse_guard("Verilog text"):
+        return _loads_aig_verilog(text, default_name)
+
+
+def _loads_aig_verilog(text: str, default_name: str) -> Aig:
+    stripped = _strip_comments(text)
+    module = _MODULE_RE.search(stripped)
+    if module is None:
+        raise NetlistParseError("no module declaration found in Verilog source")
+    name = module.group(1) or default_name
+    statements = _split_statements(stripped[module.end() :])
+    inputs, outputs, _wires, body = _collect_declarations(statements)
+
+    # (target, kind, operands) where kind is "and" | "not" | "alias" | const.
+    drivers: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+    po_assign: Dict[str, str] = {}
+
+    def define(target: str, kind: str, operands: Tuple[str, ...]) -> None:
+        if target in drivers:
+            raise NetlistParseError(f"signal {target!r} has more than one driver")
+        drivers[target] = (kind, operands)
+
+    for statement in body:
+        const_match = _ASSIGN_CONST_RE.match(statement)
+        if const_match:
+            define(const_match.group(1), f"const{const_match.group(2)}", ())
+            continue
+        primitive = _PRIMITIVE_RE.match(statement)
+        if primitive:
+            kind, args_text = primitive.group(1), primitive.group(2)
+            operands = tuple(a.strip() for a in args_text.split(",") if a.strip())
+            expected = 3 if kind == "and" else 2
+            if len(operands) != expected:
+                raise NetlistParseError(
+                    f"{kind} primitive needs {expected} ports, got {statement!r}"
+                )
+            define(operands[0], kind, operands[1:])
+            continue
+        net_match = _ASSIGN_NET_RE.match(statement)
+        if net_match:
+            target, driver = net_match.group(1), net_match.group(2)
+            if target in outputs:
+                po_assign[target] = driver
+            else:
+                define(target, "alias", (driver,))
+            continue
+        raise NetlistParseError(f"unrecognised Verilog statement: {statement!r}")
+
+    aig = Aig(name)
+    signals: Dict[str, int] = {}
+    for pi_name in inputs:
+        signals[pi_name] = aig.add_pi(pi_name)
+
+    in_progress: set = set()
+
+    def resolve(signal: str) -> int:
+        if signal in signals:
+            return signals[signal]
+        if signal not in drivers:
+            raise NetlistParseError(f"signal {signal!r} is used but never driven")
+        if signal in in_progress:
+            raise NetlistParseError(f"combinational cycle through signal {signal!r}")
+        in_progress.add(signal)
+        kind, operands = drivers[signal]
+        if kind == "const0":
+            literal = CONST0
+        elif kind == "const1":
+            literal = CONST1
+        elif kind == "and":
+            literal = aig.add_and(resolve(operands[0]), resolve(operands[1]))
+        elif kind == "not":
+            literal = negate(resolve(operands[0]))
+        else:  # alias
+            literal = resolve(operands[0])
+        in_progress.discard(signal)
+        signals[signal] = literal
+        return literal
+
+    if not outputs:
+        raise NetlistParseError("module declares no outputs")
+    for po_name in outputs:
+        driver = po_assign.get(po_name, po_name)
+        aig.add_po(resolve(driver), po_name)
+    return aig

@@ -1,0 +1,46 @@
+"""The synthesis service: optimization jobs over HTTP, campaign engine inside.
+
+ROADMAP north star: serve synthesis at production scale.  This package is
+the serving layer — a dependency-free (stdlib ``http.server`` + ``json``)
+HTTP front end whose backend **is** the campaign engine.  A submitted job
+is a one-cell campaign: the uploaded netlist is stored content-addressed,
+the job id is the cell's deterministic content hash, the crash-safe JSONL
+:class:`~repro.campaign.store.ResultStore` is the job record, and a pool of
+worker threads drains the queue through
+:func:`~repro.campaign.runner.run_cells` with persistent per-worker
+sessions.  Identical submissions therefore deduplicate to one evaluation,
+completed job ids are served from the store with zero new ground-truth
+evaluations, and a killed server resumes its queued and running jobs on
+restart.
+
+* :class:`ServiceConfig` — defaults < ``REPRO_SERVICE_*`` env < overrides;
+* :class:`JobManager` — submission, dedup, queue, worker threads, stats;
+* :class:`SynthesisService` / :func:`create_service` — the bound HTTP
+  server (``repro serve`` wraps this);
+* :class:`ServiceClient` — stdlib urllib client mirroring the HTTP surface.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.config import ServiceConfig
+from repro.service.jobs import (
+    BudgetExceededError,
+    InvalidJobError,
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.server import ServiceHandler, SynthesisService, create_service
+
+__all__ = [
+    "BudgetExceededError",
+    "InvalidJobError",
+    "JobManager",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceHandler",
+    "SynthesisService",
+    "UnknownJobError",
+    "create_service",
+]

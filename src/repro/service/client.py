@@ -1,0 +1,131 @@
+"""A stdlib (urllib) Python client for the synthesis service.
+
+Mirrors the HTTP surface one-to-one::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    job = client.submit(netlist_text, "bench", iterations=8)
+    record = client.wait(job["job_id"])
+    print(record["final_delay_ps"], record["final_area_um2"])
+
+Non-2xx responses raise :class:`ServiceClientError` carrying the HTTP
+status and the decoded error payload, so callers can branch on
+``exc.status`` (429 back-off, 400 reject) without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP error response from the service (or a transport failure)."""
+
+    def __init__(
+        self, message: str, status: Optional[int] = None, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Typed access to one running synthesis service."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+                payload["_status"] = response.status
+                return payload
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                payload = {}
+            message = payload.get("message", exc.reason)
+            raise ServiceClientError(
+                f"HTTP {exc.code}: {message}", status=exc.code, payload=payload
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(f"cannot reach service: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        netlist: str,
+        format: str,
+        encoding: str = "text",
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """Submit a netlist; returns the job dict (``_status`` 201 new, 200 dedup).
+
+        *params* are the optimization knobs (``flow``, ``optimizer``,
+        ``evaluator``, ``seed``, ``iterations``, ``delay_weight``,
+        ``area_weight``); *encoding* is ``"base64"`` for binary AIGER.
+        """
+        body = {"netlist": netlist, "format": format, "encoding": encoding, **params}
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Current state of one job."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The result record when finished, ``None`` while pending (202)."""
+        payload = self._request("GET", f"/jobs/{job_id}/result")
+        if payload.pop("_status", None) == 202:
+            return None
+        return payload
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the service knows about."""
+        return list(self._request("GET", "/jobs").get("jobs", []))
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters (job states, executed cells, evaluator cache)."""
+        return self._request("GET", "/stats")
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its result record.
+
+        Raises :class:`ServiceClientError` when *timeout* elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.result(job_id)
+            if record is not None:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still pending after {timeout}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,126 @@
+"""Synthesis-service configuration with environment overrides.
+
+Every knob has a code default, can be overridden by a ``REPRO_SERVICE_*``
+environment variable, and finally by an explicit keyword argument to
+:meth:`ServiceConfig.from_env` — the precedence a container deployment
+expects (image default < environment < command line).
+
+Environment variables:
+
+=========================  =============================================
+``REPRO_SERVICE_HOST``     bind address (default ``127.0.0.1``)
+``REPRO_SERVICE_PORT``     bind port; ``0`` picks a free port
+``REPRO_SERVICE_WORKERS``  background worker threads (``0`` = accept only)
+``REPRO_SERVICE_STORE``    job-store directory (journal, results, uploads)
+``REPRO_SERVICE_MAX_QUEUE``   max queued+running jobs before 429
+``REPRO_SERVICE_MAX_BUDGET``  max per-job optimizer iterations
+``REPRO_SERVICE_TIMEOUT_S``   per-cell timeout (unset = no timeout)
+``REPRO_SERVICE_RETRIES``     per-cell retry count for failed cells
+``REPRO_SERVICE_MAX_UPLOAD``  max request body size in bytes
+=========================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+
+#: prefix shared by every service environment variable.
+ENV_PREFIX = "REPRO_SERVICE_"
+
+#: config field name -> environment variable suffix.
+_ENV_NAMES = {
+    "host": "HOST",
+    "port": "PORT",
+    "workers": "WORKERS",
+    "store": "STORE",
+    "max_queue": "MAX_QUEUE",
+    "max_budget": "MAX_BUDGET",
+    "timeout_s": "TIMEOUT_S",
+    "retries": "RETRIES",
+    "max_upload_bytes": "MAX_UPLOAD",
+}
+
+
+def _parse_optional_float(text: str) -> Optional[float]:
+    return float(text) if text.strip() else None
+
+
+_ENV_CASTS = {
+    "host": str,
+    "port": int,
+    "workers": int,
+    "store": str,
+    "max_queue": int,
+    "max_budget": int,
+    "timeout_s": _parse_optional_float,
+    "retries": int,
+    "max_upload_bytes": int,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the synthesis service needs to boot."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    workers: int = 2
+    store: str = "service-store"
+    max_queue: int = 64
+    max_budget: int = 256
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    max_upload_bytes: int = 4_000_000
+
+    def validate(self) -> "ServiceConfig":
+        """Reject nonsensical configurations before any socket is bound."""
+        if not self.host:
+            raise ServiceError("service host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ServiceError(f"service port must be in [0, 65535], got {self.port}")
+        if self.workers < 0:
+            raise ServiceError("service workers must be >= 0")
+        if not self.store:
+            raise ServiceError("service store directory must be non-empty")
+        if self.max_queue < 1:
+            raise ServiceError("service max_queue must be >= 1")
+        if self.max_budget < 1:
+            raise ServiceError("service max_budget must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError("service timeout_s must be positive (or unset)")
+        if self.retries < 0:
+            raise ServiceError("service retries must be >= 0")
+        if self.max_upload_bytes < 1:
+            raise ServiceError("service max_upload_bytes must be >= 1")
+        return self
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None, **overrides: Any) -> "ServiceConfig":
+        """Build a config from defaults < ``REPRO_SERVICE_*`` env < overrides.
+
+        An override explicitly passed as ``None`` means "use the
+        environment/default", except for ``timeout_s`` where ``None`` is a
+        meaningful value and is applied as-is when passed.
+        """
+        env = os.environ if environ is None else environ
+        values: Dict[str, Any] = {}
+        for field in fields(cls):
+            raw = env.get(ENV_PREFIX + _ENV_NAMES[field.name])
+            if raw is not None:
+                try:
+                    values[field.name] = _ENV_CASTS[field.name](raw)
+                except ValueError as exc:
+                    raise ServiceError(
+                        f"bad {ENV_PREFIX + _ENV_NAMES[field.name]}={raw!r}: {exc}"
+                    ) from exc
+        for name, value in overrides.items():
+            if name not in _ENV_NAMES:
+                raise ServiceError(f"unknown service config option {name!r}")
+            if value is None and name != "timeout_s":
+                continue
+            values[name] = value
+        return cls(**values).validate()

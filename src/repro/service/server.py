@@ -1,0 +1,218 @@
+"""The synthesis-service HTTP layer: stdlib-only JSON over HTTP.
+
+Routes (all JSON):
+
+=============================  ============================================
+``POST /jobs``                 submit a netlist + parameters; ``201`` when a
+                               new job was created, ``200`` when the
+                               submission deduplicated against an existing
+                               or completed job
+``GET /jobs``                  every known job with its current state
+``GET /jobs/{id}``             one job's state (``queued``/``running``/
+                               ``done``/``error``)
+``GET /jobs/{id}/result``      the result record; ``202`` while pending
+``GET /healthz``               liveness probe
+``GET /stats``                 job counts, executed cells, evaluator cache
+=============================  ============================================
+
+Error mapping: malformed netlists and bad parameters are ``400`` (with an
+``error`` kind of ``parse_error`` / ``invalid_request`` /
+``budget_exceeded``), unknown jobs are ``404``, a full queue is ``429``,
+oversized bodies are ``413``, and anything unexpected is ``500``.  The
+server is a :class:`ThreadingHTTPServer`, so slow jobs never block health
+checks — job execution happens on the manager's worker threads, request
+threads only enqueue and read stores.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.errors import NetlistParseError, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.jobs import (
+    BudgetExceededError,
+    InvalidJobError,
+    JobManager,
+    QueueFullError,
+    UnknownJobError,
+)
+
+
+class _PayloadTooLarge(ServiceError):
+    """Request body over the configured ``max_upload_bytes`` (HTTP 413)."""
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the job manager for its handlers."""
+
+    daemon_threads = True
+    manager: JobManager
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the :class:`JobManager`."""
+
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the default stderr access log (the CLI owns stdout)."""
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": kind, "message": message})
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except UnknownJobError as exc:
+            self._send_error_json(404, "unknown_job", str(exc))
+        except Exception as exc:  # never leak a traceback as a hung socket
+            self._send_error_json(500, "internal_error", f"{type(exc).__name__}: {exc}")
+
+    def _route_get(self) -> None:
+        manager = self.server.manager
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+            return
+        if path == "/stats":
+            self._send_json(200, manager.stats())
+            return
+        if path == "/jobs":
+            self._send_json(200, {"jobs": manager.jobs()})
+            return
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._send_json(200, manager.job(parts[1]))
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            record = manager.result(parts[1])
+            if record is None:
+                self._send_json(202, {"job_id": parts[1], "state": manager.job(parts[1])["state"]})
+            else:
+                self._send_json(200, record)
+            return
+        self._send_error_json(404, "not_found", f"no route for GET {path}")
+
+    # ------------------------------------------------------------------ #
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_post()
+        except _PayloadTooLarge as exc:
+            self.close_connection = True  # unread body; don't reuse the socket
+            self._send_error_json(413, "payload_too_large", str(exc))
+        except NetlistParseError as exc:
+            self._send_error_json(400, "parse_error", str(exc))
+        except BudgetExceededError as exc:
+            self._send_error_json(400, "budget_exceeded", str(exc))
+        except InvalidJobError as exc:
+            self._send_error_json(400, "invalid_request", str(exc))
+        except QueueFullError as exc:
+            self._send_error_json(429, "queue_full", str(exc))
+        except ServiceError as exc:
+            self._send_error_json(400, "invalid_request", str(exc))
+        except Exception as exc:
+            self._send_error_json(500, "internal_error", f"{type(exc).__name__}: {exc}")
+
+    def _route_post(self) -> None:
+        manager = self.server.manager
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_error_json(404, "not_found", f"no route for POST {self.path}")
+            return
+        submission = self._read_json_body()
+        job, created = manager.submit(submission)
+        self._send_json(201 if created else 200, job)
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            raise InvalidJobError("bad Content-Length header") from exc
+        limit = self.server.manager.config.max_upload_bytes
+        if length > limit:
+            # Drain what the client already sent (bounded) so the 413
+            # response reaches it instead of a broken pipe, then bail.
+            remaining = min(length, 4 * limit)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise _PayloadTooLarge(f"request body exceeds {limit} bytes")
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidJobError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidJobError("request body must be a JSON object")
+        return payload
+
+
+class SynthesisService:
+    """One bound HTTP server + its job manager; create via :func:`create_service`."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        config.validate()
+        self.manager = JobManager(config)
+        self.httpd = _ServiceHTTPServer((config.host, config.port), ServiceHandler)
+        self.httpd.manager = self.manager
+        # Rebind config with the actual port (port=0 asks the OS for one).
+        self.config = ServiceConfig(
+            **{**config.__dict__, "port": self.httpd.server_address[1]}
+        )
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves a requested port of 0)."""
+        return self.config.port
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or process death)."""
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        """Stop serving and stop the worker threads; the store stays on disk."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.manager.close()
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def create_service(
+    config: Optional[ServiceConfig] = None, **overrides: Any
+) -> SynthesisService:
+    """Build a bound (not yet serving) service from config/env/overrides."""
+    if config is None:
+        config = ServiceConfig.from_env(**overrides)
+    elif overrides:
+        config = ServiceConfig(**{**config.__dict__, **overrides}).validate()
+    return SynthesisService(config)

@@ -1,0 +1,156 @@
+"""Per-cell timeout + retry-with-backoff policy of the campaign engine."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import EngineCell, ResultStore, run_cells
+from repro.campaign.runner import execute_cell, execute_cell_with_policy
+from repro.errors import CampaignError
+
+
+# --------------------------------------------------------------------------- #
+# Module-level cell workers (resolved by name, importable from spawn children)
+# --------------------------------------------------------------------------- #
+def _ok_cell(payload):
+    return {"value": payload.get("value", 1)}
+
+
+def _sleep_cell(payload):
+    time.sleep(float(payload["seconds"]))
+    return {"slept": True}
+
+
+def _fail_cell(payload):
+    raise RuntimeError("this cell always fails")
+
+
+def _flaky_cell(payload):
+    """Fails until the counter file records ``succeed_after`` attempts."""
+    counter = Path(payload["counter"])
+    attempts = int(counter.read_text()) if counter.exists() else 0
+    attempts += 1
+    counter.write_text(str(attempts))
+    if attempts < int(payload["succeed_after"]):
+        raise RuntimeError(f"flaky failure #{attempts}")
+    return {"attempts_seen": attempts}
+
+
+FN = "test_engine_timeout_retry:{}"
+
+
+# --------------------------------------------------------------------------- #
+# execute_cell_with_policy
+# --------------------------------------------------------------------------- #
+def test_policy_defaults_match_execute_cell():
+    plain = execute_cell("c1", FN.format("_ok_cell"), {"value": 7})
+    policy = execute_cell_with_policy("c1", FN.format("_ok_cell"), {"value": 7})
+    strip = lambda r: {k: v for k, v in r.items() if k != "cell_seconds"}
+    assert strip(plain) == strip(policy) == {"cell_id": "c1", "status": "ok", "value": 7}
+
+
+def test_policy_validates_knobs():
+    with pytest.raises(CampaignError):
+        execute_cell_with_policy("c", FN.format("_ok_cell"), {}, timeout_s=0)
+    with pytest.raises(CampaignError):
+        execute_cell_with_policy("c", FN.format("_ok_cell"), {}, retries=-1)
+    with pytest.raises(CampaignError):
+        execute_cell_with_policy("c", FN.format("_ok_cell"), {}, retry_backoff_s=-0.1)
+
+
+def test_timeout_lets_fast_cells_through():
+    record = execute_cell_with_policy(
+        "fast", FN.format("_ok_cell"), {"value": 3}, timeout_s=30.0
+    )
+    assert record["status"] == "ok"
+    assert record["value"] == 3
+
+
+def test_timeout_kills_hung_cell_and_records_error():
+    start = time.monotonic()
+    record = execute_cell_with_policy(
+        "hung", FN.format("_sleep_cell"), {"seconds": 60.0}, timeout_s=1.0
+    )
+    elapsed = time.monotonic() - start
+    assert record["status"] == "error"
+    assert record.get("timed_out") is True
+    assert "TimeoutError" in record["error"]
+    assert elapsed < 30.0  # the 60s sleep did not pin the slot
+
+def test_retries_eventually_succeed(tmp_path):
+    counter = tmp_path / "counter.txt"
+    record = execute_cell_with_policy(
+        "flaky",
+        FN.format("_flaky_cell"),
+        {"counter": str(counter), "succeed_after": 3},
+        retries=5,
+        retry_backoff_s=0.01,
+    )
+    assert record["status"] == "ok"
+    assert record["attempts_seen"] == 3
+    assert record["attempts"] == 3
+
+
+def test_retries_exhaust_into_error():
+    record = execute_cell_with_policy(
+        "doomed", FN.format("_fail_cell"), {}, retries=2, retry_backoff_s=0.0
+    )
+    assert record["status"] == "error"
+    assert record["attempts"] == 3
+    assert "this cell always fails" in record["error"]
+
+
+def test_no_attempts_field_without_retry_policy():
+    record = execute_cell_with_policy("c", FN.format("_ok_cell"), {})
+    assert "attempts" not in record
+
+
+# --------------------------------------------------------------------------- #
+# run_cells plumbing
+# --------------------------------------------------------------------------- #
+def test_run_cells_timeout_frees_slot_and_other_cells_finish(tmp_path):
+    cells = [
+        EngineCell("hang", FN.format("_sleep_cell"), {"seconds": 60.0}),
+        EngineCell("quick", FN.format("_ok_cell"), {"value": 9}),
+    ]
+    store = ResultStore(tmp_path / "store.jsonl")
+    summary = run_cells(cells, store, timeout_s=1.0)
+    assert summary.executed == 2
+    assert summary.failed == ["hang"]
+    hang = store.result_for("hang")
+    assert hang["status"] == "error" and hang.get("timed_out") is True
+    assert store.result_for("quick")["status"] == "ok"
+    # A rerun only retries the timed-out cell and again records its failure.
+    summary2 = run_cells(cells, store, timeout_s=1.0)
+    assert summary2.skipped == 1 and summary2.executed == 1
+
+
+def test_run_cells_retries_flaky_cell(tmp_path):
+    counter = tmp_path / "counter.txt"
+    cells = [
+        EngineCell(
+            "flaky",
+            FN.format("_flaky_cell"),
+            {"counter": str(counter), "succeed_after": 2},
+        )
+    ]
+    store = ResultStore()
+    summary = run_cells(cells, store, retries=3, retry_backoff_s=0.01)
+    assert summary.ok
+    record = store.result_for("flaky")
+    assert record["status"] == "ok"
+    assert record["attempts"] == 2
+
+
+def test_run_cells_validates_policy_knobs(tmp_path):
+    cells = [EngineCell("c", FN.format("_ok_cell"), {})]
+    store = ResultStore()
+    with pytest.raises(CampaignError):
+        run_cells(cells, store, timeout_s=-1.0)
+    with pytest.raises(CampaignError):
+        run_cells(cells, store, retries=-2)
+    with pytest.raises(CampaignError):
+        run_cells(cells, store, retry_backoff_s=-1.0)

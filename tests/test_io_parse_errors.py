@@ -1,0 +1,212 @@
+"""Typed parse errors: every io/ reader raises NetlistParseError on bad input.
+
+The synthesis service accepts netlist uploads from the network and must map
+*any* malformed upload to one exception type (HTTP 400, never a 500 from a
+stray ``ValueError``/``KeyError``/``IndexError``).  These regression tests
+feed each reader truncated and garbage inputs and assert the contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistParseError, ParseError, ReproError
+from repro.io import (
+    dumps_aig_binary,
+    loads_aag,
+    loads_aig_binary,
+    loads_aig_verilog,
+    loads_bench,
+    loads_blif,
+    loads_mapped_verilog,
+    read_aag,
+    read_aig_binary,
+    read_aig_verilog,
+    read_bench,
+    read_blif,
+    write_aag,
+)
+
+VALID_AAG = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 f\n"
+VALID_BENCH = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n"
+VALID_BLIF = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n"
+VALID_VERILOG = (
+    "module m(a, b, f);\n  input a, b;\n  output f;\n  wire n1;\n"
+    "  and(n1, a, b);\n  assign f = n1;\nendmodule\n"
+)
+
+
+def test_exception_types_are_ordered():
+    assert issubclass(NetlistParseError, ParseError)
+    assert issubclass(NetlistParseError, ReproError)
+
+
+# --------------------------------------------------------------------------- #
+# Sanity: the valid baselines actually parse.
+# --------------------------------------------------------------------------- #
+def test_valid_baselines_parse():
+    assert loads_aag(VALID_AAG).num_ands == 1
+    assert loads_bench(VALID_BENCH).num_ands == 1
+    assert loads_blif(VALID_BLIF).num_ands == 1
+    assert loads_aig_verilog(VALID_VERILOG).num_ands == 1
+
+
+# --------------------------------------------------------------------------- #
+# ASCII AIGER
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",  # empty file
+        "not an aiger header\n",
+        "aag 3 2 0 1\n",  # short header
+        "aag 3 2 0 1 1\n2\n4\n",  # truncated: missing output + AND rows
+        "aag 3 2 0 1 1\n2\n4\n6\n6 2\n",  # AND row missing a fanin
+        "aag x y z 1 1\n",  # non-numeric counts
+        VALID_AAG + "ix bad\n",  # malformed symbol-table index
+        "aag 1 1 0 1 0\n2\n99\n",  # output literal out of range
+    ],
+)
+def test_aag_rejects_malformed(text):
+    with pytest.raises(NetlistParseError):
+        loads_aag(text)
+
+
+def test_read_aag_on_binary_garbage(tmp_path):
+    path = tmp_path / "garbage.aag"
+    path.write_bytes(b"\xff\xfe\x00binary junk\x80")
+    with pytest.raises(NetlistParseError):
+        read_aag(path)
+
+
+def test_read_aag_truncated_file(tmp_path, tiny_aig):
+    path = tmp_path / "t.aag"
+    write_aag(tiny_aig, path)
+    full = path.read_text()
+    path.write_text(full[: len(full) // 2])
+    with pytest.raises(NetlistParseError):
+        read_aag(path)
+
+
+# --------------------------------------------------------------------------- #
+# Binary AIGER
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "data",
+    [
+        b"",
+        b"garbage bytes \xff\xfe\x80",
+        b"aig 1 1 0 1\n",  # short header
+        b"aig x y z w v\n",  # non-numeric counts
+    ],
+)
+def test_aig_binary_rejects_malformed(data):
+    with pytest.raises(NetlistParseError):
+        loads_aig_binary(data)
+
+
+def test_aig_binary_truncated(tmp_path, tiny_aig):
+    data = dumps_aig_binary(tiny_aig)
+    # Truncation must land inside the *structural* section (header, output
+    # literals, AND deltas) — the trailing symbol table and comment are
+    # optional, so cutting there yields a smaller but valid file.
+    structural_end = data.index(b"i0 ")
+    for cut in (structural_end // 3, structural_end // 2, structural_end - 1):
+        truncated = data[:cut]
+        with pytest.raises(NetlistParseError):
+            loads_aig_binary(truncated)
+    path = tmp_path / "t.aig"
+    path.write_bytes(data[: structural_end - 1])
+    with pytest.raises(NetlistParseError):
+        read_aig_binary(path)
+
+
+# --------------------------------------------------------------------------- #
+# BENCH
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text",
+    [
+        "f = AND(a",  # truncated mid-statement, inputs never declared
+        "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n",  # unknown gate
+        "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n",  # undefined fanin
+        "complete garbage ~~ ###\n",
+        "INPUT(a)\nOUTPUT(f)\nf AND(a)\n",  # missing '='
+    ],
+)
+def test_bench_rejects_malformed(text):
+    with pytest.raises(NetlistParseError):
+        loads_bench(text)
+
+
+def test_read_bench_truncated_file(tmp_path):
+    path = tmp_path / "t.bench"
+    path.write_text(VALID_BENCH[: len(VALID_BENCH) - 10])
+    with pytest.raises(NetlistParseError):
+        read_bench(path)
+
+
+# --------------------------------------------------------------------------- #
+# BLIF
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text",
+    [
+        ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n",
+        ".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n",  # bad cube
+        "no dot-model here\n",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1\n.end\n",  # cube arity
+    ],
+)
+def test_blif_rejects_malformed(text):
+    with pytest.raises(NetlistParseError):
+        loads_blif(text)
+
+
+def test_read_blif_truncated_file(tmp_path):
+    path = tmp_path / "t.blif"
+    path.write_text(VALID_BLIF[: len(VALID_BLIF) // 2])
+    with pytest.raises(NetlistParseError):
+        read_blif(path)
+
+
+# --------------------------------------------------------------------------- #
+# Structural (AIG) Verilog
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "not verilog at all ((\n",
+        "module m(a);\n  input a;\n",  # truncated: no endmodule
+        # combinational cycle through and gates
+        "module m(a, f);\n  input a;\n  output f;\n  wire x, y;\n"
+        "  and(x, y, a);\n  and(y, x, a);\n  assign f = x;\nendmodule\n",
+        # undefined driver
+        "module m(a, f);\n  input a;\n  output f;\n  assign f = ghost;\nendmodule\n",
+        # unsupported primitive
+        "module m(a, b, f);\n  input a, b;\n  output f;\n"
+        "  xor(f, a, b);\nendmodule\n",
+    ],
+)
+def test_aig_verilog_rejects_malformed(text):
+    with pytest.raises(NetlistParseError):
+        loads_aig_verilog(text)
+
+
+def test_read_aig_verilog_truncated_file(tmp_path):
+    path = tmp_path / "t.v"
+    path.write_text(VALID_VERILOG[: len(VALID_VERILOG) // 2])
+    with pytest.raises(NetlistParseError):
+        read_aig_verilog(path)
+
+
+def test_mapped_verilog_rejects_garbage(library):
+    with pytest.raises(NetlistParseError):
+        loads_mapped_verilog("entirely bogus (((", library)
+    with pytest.raises(NetlistParseError):
+        loads_mapped_verilog(
+            "module m(a, f);\n  input a;\n  output f;\n"
+            "  NO_SUCH_CELL g0(.A(a), .X(f));\nendmodule\n",
+            library,
+        )
