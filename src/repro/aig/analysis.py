@@ -11,8 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.aig.graph import Aig
 from repro.aig.literals import literal_var
+from repro.errors import AigError
 
 
 @dataclass(frozen=True)
@@ -41,14 +44,20 @@ def weighted_node_levels(aig: Aig, weights: Sequence[float]) -> List[float]:
     (PIs included, consistent with the paper's Fig. 4 which counts the PI
     node and excludes the PO marker).
     """
-    level = [0.0] * aig.size
-    for var in aig.pi_vars:
-        level[var] = float(weights[var])
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        best = max(level[literal_var(f0)], level[literal_var(f1)])
-        level[var] = best + float(weights[var])
-    return level
+    arrays = aig.arrays()
+    w = np.asarray(weights, dtype=np.float64)
+    level = np.zeros(aig.size, dtype=np.float64)
+    pi_vars = arrays.pi_vars
+    if pi_vars.size:
+        level[pi_vars] = w[pi_vars]
+    f0v = arrays.fanin0_var
+    f1v = arrays.fanin1_var
+    # Level waves: each group depends only on strictly lower levels, and
+    # max-then-add is the same two float64 operations the scalar recurrence
+    # performed, so results are bit-identical.
+    for group in arrays.and_level_groups():
+        level[group] = np.maximum(level[f0v[group]], level[f1v[group]]) + w[group]
+    return level.tolist()
 
 
 def po_depths(aig: Aig) -> DepthReport:
@@ -77,26 +86,31 @@ def critical_path_nodes(aig: Aig) -> List[int]:
     PO equals the graph depth.  This is the node set the paper's
     ``long_path_fanout_*`` features aggregate over.
     """
-    level = aig.levels()
+    arrays = aig.arrays()
+    level = arrays.levels()
     size = aig.size
-    # Longest path from each node to a PO (counted in nodes below it).
-    to_po = [-1] * size
+    # Longest path from each node to a PO (counted in nodes below it),
+    # propagated in reverse level waves: a node's to_po is final before any
+    # of its fanins are updated, because all its consumers sit at strictly
+    # higher levels and were processed in earlier (higher) waves.
+    to_po = np.full(size, -1, dtype=np.int64)
     for lit in aig.po_literals():
         var = literal_var(lit)
-        to_po[var] = max(to_po[var], 0)
-    for var in reversed(range(1, size)):
-        if to_po[var] < 0 or not aig.is_and(var):
+        if to_po[var] < 0:
+            to_po[var] = 0
+    f0v = arrays.fanin0_var
+    f1v = arrays.fanin1_var
+    for group in reversed(arrays.and_level_groups()):
+        active = group[to_po[group] >= 0]
+        if active.size == 0:
             continue
-        f0, f1 = aig.fanins(var)
-        for fanin in (literal_var(f0), literal_var(f1)):
-            to_po[fanin] = max(to_po[fanin], to_po[var] + 1)
+        contribution = to_po[active] + 1
+        np.maximum.at(to_po, f0v[active], contribution)
+        np.maximum.at(to_po, f1v[active], contribution)
     depth = aig.depth()
-    critical = [
-        var
-        for var in range(1, size)
-        if to_po[var] >= 0 and level[var] + to_po[var] == depth
-    ]
-    return critical
+    on_path = (to_po >= 0) & (level + to_po == depth)
+    on_path[0] = False
+    return np.nonzero(on_path)[0].tolist()
 
 
 def count_paths_per_po(aig: Aig, cap: int = 10**12) -> List[int]:
@@ -105,14 +119,32 @@ def count_paths_per_po(aig: Aig, cap: int = 10**12) -> List[int]:
     Counts are capped at *cap* to keep feature values bounded on very deep
     graphs (path counts grow exponentially with reconvergence).
     """
-    paths: List[int] = [0] * aig.size
-    for var in aig.pi_vars:
-        paths[var] = 1
-    paths[0] = 1  # constant node contributes a single trivial path
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        total = paths[literal_var(f0)] + paths[literal_var(f1)]
-        paths[var] = min(total, cap)
+    # Vectorized level waves stay exact in int64 as long as intermediate
+    # sums cannot overflow: per-node values are clamped to cap, so a sum of
+    # two is at most 2*cap.  Larger caps fall back to the arbitrary-
+    # precision scalar loop.
+    arrays = aig.arrays()
+    if 0 < cap <= 2**62:
+        paths_arr = np.zeros(aig.size, dtype=np.int64)
+        if arrays.pi_vars.size:
+            paths_arr[arrays.pi_vars] = 1
+        paths_arr[0] = 1  # constant node contributes a single trivial path
+        f0v = arrays.fanin0_var
+        f1v = arrays.fanin1_var
+        for group in arrays.and_level_groups():
+            paths_arr[group] = np.minimum(
+                paths_arr[f0v[group]] + paths_arr[f1v[group]], cap
+            )
+        paths = paths_arr.tolist()
+    else:
+        paths = [0] * aig.size
+        for var in aig.pi_vars:
+            paths[var] = 1
+        paths[0] = 1
+        f0v, f1v = arrays.fanin_var_lists()
+        for var in arrays.and_vars.tolist():
+            total = paths[f0v[var]] + paths[f1v[var]]
+            paths[var] = total if total < cap else cap
     return [min(paths[literal_var(lit)], cap) for lit in aig.po_literals()]
 
 
@@ -125,15 +157,27 @@ def transitive_fanout(
     nodes were perturbed, every node whose mapping choice or arrival time can
     differ lies in the transitive fanout of the roots (consumers see changed
     structure, arrival times, or fanout-dependent area flow).
+
+    An out-of-range root raises :class:`AigError`: a silent drop here would
+    mask journal corruption and shrink the dirty cone into wrong-answer
+    territory.
     """
-    consumers = aig.fanouts()
-    root_list = [var for var in roots if 0 <= var < aig.size]
+    size = aig.size
+    root_list = list(roots)
+    for var in root_list:
+        if not 0 <= var < size:
+            raise AigError(
+                f"transitive_fanout root {var} out of range (size {size})"
+            )
+    # The cached CSR adjacency makes this proportional to the cone touched,
+    # not to the whole graph (the old list-of-lists build was O(n) per call).
+    offsets, consumers = aig.arrays().fanout_csr_lists()
     reached: Set[int] = set(root_list) if include_roots else set()
-    stack = list(root_list)
+    stack = root_list
     visited: Set[int] = set(root_list)
     while stack:
         var = stack.pop()
-        for consumer in consumers[var]:
+        for consumer in consumers[offsets[var] : offsets[var + 1]]:
             if consumer in visited:
                 continue
             visited.add(consumer)

@@ -43,10 +43,26 @@ class Cut:
         return cone_truth_table(aig, self.root * 2, self.leaves)
 
 
+def _merge_leaves(la: Tuple[int, ...], lb: Tuple[int, ...], k: int) -> Optional[Tuple[int, ...]]:
+    """Sorted-unique union of two sorted leaf tuples; None past *k* leaves.
+
+    Leaf tuples are tiny (at most *k* entries), so C-level set union plus
+    ``sorted`` beats a hand-rolled two-pointer merge — this is the hot
+    inner step of enumeration.
+    """
+    if la == lb:
+        return la if len(la) <= k else None
+    union = set(la)
+    union.update(lb)
+    if len(union) > k:
+        return None
+    return tuple(sorted(union))
+
+
 def merge_cuts(a: Cut, b: Cut, root: int, k: int) -> Optional[Cut]:
     """Union of two fanin cuts rooted at *root*; None when larger than *k*."""
-    leaves = tuple(sorted(set(a.leaves) | set(b.leaves)))
-    if len(leaves) > k:
+    leaves = _merge_leaves(a.leaves, b.leaves, k)
+    if leaves is None:
         return None
     return Cut(root=root, leaves=leaves)
 
@@ -54,11 +70,14 @@ def merge_cuts(a: Cut, b: Cut, root: int, k: int) -> Optional[Cut]:
 def _prune_dominated(cuts: List[Cut]) -> List[Cut]:
     """Remove cuts dominated by another (smaller) cut in the list."""
     kept: List[Cut] = []
+    kept_sets: List[set] = []
     # Smaller cuts first so dominating cuts are encountered before dominated ones.
     for cut in sorted(cuts, key=lambda c: (c.size, c.leaves)):
-        if any(existing.dominates(cut) for existing in kept):
+        leaf_set = set(cut.leaves)
+        if any(existing <= leaf_set for existing in kept_sets):
             continue
         kept.append(cut)
+        kept_sets.append(leaf_set)
     return kept
 
 
@@ -77,11 +96,18 @@ def merge_node_cuts(
     producing exactly the lists a full enumeration would.
     """
     merged: List[Cut] = []
+    seen_leaves = set()
     for cut0 in cuts0:
+        leaves0 = cut0.leaves
         for cut1 in cuts1:
-            candidate = merge_cuts(cut0, cut1, var, k)
-            if candidate is not None:
-                merged.append(candidate)
+            leaves = _merge_leaves(leaves0, cut1.leaves, k)
+            # Duplicate leaf sets are produced by many fanin-cut pairs; the
+            # first instance subsumes the rest (pruning would drop them as
+            # dominated-by-equal anyway).
+            if leaves is None or leaves in seen_leaves:
+                continue
+            seen_leaves.add(leaves)
+            merged.append(Cut(root=var, leaves=leaves))
     merged = _prune_dominated(merged)
     # Prefer smaller cuts; deterministic ordering keeps runs reproducible.
     merged.sort(key=lambda c: (c.size, c.leaves))
@@ -117,19 +143,28 @@ def enumerate_cuts(
     -------
     dict
         Maps each variable id to its list of cuts.  PIs and the constant node
-        only carry their trivial cut.
+        only carry their trivial cut.  The result is memoised on the graph's
+        array snapshot (cuts depend only on the frozen node structure), so
+        repeated enumeration with the same parameters — per annealing
+        iteration, or across the mapper and the rewriter — returns the same
+        shared object; callers must not mutate it.
     """
     if k < 2:
         raise AigError(f"cut size k must be at least 2, got {k}")
+    arrays = aig.arrays()
+    cache_key = (k, max_cuts_per_node, include_trivial)
+    cached = arrays.cut_cache.get(cache_key)
+    if cached is not None:
+        return cached
     cuts: Dict[int, List[Cut]] = {0: [Cut(0, (0,))]}
     for var in aig.pi_vars:
         cuts[var] = [Cut(var, (var,))]
-    for var in aig.and_vars():
-        f0, f1 = aig.fanins(var)
-        v0, v1 = literal_var(f0), literal_var(f1)
+    f0v, f1v = arrays.fanin_var_lists()
+    for var in arrays.and_vars.tolist():
         cuts[var] = merge_node_cuts(
-            var, cuts[v0], cuts[v1], k, max_cuts_per_node, include_trivial
+            var, cuts[f0v[var]], cuts[f1v[var]], k, max_cuts_per_node, include_trivial
         )
+    arrays.cut_cache[cache_key] = cuts
     return cuts
 
 

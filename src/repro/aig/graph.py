@@ -77,6 +77,18 @@ class Aig:
         # Cache for journal.node_hashes_cached: valid while size is
         # unchanged (node arrays are append-only, PO edits don't matter).
         self._node_hash_cache: Optional[List[bytes]] = None
+        # Structure-of-arrays snapshot (repro.aig.arrays.AigArrays): valid
+        # while size is unchanged, for the same append-only reason.  PO
+        # bindings CAN change in place, so PO-derived caches additionally
+        # key on _po_version.
+        self._arrays = None
+        self._po_version = 0
+        self._fanout_counts_cache: Optional[Tuple[Tuple[int, int], List[int]]] = None
+        # Memo for cone truth tables keyed by (root literal, leaf tuple).
+        # Sound because an AND node's fanins are frozen at creation, so the
+        # structure of any existing cone never changes; PO rebinding is
+        # irrelevant to cones.  Bounded by MAX_CONE_CACHE_ENTRIES.
+        self._cone_table_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -96,6 +108,7 @@ class Aig:
         self._check_literal(lit)
         self._pos.append(lit)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        self._po_version += 1
         if self.journal.enabled:
             self.journal.note_po(len(self._pos) - 1, literal_var(lit))
         return len(self._pos) - 1
@@ -235,6 +248,7 @@ class Aig:
         if not 0 <= index < len(self._pos):
             raise AigError(f"PO index {index} out of range")
         self._pos[index] = lit
+        self._po_version += 1
         if self.journal.enabled:
             self.journal.note_po(index, literal_var(lit))
 
@@ -270,47 +284,52 @@ class Aig:
         return iter(range(self.size))
 
     # ------------------------------------------------------------------ #
-    # Derived structural data
+    # Derived structural data (array-core backed)
     # ------------------------------------------------------------------ #
+    def arrays(self):
+        """The structure-of-arrays snapshot of this graph (cached by size).
+
+        Node arrays are append-only, so a snapshot is valid until the next
+        variable is allocated; the snapshot is rebuilt lazily when ``size``
+        has moved past it.  Derived data inside the snapshot (levels, level
+        groups, fanout CSR) is computed on demand and amortised across every
+        structural query on the same graph generation.
+        """
+        arrays = self._arrays
+        if arrays is None or arrays.size != self.size:
+            from repro.aig.arrays import AigArrays
+
+            arrays = AigArrays(self._fanin0, self._fanin1, self._is_pi, self._pis)
+            self._arrays = arrays
+        return arrays
+
     def levels(self) -> List[int]:
         """Per-variable logic level: PIs/constant at 0, AND = 1 + max fanin."""
-        level = [0] * self.size
-        for var in range(1, self.size):
-            if self._is_pi[var]:
-                continue
-            f0 = literal_var(self._fanin0[var])
-            f1 = literal_var(self._fanin1[var])
-            level[var] = 1 + max(level[f0], level[f1])
-        return level
+        return list(self.arrays().levels_list())
 
     def depth(self) -> int:
         """Maximum logic level over all primary outputs (the delay proxy)."""
         if not self._pos:
             return 0
-        level = self.levels()
+        level = self.arrays().levels_list()
         return max(level[literal_var(lit)] for lit in self._pos)
 
     def fanout_counts(self) -> List[int]:
         """Per-variable fanout count (references from AND fanins and POs)."""
-        fanout = [0] * self.size
-        for var in range(1, self.size):
-            if self._is_pi[var]:
-                continue
-            fanout[literal_var(self._fanin0[var])] += 1
-            fanout[literal_var(self._fanin1[var])] += 1
+        cache = self._fanout_counts_cache
+        key = (self.size, self._po_version)
+        if cache is not None and cache[0] == key:
+            return list(cache[1])
+        counts = self.arrays().fanin_ref_counts().tolist()
         for lit in self._pos:
-            fanout[literal_var(lit)] += 1
-        return fanout
+            counts[literal_var(lit)] += 1
+        self._fanout_counts_cache = (key, counts)
+        return list(counts)
 
     def fanouts(self) -> List[List[int]]:
         """Per-variable list of AND variables that consume it as a fanin."""
-        consumers: List[List[int]] = [[] for _ in range(self.size)]
-        for var in range(1, self.size):
-            if self._is_pi[var]:
-                continue
-            consumers[literal_var(self._fanin0[var])].append(var)
-            consumers[literal_var(self._fanin1[var])].append(var)
-        return consumers
+        offsets, consumers = self.arrays().fanout_csr_lists()
+        return [consumers[offsets[var] : offsets[var + 1]] for var in range(self.size)]
 
     def fingerprint(self) -> str:
         """Order-insensitive structural hash of the logic feeding the POs.
@@ -382,6 +401,22 @@ class Aig:
         # and any growth on either side replaces (never mutates) it.
         other.journal.enabled = self.journal.enabled
         other._node_hash_cache = self._node_hash_cache
+        # The array snapshot describes the same (append-only) node arrays,
+        # so it transfers by reference too; growth on either side replaces
+        # it rather than mutating it.  The fanout-count cache is keyed on
+        # this graph's PO version counter, which restarts at the clone's
+        # current binding, so it transfers with a reset key.
+        other._arrays = self._arrays
+        # Existing cone-table entries stay valid in the clone (the cones
+        # they describe are frozen), but vars appended after this point may
+        # get different fanins in each graph, so the memo is copied rather
+        # than shared by reference.
+        other._cone_table_cache = dict(self._cone_table_cache)
+        if self._fanout_counts_cache is not None and self._fanout_counts_cache[0] == (
+            self.size,
+            self._po_version,
+        ):
+            other._fanout_counts_cache = ((other.size, 0), list(self._fanout_counts_cache[1]))
         return other
 
     def cleanup(self, name: Optional[str] = None) -> "Aig":

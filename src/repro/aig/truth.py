@@ -21,9 +21,15 @@ from repro.errors import TruthTableError
 
 MAX_EXACT_NPN_VARS = 5
 
+#: Precomputed all-ones masks for the variable counts that occur in practice
+#: (cut matching and rewriting stay at k <= 10; 16 is comfortable headroom).
+_MASKS: Tuple[int, ...] = tuple((1 << (1 << n)) - 1 for n in range(17))
+
 
 def table_mask(num_vars: int) -> int:
     """All-ones mask for a *num_vars*-input truth table."""
+    if 0 <= num_vars < len(_MASKS):
+        return _MASKS[num_vars]
     if num_vars < 0:
         raise TruthTableError(f"num_vars must be non-negative, got {num_vars}")
     return (1 << (1 << num_vars)) - 1
@@ -95,9 +101,20 @@ def cofactor(table: int, num_vars: int, var: int, value: int) -> int:
     return (negative | (negative << (1 << var))) & mask
 
 
+@lru_cache(maxsize=None)
+def _var_false_mask(var: int, num_vars: int) -> int:
+    """Mask of the minterms where input *var* is 0."""
+    return ~var_truth(var, num_vars) & table_mask(num_vars)
+
+
 def depends_on(table: int, num_vars: int, var: int) -> bool:
     """True when the function actually depends on input *var*."""
-    return cofactor(table, num_vars, var, 0) != cofactor(table, num_vars, var, 1)
+    if not 0 <= var < num_vars:
+        raise TruthTableError(f"variable {var} out of range for {num_vars} vars")
+    # The function depends on var iff some minterm with var=0 disagrees with
+    # its var=1 twin; the shift aligns each twin pair onto the var=0 slot.
+    masked = table & table_mask(num_vars)
+    return bool(((masked >> (1 << var)) ^ masked) & _var_false_mask(var, num_vars))
 
 
 def support(table: int, num_vars: int) -> List[int]:
@@ -160,16 +177,29 @@ def isop(on_set: int, dc_set: int, num_vars: int) -> List[Cube]:
     Returns a list of cubes; each cube is ``(pos_mask, neg_mask)`` where bit
     ``v`` of ``pos_mask`` means the cube contains literal ``v`` and bit ``v``
     of ``neg_mask`` means it contains ``!v``.
+
+    The computation is memoised: the rewriting and refactoring transforms
+    re-derive covers for the same (small) functions millions of times per
+    annealing run, and the recursion itself revisits identical
+    (lower, upper) subproblems across different top-level tables.  Covers
+    are pure values (callers only read them), so sharing is sound; the
+    public entry point still returns a fresh list.
     """
+    return list(_isop_cached(on_set, dc_set, num_vars))
+
+
+@lru_cache(maxsize=200_000)
+def _isop_cached(on_set: int, dc_set: int, num_vars: int) -> Tuple[Cube, ...]:
     mask = table_mask(num_vars)
     on_set &= mask
     dc_set &= mask
     if on_set & ~(on_set | dc_set) & mask:
         raise TruthTableError("on-set must be contained in on-set | dc-set")
     cover, _ = _isop_recursive(on_set, (on_set | dc_set) & mask, num_vars, num_vars)
-    return cover
+    return tuple(cover)
 
 
+@lru_cache(maxsize=200_000)
 def _isop_recursive(
     lower: int, upper: int, num_vars: int, var_count: int
 ) -> Tuple[List[Cube], int]:
@@ -231,7 +261,7 @@ def sop_to_truth(cubes: Sequence[Cube], num_vars: int) -> int:
 def cube_literal_count(cube: Cube) -> int:
     """Number of literals in a cube."""
     pos, neg = cube
-    return bin(pos).count("1") + bin(neg).count("1")
+    return pos.bit_count() + neg.bit_count()
 
 
 # --------------------------------------------------------------------------- #

@@ -153,8 +153,11 @@ class MappingState:
     var_of_hash: Dict[bytes, int]
     fanout: List[int]
     cuts: Dict[int, List[Cut]]
-    arrival: Dict[int, float]
-    area_flow: Dict[int, float]
+    #: Dense per-variable DP results (index = variable id, None = never
+    #: assigned — only possible for variables that are neither const, PI,
+    #: nor AND, which do not exist).
+    arrival: List[Optional[float]]
+    area_flow: List[Optional[float]]
     choices: Dict[int, NodeChoice]
     netlist: MappedNetlist
     alloc: PersistentNetAllocator
@@ -196,14 +199,16 @@ class IncrementalMapper:
         hashes = node_hashes_cached(aig)
         fanout = aig.fanout_counts()
         cuts = mapper.enumerate_all_cuts(aig)
-        arrival: Dict[int, float] = {0: 0.0}
-        area_flow: Dict[int, float] = {0: 0.0}
+        arrival: List[Optional[float]] = [None] * aig.size
+        area_flow: List[Optional[float]] = [None] * aig.size
+        arrival[0] = 0.0
+        area_flow[0] = 0.0
         choices: Dict[int, NodeChoice] = {}
         for var in aig.pi_vars:
             arrival[var] = 0.0
             area_flow[var] = 0.0
         dp_nodes = 0
-        for var in aig.and_vars():
+        for var in aig.arrays().and_vars.tolist():
             choice, cand_arrival, cand_area = mapper._choose_for_node(
                 aig, var, cuts.get(var) or [], arrival, area_flow, fanout
             )
@@ -321,8 +326,10 @@ class IncrementalMapper:
         cuts: Dict[int, List[Cut]] = {0: [Cut(0, (0,))]}
         for var in aig.pi_vars:
             cuts[var] = [Cut(var, (var,))]
-        arrival: Dict[int, float] = {0: 0.0}
-        area_flow: Dict[int, float] = {0: 0.0}
+        arrival: List[Optional[float]] = [None] * size
+        area_flow: List[Optional[float]] = [None] * size
+        arrival[0] = 0.0
+        area_flow[0] = 0.0
         choices: Dict[int, NodeChoice] = {}
         for var in aig.pi_vars:
             arrival[var] = 0.0

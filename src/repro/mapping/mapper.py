@@ -150,17 +150,24 @@ class TechnologyMapper:
             include_trivial=True,
         )
 
-    def _select_choices(self, aig: Aig) -> Tuple[Dict[int, NodeChoice], Dict[int, float]]:
+    def _select_choices(
+        self, aig: Aig
+    ) -> Tuple[Dict[int, NodeChoice], List[Optional[float]]]:
         cuts = self.enumerate_all_cuts(aig)
         fanout = aig.fanout_counts()
-        arrival: Dict[int, float] = {0: 0.0}
-        area_flow: Dict[int, float] = {0: 0.0}
+        # Dense per-variable DP state (variable order is topological, so a
+        # node's leaves are always filled in before the node is reached; a
+        # None entry means "no arrival yet" — the dict-era membership test).
+        arrival: List[Optional[float]] = [None] * aig.size
+        area_flow: List[Optional[float]] = [None] * aig.size
+        arrival[0] = 0.0
+        area_flow[0] = 0.0
         choices: Dict[int, NodeChoice] = {}
         for var in aig.pi_vars:
             arrival[var] = 0.0
             area_flow[var] = 0.0
 
-        for var in aig.and_vars():
+        for var in aig.arrays().and_vars.tolist():
             node_cuts = cuts.get(var) or []
             choice, cand_arrival, cand_area = self._choose_for_node(
                 aig, var, node_cuts, arrival, area_flow, fanout
@@ -174,8 +181,8 @@ class TechnologyMapper:
         aig: Aig,
         var: int,
         node_cuts: Sequence[Cut],
-        arrival: Dict[int, float],
-        area_flow: Dict[int, float],
+        arrival: Sequence[Optional[float]],
+        area_flow: Sequence[Optional[float]],
         fanout: Sequence[int],
     ) -> Tuple[NodeChoice, float, float]:
         """Best (choice, arrival, area-flow) for one AND node over its cuts.
@@ -220,14 +227,14 @@ class TechnologyMapper:
         aig: Aig,
         var: int,
         cut: Cut,
-        arrival: Dict[int, float],
-        area_flow: Dict[int, float],
+        arrival: Sequence[Optional[float]],
+        area_flow: Sequence[Optional[float]],
         fanout: Sequence[int],
     ) -> Optional[Tuple[NodeChoice, float, float]]:
         opts = self.options
         if cut.leaves == (var,):
             return None
-        if any(leaf not in arrival for leaf in cut.leaves):
+        if any(arrival[leaf] is None for leaf in cut.leaves):
             return None
         table = cone_truth_table(aig, var * 2, cut.leaves)
         reduced, sup = reduce_to_support(table, cut.size)

@@ -9,6 +9,7 @@ the mapper and its tests.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.aig.truth import support, table_mask
@@ -21,11 +22,19 @@ def reduce_to_support(table: int, num_vars: int) -> Tuple[int, List[int]]:
     Returns ``(reduced_table, support_indices)`` where variable ``j`` of the
     reduced table corresponds to original variable ``support_indices[j]``.
     Constant functions return ``(0 or 1, [])`` (a one-bit table).
+
+    Memoised: the mapper reduces the same small cut functions over and over
+    across nodes, designs, and annealing iterations.
     """
-    table &= table_mask(num_vars)
+    reduced, sup = _reduce_cached(table & table_mask(num_vars), num_vars)
+    return reduced, list(sup)
+
+
+@lru_cache(maxsize=200_000)
+def _reduce_cached(table: int, num_vars: int) -> Tuple[int, Tuple[int, ...]]:
     sup = support(table, num_vars)
     if not sup:
-        return (1 if table else 0), []
+        return (1 if table else 0), ()
     reduced = 0
     m = len(sup)
     for minterm in range(1 << m):
@@ -35,7 +44,7 @@ def reduce_to_support(table: int, num_vars: int) -> Tuple[int, List[int]]:
                 original_minterm |= 1 << var
         if (table >> original_minterm) & 1:
             reduced |= 1 << minterm
-    return reduced, sup
+    return reduced, tuple(sup)
 
 
 def classify_single_input(table: int) -> bool:

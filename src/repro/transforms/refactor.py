@@ -14,9 +14,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.aig.graph import Aig, rebuild_map
 from repro.aig.literals import is_complemented, literal_var, negate_if
 from repro.aig.simulate import cone_truth_table
-from repro.aig.truth import isop, table_mask
 from repro.transforms.base import Transform
-from repro.transforms.resynth import sop_cost, synthesize_truth
+from repro.transforms.resynth import resynth_cost, synthesize_truth
 
 
 class Refactor(Transform):
@@ -67,27 +66,31 @@ class Refactor(Transform):
         and the number of AND nodes strictly inside the cone.
         """
         levels = self._levels
-        leaves: Set[int] = set()
-        inside: Set[int] = set()
-        frontier: List[int] = [root]
-        inside.add(root)
-        f0, f1 = aig.fanins(root)
-        leaves.update((literal_var(f0), literal_var(f1)))
+        is_pi = aig._is_pi
+        fanin0 = aig._fanin0
+        fanin1 = aig._fanin1
+        max_leaves = self.max_leaves
+        inside: Set[int] = {root}
+        leaves: Set[int] = {fanin0[root] >> 1, fanin1[root] >> 1}
         while True:
-            expandable = [
-                leaf
-                for leaf in leaves
-                if aig.is_and(leaf)
-            ]
-            if not expandable:
+            # Deepest AND-node leaf, first-maximum over set iteration order
+            # (matching max() over the same set's comprehension).
+            candidate = -1
+            best_level = -1
+            for leaf in leaves:
+                if leaf != 0 and not is_pi[leaf] and levels[leaf] > best_level:
+                    best_level = levels[leaf]
+                    candidate = leaf
+            if candidate < 0:
                 break
-            candidate = max(expandable, key=lambda v: levels[v])
-            c0, c1 = aig.fanins(candidate)
-            new_leaves = (set(leaves) - {candidate}) | {
-                literal_var(c0),
-                literal_var(c1),
-            }
-            if len(new_leaves) > self.max_leaves:
+            c0 = fanin0[candidate] >> 1
+            c1 = fanin1[candidate] >> 1
+            # The new set is built with the same operation sequence as the
+            # original implementation: iteration order of a set feeds the
+            # first-maximum tie-break above, so the construction history must
+            # stay identical for results to be reproducible bit-for-bit.
+            new_leaves = (set(leaves) - {candidate}) | {c0, c1}
+            if len(new_leaves) > max_leaves:
                 break
             leaves = new_leaves
             inside.add(candidate)
@@ -103,12 +106,7 @@ class Refactor(Transform):
             return None
         num_vars = len(leaves)
         table = cone_truth_table(aig, var * 2, leaves)
-        mask = table_mask(num_vars)
-        resynth_cost = min(
-            sop_cost(isop(table, 0, num_vars)),
-            sop_cost(isop((~table) & mask, 0, num_vars)),
-        )
-        gain = cone_size - resynth_cost
+        gain = cone_size - resynth_cost(table, num_vars)
         threshold = -1 if self.zero_cost else 0
         if gain <= threshold:
             return None

@@ -10,13 +10,13 @@ small cut sizes (up to ~10 leaves) used by the transforms.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence
 
 from repro.aig.graph import Aig
 from repro.aig.literals import CONST0, CONST1, negate
 from repro.aig.truth import (
     Cube,
-    cube_literal_count,
     is_const0,
     is_const1,
     isop,
@@ -29,9 +29,28 @@ def sop_cost(cubes: Sequence[Cube]) -> int:
     """Approximate AND-node cost of realising a cube list as an AIG."""
     if not cubes:
         return 0
-    literal_cost = sum(max(cube_literal_count(cube) - 1, 0) for cube in cubes)
-    or_cost = len(cubes) - 1
-    return literal_cost + or_cost
+    cost = len(cubes) - 1
+    for pos, neg in cubes:
+        literals = pos.bit_count() + neg.bit_count()
+        if literals > 1:
+            cost += literals - 1
+    return cost
+
+
+@lru_cache(maxsize=200_000)
+def resynth_cost(table: int, num_vars: int) -> int:
+    """Cheaper of the positive/complement ISOP realisation costs of *table*.
+
+    This is the cost the rewriting and refactoring transforms compare against
+    a cone's node count; memoised because the same small cut functions recur
+    across nodes, designs, and annealing iterations.
+    """
+    mask = table_mask(num_vars)
+    table &= mask
+    return min(
+        sop_cost(isop(table, 0, num_vars)),
+        sop_cost(isop((~table) & mask, 0, num_vars)),
+    )
 
 
 def synthesize_truth(

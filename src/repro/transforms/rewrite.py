@@ -17,8 +17,7 @@ from repro.aig.graph import Aig, rebuild_map
 from repro.aig.literals import is_complemented, literal_var, negate_if
 from repro.aig.simulate import cone_truth_table
 from repro.transforms.base import Transform
-from repro.transforms.resynth import sop_cost, synthesize_truth
-from repro.aig.truth import isop, table_mask
+from repro.transforms.resynth import resynth_cost, synthesize_truth
 
 
 class Rewrite(Transform):
@@ -86,12 +85,7 @@ class Rewrite(Transform):
                 continue
             table = cone_truth_table(aig, var * 2, cut.leaves)
             original_cost = cut_volume(aig, cut)
-            mask = table_mask(cut.size)
-            resynth_cost = min(
-                sop_cost(isop(table, 0, cut.size)),
-                sop_cost(isop((~table) & mask, 0, cut.size)),
-            )
-            gain = original_cost - resynth_cost
+            gain = original_cost - resynth_cost(table, cut.size)
             if gain > best_gain:
                 leaf_literals = [mapping[leaf] for leaf in cut.leaves]
                 best_lit = synthesize_truth(new, table, cut.size, leaf_literals)
