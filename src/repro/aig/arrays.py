@@ -94,6 +94,23 @@ class AigArrays:
             self.is_and[0] = False
         self.pi_vars = np.asarray(pis, dtype=np.int64)
         self.and_vars = np.nonzero(self.is_and)[0]
+        # The snapshot is shared by reference across clones and memo caches
+        # (rule C2's runtime complement): freeze every array so accidental
+        # in-place mutation by a caller raises instead of silently poisoning
+        # every other graph sharing the snapshot.
+        for array in (
+            self.fanin0_lit,
+            self.fanin1_lit,
+            self.fanin0_var,
+            self.fanin1_var,
+            self.fanin0_comp,
+            self.fanin1_comp,
+            self.is_pi,
+            self.is_and,
+            self.pi_vars,
+            self.and_vars,
+        ):
+            array.setflags(write=False)
         # Lazy caches.
         self._fanin0_var_list: Optional[List[int]] = None
         self._fanin1_var_list: Optional[List[int]] = None
@@ -143,6 +160,7 @@ class AigArrays:
                 level[var] = (l0 if l0 >= l1 else l1) + 1
             self._levels_list = level
             self._levels = np.asarray(level, dtype=np.int64)
+            self._levels.setflags(write=False)
         return self._levels
 
     def levels_list(self) -> List[int]:
@@ -171,6 +189,8 @@ class AigArrays:
                 ordered_levels = and_levels[order]
                 boundaries = np.nonzero(np.diff(ordered_levels))[0] + 1
                 self._and_level_groups = np.split(ordered, boundaries)
+                for group in self._and_level_groups:
+                    group.setflags(write=False)
         return self._and_level_groups
 
     # ------------------------------------------------------------------ #
@@ -183,6 +203,7 @@ class AigArrays:
             counts = np.bincount(self.fanin0_var[ands], minlength=self.size)
             counts += np.bincount(self.fanin1_var[ands], minlength=self.size)
             self._fanin_ref_counts = counts.astype(np.int64, copy=False)
+            self._fanin_ref_counts.setflags(write=False)
         return self._fanin_ref_counts
 
     def fanout_csr(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -204,7 +225,10 @@ class AigArrays:
             counts = np.bincount(sorted_sources, minlength=self.size)
             offsets = np.zeros(self.size + 1, dtype=np.int64)
             np.cumsum(counts, out=offsets[1:])
-            self._fanout_csr = (offsets, sorted_consumers.astype(np.int64, copy=False))
+            sorted_consumers = sorted_consumers.astype(np.int64, copy=False)
+            offsets.setflags(write=False)
+            sorted_consumers.setflags(write=False)
+            self._fanout_csr = (offsets, sorted_consumers)
         return self._fanout_csr
 
     def fanout_csr_lists(self) -> Tuple[List[int], List[int]]:

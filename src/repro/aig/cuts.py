@@ -164,6 +164,9 @@ def enumerate_cuts(
         cuts[var] = merge_node_cuts(
             var, cuts[f0v[var]], cuts[f1v[var]], k, max_cuts_per_node, include_trivial
         )
+    # repro-lint: ignore[C2] -- enumerate_cuts is the owner that populates
+    # cut_cache (first write of this key), not a consumer mutating a
+    # memoised return value.
     arrays.cut_cache[cache_key] = cuts
     return cuts
 

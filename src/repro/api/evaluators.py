@@ -281,6 +281,9 @@ class ParallelEvaluator:
         chunksize = max(1, len(batch) // (self.max_workers * 4))
         try:
             return list(pool.map(_worker_evaluate, batch, chunksize=chunksize))
+        # repro-lint: ignore[C3] -- the fallback *is* the recording: the
+        # batch is re-run serially and the _pool_broken latch preserves the
+        # failure state; the exception type carries no extra signal here.
         except Exception:
             # Broken pool / unpicklable payload: degrade to serial and stop
             # trying to parallelise until close() resets the latch.
@@ -301,6 +304,8 @@ class ParallelEvaluator:
                     initializer=_worker_init,
                     initargs=(self._serial.library, self._mapping_options),
                 )
+            # repro-lint: ignore[C3] -- failure to build the pool is
+            # recorded in the _pool_broken latch; callers degrade to serial.
             except Exception:
                 self._pool_broken = True
                 self._pool = None
@@ -327,5 +332,7 @@ class ParallelEvaluator:
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
         try:
             self.close()
+        # repro-lint: ignore[C3] -- __del__ during interpreter shutdown must
+        # never raise; there is nowhere left to record the error.
         except Exception:
             pass

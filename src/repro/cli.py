@@ -387,6 +387,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # The lint tool owns its full argument surface (it is also runnable as
+    # ``python -m repro.devtools.lint.cli``); forward everything verbatim.
+    from repro.devtools.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _add_campaign_matrix_args(parser: argparse.ArgumentParser, required: bool) -> None:
     parser.add_argument(
         "--designs",
@@ -634,13 +642,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: determinism & concurrency invariants "
+        "(rules D1-D5, C1-C3; see `repro lint --list-rules`)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments[:1] == ["lint"]:
+        # Dispatch before argparse: the lint tool owns its own option
+        # surface, and argparse's REMAINDER refuses leading option strings.
+        from repro.devtools.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return args.handler(args)
     except ReproError as exc:

@@ -11,6 +11,7 @@ used to keep only unique variants.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, List, Optional, Sequence
 
 from repro.aig.graph import Aig
@@ -20,14 +21,21 @@ from repro.transforms.scripts import script_catalog
 from repro.utils.rng import RngLike, ensure_rng
 
 
-def structural_signature(aig: Aig) -> int:
-    """A hash identifying the graph structure (used to deduplicate variants)."""
+def structural_signature(aig: Aig) -> str:
+    """A stable digest identifying the graph structure (dedups variants).
+
+    SHA-256 over the canonical structural payload, not builtin ``hash()``:
+    ``hash()`` is salted per process (PYTHONHASHSEED), so signatures would
+    not be comparable across processes — the dataset-generation campaign
+    dedups variants produced by pool workers, which requires every process
+    to agree on the identity of a structure.
+    """
     payload = (
         aig.num_pis,
         tuple(aig.po_literals()),
         tuple((aig.fanins(var)) for var in aig.and_vars()),
     )
-    return hash(payload)
+    return hashlib.sha256(repr(payload).encode("ascii")).hexdigest()
 
 
 def random_script(

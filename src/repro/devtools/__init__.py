@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repository (not part of the
+synthesis runtime).
+
+Currently: :mod:`repro.devtools.lint`, the repro-lint static analysis
+framework that enforces the repository's determinism and concurrency
+invariants at the AST level.
+"""

@@ -1,0 +1,36 @@
+"""repro-lint: AST-based determinism & concurrency invariant checker.
+
+The repository's load-bearing contract is bitwise determinism — golden CLI
+outputs, campaign stores identical at any worker count, byte-exact
+transform tie-breaks — plus thread-safety of the service layer and the
+shared memoised array-core snapshots.  This package checks those
+invariants *statically*:
+
+- a rule registry (:mod:`repro.devtools.lint.registry`) with two families:
+  determinism D1–D5 and concurrency/safety C1–C3;
+- a shared single-parse walker (:mod:`repro.devtools.lint.walker`);
+- inline ``# repro-lint: ignore[RULE] -- why`` pragmas
+  (:mod:`repro.devtools.lint.pragmas`);
+- a suppression baseline so only *new* findings gate
+  (:mod:`repro.devtools.lint.baseline`);
+- ``[tool.repro-lint]`` configuration (:mod:`repro.devtools.lint.config`);
+- the ``repro lint`` CLI (:mod:`repro.devtools.lint.cli`).
+"""
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.config import LintConfig, load_config
+from repro.devtools.lint.engine import LintResult, run_lint
+from repro.devtools.lint.finding import Finding
+from repro.devtools.lint.registry import Rule, all_rules, register_rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "load_config",
+    "register_rule",
+    "run_lint",
+]

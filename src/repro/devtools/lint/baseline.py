@@ -1,0 +1,111 @@
+"""Suppression baseline.
+
+The baseline is a checked-in JSON file recording the fingerprints of
+*accepted* findings — violations that were triaged, judged tolerable, and
+deliberately not fixed.  A lint run subtracts baselined findings from its
+output, so the tool gates on **new** findings only: deleting a baseline
+entry immediately un-suppresses the finding it excused and fails the run.
+
+Entries carry a count because one fingerprint (path + rule + line text)
+may legitimately match several source lines; ``count`` occurrences are
+suppressed, any extra ones are new findings.  Entries that no longer match
+anything are *stale* and are reported (and dropped on ``--write-baseline``)
+so the baseline can only shrink toward zero.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.lint.finding import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of subtracting a baseline from a finding list."""
+
+    new_findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, object]] = field(default_factory=list)
+
+
+class Baseline:
+    def __init__(self, entries: Dict[str, Dict[str, object]]) -> None:
+        # fingerprint -> {"rule", "path", "count", "note"?}
+        self._entries = entries
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls({})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: Dict[str, Dict[str, object]] = {}
+        for entry in data.get("entries", []):
+            fingerprint = str(entry["fingerprint"])
+            entries[fingerprint] = {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "count": int(entry.get("count", 1)),
+            }
+            if entry.get("note"):
+                entries[fingerprint]["note"] = str(entry["note"])
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Counter = Counter()
+        meta: Dict[str, Tuple[str, str]] = {}
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            counts[fingerprint] += 1
+            meta[fingerprint] = (finding.rule_id, finding.path)
+        entries = {
+            fingerprint: {
+                "rule": meta[fingerprint][0],
+                "path": meta[fingerprint][1],
+                "count": counts[fingerprint],
+            }
+            for fingerprint in counts
+        }
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        entries = [
+            {"fingerprint": fingerprint, **self._entries[fingerprint]}
+            for fingerprint in self._entries
+        ]
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def match(self, findings: List[Finding]) -> BaselineMatch:
+        """Split *findings* into new vs baselined; report stale entries."""
+        result = BaselineMatch()
+        used: Counter = Counter()
+        for finding in sorted(findings, key=Finding.sort_key):
+            fingerprint = finding.fingerprint()
+            entry = self._entries.get(fingerprint)
+            if entry is not None and used[fingerprint] < int(entry["count"]):
+                used[fingerprint] += 1
+                result.suppressed.append(finding)
+            else:
+                result.new_findings.append(finding)
+        for fingerprint in sorted(self._entries):
+            entry = self._entries[fingerprint]
+            unused = int(entry["count"]) - used[fingerprint]
+            if unused > 0:
+                stale = {"fingerprint": fingerprint, **entry}
+                stale["count"] = unused
+                result.stale.append(stale)
+        return result

@@ -1,0 +1,170 @@
+"""``repro lint`` command-line front end.
+
+Exit codes: ``0`` — no new findings (everything is fixed, pragma'd, or
+baselined); ``1`` — at least one new finding (or a parse failure); ``2`` —
+usage error.  ``--write-baseline`` accepts the current findings as the new
+baseline (dropping stale entries) and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.config import load_config
+from repro.devtools.lint.engine import LintResult, run_lint
+from repro.devtools.lint.registry import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism & concurrency invariant checker "
+            "(rules D1-D5, C1-C3)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root holding pyproject.toml and the baseline",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the report to this file (same format as --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file (default: [tool.repro-lint] baseline setting)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.rule_id}  {cls.title}")
+        lines.append(f"    {cls.rationale}")
+    return "\n".join(lines)
+
+
+def format_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.new_findings:
+        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for stale in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {stale['fingerprint']} "
+            f"({stale['rule']} in {stale['path']}, count {stale['count']}) — "
+            "remove it with --write-baseline"
+        )
+    counts = result.summary_counts()
+    by_rule = (
+        " (" + ", ".join(f"{rule}: {n}" for rule, n in counts.items()) + ")"
+        if counts
+        else ""
+    )
+    lines.append(
+        f"{len(result.new_findings)} new finding(s){by_rule}, "
+        f"{len(result.suppressed)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr(ies) "
+        f"across {len(result.files)} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload = {
+        "root": str(result.root),
+        "files_scanned": len(result.files),
+        "findings": [finding.to_dict() for finding in result.new_findings],
+        "baselined": len(result.suppressed),
+        "stale_baseline": result.stale_baseline,
+        "summary": result.summary_counts(),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    if args.select:
+        config.select = [r.strip().upper() for r in args.select.split(",") if r.strip()]
+
+    baseline_path = root / (args.baseline or config.baseline)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    try:
+        result = run_lint(
+            root,
+            paths=args.paths or None,
+            config=config,
+            baseline=baseline,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            f"wrote {baseline_path} with {len(result.findings)} accepted "
+            f"finding(s) from {len(result.files)} file(s)"
+        )
+        return 0
+
+    report = format_json(result) if args.format == "json" else format_text(result)
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Lint engine: file discovery, rule execution, baseline subtraction.
+
+The engine is itself held to the invariants it checks: file discovery is
+sorted (D5), results are ordered by location (D1), and nothing here reads
+a clock or global random state.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.lint.baseline import Baseline, BaselineMatch
+from repro.devtools.lint.config import LintConfig
+from repro.devtools.lint.finding import Finding
+from repro.devtools.lint.registry import Rule, all_rules
+from repro.devtools.lint.walker import walk_file
+
+#: Pseudo-rule id for files that fail to parse; never baselined away.
+PARSE_ERROR_RULE = "E1"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre- and post-baseline."""
+
+    root: Path
+    files: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    match: Optional[BaselineMatch] = None
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return self.match.new_findings if self.match else list(self.findings)
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return self.match.suppressed if self.match else []
+
+    @property
+    def stale_baseline(self) -> List[Dict[str, object]]:
+        return self.match.stale if self.match else []
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+    def summary_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.new_findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def discover_files(
+    root: Path, paths: Sequence[str], config: LintConfig
+) -> List[Path]:
+    """All ``.py`` files under *paths*, sorted, minus excluded ones."""
+    seen = set()
+    ordered: List[Path] = []
+    for entry in paths:
+        target = (root / entry).resolve() if not Path(entry).is_absolute() else Path(entry)
+        if target.is_file():
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {entry}")
+        for candidate in candidates:
+            rel = _rel_path(candidate, root)
+            if config.excluded(rel) or rel in seen:
+                continue
+            seen.add(rel)
+            ordered.append(candidate)
+    ordered.sort(key=lambda p: _rel_path(p, root))
+    return ordered
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_rules(config: LintConfig) -> List[Rule]:
+    rules: List[Rule] = []
+    for cls in all_rules():
+        if config.select is not None and cls.rule_id not in config.select:
+            continue
+        rules.append(cls())
+    return rules
+
+
+def run_lint(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint *paths* (default: the configured roots) under *root*.
+
+    When *baseline* is given, findings it covers are subtracted; the
+    result's ``new_findings`` / ``exit_code`` reflect only the remainder.
+    """
+    config = config if config is not None else LintConfig()
+    scan_paths = list(paths) if paths else list(config.paths)
+    rules = build_rules(config)
+    memoized = frozenset(config.memoized_apis)
+    result = LintResult(root=root)
+    all_findings: List[Finding] = []
+    for file_path in discover_files(root, scan_paths, config):
+        rel = _rel_path(file_path, root)
+        result.files.append(rel)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = walk_file(rel, source, rules, memoized_apis=memoized)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            all_findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                    snippet="",
+                )
+            )
+            continue
+        for finding in ctx.findings:
+            if config.rule_allows(finding.rule_id, rel):
+                continue
+            if ctx.pragmas.suppresses(finding.line, finding.rule_id):
+                continue
+            all_findings.append(finding)
+    all_findings.sort(key=Finding.sort_key)
+    result.findings = all_findings
+    if baseline is not None:
+        result.match = baseline.match(all_findings)
+    return result
+
+
+def self_check() -> int:  # pragma: no cover - convenience entry point
+    """Lint this repository with its own configuration; return exit code."""
+    from repro.devtools.lint.cli import main
+
+    return main([])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(self_check())

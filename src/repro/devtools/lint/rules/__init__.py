@@ -1,0 +1,6 @@
+"""Rule families.
+
+``determinism`` (D1–D5) guards the bitwise-reproducibility contract;
+``concurrency`` (C1–C3) guards the threaded service and shared memoised
+state.  Importing this package's modules registers every rule.
+"""

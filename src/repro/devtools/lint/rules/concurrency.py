@@ -1,0 +1,317 @@
+"""Concurrency & safety rules C1–C3.
+
+C1 targets the threaded service layer (job manager, worker session pools):
+state guarded by ``with self._lock:`` in one method must not be touched
+bare in another.  C2 guards the array-core's shared memoised snapshots:
+structures returned by memoised APIs are cached by reference and must be
+treated as immutable.  C3 flags broad exception handlers that swallow
+failures without recording or re-raising them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.devtools.lint.registry import Rule, register_rule
+from repro.devtools.lint.rules.common import root_name, scope_nodes
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "setdefault",
+        "put",
+    }
+)
+
+#: Methods excluded from C1: construction and teardown happen-before /
+#: happen-after any concurrent access.
+_C1_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__", "__post_init__"})
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_names(cls: ast.ClassDef) -> Set[str]:
+    """Attributes used as ``with self.<attr>:`` contexts, name contains 'lock'."""
+    names: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and "lock" in attr.lower():
+                    names.add(attr)
+    return names
+
+
+class _AttrAccess:
+    __slots__ = ("attr", "node", "guarded", "write")
+
+    def __init__(self, attr: str, node: ast.AST, guarded: bool, write: bool) -> None:
+        self.attr = attr
+        self.node = node
+        self.guarded = guarded
+        self.write = write
+
+
+def _collect_accesses(
+    method: ast.FunctionDef, locks: Set[str], assume_guarded: bool
+) -> List[_AttrAccess]:
+    accesses: List[_AttrAccess] = []
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.With):
+            holds = any(
+                _self_attr(item.context_expr) in locks for item in node.items
+            )
+            for item in node.items:
+                visit(item.context_expr, guarded)
+            for stmt in node.body:
+                visit(stmt, guarded or holds)
+            return
+        attr = _self_attr(node)
+        if attr is not None and attr not in locks:
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            accesses.append(_AttrAccess(attr, node, guarded, write))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for stmt in method.body:
+        visit(stmt, assume_guarded)
+
+    # A ``self.x.append(...)`` call mutates through the read binding: count
+    # the access as a write so read-vs-mutate races are not missed.
+    mutated_at: Set[int] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            inner = _self_attr(node.func.value)
+            if inner is not None:
+                mutated_at.add(id(node.func.value))
+    for access in accesses:
+        if id(access.node) in mutated_at:
+            access.write = True
+    return accesses
+
+
+@register_rule
+class LockConsistency(Rule):
+    rule_id = "C1"
+    title = "attribute accessed both under and outside its lock"
+    rationale = (
+        "If any method touches self.<attr> inside `with self._lock:` while "
+        "another touches it bare, the lock protects nothing — the bare "
+        "access races with every guarded writer.  Methods named *_locked "
+        "are treated as called-with-lock-held by convention; __init__ is "
+        "exempt (construction happens-before sharing)."
+    )
+    interests = (ast.ClassDef,)
+
+    def visit(self, cls: ast.ClassDef, ctx) -> None:
+        locks = _lock_names(cls)
+        if not locks:
+            return
+        guarded_lines: Dict[str, int] = {}
+        unguarded: Dict[str, List[_AttrAccess]] = {}
+        any_write: Set[str] = set()
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _C1_EXEMPT_METHODS:
+                continue
+            assume_guarded = stmt.name.endswith("_locked")
+            for access in _collect_accesses(stmt, locks, assume_guarded):
+                if access.write:
+                    any_write.add(access.attr)
+                if access.guarded:
+                    guarded_lines.setdefault(access.attr, access.node.lineno)
+                else:
+                    unguarded.setdefault(access.attr, []).append(access)
+        for attr in sorted(set(guarded_lines) & set(unguarded) & any_write):
+            first = min(unguarded[attr], key=lambda a: a.node.lineno)
+            self.report(
+                ctx,
+                first.node,
+                f"self.{attr} is guarded by {sorted(locks)[0]} at line "
+                f"{guarded_lines[attr]} but accessed without it here; hold "
+                "the lock (or rename the method *_locked if callers do)",
+            )
+
+
+@register_rule
+class MemoizedMutation(Rule):
+    rule_id = "C2"
+    title = "mutation of a memoised API's return value"
+    rationale = (
+        "cut_sets / cone_truth_table and the AigArrays caches return shared "
+        "structures by reference (memoised across clones and snapshots); "
+        "mutating one poisons every other reader.  Copy before mutating."
+    )
+    interests = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, scope: ast.AST, ctx) -> None:
+        memoized = ctx.memoized_apis
+        if not memoized:
+            return
+        tainted = self._tainted_names(scope, memoized)
+
+        def is_memoized_chain(expr: ast.AST) -> bool:
+            for part in ast.walk(expr):
+                if isinstance(part, ast.Attribute) and part.attr in memoized:
+                    return True
+            root = root_name(expr)
+            return root is not None and root in tainted
+
+        for node in scope_nodes(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and is_memoized_chain(node.func.value)
+            ):
+                self.report(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() mutates a structure returned by a "
+                    "memoised API; copy it first (list(...)/dict(...))",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_memoized_chain(
+                        target.value
+                    ):
+                        self.report(
+                            ctx,
+                            target,
+                            "index-assignment into a memoised API's return "
+                            "value; copy it first",
+                        )
+
+    @staticmethod
+    def _tainted_names(scope: ast.AST, memoized) -> Set[str]:
+        tainted: Set[str] = set()
+        copied: Set[str] = set()
+        for node in scope_nodes(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            taints = any(
+                isinstance(part, ast.Attribute) and part.attr in memoized
+                for part in ast.walk(value)
+            )
+            # Copy idioms launder the taint: list(x), dict(x), sorted(x),
+            # x.copy(), copy.deepcopy(x) all produce caller-owned objects.
+            launders = (
+                isinstance(value, ast.Call)
+                and (
+                    (
+                        isinstance(value.func, ast.Name)
+                        and value.func.id
+                        in ("list", "dict", "set", "tuple", "sorted", "frozenset")
+                    )
+                    or (
+                        isinstance(value.func, ast.Attribute)
+                        and value.func.attr in ("copy", "deepcopy")
+                    )
+                )
+            )
+            for name in names:
+                if taints and not launders:
+                    tainted.add(name)
+                elif launders:
+                    copied.add(name)
+        return tainted - copied
+
+
+_LOGGING_CALL_NAMES = frozenset(
+    {
+        "print",
+        "warn",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+        "debug",
+        "info",
+        "fail",
+    }
+)
+
+
+def _is_broad(handler_type: Optional[ast.AST]) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in ("Exception", "BaseException")
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in handler_type.elts)
+    return False
+
+
+@register_rule
+class SwallowedException(Rule):
+    rule_id = "C3"
+    title = "broad except swallows the failure"
+    rationale = (
+        "`except Exception: pass` hides engine and store failures that the "
+        "crash-safe resume machinery is designed to surface.  Record the "
+        "error (store/log it or use the bound exception) or re-raise."
+    )
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, handler: ast.ExceptHandler, ctx) -> None:
+        if not _is_broad(handler.type):
+            return
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return  # the bound exception is used — recorded somewhere
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name in _LOGGING_CALL_NAMES:
+                    return
+        label = "bare except" if handler.type is None else "except Exception"
+        self.report(
+            ctx,
+            handler,
+            f"{label} swallows the error without recording or re-raising; "
+            "narrow the type, use the exception, or log it",
+        )

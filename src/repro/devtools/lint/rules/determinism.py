@@ -1,0 +1,390 @@
+"""Determinism rules D1–D5.
+
+These encode the repository's bitwise-reproducibility contract: golden CLI
+outputs, campaign stores identical at any worker count, and transform
+tie-breaks that must not depend on hash seeds, wall clocks, or directory
+order.  Each rule exists because a real violation of its invariant has
+shipped here (or nearly did) and cost a differential-debugging campaign.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.devtools.lint.registry import Rule, register_rule
+from repro.devtools.lint.rules.common import (
+    in_order_neutral_context,
+    scope_nodes,
+)
+
+_SET_ANNOTATIONS = frozenset(
+    {"set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Loop-body operations through which iteration order escapes into results.
+_ORDER_SENSITIVE_APPENDS = frozenset(
+    {"append", "extend", "insert", "write", "writelines", "put"}
+)
+
+_ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[", 1)[0].strip().rsplit(".", 1)[-1]
+        return head in _SET_ANNOTATIONS
+    return False
+
+
+class _SetTypes:
+    """Names known to hold ``set``/``frozenset`` values in one scope."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.names: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            for arg in all_args:
+                if _annotation_is_set(arg.annotation):
+                    self.names.add(arg.arg)
+        # Two passes reach names defined through one level of indirection
+        # (``a = set(...)`` after ``b = a`` textually precedes it).
+        for _ in range(2):
+            for node in scope_nodes(scope):
+                if isinstance(node, ast.Assign) and self.is_set_expr(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.names.add(target.id)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    if _annotation_is_set(node.annotation) or (
+                        node.value is not None and self.is_set_expr(node.value)
+                    ):
+                        self.names.add(node.target.id)
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self.is_set_expr(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _order_escape(body: List[ast.stmt], loop_names: Set[str]) -> Optional[ast.AST]:
+    """First order-sensitive operation in a loop body, or ``None``.
+
+    Yielding, appending to a sequence, writing to a stream, printing, and
+    non-counter ``+=`` accumulation (float addition does not commute
+    bitwise) all leak the iteration order into observable results.  So does
+    running-extremum selection (``if level > best: best_leaf = leaf``):
+    with a strict comparison, ties keep the first element *in iteration
+    order* — the exact tie-break PR 7 had to preserve byte-for-byte.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _ORDER_SENSITIVE_APPENDS
+                ):
+                    return node
+                if isinstance(func, ast.Name) and func.id == "print":
+                    return node
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                if not (
+                    isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node
+            if isinstance(node, ast.If) and _is_extremum_selection(
+                node, loop_names
+            ):
+                return node
+    return None
+
+
+def _is_extremum_selection(node: ast.If, loop_names: Set[str]) -> bool:
+    """``if x <cmp> best: winner = <uses loop var>`` — ties follow order."""
+    has_ordering_test = any(
+        isinstance(part, ast.Compare)
+        and len(part.ops) == 1
+        and isinstance(part.ops[0], (ast.Lt, ast.Gt, ast.LtE, ast.GtE))
+        for part in ast.walk(node.test)
+    )
+    if not has_ordering_test:
+        return False
+    for stmt in node.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) for t in stmt.targets):
+            continue
+        value_names = {
+            n.id for n in ast.walk(stmt.value) if isinstance(n, ast.Name)
+        }
+        if value_names & loop_names:
+            return True
+    return False
+
+
+@register_rule
+class SetIterationOrder(Rule):
+    rule_id = "D1"
+    title = "set iteration order escapes into results"
+    rationale = (
+        "Iterating a set observes PYTHONHASHSEED-dependent order; when that "
+        "order reaches a list, a file, or a float accumulation, outputs stop "
+        "being reproducible across processes.  Wrap the set in sorted() or "
+        "consume it order-insensitively."
+    )
+    interests = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        sets = _SetTypes(node)
+        for inner in scope_nodes(node):
+            if isinstance(inner, ast.For) and sets.is_set_expr(inner.iter):
+                escape = _order_escape(
+                    inner.body + inner.orelse, _target_names(inner.target)
+                )
+                if escape is not None:
+                    self.report(
+                        ctx,
+                        inner.iter,
+                        "iteration over a set whose order escapes (via line "
+                        f"{getattr(escape, 'lineno', inner.lineno)}); wrap in "
+                        "sorted() or restructure the loop order-insensitively",
+                    )
+            elif isinstance(inner, (ast.ListComp, ast.GeneratorExp)):
+                first = inner.generators[0]
+                if sets.is_set_expr(first.iter) and not in_order_neutral_context(
+                    ctx, inner
+                ):
+                    self.report(
+                        ctx,
+                        first.iter,
+                        "comprehension over a set produces order-dependent "
+                        "sequence; wrap the set in sorted()",
+                    )
+            elif isinstance(inner, ast.Call):
+                func = inner.func
+                wrapped = (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and inner.args
+                    and sets.is_set_expr(inner.args[0])
+                )
+                joined = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and inner.args
+                    and sets.is_set_expr(inner.args[0])
+                )
+                if (wrapped or joined) and not in_order_neutral_context(ctx, inner):
+                    self.report(
+                        ctx,
+                        inner,
+                        "set converted to an ordered sequence without sorted()",
+                    )
+
+
+@register_rule
+class BuiltinHashIdentity(Rule):
+    rule_id = "D2"
+    title = "builtin hash() used as a persistent or dedup identity"
+    rationale = (
+        "hash() of str/bytes (and anything containing them) is salted per "
+        "process (PYTHONHASHSEED), and even unsalted values differ across "
+        "platforms — any identity that outlives the process, or dedups work "
+        "across processes, must use a stable digest (hashlib.sha256)."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "hash"):
+            return
+        enclosing = ctx.enclosing_function()
+        if enclosing is not None and enclosing.name == "__hash__":
+            return  # in-process hashing protocol — the one legitimate use
+        self.report(
+            ctx,
+            node,
+            "builtin hash() is process-seeded; use a stable digest "
+            "(hashlib.sha256 over a canonical payload) for identities",
+        )
+
+
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+@register_rule
+class GlobalRandomState(Rule):
+    rule_id = "D3"
+    title = "unseeded global random state"
+    rationale = (
+        "Module-level random/numpy.random calls draw from interpreter-global "
+        "state that any import or thread can perturb; reproducible code "
+        "takes an injected RngLike (repro.utils.rng) or a seeded Generator."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None:
+            return
+        parts = resolved.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in _RANDOM_ALLOWED:
+                self.report(
+                    ctx,
+                    node,
+                    f"global random.{parts[1]}() draws from shared module "
+                    "state; inject an RngLike / random.Random instance",
+                )
+        elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+            if parts[2] not in _NUMPY_RANDOM_ALLOWED:
+                self.report(
+                    ctx,
+                    node,
+                    f"legacy numpy.random.{parts[2]}() uses the global "
+                    "RandomState; use numpy.random.default_rng(seed)",
+                )
+
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class WallClockRead(Rule):
+    rule_id = "D4"
+    title = "wall-clock read outside the Timer plumbing"
+    rationale = (
+        "Raw clock reads leak nondeterministic values into records that the "
+        "store-equality and golden-output checks must then special-case; all "
+        "timing belongs in repro.utils.Timer / StageTimer so it lands only "
+        "in TIMING_FIELDS, which every differential comparison strips."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        resolved = ctx.imports.resolve(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            self.report(
+                ctx,
+                node,
+                f"{resolved}() read outside Timer/StageTimer; route timing "
+                "through repro.utils.timer so it stays inside TIMING_FIELDS",
+            )
+
+
+_FS_ENUM_ATTRS = frozenset({"glob", "rglob", "iterdir", "scandir"})
+
+_FS_ENUM_CALLS = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+
+
+@register_rule
+class UnsortedFilesystemEnumeration(Rule):
+    rule_id = "D5"
+    title = "unsorted filesystem enumeration escapes"
+    rationale = (
+        "glob/iterdir/listdir order is filesystem-dependent (and differs "
+        "between local runs and CI); results that feed outputs, stores, or "
+        "merges must be wrapped in sorted()."
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        func = node.func
+        matched: Optional[str] = None
+        resolved = ctx.imports.resolve(func)
+        if resolved in _FS_ENUM_CALLS:
+            matched = resolved
+        elif isinstance(func, ast.Attribute) and func.attr in _FS_ENUM_ATTRS:
+            matched = func.attr
+        if matched is None:
+            return
+        if in_order_neutral_context(ctx, node):
+            return
+        self.report(
+            ctx,
+            node,
+            f"{matched}() enumerates the filesystem in platform order; "
+            "wrap in sorted() before the order can escape",
+        )

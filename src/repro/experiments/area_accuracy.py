@@ -14,7 +14,6 @@ model over the proxy is visible directly.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -25,6 +24,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.ml.gbdt import GradientBoostingRegressor
 from repro.ml.metrics import PercentErrorStats, percent_error_stats
+from repro.utils.timer import Timer
 
 
 @dataclass
@@ -108,10 +108,10 @@ def run_area_accuracy(
     train = dataset.for_designs(train_designs)
     train_areas = np.asarray(train.areas, dtype=np.float64)
 
-    start = time.perf_counter()
-    area_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed + 1)
-    area_model.fit(train.features, train_areas)
-    training_seconds = time.perf_counter() - start
+    with Timer() as training_timer:
+        area_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed + 1)
+        area_model.fit(train.features, train_areas)
+    training_seconds = training_timer.elapsed
 
     # The proxy the baseline flow uses for area is the AND-node count; fit the
     # single scale factor on the training designs (least-squares through 0).

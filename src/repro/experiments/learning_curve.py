@@ -18,7 +18,6 @@ content — regenerating the data invalidates every resumed point.
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import astuple, dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -33,6 +32,7 @@ from repro.errors import CampaignError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
+from repro.utils.timer import Timer
 from repro.ml.metrics import percent_error_stats
 
 _CELL_FN = "repro.experiments.learning_curve:run_learning_curve_cell"
@@ -116,6 +116,8 @@ def _corpora_travel_inline() -> bool:
 
     try:
         return multiprocessing.get_start_method() != "fork"
+    # repro-lint: ignore[C3] -- capability probe: an exotic platform with
+    # no start method gets the conservative default (assume spawn).
     except Exception:  # pragma: no cover - platform without a start method
         return True
 
@@ -153,10 +155,10 @@ def run_learning_curve_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     train_features = np.vstack(features)
     train_labels = np.concatenate(labels)
 
-    start = time.perf_counter()
-    model = GradientBoostingRegressor(params, rng=int(payload["seed"]))
-    model.fit(train_features, train_labels)
-    elapsed = time.perf_counter() - start
+    with Timer() as training_timer:
+        model = GradientBoostingRegressor(params, rng=int(payload["seed"]))
+        model.fit(train_features, train_labels)
+    elapsed = training_timer.elapsed
 
     return {
         "samples_per_design": count,

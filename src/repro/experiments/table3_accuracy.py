@@ -12,7 +12,6 @@ the paper reports the GNN to be ~2 % worse on average) and an area model
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +24,7 @@ from repro.ml.dataset import TimingDataset
 from repro.ml.gbdt import GbdtParams, GradientBoostingRegressor
 from repro.ml.gnn import GnnDelayRegressor, GnnParams
 from repro.ml.metrics import PercentErrorStats, percent_error_stats
+from repro.utils.timer import Timer
 
 
 @dataclass
@@ -164,10 +164,10 @@ def run_table3_accuracy(
     test_designs = [d for d in cfg.test_designs if d in corpora]
     train = dataset.for_designs(train_designs)
 
-    start = time.perf_counter()
-    delay_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed)
-    delay_model.fit(train.features, train.labels)
-    training_seconds = time.perf_counter() - start
+    with Timer() as training_timer:
+        delay_model = GradientBoostingRegressor(cfg.gbdt_params, rng=cfg.seed)
+        delay_model.fit(train.features, train.labels)
+    training_seconds = training_timer.elapsed
 
     area_model = None
     if include_area_model:
@@ -187,9 +187,9 @@ def run_table3_accuracy(
         gnn = GnnDelayRegressor(GnnParams(epochs=200), rng=cfg.seed)
         train_aigs = [aig for d in train_designs for aig in corpora[d].aigs]
         train_delays = np.concatenate([corpora[d].delays_ps for d in train_designs])
-        start = time.perf_counter()
-        gnn.fit(train_aigs, train_delays)
-        gnn_seconds = time.perf_counter() - start
+        with Timer() as gnn_timer:
+            gnn.fit(train_aigs, train_delays)
+        gnn_seconds = gnn_timer.elapsed
         gnn_predictions = {
             design: gnn.predict(corpus.aigs) for design, corpus in corpora.items()
         }

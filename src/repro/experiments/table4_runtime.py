@@ -14,7 +14,6 @@ suite runner's machinery: pass a file-backed
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -30,6 +29,7 @@ from repro.experiments.report import format_table
 from repro.features.extract import FeatureExtractor
 from repro.opt.annealing import AnnealingConfig
 from repro.opt.flows import BaselineFlow, measure_iteration_runtime
+from repro.utils.timer import Timer
 
 _CELL_FN = "repro.experiments.table4_runtime:run_table4_cell"
 
@@ -117,16 +117,16 @@ def run_table4_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         baseline, aig, iterations=iterations, rng=int(payload["seed"]), config=run_config
     )
     # Ground-truth column: mapping + STA on the current AIG.
-    start = time.perf_counter()
-    for _ in range(repeats):
-        evaluator.evaluate(aig)
-    mapping_sta = (time.perf_counter() - start) / repeats
+    with Timer() as sta_timer:
+        for _ in range(repeats):
+            evaluator.evaluate(aig)
+    mapping_sta = sta_timer.elapsed / repeats
     # ML column: feature extraction + model inference.
-    start = time.perf_counter()
-    for _ in range(repeats):
-        features = extractor.extract(aig).reshape(1, -1)
-        delay_model.predict(features)
-    ml_inference = (time.perf_counter() - start) / repeats
+    with Timer() as ml_timer:
+        for _ in range(repeats):
+            features = extractor.extract(aig).reshape(1, -1)
+            delay_model.predict(features)
+    ml_inference = ml_timer.elapsed / repeats
     return {
         "design": name,
         # The cost scheduler normalises observed runtimes by this budget.

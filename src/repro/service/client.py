@@ -63,6 +63,8 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read().decode("utf-8"))
+            # repro-lint: ignore[C3] -- best-effort body parse; the HTTP
+            # error itself is re-raised as ServiceClientError just below.
             except Exception:
                 payload = {}
             message = payload.get("message", exc.reason)
@@ -119,12 +121,14 @@ class ServiceClient:
 
         Raises :class:`ServiceClientError` when *timeout* elapses first.
         """
+        # repro-lint: ignore[D4] -- poll-deadline control flow, never
+        # recorded output; monotonic is the correct clock for timeouts.
         deadline = time.monotonic() + timeout
         while True:
             record = self.result(job_id)
             if record is not None:
                 return record
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= deadline:  # repro-lint: ignore[D4] -- see above
                 raise ServiceClientError(
                     f"job {job_id} still pending after {timeout}s"
                 )

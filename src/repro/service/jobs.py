@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import queue
+import sys
 import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -299,21 +300,28 @@ class JobManager:
         (including jobs that were *running* when the process died — they
         have no result record, so they run again).
         """
-        results = self._results.latest()
-        for job_id, entry in sorted(self._journal.latest().items()):
-            if job_id in results:
-                continue
-            cell = EngineCell(
-                cell_id=job_id,
-                fn=str(entry.get("fn", OPTIMIZE_CELL_FN)),
-                payload=dict(entry.get("payload", {})),
-            )
-            self._pending.add(job_id)
-            self._queue.put(cell)
+        # Runs from __init__ before the worker threads start, so there is no
+        # contention — but holding the lock anyway keeps every _pending /
+        # _queue access uniformly guarded (and statically checkable).
+        with self._lock:
+            results = self._results.latest()
+            for job_id, entry in sorted(self._journal.latest().items()):
+                if job_id in results:
+                    continue
+                cell = EngineCell(
+                    cell_id=job_id,
+                    fn=str(entry.get("fn", OPTIMIZE_CELL_FN)),
+                    payload=dict(entry.get("payload", {})),
+                )
+                self._pending.add(job_id)
+                self._queue.put(cell)
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
             try:
+                # repro-lint: ignore[C1] -- queue.Queue is internally
+                # synchronised; _lock guards the bookkeeping sets, not the
+                # queue handoff itself.
                 cell = self._queue.get(timeout=0.1)
             except queue.Empty:
                 continue
@@ -328,7 +336,7 @@ class JobManager:
         try:
             summary = run_cells(
                 [cell],
-                self._results,
+                self._results,  # repro-lint: ignore[C1] -- sharded store, append path is internally synchronised
                 max_workers=1,
                 timeout_s=self.config.timeout_s,
                 retries=self.config.retries,
@@ -344,8 +352,17 @@ class JobManager:
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                 )
-            except Exception:
-                pass
+            except Exception as store_exc:
+                # Double fault: the result store itself failed while we were
+                # recording a job failure.  The journal still holds the job
+                # (it resumes on restart); surface the store failure instead
+                # of hiding it.
+                print(
+                    f"repro service: result store append failed for job "
+                    f"{cell.cell_id}: {type(store_exc).__name__}: {store_exc} "
+                    f"(original error: {type(exc).__name__}: {exc})",
+                    file=sys.stderr,
+                )
         finally:
             with self._lock:
                 self._running.discard(cell.cell_id)

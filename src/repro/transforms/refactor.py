@@ -77,6 +77,10 @@ class Refactor(Transform):
             # (matching max() over the same set's comprehension).
             candidate = -1
             best_level = -1
+            # repro-lint: ignore[D1] -- the first-max tie-break over set
+            # iteration order is the pinned pre-refactor behaviour (PR 7):
+            # the set's construction history is kept identical on purpose,
+            # so iteration order is deterministic and part of the contract.
             for leaf in leaves:
                 if leaf != 0 and not is_pi[leaf] and levels[leaf] > best_level:
                     best_level = levels[leaf]

@@ -1,0 +1,24 @@
+"""Fixture for rule C1: attribute accessed both under and outside a lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # ok: __init__ runs before any concurrency
+        self._total = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def read(self):
+        return self._count  # C1: unguarded read of a guarded attribute
+
+    def add(self, n):
+        with self._lock:
+            self._total += n
+
+    def total_locked(self):  # ok: *_locked methods assume the lock is held
+        return self._total

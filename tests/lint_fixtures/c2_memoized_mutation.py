@@ -1,0 +1,13 @@
+"""Fixture for rule C2: mutating the return value of a memoised API."""
+
+
+def poison_cache(aig, var):
+    cuts = aig.cut_sets()
+    cuts[var].append(None)  # C2: mutates the shared memoised structure
+    return cuts
+
+
+def copy_first_ok(aig, var):
+    cuts = dict(aig.cut_sets())  # ok: copy idiom launders the taint
+    cuts[var] = []
+    return cuts

@@ -1,0 +1,34 @@
+"""Fixture for rule C3: broad except that swallows the error."""
+
+import logging
+
+LOG = logging.getLogger(__name__)
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # C3: error vanishes without a trace
+        return None
+
+
+def recorded_ok(fn):
+    try:
+        return fn()
+    except Exception as exc:  # ok: the bound error is used
+        return {"status": "error", "error": str(exc)}
+
+
+def logged_ok(fn):
+    try:
+        return fn()
+    except Exception:  # ok: logging call inside the handler
+        LOG.exception("fn failed")
+        return None
+
+
+def narrow_ok(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # ok: narrow exception type
+        return None

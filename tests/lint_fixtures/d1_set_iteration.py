@@ -1,0 +1,42 @@
+"""Fixture for rule D1: set iteration whose order escapes."""
+
+
+def leaks_order(items):
+    chosen = set(items)
+    out = []
+    for item in chosen:  # D1: append in loop body leaks iteration order
+        out.append(item)
+    return out
+
+
+def first_max(levels, leaves):
+    best = -1
+    winner = None
+    for leaf in frozenset(leaves):  # D1: first-max tie-break follows order
+        if levels[leaf] > best:
+            best = levels[leaf]
+            winner = leaf
+    return winner
+
+
+def order_insensitive(items):
+    count = 0
+    for item in set(items):  # ok: counting is order-insensitive
+        if item:
+            count += 1
+    return count
+
+
+def sorted_escape(items):
+    out = []
+    for item in sorted(set(items)):  # ok: sorted() pins the order
+        out.append(item)
+    return out
+
+
+def suppressed(items):
+    out = []
+    # repro-lint: ignore[D1] -- fixture: order is part of the contract here
+    for item in set(items):
+        out.append(item)
+    return out

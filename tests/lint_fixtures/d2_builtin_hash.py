@@ -1,0 +1,13 @@
+"""Fixture for rule D2: builtin hash() used as a persistent identity."""
+
+
+def signature(graph):
+    return hash((graph.num_pis, tuple(graph.pos)))  # D2: salted per process
+
+
+class Node:
+    def __init__(self, key):
+        self.key = key
+
+    def __hash__(self):  # ok: defining __hash__ in terms of hash() is fine
+        return hash(self.key)

@@ -1,0 +1,23 @@
+"""Fixture for rule D3: unseeded module-level random state."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_choice(options):
+    return random.choice(options)  # D3: module-level RNG, ambient seed
+
+
+def legacy_numpy_draw(n):
+    return np.random.rand(n)  # D3: legacy numpy global RNG
+
+
+def seeded_ok(options, seed):
+    rng = random.Random(seed)  # ok: explicit seeded instance
+    return rng.choice(options)
+
+
+def generator_ok(n, seed):
+    rng = np.random.default_rng(seed)  # ok: explicit Generator
+    return rng.random(n)

@@ -1,0 +1,13 @@
+"""Fixture for rule D4: wall-clock reads outside the Timer plumbing."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()  # D4: raw clock read
+    fn()
+    return time.perf_counter() - start  # D4: raw clock read
+
+
+def stamp():
+    return time.time()  # D4: wall-clock timestamp

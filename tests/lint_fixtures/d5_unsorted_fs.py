@@ -1,0 +1,19 @@
+"""Fixture for rule D5: unsorted filesystem enumeration."""
+
+import os
+from pathlib import Path
+
+
+def collect(root):
+    out = []
+    for path in Path(root).glob("*.json"):  # D5: OS-dependent order
+        out.append(path)
+    return out
+
+
+def listing(root):
+    return os.listdir(root)  # D5: OS-dependent order
+
+
+def sorted_ok(root):
+    return sorted(Path(root).rglob("*.py"))  # ok: sorted() pins the order

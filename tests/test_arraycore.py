@@ -213,6 +213,40 @@ def test_caches_survive_clone_and_divergent_appends():
     assert base.exact_key() != fork.exact_key()
 
 
+def test_snapshot_arrays_are_frozen_against_mutation():
+    # The snapshot is shared by reference across clones (and its derived
+    # arrays feed memo caches), so every exposed array must be read-only:
+    # an accidental in-place write should raise instead of silently
+    # corrupting every other graph holding the same snapshot.
+    base = _random_case(4)
+    snapshot = base.arrays()
+    fork = base.clone()
+    assert fork.arrays() is snapshot  # clone shares the snapshot by reference
+
+    direct = [
+        snapshot.fanin0_lit,
+        snapshot.fanin1_lit,
+        snapshot.fanin0_var,
+        snapshot.fanin1_var,
+        snapshot.fanin0_comp,
+        snapshot.fanin1_comp,
+        snapshot.is_pi,
+        snapshot.is_and,
+        snapshot.pi_vars,
+        snapshot.and_vars,
+    ]
+    derived = [
+        snapshot.levels(),
+        snapshot.fanin_ref_counts(),
+        *snapshot.fanout_csr(),
+        *snapshot.and_level_groups(),
+    ]
+    for array in direct + derived:
+        assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            array[0] = 1
+
+
 def test_fanout_counts_track_po_rebinding():
     aig = Aig("rebind")
     a = aig.add_pi("a")

@@ -42,6 +42,36 @@ class TestPerturbation:
         b = generate_variants(adder_aig, 5, rng=7)
         assert [v.num_ands for v in a] == [v.num_ands for v in b]
 
+    # Pinned: structural_signature must be a *stable* digest (SHA-256 over
+    # the canonical structural payload), never builtin hash() — hash() is
+    # salted per process, and pool workers dedup variants across processes.
+    ADD4_SIGNATURE = "1501d40be262a3eb09b311e0281de0b61aa0b861fdc716d4070176710333a675"
+
+    def test_signature_is_pinned_stable_digest(self, adder_aig):
+        assert structural_signature(adder_aig) == self.ADD4_SIGNATURE
+
+    def test_signature_stable_across_processes(self):
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.designs.generators import adder_design\n"
+            "from repro.datagen.perturb import structural_signature\n"
+            "print(structural_signature(adder_design(bits=4, name='add4')))\n"
+        )
+        # -R randomizes PYTHONHASHSEED explicitly: a hash()-based signature
+        # would differ between two such interpreters.
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-R", "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert outputs == {self.ADD4_SIGNATURE}
+
     def test_invalid_count_rejected(self, adder_aig):
         with pytest.raises(DatasetError):
             generate_variants(adder_aig, 0)
