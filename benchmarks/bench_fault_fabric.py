@@ -1,0 +1,101 @@
+"""Fault-fabric overhead — leases and progress journals must be near-free.
+
+The lease fabric (claim files, heartbeats, audit logs) and the progress
+journal add filesystem traffic per executed cell; the fault hooks add one
+env lookup per call site.  This benchmark prices all three against the
+plain sharded engine on a matrix of trivial cells, so a regression that
+makes the robustness layer expensive shows up as a number, not a feeling.
+
+* ``REPRO_BENCH_FABRIC_CELLS`` — matrix size (default 64)
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.campaign import EngineCell, ShardedResultStore, run_cells, strip_timing
+from repro.campaign.store import canonical_records
+from repro.devtools.faults import fault_hook
+from repro.experiments.report import format_table
+
+
+def tiny_cell(payload):
+    return {"value": int(payload["x"]) * 2 + 1}
+
+
+def _cells(count):
+    return [
+        EngineCell(f"cell-{index:03d}", "bench_fault_fabric:tiny_cell", {"x": index})
+        for index in range(count)
+    ]
+
+
+def _run(tmp_path, name, **kwargs):
+    store = ShardedResultStore(tmp_path / name, shard="w1")
+    start = time.perf_counter()
+    summary = run_cells(_cells(_cell_count()), store, **kwargs)
+    elapsed = time.perf_counter() - start
+    assert summary.ok
+    return store, elapsed
+
+
+def _cell_count():
+    try:
+        return int(os.environ.get("REPRO_BENCH_FABRIC_CELLS", 64))
+    except ValueError:
+        return 64
+
+
+def test_lease_fabric_overhead(benchmark, tmp_path, save_result):
+    plain_store, plain_s = _run(tmp_path, "plain")
+
+    def leased():
+        return _run(tmp_path / "runs", "leased", lease_ttl_s=30.0,
+                    quarantine_after=3)
+
+    leased_store, leased_s = run_once(benchmark, leased)
+
+    # The fabric must not change a single record (modulo wall clock).
+    assert [strip_timing(r) for r in canonical_records(leased_store)] == [
+        strip_timing(r) for r in canonical_records(plain_store)
+    ]
+
+    count = _cell_count()
+    per_cell_us = (leased_s - plain_s) / count * 1e6
+    rows = [
+        ("plain sharded", f"{plain_s:.3f}", "-"),
+        ("lease fabric", f"{leased_s:.3f}", f"{per_cell_us:+.0f}"),
+    ]
+    save_result(
+        "fault_fabric_overhead",
+        format_table(
+            ("engine", "wall s", "delta us/cell"),
+            rows,
+            title=f"Lease-fabric overhead ({count} trivial cells)",
+        ),
+    )
+
+
+def test_fault_hook_is_free_when_unarmed(benchmark, save_result):
+    os.environ.pop("REPRO_FAULT_PLAN", None)
+    calls = 100_000
+
+    def hammer():
+        for index in range(calls):
+            fault_hook("cell", key="bench")
+        return calls
+
+    run_once(benchmark, hammer)
+    per_call_ns = benchmark.stats["mean"] / calls * 1e9
+    save_result(
+        "fault_hook_overhead",
+        format_table(
+            ("calls", "ns/call"),
+            [(str(calls), f"{per_call_ns:.0f}")],
+            title="Unarmed fault_hook cost",
+        ),
+    )
+    # One env lookup: anything beyond a few microseconds means the fast
+    # path grew real work.
+    assert per_call_ns < 5_000

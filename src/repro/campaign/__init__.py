@@ -22,12 +22,31 @@ first-class, declarative object:
   train/test splits, stage-time breakdowns, and store-vs-baseline diffs
   with per-cell regressions highlighted.
 
+Failure handling is part of the engine contract: TTL'd cell leases with
+work stealing (:class:`LeaseManager`) let concurrent writers split one spec
+with zero duplicate executions, poison cells are quarantined after a
+configurable failure count (:func:`requeue_cells` re-arms them), and
+out-of-order completed records are journaled durably
+(:class:`ProgressJournal`) so crashes re-execute nothing.  The
+:mod:`repro.devtools.faults` harness injects deterministic failures at the
+engine's fault sites to prove all of it converges to the fault-free store.
+
 Cells executing in pool workers share per-worker persistent
 :class:`~repro.api.session.SynthesisSession` state (library index, mapper,
 PPA cache) through :func:`repro.api.session.worker_session_pool`, keyed by
 evaluation context so different libraries never share a session.
 """
 
+from repro.campaign.leases import Lease, LeaseManager, lease_manager_for
+from repro.campaign.progress import ProgressJournal, progress_journal_for
+from repro.campaign.quarantine import (
+    DEFAULT_QUARANTINE_AFTER,
+    effective_failures,
+    mark_quarantined,
+    quarantine_markers,
+    quarantined_ids,
+    requeue_cells,
+)
 from repro.campaign.report import (
     CampaignDiff,
     CampaignReport,
@@ -77,6 +96,7 @@ from repro.campaign.store import (
 )
 
 __all__ = [
+    "DEFAULT_QUARANTINE_AFTER",
     "OPTIMIZERS",
     "TIMING_FIELDS",
     "CampaignCell",
@@ -89,7 +109,10 @@ __all__ = [
     "CostScheduler",
     "EngineCell",
     "EngineSummary",
+    "Lease",
+    "LeaseManager",
     "MatrixScheduler",
+    "ProgressJournal",
     "ResultStore",
     "Scheduler",
     "ShardedResultStore",
@@ -102,12 +125,19 @@ __all__ = [
     "design_role",
     "design_token",
     "diff_stores",
+    "effective_failures",
     "engine_cells",
     "execute_cell",
     "execute_cell_with_policy",
     "in_pooled_worker",
+    "lease_manager_for",
+    "mark_quarantined",
     "merge_store",
     "open_store",
+    "progress_journal_for",
+    "quarantine_markers",
+    "quarantined_ids",
+    "requeue_cells",
     "resolve_scheduler",
     "run_campaign",
     "run_cells",

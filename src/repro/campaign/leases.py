@@ -1,0 +1,401 @@
+"""Cell leases with work stealing for sharded multi-writer campaigns.
+
+Before this layer, every sharded writer ran the *full* pending list it
+computed at start: two machines mounting one store directory both executed
+every pending cell, duplicating all work (harmlessly — records are
+deterministic — but wastefully), and a dead machine's in-flight cells were
+simply re-run by whoever resumed next.
+
+A :class:`LeaseManager` coordinates writers through the store directory
+itself, with no daemon and no network:
+
+* **Claims are atomic.**  ``<store>/.leases/held/<hash>.json`` is created
+  with ``O_CREAT | O_EXCL`` — the filesystem picks exactly one winner when
+  two writers race for a cell, so concurrent writers never execute the
+  same cell twice.
+* **Leases expire.**  A claim carries ``expires_at`` (wall clock, TTL
+  seconds ahead); the holder renews it from a heartbeat thread at a third
+  of the TTL.  A writer that is ``kill -9``'d stops renewing, its claims
+  age out, and any surviving writer *steals* them — guarded by a second
+  ``O_EXCL`` steal-lock so racing stealers also resolve to one winner.
+  The reclaimed cells migrate to the survivor instead of stalling the
+  campaign.
+* **Every transition is journalled.**  Each writer appends acquire /
+  renew / steal / release events to its own ``<store>/.leases/<writer>.jsonl``
+  sidecar — the same append-fsync single-writer JSONL pattern as the
+  result shards — so a campaign's lease history is inspectable after the
+  fact (and lands in CI chaos artifacts).
+
+Everything lives under ``.leases/``, a dot-directory the sharded store's
+``*.jsonl`` scan never touches, so lease traffic can never contaminate the
+result records or the canonical merge.
+
+Clock caveat: expiry compares wall clocks across machines.  Pick a TTL
+comfortably larger than worst-case clock skew plus one heartbeat period;
+the failure mode of a too-small TTL is a live writer's cell being stolen —
+wasted duplicate work, never a wrong result (cells are deterministic in
+their id and seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.campaign.store import append_jsonl_record
+from repro.devtools.faults import fault_hook
+from repro.errors import CampaignError
+
+#: sidecar directory (under the store directory) holding all lease state.
+LEASES_DIRNAME = ".leases"
+
+#: subdirectory of :data:`LEASES_DIRNAME` holding the atomic claim files.
+HELD_DIRNAME = "held"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One live claim: *writer* holds *cell_id* until *expires_at*."""
+
+    cell_id: str
+    writer: str
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        """Whether the claim has aged out at wall-clock time *now*."""
+        return self.expires_at <= now
+
+
+def _claim_name(cell_id: str) -> str:
+    """Filesystem-safe claim filename for any cell id."""
+    return hashlib.sha256(cell_id.encode("utf-8")).hexdigest()[:24] + ".json"
+
+
+class LeaseManager:
+    """This writer's view of (and hand in) the store's lease fabric."""
+
+    def __init__(
+        self,
+        directory: Path,
+        writer: str,
+        ttl_s: float = 30.0,
+    ) -> None:
+        if ttl_s <= 0:
+            raise CampaignError("lease ttl_s must be positive")
+        if not writer:
+            raise CampaignError("lease writer name must be non-empty")
+        self.directory = Path(directory) / LEASES_DIRNAME
+        self.held_dir = self.directory / HELD_DIRNAME
+        self.writer = writer
+        self.ttl_s = float(ttl_s)
+        self._lock = threading.Lock()
+        #: cells this manager currently holds -> lease expiry.
+        self._held: Dict[str, float] = {}
+        #: cells acquired by stealing an expired (dead-writer) lease, with
+        #: the previous holder — the runner turns these into crash markers.
+        self._stolen_from: Dict[str, str] = {}
+        self._heartbeat: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        # repro-lint: ignore[D4] -- lease expiry is *inherently* wall-clock:
+        # it must be comparable across independent machines sharing a store
+        # directory.  Lease state never enters result records.
+        return time.time()
+
+    def _claim_path(self, cell_id: str) -> Path:
+        return self.held_dir / _claim_name(cell_id)
+
+    def _log(self, op: str, cell_id: str, expires_at: float, **extra: object) -> None:
+        record: Dict[str, object] = {
+            "cell_id": cell_id,
+            "writer": self.writer,
+            "op": op,
+            "expires_at": expires_at,
+        }
+        record.update(extra)
+        try:
+            append_jsonl_record(self.directory / f"{self.writer}.jsonl", record)
+        # repro-lint: ignore[C3] -- the audit log is observability, not
+        # coordination; an unwritable log must not fail the claim itself.
+        except OSError:
+            pass
+
+    def _read_claim(self, path: Path) -> Optional[Lease]:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return Lease(
+                cell_id=str(payload["cell_id"]),
+                writer=str(payload["writer"]),
+                expires_at=float(payload["expires_at"]),
+            )
+        except (OSError, ValueError, KeyError):
+            # Mid-replace read or vanished file: treat as no readable claim;
+            # the caller re-checks on its next round.
+            return None
+
+    def _write_claim(self, path: Path, lease: Lease) -> None:
+        tmp = path.with_name(path.name + f".{self.writer}.tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "cell_id": lease.cell_id,
+                    "writer": lease.writer,
+                    "expires_at": lease.expires_at,
+                },
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Acquisition
+    # ------------------------------------------------------------------ #
+    def acquire(self, cell_id: str) -> bool:
+        """Try to claim *cell_id*; ``True`` means this writer now holds it.
+
+        Exactly one of any number of racing writers wins a fresh claim
+        (``O_EXCL``).  An expired claim (dead writer) is stolen through
+        :meth:`_steal`, again with one winner.  An unexpired foreign claim
+        means another live writer is executing the cell — skip it.
+        """
+        with self._lock:
+            if cell_id in self._held:
+                return True
+        now = self._now()
+        expires_at = now + self.ttl_s
+        path = self._claim_path(cell_id)
+        self.held_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            existing = self._read_claim(path)
+            if existing is None:
+                return False
+            if existing.writer == self.writer:
+                # A previous incarnation of this writer (crash + restart
+                # under the same shard name) left the claim behind; adopt it.
+                self._write_claim(path, Lease(cell_id, self.writer, expires_at))
+                with self._lock:
+                    self._held[cell_id] = expires_at
+                self._log("adopt", cell_id, expires_at)
+                return True
+            if not existing.expired(now):
+                return False
+            return self._steal(cell_id, path, existing)
+        try:
+            payload = json.dumps(
+                {"cell_id": cell_id, "writer": self.writer, "expires_at": expires_at},
+                sort_keys=True,
+            )
+            os.write(handle, payload.encode("utf-8"))
+        finally:
+            os.close(handle)
+        with self._lock:
+            self._held[cell_id] = expires_at
+        self._log("acquire", cell_id, expires_at)
+        return True
+
+    def _steal(self, cell_id: str, path: Path, previous: Lease) -> bool:
+        """Reclaim an expired claim; ``O_EXCL`` steal-lock picks one winner."""
+        lock_path = path.with_suffix(".steal")
+        now = self._now()
+        try:
+            lock = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            stale = self._read_claim(lock_path)
+            if stale is not None and stale.expired(now):
+                # The previous stealer died mid-steal; clear its lock so the
+                # next round can reclaim the cell.
+                try:
+                    lock_path.unlink()
+                except OSError:
+                    pass
+            return False
+        try:
+            os.write(
+                lock,
+                json.dumps(
+                    {
+                        "cell_id": cell_id,
+                        "writer": self.writer,
+                        "expires_at": now + self.ttl_s,
+                    },
+                    sort_keys=True,
+                ).encode("utf-8"),
+            )
+            os.close(lock)
+            lock = -1
+            # Between our expiry check and the lock, the holder may have
+            # renewed (a stalled-then-recovered heartbeat): re-check.
+            current = self._read_claim(path)
+            if (
+                current is not None
+                and current.writer != self.writer
+                and not current.expired(self._now())
+            ):
+                return False
+            expires_at = self._now() + self.ttl_s
+            self._write_claim(path, Lease(cell_id, self.writer, expires_at))
+            with self._lock:
+                self._held[cell_id] = expires_at
+                self._stolen_from[cell_id] = previous.writer
+            self._log("steal", cell_id, expires_at, stolen_from=previous.writer)
+            return True
+        finally:
+            if lock >= 0:
+                os.close(lock)
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def release(self, cell_id: str) -> None:
+        """Drop this writer's claim on *cell_id* (after its record landed)."""
+        with self._lock:
+            held = self._held.pop(cell_id, None)
+            self._stolen_from.pop(cell_id, None)
+        if held is None:
+            return
+        path = self._claim_path(cell_id)
+        current = self._read_claim(path)
+        if current is not None and current.writer == self.writer:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._log("release", cell_id, 0.0)
+
+    def renew_all(self) -> List[str]:
+        """Extend every held lease by one TTL; returns the renewed cell ids.
+
+        A held cell whose claim now belongs to someone else was stolen
+        while this writer was presumed dead (e.g. a stalled heartbeat); it
+        is dropped from the held set rather than fought over.
+        """
+        with self._lock:
+            held = list(self._held)
+        renewed: List[str] = []
+        for cell_id in held:
+            expires_at = self._now() + self.ttl_s
+            path = self._claim_path(cell_id)
+            current = self._read_claim(path)
+            if current is not None and current.writer != self.writer:
+                with self._lock:
+                    self._held.pop(cell_id, None)
+                self._log("lost", cell_id, current.expires_at, lost_to=current.writer)
+                continue
+            self._write_claim(path, Lease(cell_id, self.writer, expires_at))
+            with self._lock:
+                if cell_id in self._held:
+                    self._held[cell_id] = expires_at
+            renewed.append(cell_id)
+        return renewed
+
+    def release_all(self) -> None:
+        """Release every held lease (end of a run)."""
+        with self._lock:
+            held = list(self._held)
+        for cell_id in held:
+            self.release(cell_id)
+
+    def held_ids(self) -> Set[str]:
+        """Cells this manager currently believes it holds."""
+        with self._lock:
+            return set(self._held)
+
+    def stolen_from(self, cell_id: str) -> Optional[str]:
+        """Previous holder when *cell_id* was acquired by steal, else None."""
+        with self._lock:
+            return self._stolen_from.get(cell_id)
+
+    # ------------------------------------------------------------------ #
+    # Heartbeat
+    # ------------------------------------------------------------------ #
+    def start_heartbeat(self) -> None:
+        """Start the daemon renewal thread (one third of the TTL per beat)."""
+        if self._heartbeat is not None:
+            return
+        self._stop.clear()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-lease-heartbeat-{self.writer}",
+            daemon=True,
+        )
+        self._heartbeat.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the renewal thread (held leases then age out naturally)."""
+        thread = self._heartbeat
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=self.ttl_s)
+        self._heartbeat = None
+
+    def _heartbeat_loop(self) -> None:
+        interval = self.ttl_s / 3.0
+        while not self._stop.wait(interval):
+            # Fault site: a stalled heartbeat is how a *live* writer loses
+            # its leases — the chaos suite injects exactly that here.
+            fault_hook("lease_heartbeat", key=self.writer)
+            self.renew_all()
+
+    def __enter__(self) -> "LeaseManager":
+        self.start_heartbeat()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop_heartbeat()
+        self.release_all()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def leases(self, include_expired: bool = False) -> List[Lease]:
+        """Every claim currently on disk, sorted by cell id."""
+        if not self.held_dir.is_dir():
+            return []
+        now = self._now()
+        found: List[Lease] = []
+        for path in sorted(self.held_dir.glob("*.json")):
+            lease = self._read_claim(path)
+            if lease is None:
+                continue
+            if include_expired or not lease.expired(now):
+                found.append(lease)
+        return sorted(found, key=lambda lease: lease.cell_id)
+
+
+def lease_manager_for(
+    store: object, ttl_s: float
+) -> LeaseManager:
+    """The lease manager matching a sharded store's directory and writer.
+
+    Leases coordinate *multiple* writers, so only
+    :class:`~repro.campaign.shards.ShardedResultStore`-shaped stores (a
+    ``directory`` and a ``shard`` writer name) can carry them; asking for
+    leases on a single-file or in-memory store is a configuration error.
+    """
+    directory = getattr(store, "directory", None)
+    shard = getattr(store, "shard", None)
+    if directory is None or shard is None:
+        raise CampaignError(
+            "cell leases need a sharded store directory (one writer shard "
+            "per process); single-file and in-memory stores have exactly "
+            "one writer and nothing to lease"
+        )
+    return LeaseManager(Path(directory), str(shard), ttl_s=ttl_s)

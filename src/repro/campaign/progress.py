@@ -1,0 +1,104 @@
+"""Durable out-of-order progress journals for the campaign engine.
+
+The engine appends records to the result store in canonical matrix order
+regardless of execution order, so under a cost-scheduled pool the
+:class:`~repro.campaign.runner._CanonicalAppender` can be buffering a large
+region of *completed-but-not-yet-flushable* records in memory.  A crash
+used to lose that whole region — every buffered cell re-executed on resume.
+
+A :class:`ProgressJournal` makes the buffer durable: the moment a completed
+record lands out of order, it is appended (flush + fsync, the same JSONL
+pattern as the stores) to a per-writer sidecar.  On resume the journal is
+folded back into the appender, so the cells it covers are *not* re-executed
+— while the canonical store stays byte-identical to an uninterrupted run,
+because the folded records flow through the same canonical-order flush.
+
+Journal placement keeps sidecars out of the stores' own scan globs:
+
+* sharded store directory ``d`` → ``d/.progress/<shard>.progress.jsonl``
+  (a dot-subdirectory, invisible to the ``*.jsonl`` shard glob);
+* single-file store ``p.jsonl`` → sibling ``p.progress`` (no ``.jsonl``
+  suffix, so a directory of single-file stores never mistakes it for one).
+
+Only successful (``status: "ok"``) records are replayed from a journal —
+error records are cheap to re-execute and re-executing them is the engine's
+retry semantics.  Journals are cleared once their round drains, so a clean
+run leaves no sidecar behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.campaign.store import append_jsonl_record, read_jsonl_records
+
+#: subdirectory of a sharded store directory holding progress journals.
+PROGRESS_DIRNAME = ".progress"
+
+PROGRESS_SUFFIX = ".progress.jsonl"
+
+
+class ProgressJournal:
+    """Append-fsync sidecar of completed records awaiting canonical flush."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably journal one completed record.
+
+        Journalling is an availability optimisation, never a correctness
+        requirement: a failed journal write only means the record's cell
+        re-executes after a crash, so append failures are swallowed instead
+        of aborting the campaign.
+        """
+        try:
+            append_jsonl_record(self.path, record)
+        # repro-lint: ignore[C3] -- see docstring: losing a journal entry
+        # degrades to today's re-execute-on-resume behaviour by design.
+        except OSError:
+            pass
+
+    def load(self) -> List[Dict[str, object]]:
+        """Every journalled ``status: "ok"`` record (latest per cell wins)."""
+        if not self.path.exists():
+            return []
+        latest: Dict[str, Dict[str, object]] = {}
+        for record in read_jsonl_records(self.path):
+            if record.get("status") == "ok":
+                latest[str(record["cell_id"])] = record
+        return [latest[cell_id] for cell_id in sorted(latest)]
+
+    def clear(self) -> None:
+        """Drop the journal (its records reached the canonical store)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            # An unremovable journal is re-read (and de-duplicated against
+            # the store) on the next run; never fail a completed campaign
+            # over sidecar cleanup.
+            pass
+
+
+def progress_journal_for(store: object) -> Optional[ProgressJournal]:
+    """The progress journal matching *store*'s layout, if it has one.
+
+    Sharded stores journal per writer under ``.progress/``; file-backed
+    single-writer stores journal beside their file.  In-memory stores (and
+    store-like wrappers that expose neither layout) get no journal — their
+    records do not survive a crash anyway.
+    """
+    directory = getattr(store, "directory", None)
+    shard = getattr(store, "shard", None)
+    if directory is not None and shard is not None:
+        return ProgressJournal(
+            Path(directory) / PROGRESS_DIRNAME / f"{shard}{PROGRESS_SUFFIX}"
+        )
+    path = getattr(store, "path", None)
+    if isinstance(path, Path) and path.suffix:
+        return ProgressJournal(path.with_name(path.stem + ".progress"))
+    return None

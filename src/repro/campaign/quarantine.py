@@ -1,0 +1,141 @@
+"""Poison-cell quarantine: stop retrying cells that fail every writer.
+
+The engine retries failed cells on every resume — correct for transient
+failures, pathological for a *poison* cell (one that crashes or times out
+its worker deterministically): each resume of each writer re-executes it,
+so one bad cell pins a worker slot per run forever.
+
+Quarantine turns the retry loop into a bounded one.  A cell's **failed
+attempts** are counted across the whole store — every ``status: "error"``
+record any writer appended (timeouts included: they carry
+``timed_out: true`` on an error record) plus the crash markers the lease
+layer appends when it reclaims a dead writer's cell.  Once the count
+reaches the configured threshold, the detecting writer appends a
+``status: "quarantined"`` marker record, and every lease-fabric run skips
+the cell from then on — the campaign completes around it, and ``repro
+campaign status`` / ``report`` surface it.
+
+``repro campaign requeue`` clears quarantine by appending a
+``status: "requeued"`` marker carrying ``cleared: <count>`` — the number of
+failures it forgives.  The authoritative predicate is therefore a pure
+function of the store's record *multiset*::
+
+    quarantined(cell)  ⇔  errors(cell) − max(cleared markers)  ≥  threshold
+
+which is independent of shard scan order, so concurrent writers on a
+sharded store always agree on which cells are quarantined, no matter whose
+marker records land where.  Marker records themselves never count as
+failures, and a successful record ends the question entirely (completed
+cells are never quarantined).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.campaign.store import CellResultStore
+
+#: threshold used by the CLI when ``--quarantine-after`` is not given.
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: record status marking a cell as quarantined (skipped by lease-fabric runs).
+QUARANTINED_STATUS = "quarantined"
+
+#: record status clearing a quarantine (the cell runs again).
+REQUEUED_STATUS = "requeued"
+
+#: statuses that are fabric control markers, not execution outcomes.
+CONTROL_STATUSES = (QUARANTINED_STATUS, REQUEUED_STATUS)
+
+
+def effective_failures(store: CellResultStore) -> Dict[str, int]:
+    """Uncleared failed-attempt count per cell id, across every writer.
+
+    Counts ``status: "error"`` records (worker exceptions, timeouts, and
+    the lease layer's crash markers) and subtracts the largest
+    ``cleared`` value among the cell's requeue markers.
+    """
+    errors: Dict[str, int] = {}
+    cleared: Dict[str, int] = {}
+    for record in store.records:
+        cell_id = str(record.get("cell_id", ""))
+        status = record.get("status")
+        if status == "error":
+            errors[cell_id] = errors.get(cell_id, 0) + 1
+        elif status == REQUEUED_STATUS:
+            amount = record.get("cleared")
+            if isinstance(amount, int) and amount > cleared.get(cell_id, 0):
+                cleared[cell_id] = amount
+    return {
+        cell_id: count - cleared.get(cell_id, 0)
+        for cell_id, count in errors.items()
+        if count - cleared.get(cell_id, 0) > 0
+    }
+
+
+def quarantined_ids(
+    store: CellResultStore, threshold: Optional[int]
+) -> Set[str]:
+    """Cells at/over the failure *threshold* with no successful record."""
+    if not threshold or threshold <= 0:
+        return set()
+    completed = store.completed_ids()
+    return {
+        cell_id
+        for cell_id, failures in effective_failures(store).items()
+        if failures >= threshold and cell_id not in completed
+    }
+
+
+def quarantine_markers(store: CellResultStore) -> List[Dict[str, object]]:
+    """Cells whose winning record is an (uncleared) quarantine marker.
+
+    This is the *display* view (``campaign status`` / ``report``); the
+    skip decision itself always re-derives from :func:`quarantined_ids`.
+    """
+    markers = []
+    for cell_id, record in sorted(store.latest().items()):
+        if record.get("status") == QUARANTINED_STATUS:
+            markers.append(record)
+    return markers
+
+
+def mark_quarantined(
+    store: CellResultStore, cell_id: str, failures: int, error: object = None
+) -> Dict[str, object]:
+    """Append the visible ``status: "quarantined"`` marker for *cell_id*."""
+    record: Dict[str, object] = {
+        "cell_id": cell_id,
+        "status": QUARANTINED_STATUS,
+        "failed_attempts": failures,
+    }
+    if error is not None:
+        record["error"] = error
+    store.append(record)
+    return record
+
+
+def requeue_cells(
+    store: CellResultStore,
+    cell_ids: Optional[Iterable[str]] = None,
+    threshold: int = DEFAULT_QUARANTINE_AFTER,
+) -> List[str]:
+    """Clear quarantine for *cell_ids* (default: every quarantined cell).
+
+    Appends one ``status: "requeued"`` marker per cell, forgiving all of
+    its current failures, and returns the cleared cell ids (sorted).  Ids
+    that are not currently quarantined are left untouched — requeueing is
+    idempotent and never manufactures markers for healthy cells.
+    """
+    quarantined = quarantined_ids(store, threshold)
+    targets = sorted(quarantined if cell_ids is None else set(cell_ids) & quarantined)
+    failures = effective_failures(store)
+    for cell_id in targets:
+        store.append(
+            {
+                "cell_id": cell_id,
+                "status": REQUEUED_STATUS,
+                "cleared": failures.get(cell_id, 0),
+            }
+        )
+    return targets

@@ -60,6 +60,10 @@ class CampaignReport:
 
     records: List[Dict[str, object]]
     failed: List[Dict[str, object]] = field(default_factory=list)
+    #: quarantined poison-cell markers (cells the engine skips until a
+    #: ``repro campaign requeue`` clears them) — reported separately from
+    #: ordinary failures because they will *not* retry on the next run.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
 
     def group_rows(self) -> List[GroupRow]:
         """Per-design medians over seeds, one row per matrix point."""
@@ -211,17 +215,43 @@ class CampaignReport:
                     title="Failed cells (retried on the next run)",
                 )
             )
+        if self.quarantined:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["cell", "failed attempts", "last error"],
+                    [
+                        (
+                            str(record.get("cell_id", "?")),
+                            str(record.get("failed_attempts", "?")),
+                            str(record.get("error", "?"))[:60],
+                        )
+                        for record in self.quarantined
+                    ],
+                    title="Quarantined cells (skipped until 'campaign requeue')",
+                )
+            )
         return "\n".join(lines)
 
 
 def campaign_report(store: CellResultStore) -> CampaignReport:
     """Build a :class:`CampaignReport` from the latest record per cell."""
+    from repro.campaign.quarantine import CONTROL_STATUSES, quarantine_markers
+
+    quarantined = quarantine_markers(store)
+    quarantined_cells = {str(record.get("cell_id")) for record in quarantined}
     latest = store.latest()
     ok = [record for record in latest.values() if record.get("status") == "ok"]
-    failed = [record for record in latest.values() if record.get("status") != "ok"]
+    failed = [
+        record
+        for record in latest.values()
+        if record.get("status") != "ok"
+        and record.get("status") not in CONTROL_STATUSES
+        and str(record.get("cell_id")) not in quarantined_cells
+    ]
     ok.sort(key=lambda record: str(record.get("cell_id", "")))
     failed.sort(key=lambda record: str(record.get("cell_id", "")))
-    return CampaignReport(records=ok, failed=failed)
+    return CampaignReport(records=ok, failed=failed, quarantined=quarantined)
 
 
 # --------------------------------------------------------------------------- #

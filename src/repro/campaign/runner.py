@@ -18,6 +18,24 @@ derives all of its randomness from its own id and seed (via non-consuming
 are identical — modulo wall-clock fields — at any worker count and under
 any scheduler, and sharded runs agree on their canonical view.
 
+Failure is a first-class input to the engine, not an afterthought:
+
+* ``lease_ttl_s`` turns a sharded run into a **fabric writer** that claims
+  cells through :class:`~repro.campaign.leases.LeaseManager` — concurrent
+  writers split the pending set with zero duplicate executions, and a
+  ``kill -9``'d writer's cells are stolen by survivors after the TTL.
+* ``quarantine_after`` bounds the retry loop for **poison cells**: a cell
+  with that many uncleared failed attempts across all writers (timeouts and
+  reclaim crash markers included) is marked ``status: "quarantined"`` and
+  skipped until ``repro campaign requeue`` clears it.
+* Out-of-order completed records buffered for canonical order are journaled
+  durably (:class:`~repro.campaign.progress.ProgressJournal`) and folded
+  back in on resume, so a crash mid-pool re-executes nothing.
+* :func:`repro.devtools.faults.fault_hook` sites (``cell``, ``flush``, and
+  the stores' ``store_append``) let the chaos differential suite inject
+  deterministic failures and assert the whole fabric converges to the
+  fault-free store.
+
 On top of the generic engine, :func:`run_campaign` executes a
 :class:`~repro.campaign.spec.CampaignSpec` with the standard optimize-cell
 worker, and :func:`campaign_status` reports completed/failed/pending counts
@@ -28,15 +46,25 @@ cell kinds through the same engine.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.campaign.leases import LeaseManager, lease_manager_for
+from repro.campaign.progress import ProgressJournal, progress_journal_for
+from repro.campaign.quarantine import (
+    effective_failures,
+    mark_quarantined,
+    quarantine_markers,
+    quarantined_ids,
+)
 from repro.campaign.schedule import SchedulerLike, resolve_scheduler
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellResultStore
+from repro.devtools.faults import fault_hook
 from repro.errors import CampaignError
 
 #: worker function used for standard campaign optimize cells.
@@ -69,6 +97,11 @@ class EngineSummary:
     skipped: int
     executed: int
     failed: List[str] = field(default_factory=list)
+    #: cells whose completed records were folded back from a progress
+    #: journal instead of re-executing (crash recovery).
+    recovered: int = 0
+    #: cells skipped (or newly marked) as quarantined poison cells.
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -99,6 +132,10 @@ def execute_cell(cell_id: str, fn_path: str, payload: Dict[str, Any]) -> Dict[st
     # _pool_worker_init runs.
     start = time.perf_counter()
     try:
+        # Fault site "cell": inside the try, so an injected transient error
+        # becomes an ordinary error record; an injected crash kills this
+        # (worker) process; an injected hang overruns the cell timeout.
+        fault_hook("cell", key=cell_id)
         result = _resolve_fn(fn_path)(payload) or {}
         record: Dict[str, Any] = {"cell_id": cell_id, "status": "ok"}
         record.update(result)
@@ -191,6 +228,19 @@ def _execute_with_timeout(
     return record
 
 
+def _retry_jitter(cell_id: str, attempt: int) -> float:
+    """Deterministic backoff jitter in ``[0.5, 1.5)``, keyed by cell id.
+
+    Pool workers retrying simultaneously-failed cells would otherwise sleep
+    in lockstep and hammer whatever shared resource failed them, all at the
+    same instant; hashing the cell id (PYTHONHASHSEED-independent) spreads
+    the retries while keeping every run of the same cell identical.
+    """
+    material = f"{cell_id}:{attempt}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return 0.5 + int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
 def execute_cell_with_policy(
     cell_id: str,
     fn_path: str,
@@ -205,9 +255,14 @@ def execute_cell_with_policy(
     terminated at the deadline, so a hung cell records an ``error`` result
     (with ``timed_out: true``) and frees its slot instead of pinning a
     worker forever.  A failing cell is re-executed up to *retries* times
-    with exponential backoff (``retry_backoff_s * 2**attempt``); when any
-    retry policy is active the returned record carries an ``attempts``
-    count.  With the default arguments this is exactly :func:`execute_cell`.
+    with exponential backoff (``retry_backoff_s * 2**attempt``, jittered
+    per cell id by :func:`_retry_jitter`); when any retry policy is active
+    the returned record carries an ``attempts`` count, and if any attempt
+    failed, an ``attempt_errors`` list preserving every failed attempt's
+    error in order — so a flaky-then-ok cell is distinguishable from a
+    clean one, and a hard failure shows its full history instead of only
+    the last message.  With the default arguments this is exactly
+    :func:`execute_cell`.
     """
     if timeout_s is not None and timeout_s <= 0:
         raise CampaignError("timeout_s must be positive (or None to disable)")
@@ -216,16 +271,21 @@ def execute_cell_with_policy(
     if retry_backoff_s < 0:
         raise CampaignError("retry_backoff_s must be >= 0")
     attempt = 0
+    attempt_errors: List[str] = []
     while True:
         if timeout_s is None:
             record = execute_cell(cell_id, fn_path, payload)
         else:
             record = _execute_with_timeout(cell_id, fn_path, payload, timeout_s)
+        if record.get("status") != "ok":
+            attempt_errors.append(str(record.get("error", "")))
         if record.get("status") == "ok" or attempt >= retries:
             if retries:
                 record["attempts"] = attempt + 1
+                if attempt_errors:
+                    record["attempt_errors"] = list(attempt_errors)
             return record
-        backoff = retry_backoff_s * (2.0**attempt)
+        backoff = retry_backoff_s * (2.0**attempt) * _retry_jitter(cell_id, attempt)
         if backoff > 0:
             time.sleep(backoff)
         attempt += 1
@@ -241,30 +301,36 @@ class _CanonicalAppender:
 
     Cells may *execute* in any order (cost scheduling, pool racing); the
     store layout must not depend on that, so records are buffered until
-    every earlier-in-matrix record has landed.  A crash loses the buffered
-    out-of-order records, which the next run simply re-executes — under a
-    cost-scheduled pool, where submission order is roughly anti-correlated
-    with matrix order, that buffered region can be large (the ROADMAP's
-    completion-sidecar item would make it durable too); matrix-scheduled
-    and serial runs flush promptly.  A record is only dropped from the
-    buffer once the store accepted it, so a failing ``append`` propagates
-    without losing anything.
+    every earlier-in-matrix record has landed.  With a *journal*, each
+    successful record that has to wait is appended durably the moment it
+    lands, and :meth:`fold_journal` replays those records on resume — so a
+    crash under a cost-scheduled pool (where the buffered region is large)
+    re-executes nothing, while the store layout stays identical to an
+    uninterrupted run.  A record is only dropped from the buffer once the
+    store accepted it, so a failing ``append`` propagates without losing
+    anything.
     """
 
     def __init__(
         self,
         canonical: Sequence[EngineCell],
         record_result: Callable[[Dict[str, Any]], None],
+        journal: Optional[ProgressJournal] = None,
     ) -> None:
         self._order = [cell.cell_id for cell in canonical]
         self._record_result = record_result
+        self._journal = journal
         self._pending: Dict[str, Dict[str, Any]] = {}
         self._next = 0
         self.added: set = set()
+        #: cells satisfied from the journal rather than executed.
+        self.recovered: set = set()
 
-    def add(self, record: Dict[str, Any]) -> None:
+    def add(self, record: Dict[str, Any], from_journal: bool = False) -> None:
         cell_id = str(record["cell_id"])
         self.added.add(cell_id)
+        if from_journal:
+            self.recovered.add(cell_id)
         self._pending[cell_id] = record
         while self._next < len(self._order):
             ready = self._pending.get(self._order[self._next])
@@ -273,6 +339,27 @@ class _CanonicalAppender:
             self._record_result(ready)
             del self._pending[self._order[self._next]]
             self._next += 1
+        if (
+            self._journal is not None
+            and not from_journal
+            and cell_id in self._pending
+            and record.get("status") == "ok"
+        ):
+            # The record is waiting for earlier-in-matrix cells: make it
+            # durable now so a crash does not force its re-execution.
+            self._journal.append(record)
+
+    def fold_journal(self, eligible: Set[str]) -> int:
+        """Replay journalled records for *eligible* cells; returns the count."""
+        if self._journal is None:
+            return 0
+        folded = 0
+        for record in self._journal.load():
+            cell_id = str(record["cell_id"])
+            if cell_id in eligible and cell_id not in self.added:
+                self.add(record, from_journal=True)
+                folded += 1
+        return folded
 
     @property
     def drained(self) -> bool:
@@ -342,6 +429,179 @@ def _run_pool(
     return [cell for cell in scheduled if cell.cell_id not in appender.added]
 
 
+def _ordered(
+    policy, to_run: Sequence[EngineCell], store: CellResultStore
+) -> List[EngineCell]:
+    """Apply *policy* to *to_run*, enforcing the permutation contract."""
+    scheduled = policy.order(list(to_run), store)
+    if sorted(cell.cell_id for cell in scheduled) != sorted(
+        cell.cell_id for cell in to_run
+    ):
+        raise CampaignError(
+            f"scheduler {type(policy).__name__} must return a permutation of "
+            "the pending cells"
+        )
+    return scheduled
+
+
+def _execute_batch(
+    batch: Sequence[EngineCell],
+    store: CellResultStore,
+    appender: _CanonicalAppender,
+    policy,
+    max_workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+) -> int:
+    """Run one canonical-order batch (pool first, serial leftovers).
+
+    The appender may already hold journal-recovered records for some of the
+    batch; only the rest execute.  Returns the number of cells executed.
+    """
+    to_run = [cell for cell in batch if cell.cell_id not in appender.recovered]
+    scheduled = _ordered(policy, to_run, store)
+    leftover: Sequence[EngineCell] = to_run
+    if max_workers > 1 and len(scheduled) > 1:
+        pooled_leftover = _run_pool(
+            scheduled,
+            min(max_workers, len(scheduled)),
+            appender,
+            timeout_s=timeout_s,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+        )
+        leftover_ids = {cell.cell_id for cell in pooled_leftover}
+        # Serial fallback keeps canonical order so appends stay prompt.
+        leftover = [cell for cell in to_run if cell.cell_id in leftover_ids]
+    for cell in leftover:
+        appender.add(
+            execute_cell_with_policy(
+                cell.cell_id,
+                cell.fn,
+                cell.payload,
+                timeout_s=timeout_s,
+                retries=retries,
+                retry_backoff_s=retry_backoff_s,
+            )
+        )
+    if batch and not appender.drained:
+        raise CampaignError("engine bug: not every pending cell produced a record")
+    return len(to_run)
+
+
+def _run_leased(
+    pending: Sequence[EngineCell],
+    store: CellResultStore,
+    manager: LeaseManager,
+    policy,
+    record_result: Callable[[Dict[str, Any]], None],
+    journal: Optional[ProgressJournal],
+    max_workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+    quarantine_after: Optional[int],
+    poll_s: float,
+    newly_quarantined: List[str],
+) -> Dict[str, int]:
+    """Drain *pending* as one writer of a multi-writer lease fabric.
+
+    Cells are claimed in rounds of a few pool-widths, so concurrent writers
+    split the work dynamically instead of one greedy writer hoarding the
+    whole pending list.  Cells held by a *live* writer are left alone and
+    re-polled; cells whose lease expired (dead writer) are stolen, charged
+    one crash-marker failure, and executed here.  The loop ends when every
+    pending cell is completed, quarantined, or failed by some writer this
+    run — an error landed by any writer is not retried again within the
+    same invocation, mirroring the single-writer engine's one-execution-
+    per-cell-per-run semantics.
+    """
+    chunk = max(4, max_workers * 2)
+    initial_failed = store.failed_ids()
+    executed_ids: Set[str] = set()
+    recovered = 0
+    executed = 0
+    with manager:
+        while True:
+            completed_now = store.completed_ids()
+            quarantined_now = quarantined_ids(store, quarantine_after)
+            # Failures that appeared after this run started (any writer's)
+            # are final for this invocation; pre-existing ones are retried.
+            fresh_failures = store.failed_ids() - initial_failed
+            remaining = [
+                cell
+                for cell in pending
+                if cell.cell_id not in completed_now
+                and cell.cell_id not in executed_ids
+                and cell.cell_id not in quarantined_now
+                and cell.cell_id not in fresh_failures
+            ]
+            if not remaining:
+                break
+            mine: List[EngineCell] = []
+            for cell in remaining:
+                if len(mine) >= chunk:
+                    break
+                if manager.acquire(cell.cell_id):
+                    mine.append(cell)
+            if not mine:
+                # Everything left is held by live writers: wait for their
+                # records (or their TTL expiry) and look again.
+                time.sleep(poll_s)
+                continue
+            batch: List[EngineCell] = []
+            for cell in mine:
+                thief_victim = manager.stolen_from(cell.cell_id)
+                if thief_victim is not None:
+                    # A reclaimed cell was in flight on a dead writer:
+                    # charge one failed attempt so repeat offenders (cells
+                    # that *kill* their writers) reach quarantine.
+                    store.append(
+                        {
+                            "cell_id": cell.cell_id,
+                            "status": "error",
+                            "error": (
+                                "WriterCrashed: lease held by "
+                                f"{thief_victim!r} expired"
+                            ),
+                            "crashed": True,
+                            "stolen_from": thief_victim,
+                        }
+                    )
+                    if quarantine_after:
+                        failures = effective_failures(store).get(cell.cell_id, 0)
+                        if failures >= quarantine_after:
+                            mark_quarantined(
+                                store,
+                                cell.cell_id,
+                                failures,
+                                error="WriterCrashed: repeatedly killed its writer",
+                            )
+                            newly_quarantined.append(cell.cell_id)
+                            manager.release(cell.cell_id)
+                            continue
+                batch.append(cell)
+            if not batch:
+                continue
+            appender = _CanonicalAppender(batch, record_result, journal=journal)
+            recovered += appender.fold_journal({cell.cell_id for cell in batch})
+            executed += _execute_batch(
+                batch,
+                store,
+                appender,
+                policy,
+                max_workers,
+                timeout_s,
+                retries,
+                retry_backoff_s,
+            )
+            executed_ids.update(cell.cell_id for cell in batch)
+    if journal is not None:
+        journal.clear()
+    return {"recovered": recovered, "executed": executed}
+
+
 def run_cells(
     cells: Sequence[EngineCell],
     store: CellResultStore,
@@ -351,6 +611,9 @@ def run_cells(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.05,
+    lease_ttl_s: Optional[float] = None,
+    lease_poll_s: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
 ) -> EngineSummary:
     """Execute every cell not already completed in *store*.
 
@@ -368,7 +631,18 @@ def run_cells(
     :func:`execute_cell_with_policy` timeout/retry policy: a cell that
     exceeds *timeout_s* records an ``error`` result (``timed_out: true``)
     and frees its slot, and failing cells are re-executed up to *retries*
-    times with exponential backoff before their error record is final.
+    times with jittered exponential backoff before their error record is
+    final.
+
+    *lease_ttl_s* opts a **sharded** store into the multi-writer lease
+    fabric: cells are claimed via TTL'd leases before executing, so
+    concurrent writers on one store directory never execute the same cell
+    twice and a dead writer's cells migrate to survivors (see
+    :mod:`repro.campaign.leases`); *lease_poll_s* tunes how often a writer
+    re-checks cells other writers hold.  *quarantine_after* bounds poison
+    cells: a cell with that many uncleared failures across writers is
+    marked quarantined and skipped until requeued (see
+    :mod:`repro.campaign.quarantine`).
     """
     if max_workers < 1:
         raise CampaignError("max_workers must be at least 1")
@@ -378,7 +652,17 @@ def run_cells(
         raise CampaignError("retries must be >= 0")
     if retry_backoff_s < 0:
         raise CampaignError("retry_backoff_s must be >= 0")
+    if lease_ttl_s is not None and lease_ttl_s <= 0:
+        raise CampaignError("lease_ttl_s must be positive (or None to disable)")
+    if lease_poll_s is not None and lease_poll_s <= 0:
+        raise CampaignError("lease_poll_s must be positive (or None for default)")
+    if quarantine_after is not None and quarantine_after < 1:
+        raise CampaignError("quarantine_after must be >= 1 (or None to disable)")
     policy = resolve_scheduler(scheduler)
+    lease_manager: Optional[LeaseManager] = None
+    if lease_ttl_s is not None:
+        # Raises for single-writer stores, which have nothing to lease.
+        lease_manager = lease_manager_for(store, lease_ttl_s)
     unique: List[EngineCell] = []
     seen: set = set()
     for cell in cells:
@@ -387,56 +671,86 @@ def run_cells(
         seen.add(cell.cell_id)
         unique.append(cell)
     completed = store.completed_ids()
-    pending = [cell for cell in unique if cell.cell_id not in completed]
-    scheduled = policy.order(pending, store)
-    if sorted(cell.cell_id for cell in scheduled) != sorted(
-        cell.cell_id for cell in pending
-    ):
-        raise CampaignError(
-            f"scheduler {type(policy).__name__} must return a permutation of "
-            "the pending cells"
-        )
+    quarantined_at_entry = quarantined_ids(store, quarantine_after)
+    pending = [
+        cell
+        for cell in unique
+        if cell.cell_id not in completed and cell.cell_id not in quarantined_at_entry
+    ]
+    skipped = sum(1 for cell in unique if cell.cell_id in completed)
+    quarantined_cells = sorted(
+        cell.cell_id
+        for cell in unique
+        if cell.cell_id in quarantined_at_entry and cell.cell_id not in completed
+    )
+    journal = progress_journal_for(store)
     failed: List[str] = []
 
     def record_result(record: Dict[str, Any]) -> None:
+        cell_id = str(record["cell_id"])
+        # Fault site "flush": an injected crash here dies between execution
+        # and durability — exactly the window the progress journal covers.
+        fault_hook("flush", key=cell_id)
         store.append(record)
         if record.get("status") != "ok":
-            failed.append(str(record["cell_id"]))
+            failed.append(cell_id)
+            if quarantine_after:
+                failures = effective_failures(store).get(cell_id, 0)
+                if failures >= quarantine_after:
+                    mark_quarantined(
+                        store, cell_id, failures, error=record.get("error")
+                    )
+                    quarantined_cells.append(cell_id)
+        if lease_manager is not None:
+            lease_manager.release(cell_id)
         if on_record is not None:
             on_record(record)
 
-    appender = _CanonicalAppender(pending, record_result)
-    leftover: Sequence[EngineCell] = pending
-    if max_workers > 1 and len(scheduled) > 1:
-        pooled_leftover = _run_pool(
-            scheduled,
-            min(max_workers, len(scheduled)),
+    if lease_manager is not None:
+        poll_s = (
+            lease_poll_s
+            if lease_poll_s is not None
+            else min(0.5, lease_manager.ttl_s / 4.0)
+        )
+        outcome = _run_leased(
+            pending,
+            store,
+            lease_manager,
+            policy,
+            record_result,
+            journal,
+            max_workers,
+            timeout_s,
+            retries,
+            retry_backoff_s,
+            quarantine_after,
+            poll_s,
+            quarantined_cells,
+        )
+        recovered = outcome["recovered"]
+        executed = outcome["executed"]
+    else:
+        appender = _CanonicalAppender(pending, record_result, journal=journal)
+        recovered = appender.fold_journal({cell.cell_id for cell in pending})
+        executed = _execute_batch(
+            pending,
+            store,
             appender,
-            timeout_s=timeout_s,
-            retries=retries,
-            retry_backoff_s=retry_backoff_s,
+            policy,
+            max_workers,
+            timeout_s,
+            retries,
+            retry_backoff_s,
         )
-        leftover_ids = {cell.cell_id for cell in pooled_leftover}
-        # Serial fallback keeps canonical order so appends stay prompt.
-        leftover = [cell for cell in pending if cell.cell_id in leftover_ids]
-    for cell in leftover:
-        appender.add(
-            execute_cell_with_policy(
-                cell.cell_id,
-                cell.fn,
-                cell.payload,
-                timeout_s=timeout_s,
-                retries=retries,
-                retry_backoff_s=retry_backoff_s,
-            )
-        )
-    if pending and not appender.drained:
-        raise CampaignError("engine bug: not every pending cell produced a record")
+        if journal is not None and appender.drained:
+            journal.clear()
     return EngineSummary(
         total=len(unique),
-        skipped=len(unique) - len(pending),
-        executed=len(pending),
+        skipped=skipped,
+        executed=executed,
         failed=failed,
+        recovered=recovered,
+        quarantined=sorted(set(quarantined_cells)),
     )
 
 
@@ -460,6 +774,9 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.05,
+    lease_ttl_s: Optional[float] = None,
+    lease_poll_s: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
 ) -> EngineSummary:
     """Run (or resume) *spec* against *store*; only missing cells execute."""
     return run_cells(
@@ -471,6 +788,9 @@ def run_campaign(
         timeout_s=timeout_s,
         retries=retries,
         retry_backoff_s=retry_backoff_s,
+        lease_ttl_s=lease_ttl_s,
+        lease_poll_s=lease_poll_s,
+        quarantine_after=quarantine_after,
     )
 
 
@@ -482,6 +802,9 @@ class CampaignStatus:
     completed: int
     failed: int
     pending_ids: List[str] = field(default_factory=list)
+    #: quarantined poison cells — excluded from pending, so a campaign can
+    #: reach ``done`` around them; ``repro campaign requeue`` re-arms them.
+    quarantined_ids: List[str] = field(default_factory=list)
 
     @property
     def pending(self) -> int:
@@ -489,20 +812,46 @@ class CampaignStatus:
         return len(self.pending_ids)
 
     @property
+    def quarantined(self) -> int:
+        """Number of quarantined cells awaiting a requeue."""
+        return len(self.quarantined_ids)
+
+    @property
     def done(self) -> bool:
-        """Whether every cell of the spec has a successful record."""
+        """Whether every non-quarantined cell has a successful record."""
         return self.pending == 0
 
 
-def campaign_status(spec: CampaignSpec, store: CellResultStore) -> CampaignStatus:
-    """How much of *spec* the *store* already covers."""
+def campaign_status(
+    spec: CampaignSpec,
+    store: CellResultStore,
+    quarantine_after: Optional[int] = None,
+) -> CampaignStatus:
+    """How much of *spec* the *store* already covers.
+
+    With *quarantine_after* set, quarantine is derived from the failure
+    counts (the same predicate the engine skips by); without it, cells
+    whose winning record is a quarantine marker are surfaced.
+    """
     ids = [cell.cell_id for cell in spec.expand()]
     completed = store.completed_ids()
     failed = store.failed_ids()
-    pending_ids = [cell_id for cell_id in ids if cell_id not in completed]
+    if quarantine_after:
+        quarantined = quarantined_ids(store, quarantine_after)
+    else:
+        quarantined = {
+            str(record["cell_id"]) for record in quarantine_markers(store)
+        }
+    quarantined = (quarantined & set(ids)) - completed
+    pending_ids = [
+        cell_id
+        for cell_id in ids
+        if cell_id not in completed and cell_id not in quarantined
+    ]
     return CampaignStatus(
         total=len(ids),
-        completed=len(ids) - len(pending_ids),
+        completed=sum(1 for cell_id in ids if cell_id in completed),
         failed=sum(1 for cell_id in ids if cell_id in failed),
         pending_ids=pending_ids,
+        quarantined_ids=sorted(quarantined),
     )

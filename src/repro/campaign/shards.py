@@ -118,9 +118,17 @@ class ShardedResultStore:
         The directory is re-scanned on each access, so records appended by
         concurrent writers since the last call are included; unchanged
         shard files are served from the parse cache rather than re-parsed.
+        Cache entries for shard files deleted from the directory are
+        dropped on the same scan, so a long-lived process (the synthesis
+        service) watching a churning store directory stays bounded by the
+        *live* shard count, not by every shard that ever existed.
         """
+        paths = self.shard_paths()
+        live = set(paths)
+        for stale in [path for path in self._parse_cache if path not in live]:
+            del self._parse_cache[stale]
         merged: List[Dict[str, object]] = []
-        for path in self.shard_paths():
+        for path in paths:
             merged.extend(self._read_shard(path))
         return merged
 

@@ -26,6 +26,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Set, Union, runtime_checkable
 
+from repro.devtools.faults import fault_hook
 from repro.errors import CampaignError
 
 #: record fields that legitimately differ between runs of the same cell.
@@ -102,10 +103,29 @@ def read_jsonl_records(path: Union[str, Path]) -> List[Dict[str, object]]:
 
 
 def append_jsonl_record(path: Path, record: Dict[str, object]) -> None:
-    """Durably append one record to a JSONL store file (flush + fsync)."""
+    """Durably append one record to a JSONL store file (flush + fsync).
+
+    A writer killed mid-append leaves a torn half-line at the end of the
+    file; appending straight after it would glue the new record onto the
+    fragment and lose *both* lines to the JSON parser.  So the tail is
+    checked first and a torn fragment is sealed with its own newline —
+    isolating it on one invalid line that :func:`read_jsonl_records` drops,
+    exactly as if the kill had happened one byte earlier.
+    """
+    line = json.dumps(record, sort_keys=True) + "\n"
+    # Fault site "store_append": an injected OSError models a failing
+    # append/fsync; "torn_append" writes half of *line* and dies, leaving
+    # exactly the torn tail this function must survive on resume.
+    fault_hook("store_append", key=str(path), path=path, line=line)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    with open(path, "a+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size:
+            handle.seek(size - 1)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        handle.write(line.encode("utf-8"))
         handle.flush()
         os.fsync(handle.fileno())
 

@@ -28,12 +28,14 @@ from typing import List, Optional
 from repro.api import OptimizeRequest, SynthesisSession, default_session
 from repro.api.session import load_design
 from repro.campaign import (
+    DEFAULT_QUARANTINE_AFTER,
     CampaignSpec,
     campaign_report,
     campaign_status,
     diff_stores,
     merge_store,
     open_store,
+    requeue_cells,
     run_campaign,
 )
 from repro.designs.registry import ALL_DESIGNS
@@ -301,11 +303,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         timeout_s=args.timeout,
         retries=args.retries,
+        lease_ttl_s=args.lease_ttl,
+        quarantine_after=args.quarantine_after,
     )
+    extras = ""
+    if summary.recovered:
+        extras += f", {summary.recovered} recovered from journal"
+    if summary.quarantined:
+        extras += f", {len(summary.quarantined)} quarantined"
     print(
         f"campaign: {summary.total} cells, {summary.skipped} already done, "
-        f"{summary.executed} executed, {len(summary.failed)} failed"
+        f"{summary.executed} executed, {len(summary.failed)} failed{extras}"
     )
+    for cell_id in summary.quarantined:
+        print(f"  quarantined {cell_id} (repro campaign requeue to re-arm)")
     print(f"store: {store.path}")
     return 0 if summary.ok else 1
 
@@ -318,15 +329,29 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         print(f"completed   : {status.completed}")
         print(f"failed      : {status.failed}")
         print(f"pending     : {status.pending}")
+        if status.quarantined:
+            print(f"quarantined : {status.quarantined}")
         if status.pending and args.verbose:
             for cell_id in status.pending_ids:
                 print(f"  pending {cell_id}")
+        for cell_id in status.quarantined_ids:
+            print(f"  quarantined {cell_id} (repro campaign requeue to re-arm)")
         return 0 if status.done else 1
+    from repro.campaign import quarantine_markers
+
     latest = store.latest()
     ok = sum(1 for record in latest.values() if record.get("status") == "ok")
+    quarantined = quarantine_markers(store)
     print(f"records     : {len(store)} ({len(latest)} distinct cells)")
     print(f"completed   : {ok}")
     print(f"failed      : {len(latest) - ok}")
+    if quarantined:
+        print(f"quarantined : {len(quarantined)}")
+        for record in quarantined:
+            print(
+                f"  quarantined {record['cell_id']} "
+                f"({record.get('failed_attempts', '?')} failed attempts)"
+            )
     return 0
 
 
@@ -347,6 +372,25 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         print(diff.format_report())
         return 0 if diff.ok else 1
     print(campaign_report(store).format_report())
+    return 0
+
+
+def _cmd_campaign_requeue(args: argparse.Namespace) -> int:
+    store = open_store(args.store, shard=args.shard)
+    if not args.all and not args.cell:
+        print("error: pass --cell ID (repeatable) or --all", file=sys.stderr)
+        return 2
+    cleared = requeue_cells(
+        store,
+        cell_ids=None if args.all else args.cell,
+        threshold=args.quarantine_after,
+    )
+    if not cleared:
+        print("no quarantined cells matched; nothing requeued")
+        return 0
+    for cell_id in cleared:
+        print(f"requeued {cell_id}")
+    print(f"{len(cleared)} cell(s) will run again on the next campaign run")
     return 0
 
 
@@ -562,6 +606,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run a failed cell this many times with backoff before "
         "its error record is final",
     )
+    campaign_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="claim cells via TTL'd leases (seconds) before executing, so "
+        "concurrent writers on one sharded store never duplicate work and "
+        "a dead writer's cells are stolen after the TTL (sharded stores "
+        "only; default: no leases)",
+    )
+    campaign_run.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        help="quarantine a cell after this many failed attempts across all "
+        "writers (timeouts and writer crashes count); quarantined cells "
+        "are skipped until 'campaign requeue' (default: never)",
+    )
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_status_p = campaign_sub.add_parser(
@@ -592,6 +653,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression tolerance in percent for --baseline diffs",
     )
     campaign_report_p.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_requeue = campaign_sub.add_parser(
+        "requeue",
+        help="clear quarantined poison cells so the next run retries them",
+    )
+    campaign_requeue.add_argument(
+        "--store", type=Path, required=True, help="result store (file or shard dir)"
+    )
+    campaign_requeue.add_argument(
+        "--cell",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="requeue this cell id (repeatable)",
+    )
+    campaign_requeue.add_argument(
+        "--all", action="store_true", help="requeue every quarantined cell"
+    )
+    campaign_requeue.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=DEFAULT_QUARANTINE_AFTER,
+        help="failure threshold the quarantine was derived with "
+        f"(default {DEFAULT_QUARANTINE_AFTER})",
+    )
+    campaign_requeue.add_argument(
+        "--shard",
+        default=None,
+        help="writer name for the requeue markers in a sharded store "
+        "(default: <hostname>-<pid>)",
+    )
+    campaign_requeue.set_defaults(handler=_cmd_campaign_requeue)
 
     campaign_merge = campaign_sub.add_parser(
         "merge",

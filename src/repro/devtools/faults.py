@@ -1,0 +1,341 @@
+"""Deterministic fault injection for the campaign fabric.
+
+The fault-tolerance story of the engine (leases, quarantine, progress
+journals, crash-safe stores) is only trustworthy if failure is a *tested*
+input, not a hope.  This module turns failure into a seeded, replayable
+schedule: a :class:`FaultPlan` — parsed from the :data:`FAULT_PLAN_ENV`
+environment variable, so spawn children inherit it — fires named fault
+kinds at registered *sites* in the runner, the stores, and the lease layer.
+The chaos differential suite drives seeded plans over sharded multi-writer
+campaigns and asserts every run converges, after resumes, to the fault-free
+store.
+
+Spec format (one env string, ``;``-separated)::
+
+    seed=42;dir=/tmp/fault-state;error@cell:p=0.3,max=2;crash@cell:nth=4,max=1
+
+Global keys:
+
+* ``seed=<int>`` — seeds the hash that decides probabilistic firing.
+* ``dir=<path>`` — state directory where fires are journalled durably, so
+  ``max=`` caps hold **across processes and resumes** (a crash fault that
+  fired once stays fired for the re-run).  Without ``dir``, caps are
+  per-process.
+
+Each rule is ``<kind>@<site>`` plus ``,``-separated parameters:
+
+* ``p=<float>`` — fire when ``sha256(seed, kind, site, key, count)`` maps
+  below ``p`` (deterministic: same plan + same call sequence = same fires).
+* ``nth=<int>`` — fire on exactly the nth eligible call at the site
+  (1-based, counted per process).
+* ``match=<substr>`` — only calls whose key contains the substring.
+* ``max=<int>`` — total fire cap for this rule (durable with ``dir=``).
+* ``delay=<float>`` — sleep length for ``hang`` / ``heartbeat_stall``.
+
+Fault kinds (what a fire does at the call site):
+
+=================  ==========================================================
+``crash``          ``os._exit(70)`` — a worker/writer dies mid-flight.
+``hang``           sleep ``delay`` seconds — a cell overruns its timeout.
+``error``          raise :class:`FaultInjectedError` — a transient cell error.
+``torn_append``    write *half* the pending JSONL line, fsync, ``os._exit`` —
+                   the torn-tail-write a kill mid-append leaves behind.
+``oserror``        raise ``OSError`` before writing — a failing append/fsync.
+``heartbeat_stall``  sleep ``delay`` seconds inside the lease heartbeat, so
+                   held leases expire and other writers steal the cells.
+=================  ==========================================================
+
+Registered sites: ``cell`` (start of every cell execution, key = cell id),
+``store_append`` (every durable JSONL append, key = file path),
+``flush`` (the engine's canonical-order store flush, key = cell id), and
+``lease_heartbeat`` (each heartbeat beat, key = writer name).
+
+Production code calls :func:`fault_hook`, which is a no-op costing one env
+lookup when no plan is set — the fabric pays nothing in normal operation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: environment variable holding the active fault-plan spec (inherited by
+#: spawn children, so pool workers fault under the same plan as the parent).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: fault kinds a rule may name.
+FAULT_KINDS = ("crash", "hang", "error", "torn_append", "oserror", "heartbeat_stall")
+
+#: exit code used by injected crashes, so harnesses can tell an injected
+#: death from a genuine one.
+CRASH_EXIT_CODE = 70
+
+
+class FaultPlanError(ReproError):
+    """Raised for malformed fault-plan specs."""
+
+
+class FaultInjectedError(RuntimeError):
+    """The transient error raised by the ``error`` fault kind.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected faults
+    model arbitrary worker failures, and the engine must recover from any
+    exception type, not just its own hierarchy.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``kind@site`` clause of a fault plan."""
+
+    kind: str
+    site: str
+    p: float = 0.0
+    nth: Optional[int] = None
+    match: str = ""
+    max_fires: Optional[int] = None
+    delay_s: float = 30.0
+
+    def describe(self) -> str:
+        """The canonical ``kind@site`` label of this rule."""
+        return f"{self.kind}@{self.site}"
+
+
+def _rule_params(raw: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep:
+            raise FaultPlanError(f"bad fault rule parameter {chunk!r} (want key=value)")
+        params[key.strip()] = value.strip()
+    return params
+
+
+def parse_fault_plan(spec: str) -> "FaultPlan":
+    """Parse one :data:`FAULT_PLAN_ENV` spec string into a :class:`FaultPlan`."""
+    seed = 0
+    state_dir: Optional[Path] = None
+    rules: List[FaultRule] = []
+    for token in spec.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        if "@" not in token:
+            key, sep, value = token.partition("=")
+            if not sep:
+                raise FaultPlanError(f"bad fault plan token {token!r}")
+            key = key.strip()
+            if key == "seed":
+                try:
+                    seed = int(value)
+                except ValueError as exc:
+                    raise FaultPlanError(f"bad fault plan seed {value!r}") from exc
+            elif key == "dir":
+                state_dir = Path(value.strip())
+            else:
+                raise FaultPlanError(f"unknown fault plan key {key!r}")
+            continue
+        head, _, raw_params = token.partition(":")
+        kind, _, site = head.partition("@")
+        kind = kind.strip()
+        site = site.strip()
+        if kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {kind!r}; available: {list(FAULT_KINDS)}"
+            )
+        if not site:
+            raise FaultPlanError(f"fault rule {token!r} names no site")
+        params = _rule_params(raw_params)
+        try:
+            rule = FaultRule(
+                kind=kind,
+                site=site,
+                p=float(params.pop("p", 0.0)),
+                nth=int(params.pop("nth")) if "nth" in params else None,
+                match=params.pop("match", ""),
+                max_fires=int(params.pop("max")) if "max" in params else None,
+                delay_s=float(params.pop("delay", 30.0)),
+            )
+        except ValueError as exc:
+            raise FaultPlanError(f"bad fault rule {token!r}: {exc}") from exc
+        if params:
+            raise FaultPlanError(
+                f"unknown fault rule parameter(s) {sorted(params)} in {token!r}"
+            )
+        if rule.nth is None and rule.p <= 0.0:
+            raise FaultPlanError(
+                f"fault rule {token!r} never fires: set p= or nth="
+            )
+        rules.append(rule)
+    return FaultPlan(seed=seed, state_dir=state_dir, rules=rules)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of fault fires, deterministic per call sequence."""
+
+    seed: int = 0
+    state_dir: Optional[Path] = None
+    rules: List[FaultRule] = field(default_factory=list)
+    #: per-(rule, site) call counters, private to this process.
+    _counts: Dict[Tuple[int, str], int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Durable fire accounting (max= caps that survive crashes/resumes)
+    # ------------------------------------------------------------------ #
+    def _fired_path(self) -> Optional[Path]:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "fired.jsonl"
+
+    def _fires_so_far(self, rule_index: int) -> int:
+        path = self._fired_path()
+        if path is None:
+            return self._counts.get((rule_index, "__fired__"), 0)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return sum(
+                    1
+                    for line in handle
+                    if line.strip() and json.loads(line).get("rule") == rule_index
+                )
+        except (OSError, json.JSONDecodeError):
+            return 0
+
+    def _record_fire(self, rule_index: int, site: str, key: str) -> None:
+        self._counts["__fired__total__", site] = (
+            self._counts.get(("__fired__total__", site), 0) + 1
+        )
+        path = self._fired_path()
+        if path is None:
+            self._counts[(rule_index, "__fired__")] = (
+                self._counts.get((rule_index, "__fired__"), 0) + 1
+            )
+            return
+        # Plain write, NOT append_jsonl_record: the fire journal must never
+        # recurse through the store_append fault site it is accounting for.
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a", encoding="utf-8") as handle:
+                rule = self.rules[rule_index]
+                handle.write(
+                    json.dumps(
+                        {"rule": rule_index, "fault": rule.describe(),
+                         "site": site, "key": key},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        # repro-lint: ignore[C3] -- a fire that cannot be journalled still
+        # fires; losing the durable cap only risks an extra injected fault,
+        # which the fabric must tolerate anyway.
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _decides_to_fire(self, rule: FaultRule, key: str, count: int) -> bool:
+        if rule.nth is not None:
+            return count == rule.nth
+        material = f"{self.seed}:{rule.kind}:{rule.site}:{key}:{count}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return fraction < rule.p
+
+    def fire(self, site: str, key: str = "", path: Optional[Path] = None,
+             line: str = "") -> None:
+        """Evaluate every matching rule at *site* and execute any fires.
+
+        *path* / *line* carry the pending write for ``store_append`` sites,
+        so ``torn_append`` can leave a genuinely torn half-line behind.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.match and rule.match not in key:
+                continue
+            counter_key = (index, site)
+            count = self._counts.get(counter_key, 0) + 1
+            self._counts[counter_key] = count
+            if not self._decides_to_fire(rule, key, count):
+                continue
+            if rule.max_fires is not None and self._fires_so_far(index) >= rule.max_fires:
+                continue
+            self._record_fire(index, site, key)
+            self._execute(rule, key, path=path, line=line)
+
+    def _execute(self, rule: FaultRule, key: str, path: Optional[Path],
+                 line: str) -> None:
+        if rule.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if rule.kind == "hang":
+            time.sleep(rule.delay_s)
+            return
+        if rule.kind == "error":
+            raise FaultInjectedError(
+                f"injected transient fault at {rule.site} (key={key!r})"
+            )
+        if rule.kind == "oserror":
+            raise OSError(f"injected append/fsync failure at {rule.site} (key={key!r})")
+        if rule.kind == "torn_append":
+            if path is not None and line:
+                # Leave exactly what a kill mid-append leaves: a prefix of
+                # the line, durably on disk, with no trailing newline.
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write(line[: max(1, len(line) // 2)])
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                # repro-lint: ignore[C3] -- the injected death below is the
+                # point; an unwritable store just means a clean crash.
+                except OSError:
+                    pass
+            os._exit(CRASH_EXIT_CODE)
+        if rule.kind == "heartbeat_stall":
+            time.sleep(rule.delay_s)
+            return
+
+
+#: the parsed plan for the current env spec, cached per spec string so
+#: in-process env changes (tests) swap plans while steady-state processes
+#: parse exactly once.
+_ACTIVE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` for the current environment, if any."""
+    global _ACTIVE
+    spec = os.environ.get(FAULT_PLAN_ENV)
+    if not spec:
+        return None
+    cached_spec, cached_plan = _ACTIVE
+    if cached_spec != spec:
+        cached_plan = parse_fault_plan(spec)
+        _ACTIVE = (spec, cached_plan)
+    return cached_plan
+
+
+def fault_hook(site: str, key: str = "", path: Optional[Path] = None,
+               line: str = "") -> None:
+    """Fire any planned faults for *site*; free when no plan is active.
+
+    This is the single call production code embeds at a fault site.  With
+    :data:`FAULT_PLAN_ENV` unset it is one dict lookup.
+    """
+    if not os.environ.get(FAULT_PLAN_ENV):
+        return
+    plan = active_plan()
+    if plan is not None:
+        plan.fire(site, key=key, path=path, line=line)

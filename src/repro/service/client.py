@@ -12,11 +12,20 @@ Mirrors the HTTP surface one-to-one::
 Non-2xx responses raise :class:`ServiceClientError` carrying the HTTP
 status and the decoded error payload, so callers can branch on
 ``exc.status`` (429 back-off, 400 reject) without string matching.
+
+Transient transport failures (``URLError``) and 5xx responses on
+**idempotent GETs** are retried with deterministic jittered exponential
+backoff before surfacing, so one dropped connection mid-``wait`` does not
+kill a poll loop.  POSTs are never retried — ``submit`` is deduplicated
+server-side by content, but the client cannot know a lost response meant a
+lost request, so retry is the caller's decision there.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -37,14 +46,40 @@ class ServiceClientError(ServiceError):
 
 
 class ServiceClient:
-    """Typed access to one running synthesis service."""
+    """Typed access to one running synthesis service.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    *retries* / *retry_backoff_s* tune the transient-failure policy for
+    idempotent GETs: attempt *n* sleeps ``retry_backoff_s * 2**n`` scaled
+    by a jitter factor in ``[0.5, 1.5)`` drawn from a per-client
+    :class:`random.Random` seeded with the base URL — deterministic for a
+    given client (reproducible tests, stable traces) while different
+    clients of one service spread their retry storms apart.
+    """
+
+    #: HTTP methods safe to retry: repeating them cannot duplicate work.
+    _IDEMPOTENT_METHODS = ("GET",)
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_backoff_s: float = 0.1,
+    ) -> None:
+        if retries < 0:
+            raise ServiceClientError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ServiceClientError("retry_backoff_s must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        # Seeding with a string hashes it via sha512 internally, so the
+        # jitter stream is PYTHONHASHSEED-independent.
+        self._jitter = random.Random(f"service-client:{self.base_url}")
 
     # ------------------------------------------------------------------ #
-    def _request(
+    def _request_once(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         data = None
@@ -73,6 +108,41 @@ class ServiceClient:
             ) from exc
         except urllib.error.URLError as exc:
             raise ServiceClientError(f"cannot reach service: {exc.reason}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # A connection dropped mid-response surfaces raw (urllib only
+            # wraps failures up to the request send); fold it into the same
+            # no-status transient bucket as URLError.
+            raise ServiceClientError(f"connection lost mid-request: {exc}") from exc
+
+    @staticmethod
+    def _transient(exc: ServiceClientError) -> bool:
+        """Whether retrying could plausibly succeed.
+
+        Transport failures (no HTTP status) and 5xx responses are
+        transient; 4xx responses are the caller's mistake and retrying
+        them only delays the error.
+        """
+        return exc.status is None or exc.status >= 500
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                if (
+                    method not in self._IDEMPOTENT_METHODS
+                    or attempt >= self.retries
+                    or not self._transient(exc)
+                ):
+                    raise
+            backoff = self.retry_backoff_s * (2.0**attempt)
+            backoff *= 0.5 + self._jitter.random()
+            if backoff > 0:
+                time.sleep(backoff)
+            attempt += 1
 
     # ------------------------------------------------------------------ #
     def submit(

@@ -1,0 +1,150 @@
+"""ServiceClient transient-retry policy against a flaky stub server.
+
+A stub ``http.server`` fails the first N requests per path (503, or a
+dropped connection) before answering, with a per-path attempt counter the
+tests read back — proving exactly how many times the client knocked.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import defaultdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Fails each path ``failures_per_path`` times, then answers 200."""
+
+    def _respond(self):
+        server = self.server
+        with server.state_lock:
+            server.attempts[(self.command, self.path)] += 1
+            attempt = server.attempts[(self.command, self.path)]
+        if attempt <= server.failures_per_path:
+            if server.failure_mode == "drop":
+                # A dropped connection surfaces as URLError (no status).
+                self.connection.close()
+                return
+            self.send_response(503)
+            body = json.dumps({"message": "flaky: try again"}).encode("utf-8")
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        body = json.dumps(
+            {"path": self.path, "method": self.command, "attempt": attempt}
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        self._respond()
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        self._respond()
+
+    def log_message(self, *args):  # quiet test output
+        pass
+
+
+@pytest.fixture
+def flaky_server():
+    servers = []
+
+    def make(failures_per_path=0, failure_mode="503"):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+        server.failures_per_path = failures_per_path
+        server.failure_mode = failure_mode
+        server.attempts = defaultdict(int)
+        server.state_lock = threading.Lock()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        return server, url
+
+    yield make
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def test_get_retries_transient_5xx_until_success(flaky_server):
+    server, url = flaky_server(failures_per_path=2)
+    client = ServiceClient(url, retries=3, retry_backoff_s=0.0)
+    payload = client.healthz()
+    assert payload["attempt"] == 3
+    assert server.attempts[("GET", "/healthz")] == 3
+
+
+def test_get_retries_dropped_connections(flaky_server):
+    server, url = flaky_server(failures_per_path=1, failure_mode="drop")
+    client = ServiceClient(url, retries=2, retry_backoff_s=0.0)
+    assert client.healthz()["attempt"] == 2
+
+
+def test_retries_zero_surfaces_the_first_error(flaky_server):
+    server, url = flaky_server(failures_per_path=1)
+    client = ServiceClient(url, retries=0)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 503
+    assert server.attempts[("GET", "/healthz")] == 1
+
+
+def test_exhausted_retries_surface_the_last_error(flaky_server):
+    server, url = flaky_server(failures_per_path=10)
+    client = ServiceClient(url, retries=2, retry_backoff_s=0.0)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.stats()
+    assert excinfo.value.status == 503
+    assert server.attempts[("GET", "/stats")] == 3  # 1 try + 2 retries
+
+
+def test_post_is_never_retried(flaky_server):
+    server, url = flaky_server(failures_per_path=1)
+    client = ServiceClient(url, retries=5, retry_backoff_s=0.0)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.submit("netlist", "bench")
+    assert excinfo.value.status == 503
+    # The server-side counter is the proof: exactly one POST arrived.
+    assert server.attempts[("POST", "/jobs")] == 1
+
+
+def test_transience_predicate():
+    # Transport failures (no status) and 5xx retry; 4xx never does — a
+    # malformed request stays malformed no matter how often it is resent.
+    assert ServiceClient._transient(ServiceClientError("x", status=500))
+    assert ServiceClient._transient(ServiceClientError("x", status=None))
+    assert not ServiceClient._transient(ServiceClientError("x", status=404))
+    assert not ServiceClient._transient(ServiceClientError("x", status=429))
+
+
+def test_jitter_stream_is_deterministic_per_url():
+    a = ServiceClient("http://127.0.0.1:1/", retries=3)
+    b = ServiceClient("http://127.0.0.1:1", retries=3)  # same after rstrip
+    c = ServiceClient("http://127.0.0.1:2", retries=3)
+    stream_a = [a._jitter.random() for _ in range(8)]
+    stream_b = [b._jitter.random() for _ in range(8)]
+    stream_c = [c._jitter.random() for _ in range(8)]
+    assert stream_a == stream_b  # reproducible for a given service URL
+    assert stream_a != stream_c  # different clients spread their retries
+
+
+def test_constructor_validation():
+    with pytest.raises(ServiceClientError):
+        ServiceClient("http://x", retries=-1)
+    with pytest.raises(ServiceClientError):
+        ServiceClient("http://x", retry_backoff_s=-0.1)

@@ -1,0 +1,479 @@
+"""Unit coverage for the fault-tolerance fabric building blocks.
+
+The chaos differential suite (test_chaos_differential.py) exercises the
+pieces end-to-end under multi-writer schedules; this module pins down each
+piece in isolation: the fault-plan grammar and firing semantics, progress
+journals, quarantine arithmetic, the retry policy's attempt history, and
+the sharded store's bounded parse cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    DEFAULT_QUARANTINE_AFTER,
+    ProgressJournal,
+    ResultStore,
+    ShardedResultStore,
+    effective_failures,
+    progress_journal_for,
+    quarantine_markers,
+    quarantined_ids,
+    requeue_cells,
+)
+from repro.campaign.progress import PROGRESS_DIRNAME, PROGRESS_SUFFIX
+from repro.campaign.runner import _retry_jitter, execute_cell_with_policy
+from repro.campaign.store import append_jsonl_record, read_jsonl_records
+from repro.cli import main
+from repro.devtools.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_PLAN_ENV,
+    FaultInjectedError,
+    FaultPlanError,
+    active_plan,
+    fault_hook,
+    parse_fault_plan,
+)
+
+TESTS_DIR = Path(__file__).parent
+SRC_DIR = TESTS_DIR.parent / "src"
+
+
+# --------------------------------------------------------------------------- #
+# Worker functions for in-process policy tests
+# --------------------------------------------------------------------------- #
+def flaky_worker(payload):
+    counter = Path(payload["counter"])
+    attempts = int(counter.read_text()) if counter.exists() else 0
+    attempts += 1
+    counter.write_text(str(attempts))
+    if attempts < int(payload["succeed_after"]):
+        raise RuntimeError(f"flaky failure #{attempts}")
+    return {"value": attempts}
+
+
+def doomed_worker(payload):
+    raise ValueError(f"always broken ({payload['tag']})")
+
+
+# --------------------------------------------------------------------------- #
+# Fault-plan grammar
+# --------------------------------------------------------------------------- #
+class TestParseFaultPlan:
+    def test_full_spec_roundtrip(self, tmp_path):
+        plan = parse_fault_plan(
+            f"seed=7;dir={tmp_path};"
+            "error@cell:p=0.25,max=2;"
+            "crash@flush:nth=4,max=1,match=cell-03;"
+            "hang@cell:nth=1,delay=2.5"
+        )
+        assert plan.seed == 7
+        assert plan.state_dir == tmp_path
+        assert [rule.describe() for rule in plan.rules] == [
+            "error@cell",
+            "crash@flush",
+            "hang@cell",
+        ]
+        error_rule, crash_rule, hang_rule = plan.rules
+        assert error_rule.p == 0.25 and error_rule.max_fires == 2
+        assert crash_rule.nth == 4 and crash_rule.match == "cell-03"
+        assert hang_rule.delay_s == 2.5
+
+    def test_empty_tokens_are_tolerated(self):
+        plan = parse_fault_plan("seed=1;;error@cell:nth=1;")
+        assert len(plan.rules) == 1
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode@cell:nth=1",  # unknown kind
+            "error@:nth=1",  # no site
+            "error@cell:nth=1;volume=11",  # unknown global key
+            "error@cell:nth=1,shape=round",  # unknown rule parameter
+            "error@cell:nth",  # parameter without '='
+            "seed=banana;error@cell:nth=1",  # non-integer seed
+            "error@cell:nth=x",  # non-integer nth
+            "error@cell:match=foo",  # never fires: no p, no nth
+            "justaword",  # not key=value, not a rule
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(FaultPlanError):
+            parse_fault_plan(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Firing semantics
+# --------------------------------------------------------------------------- #
+class TestFaultFiring:
+    def test_nth_fires_exactly_once_on_the_nth_call(self):
+        plan = parse_fault_plan("error@cell:nth=3")
+        plan.fire("cell", key="a")
+        plan.fire("cell", key="b")
+        with pytest.raises(FaultInjectedError):
+            plan.fire("cell", key="c")
+        plan.fire("cell", key="d")  # past nth: quiet again
+
+    def test_match_filters_eligible_calls(self):
+        plan = parse_fault_plan("error@cell:nth=1,match=poison")
+        plan.fire("cell", key="healthy-cell")  # not eligible, not counted
+        with pytest.raises(FaultInjectedError):
+            plan.fire("cell", key="poison-cell")
+
+    def test_sites_are_independent(self):
+        plan = parse_fault_plan("error@flush:nth=1")
+        plan.fire("cell", key="a")  # different site: never fires
+        with pytest.raises(FaultInjectedError):
+            plan.fire("flush", key="a")
+
+    def test_p_decisions_are_seed_deterministic(self):
+        one = parse_fault_plan("seed=42;error@cell:p=0.5")
+        two = parse_fault_plan("seed=42;error@cell:p=0.5")
+        rule = one.rules[0]
+        decisions_one = [one._decides_to_fire(rule, f"k{i}", i) for i in range(64)]
+        decisions_two = [two._decides_to_fire(rule, f"k{i}", i) for i in range(64)]
+        assert decisions_one == decisions_two
+        assert any(decisions_one) and not all(decisions_one)
+        other_seed = parse_fault_plan("seed=43;error@cell:p=0.5")
+        decisions_other = [
+            other_seed._decides_to_fire(other_seed.rules[0], f"k{i}", i)
+            for i in range(64)
+        ]
+        assert decisions_one != decisions_other
+
+    def test_max_caps_fires_in_process(self):
+        plan = parse_fault_plan("error@cell:p=1.0,max=2")
+        for _ in range(2):
+            with pytest.raises(FaultInjectedError):
+                plan.fire("cell", key="a")
+        plan.fire("cell", key="a")  # cap reached: quiet
+
+    def test_max_cap_is_durable_across_plan_instances(self, tmp_path):
+        spec = f"dir={tmp_path};error@cell:p=1.0,max=1"
+        first = parse_fault_plan(spec)
+        with pytest.raises(FaultInjectedError):
+            first.fire("cell", key="a")
+        # A fresh parse (a resumed process) sees the journalled fire and
+        # never fires again — this is what stops p-rules refiring forever
+        # across chaos-test resumes.
+        second = parse_fault_plan(spec)
+        for _ in range(5):
+            second.fire("cell", key="a")
+        fired = [
+            json.loads(line)
+            for line in (tmp_path / "fired.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(fired) == 1 and fired[0]["fault"] == "error@cell"
+
+    def test_oserror_kind_raises_oserror(self):
+        plan = parse_fault_plan("oserror@store_append:nth=1")
+        with pytest.raises(OSError):
+            plan.fire("store_append", key="/store/w1.jsonl")
+
+    def test_hang_kind_sleeps_for_delay(self):
+        plan = parse_fault_plan("hang@cell:nth=1,delay=0.2")
+        # repro-lint: ignore[D4] -- measuring the injected sleep itself;
+        # monotonic is the right clock and nothing here is recorded.
+        start = time.monotonic()
+        plan.fire("cell", key="a")
+        assert time.monotonic() - start >= 0.2  # repro-lint: ignore[D4] -- see above
+
+
+class TestFaultHook:
+    def test_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        fault_hook("cell", key="anything")  # must not raise
+        assert active_plan() is None
+
+    def test_hook_fires_active_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "error@cell:nth=1")
+        with pytest.raises(FaultInjectedError):
+            fault_hook("cell", key="a")
+
+    def test_active_plan_cached_per_spec_string(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "error@cell:nth=99")
+        first = active_plan()
+        assert active_plan() is first  # same spec: same (stateful) plan
+        monkeypatch.setenv(FAULT_PLAN_ENV, "error@cell:nth=98")
+        assert active_plan() is not first  # spec changed: fresh plan
+
+
+# --------------------------------------------------------------------------- #
+# Crash kinds need a real process to die
+# --------------------------------------------------------------------------- #
+def _run_child(code, env_extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+
+
+def test_crash_kind_exits_with_marker_code():
+    result = _run_child(
+        "from repro.devtools.faults import fault_hook\n"
+        "fault_hook('cell', key='victim')\n"
+        "print('survived')\n",
+        {FAULT_PLAN_ENV: "crash@cell:nth=1"},
+    )
+    assert result.returncode == CRASH_EXIT_CODE
+    assert "survived" not in result.stdout
+
+
+def test_torn_append_leaves_half_line_that_resume_survives(tmp_path):
+    store_path = tmp_path / "store.jsonl"
+    code = (
+        "import sys\n"
+        "from pathlib import Path\n"
+        "from repro.campaign.store import append_jsonl_record\n"
+        f"path = Path({str(store_path)!r})\n"
+        "append_jsonl_record(path, {'cell_id': 'c0', 'status': 'ok'})\n"
+        "append_jsonl_record(path, {'cell_id': 'c1', 'status': 'ok'})\n"
+        "print('survived')\n"
+    )
+    result = _run_child(
+        code, {FAULT_PLAN_ENV: f"dir={tmp_path / 'fs'};torn_append@store_append:nth=2,max=1"}
+    )
+    assert result.returncode == CRASH_EXIT_CODE
+    raw = store_path.read_bytes()
+    assert not raw.endswith(b"\n")  # genuinely torn tail
+    # The reader drops the fragment; the first record is intact.
+    assert [r["cell_id"] for r in read_jsonl_records(store_path)] == ["c0"]
+    # And appending after the torn tail seals the fragment on its own line
+    # instead of gluing the new record onto it.
+    append_jsonl_record(store_path, {"cell_id": "c2", "status": "ok"})
+    assert [r["cell_id"] for r in read_jsonl_records(store_path)] == ["c0", "c2"]
+
+
+# --------------------------------------------------------------------------- #
+# Progress journals
+# --------------------------------------------------------------------------- #
+class TestProgressJournal:
+    def test_load_returns_latest_ok_per_cell_sorted(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "w.progress.jsonl")
+        journal.append({"cell_id": "b", "status": "ok", "value": 1})
+        journal.append({"cell_id": "a", "status": "ok", "value": 2})
+        journal.append({"cell_id": "b", "status": "ok", "value": 3})
+        journal.append({"cell_id": "c", "status": "error", "error": "nope"})
+        loaded = journal.load()
+        assert [r["cell_id"] for r in loaded] == ["a", "b"]
+        assert loaded[1]["value"] == 3  # latest record per cell wins
+
+    def test_load_missing_journal_is_empty(self, tmp_path):
+        assert ProgressJournal(tmp_path / "none.progress.jsonl").load() == []
+
+    def test_clear_is_idempotent(self, tmp_path):
+        journal = ProgressJournal(tmp_path / "w.progress.jsonl")
+        journal.append({"cell_id": "a", "status": "ok"})
+        journal.clear()
+        assert not journal.path.exists()
+        journal.clear()  # already gone: no error
+
+    def test_placement_for_sharded_store(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "shards", shard="w1")
+        journal = progress_journal_for(store)
+        assert journal is not None
+        assert journal.path == (
+            tmp_path / "shards" / PROGRESS_DIRNAME / f"w1{PROGRESS_SUFFIX}"
+        )
+        # The sidecar never pollutes the shard scan.
+        journal.append({"cell_id": "x", "status": "ok"})
+        assert store.shard_paths() == []
+
+    def test_placement_for_single_file_store(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        journal = progress_journal_for(store)
+        assert journal is not None
+        assert journal.path == tmp_path / "results.progress"
+
+    def test_in_memory_store_has_no_journal(self):
+        assert progress_journal_for(ResultStore()) is None
+
+
+# --------------------------------------------------------------------------- #
+# Quarantine arithmetic
+# --------------------------------------------------------------------------- #
+def _error(cell_id, message="boom"):
+    return {"cell_id": cell_id, "status": "error", "error": message}
+
+
+class TestQuarantine:
+    def test_effective_failures_counts_errors_minus_cleared(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        for _ in range(4):
+            store.append(_error("p"))
+        store.append(_error("q"))
+        store.append({"cell_id": "p", "status": "requeued", "cleared": 3})
+        assert effective_failures(store) == {"p": 1, "q": 1}
+
+    def test_markers_never_count_as_failures(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(_error("p"))
+        store.append({"cell_id": "p", "status": "quarantined", "failed_attempts": 1})
+        assert effective_failures(store) == {"p": 1}
+
+    def test_quarantined_ids_threshold_and_completion(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        for _ in range(3):
+            store.append(_error("poison"))
+            store.append(_error("recovered"))
+        store.append({"cell_id": "recovered", "status": "ok"})
+        assert quarantined_ids(store, 3) == {"poison"}
+        assert quarantined_ids(store, 4) == set()
+        assert quarantined_ids(store, None) == set()  # disabled
+        assert quarantined_ids(store, 0) == set()
+
+    def test_requeue_is_idempotent_and_scoped(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        for _ in range(3):
+            store.append(_error("p1"))
+            store.append(_error("p2"))
+        store.append(_error("healthy"))  # below threshold
+        assert requeue_cells(store, ["p1", "healthy", "ghost"], threshold=3) == ["p1"]
+        assert quarantined_ids(store, 3) == {"p2"}
+        # Re-requeueing an already-cleared cell appends nothing.
+        assert requeue_cells(store, ["p1"], threshold=3) == []
+        assert requeue_cells(store, threshold=3) == ["p2"]  # default: all
+        assert quarantined_ids(store, 3) == set()
+
+    def test_order_independence_across_shards(self, tmp_path):
+        # Two writers land the failures and the requeue marker in different
+        # shards; the predicate must not care whose shard scans first.
+        store_dir = tmp_path / "shards"
+        w1 = ShardedResultStore(store_dir, shard="w1")
+        w2 = ShardedResultStore(store_dir, shard="w2")
+        w1.append(_error("p"))
+        w2.append(_error("p"))
+        w2.append(_error("p"))
+        assert quarantined_ids(w1, 3) == {"p"}
+        w1.append({"cell_id": "p", "status": "requeued", "cleared": 3})
+        assert quarantined_ids(w2, 3) == set()
+
+    def test_quarantine_markers_are_the_display_view(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(_error("p"))
+        store.append(
+            {"cell_id": "p", "status": "quarantined", "failed_attempts": 3}
+        )
+        markers = quarantine_markers(store)
+        assert [m["cell_id"] for m in markers] == ["p"]
+        store.append({"cell_id": "p", "status": "requeued", "cleared": 3})
+        assert quarantine_markers(store) == []  # requeue supersedes the marker
+
+
+# --------------------------------------------------------------------------- #
+# Quarantine CLI flow
+# --------------------------------------------------------------------------- #
+def test_cli_status_and_requeue_flow(tmp_path, capsys):
+    store_dir = tmp_path / "shards"
+    store = ShardedResultStore(store_dir, shard="w1")
+    for _ in range(DEFAULT_QUARANTINE_AFTER):
+        store.append(_error("poison-cell", "RuntimeError: kaboom"))
+    store.append(
+        {
+            "cell_id": "poison-cell",
+            "status": "quarantined",
+            "failed_attempts": DEFAULT_QUARANTINE_AFTER,
+        }
+    )
+    store.append({"cell_id": "good-cell", "status": "ok"})
+
+    assert main(["campaign", "status", "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined : 1" in out
+    assert "poison-cell" in out
+
+    assert main(["campaign", "requeue", "--store", str(store_dir), "--all",
+                 "--shard", "operator"]) == 0
+    out = capsys.readouterr().out
+    assert "requeued poison-cell" in out
+    assert quarantined_ids(ShardedResultStore(store_dir, shard="w1"),
+                           DEFAULT_QUARANTINE_AFTER) == set()
+
+    # Second requeue finds nothing — idempotent from the CLI too.
+    assert main(["campaign", "requeue", "--store", str(store_dir), "--all"]) == 0
+    assert "nothing requeued" in capsys.readouterr().out
+
+
+def test_cli_requeue_requires_target(tmp_path, capsys):
+    store_path = tmp_path / "s.jsonl"
+    ResultStore(store_path).append(_error("p"))
+    assert main(["campaign", "requeue", "--store", str(store_path)]) == 2
+    assert "--cell" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Retry policy: attempt history + deterministic jitter
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_flaky_cell_preserves_attempt_errors(self, tmp_path):
+        counter = tmp_path / "counter"
+        record = execute_cell_with_policy(
+            "flaky",
+            "test_fault_fabric:flaky_worker",
+            {"counter": str(counter), "succeed_after": 3},
+            retries=3,
+            retry_backoff_s=0.0,
+        )
+        assert record["status"] == "ok"
+        assert record["attempts"] == 3
+        assert len(record["attempt_errors"]) == 2
+        assert "flaky failure #1" in record["attempt_errors"][0]
+        assert "flaky failure #2" in record["attempt_errors"][1]
+
+    def test_doomed_cell_records_every_attempt(self):
+        record = execute_cell_with_policy(
+            "doomed",
+            "test_fault_fabric:doomed_worker",
+            {"tag": "t"},
+            retries=2,
+            retry_backoff_s=0.0,
+        )
+        assert record["status"] == "error"
+        assert record["attempts"] == 3
+        assert len(record["attempt_errors"]) == 3
+        assert all("always broken" in err for err in record["attempt_errors"])
+
+    def test_no_retry_policy_keeps_records_unchanged(self):
+        record = execute_cell_with_policy(
+            "doomed", "test_fault_fabric:doomed_worker", {"tag": "t"}
+        )
+        assert record["status"] == "error"
+        assert "attempts" not in record
+        assert "attempt_errors" not in record
+
+    def test_retry_jitter_is_deterministic_and_bounded(self):
+        values = {_retry_jitter(f"cell-{i:02d}", attempt)
+                  for i in range(16) for attempt in range(3)}
+        assert all(0.5 <= value < 1.5 for value in values)
+        assert len(values) > 1  # different cells genuinely spread out
+        assert _retry_jitter("cell-00", 0) == _retry_jitter("cell-00", 0)
+        assert _retry_jitter("cell-00", 0) != _retry_jitter("cell-00", 1)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded store parse cache stays bounded
+# --------------------------------------------------------------------------- #
+def test_parse_cache_drops_deleted_shards(tmp_path):
+    store_dir = tmp_path / "shards"
+    for shard in ("w1", "w2", "w3"):
+        ShardedResultStore(store_dir, shard=shard).append(
+            {"cell_id": f"{shard}-cell", "status": "ok"}
+        )
+    reader = ShardedResultStore(store_dir, shard="reader")
+    assert len(reader.records) == 3
+    assert len(reader._parse_cache) == 3
+    (store_dir / "w1.jsonl").unlink()
+    (store_dir / "w3.jsonl").unlink()
+    assert [r["cell_id"] for r in reader.records] == ["w2-cell"]
+    assert set(reader._parse_cache) == {store_dir / "w2.jsonl"}
