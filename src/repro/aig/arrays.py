@@ -77,6 +77,7 @@ class AigArrays:
         "_fanout_offsets_list",
         "_fanout_consumers_list",
         "cut_cache",
+        "dp_cache",
     )
 
     def __init__(self, fanin0: List[int], fanin1: List[int], is_pi: List[int], pis: List[int]) -> None:
@@ -128,6 +129,13 @@ class AigArrays:
         # structures are shared, never copied: callers must treat them as
         # immutable.
         self.cut_cache: Dict[Tuple[int, int, bool], Dict] = {}
+        # Array-form derived state keyed by pass-specific tuples: the
+        # vectorized cut enumeration (repro.aig.cut_arrays) and the mapper's
+        # candidate layout (repro.mapping.dp_arrays) both memoise here.  Like
+        # cut_cache, entries depend only on the frozen node prefix (plus
+        # immutable library data captured in the key), so sharing across
+        # clones is sound; cached objects must be treated as immutable.
+        self.dp_cache: Dict[Tuple, object] = {}
 
     # ------------------------------------------------------------------ #
     # Plain-list mirrors (fastest for the remaining per-node Python loops)

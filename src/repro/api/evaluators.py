@@ -203,6 +203,31 @@ class CachedEvaluator:
             )
         self._store(key, result)
 
+    def snapshot_items(self) -> List[Tuple[Tuple[str, str], PpaResult]]:
+        """The cache contents, LRU order, for warm-start persistence."""
+        return list(self._cache.items())
+
+    def seed_result(
+        self, context: str, exact_key: str, result: PpaResult
+    ) -> bool:
+        """Seed one entry by raw (context, exact key) — warm-start loading.
+
+        Unlike :meth:`put` this needs no live graph, so snapshot entries
+        restore without re-parsing designs.  Existing entries win (they
+        were computed in-process); returns whether the entry was inserted.
+        """
+        key = (context, exact_key)
+        if key in self._cache:
+            return False
+        if result.netlist is not None or result.timing is not None:
+            result = PpaResult(
+                delay_ps=result.delay_ps,
+                area_um2=result.area_um2,
+                num_gates=result.num_gates,
+            )
+        self._store(key, result)
+        return True
+
     def _store(self, key: Tuple[str, str], result: PpaResult) -> None:
         self._cache[key] = result
         self._cache.move_to_end(key)

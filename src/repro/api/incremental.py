@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aig.graph import Aig
 from repro.aig.journal import node_hashes_cached
@@ -259,6 +259,36 @@ class IncrementalEvaluator:
     def evaluate_many(self, aigs: Sequence[Aig]) -> List[PpaResult]:
         """Evaluate a batch sequentially, threading state through it."""
         return [self.evaluate(aig) for aig in aigs]
+
+    def snapshot_items(self) -> List[Tuple[str, PpaResult]]:
+        """The lightweight result cache, LRU order — warm-start persistence.
+
+        Only the payload-free exact-key results are exported; the heavy
+        per-node baseline states are representation-bound and rebuild after
+        one evaluation, so persisting them would buy little and cost much.
+        """
+        return list(self._results.items())
+
+    def seed_result(self, exact_key: str, result: PpaResult) -> bool:
+        """Seed one payload-free result by exact key — warm-start loading.
+
+        Existing entries win (they were computed in-process); returns
+        whether the entry was inserted.
+        """
+        if exact_key in self._results:
+            return False
+        if result.netlist is not None or result.timing is not None:
+            result = PpaResult(
+                delay_ps=result.delay_ps,
+                area_um2=result.area_um2,
+                num_gates=result.num_gates,
+            )
+        self._results[exact_key] = result
+        self._results.move_to_end(exact_key)
+        if self.max_results is not None:
+            while len(self._results) > self.max_results:
+                self._results.popitem(last=False)
+        return True
 
     def __call__(self, aig: Aig) -> PpaResult:
         return self.evaluate(aig)

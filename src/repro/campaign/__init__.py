@@ -94,6 +94,15 @@ from repro.campaign.store import (
     compact_store,
     strip_timing,
 )
+from repro.campaign.warmstart import (
+    costs_path_for,
+    ground_truth_evaluations,
+    load_costs,
+    merge_costs,
+    save_snapshot,
+    seed_session,
+    warmstart_dir_for,
+)
 
 __all__ = [
     "DEFAULT_QUARANTINE_AFTER",
@@ -121,6 +130,7 @@ __all__ = [
     "canonical_records",
     "cell_id_for",
     "compact_store",
+    "costs_path_for",
     "default_shard_name",
     "design_role",
     "design_token",
@@ -128,6 +138,9 @@ __all__ = [
     "effective_failures",
     "engine_cells",
     "execute_cell",
+    "ground_truth_evaluations",
+    "load_costs",
+    "merge_costs",
     "execute_cell_with_policy",
     "in_pooled_worker",
     "lease_manager_for",
@@ -141,5 +154,8 @@ __all__ = [
     "resolve_scheduler",
     "run_campaign",
     "run_cells",
+    "save_snapshot",
+    "seed_session",
     "strip_timing",
+    "warmstart_dir_for",
 ]

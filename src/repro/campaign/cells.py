@@ -76,9 +76,17 @@ def session_for_cell(payload: Dict[str, Any]):
     kind = canonical_name(str(payload.get("evaluator", "cached")))
     if kind == "parallel" and in_pooled_worker():
         kind = "ground_truth"
-    return worker_session_pool().get(
+    session = worker_session_pool().get(
         evaluator_kind=kind, context=str(payload.get("context", ""))
     )
+    warm_dir = payload.get("_warmstart_dir")
+    if warm_dir:
+        from repro.campaign.warmstart import seed_session
+
+        # Idempotent per (session, directory); entries only seed when the
+        # snapshot context matches this session's library/options identity.
+        seed_session(session, str(warm_dir))
+    return session
 
 
 def run_optimize_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -174,4 +182,12 @@ def run_optimize_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             "stage_seconds": stage_totals,
         }
     )
+    warm_dir = payload.get("_warmstart_dir")
+    if warm_dir:
+        from repro.api.session import worker_session_pool
+        from repro.campaign.warmstart import save_snapshot
+
+        # Persist whatever this worker's caches learned; pool workers own
+        # their caches, so the save must happen here, in-worker.
+        save_snapshot(str(warm_dir), worker_session_pool())
     return record

@@ -61,9 +61,21 @@ from repro.campaign.quarantine import (
     quarantine_markers,
     quarantined_ids,
 )
-from repro.campaign.schedule import SchedulerLike, resolve_scheduler
+from repro.campaign.schedule import (
+    SchedulerLike,
+    _cell_budget,
+    _cost_group,
+    resolve_scheduler,
+)
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellResultStore
+from repro.campaign.warmstart import (
+    WARMSTART_PAYLOAD_KEY,
+    costs_path_for,
+    load_costs,
+    merge_costs,
+    warmstart_dir_for,
+)
 from repro.devtools.faults import fault_hook
 from repro.errors import CampaignError
 
@@ -614,6 +626,7 @@ def run_cells(
     lease_ttl_s: Optional[float] = None,
     lease_poll_s: Optional[float] = None,
     quarantine_after: Optional[int] = None,
+    warm_start: bool = True,
 ) -> EngineSummary:
     """Execute every cell not already completed in *store*.
 
@@ -643,6 +656,16 @@ def run_cells(
     cells: a cell with that many uncleared failures across writers is
     marked quarantined and skipped until requeued (see
     :mod:`repro.campaign.quarantine`).
+
+    *warm_start* (default on, file-backed stores only) maintains the
+    :mod:`repro.campaign.warmstart` sidecars: each cell payload is handed
+    the snapshot directory (under :data:`~repro.campaign.warmstart.
+    WARMSTART_PAYLOAD_KEY`) so workers seed their pooled evaluator caches
+    from previous runs and persist what they learn, and observed cell
+    runtimes are folded into the ``costs.json`` calibration sidecar that a
+    resuming ``cost`` scheduler loads.  Warm starting never changes any
+    record (caches return exactly what recomputation would); it only
+    removes repeated ground-truth evaluations and improves scheduling.
     """
     if max_workers < 1:
         raise CampaignError("max_workers must be at least 1")
@@ -659,6 +682,13 @@ def run_cells(
     if quarantine_after is not None and quarantine_after < 1:
         raise CampaignError("quarantine_after must be >= 1 (or None to disable)")
     policy = resolve_scheduler(scheduler)
+    warm_dir = warmstart_dir_for(store) if warm_start else None
+    costs_path = costs_path_for(store) if warm_start else None
+    if costs_path is not None and hasattr(policy, "set_calibration"):
+        calibration = load_costs(costs_path)
+        if calibration:
+            policy.set_calibration(calibration)
+    cost_observations: Dict[Any, Any] = {}
     lease_manager: Optional[LeaseManager] = None
     if lease_ttl_s is not None:
         # Raises for single-writer stores, which have nothing to lease.
@@ -677,6 +707,17 @@ def run_cells(
         for cell in unique
         if cell.cell_id not in completed and cell.cell_id not in quarantined_at_entry
     ]
+    if warm_dir is not None:
+        # Hand every worker the snapshot directory through its payload;
+        # cell functions that do not understand the key ignore it.
+        pending = [
+            EngineCell(
+                cell_id=cell.cell_id,
+                fn=cell.fn,
+                payload={**cell.payload, WARMSTART_PAYLOAD_KEY: str(warm_dir)},
+            )
+            for cell in pending
+        ]
     skipped = sum(1 for cell in unique if cell.cell_id in completed)
     quarantined_cells = sorted(
         cell.cell_id
@@ -692,6 +733,17 @@ def run_cells(
         # and durability — exactly the window the progress journal covers.
         fault_hook("flush", key=cell_id)
         store.append(record)
+        if costs_path is not None and record.get("status") == "ok":
+            seconds = record.get("cell_seconds")
+            if isinstance(seconds, (int, float)) and not isinstance(
+                seconds, bool
+            ) and seconds > 0:
+                group = _cost_group(record)
+                total, count = cost_observations.get(group, (0.0, 0))
+                cost_observations[group] = (
+                    total + float(seconds) / _cell_budget(record),
+                    count + 1,
+                )
         if record.get("status") != "ok":
             failed.append(cell_id)
             if quarantine_after:
@@ -744,6 +796,8 @@ def run_cells(
         )
         if journal is not None and appender.drained:
             journal.clear()
+    if costs_path is not None and cost_observations:
+        merge_costs(costs_path, cost_observations)
     return EngineSummary(
         total=len(unique),
         skipped=skipped,
@@ -777,6 +831,7 @@ def run_campaign(
     lease_ttl_s: Optional[float] = None,
     lease_poll_s: Optional[float] = None,
     quarantine_after: Optional[int] = None,
+    warm_start: bool = True,
 ) -> EngineSummary:
     """Run (or resume) *spec* against *store*; only missing cells execute."""
     return run_cells(
@@ -791,6 +846,7 @@ def run_campaign(
         lease_ttl_s=lease_ttl_s,
         lease_poll_s=lease_poll_s,
         quarantine_after=quarantine_after,
+        warm_start=warm_start,
     )
 
 

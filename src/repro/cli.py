@@ -305,6 +305,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         lease_ttl_s=args.lease_ttl,
         quarantine_after=args.quarantine_after,
+        warm_start=not args.no_warm_start,
     )
     extras = ""
     if summary.recovered:
@@ -622,6 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a cell after this many failed attempts across all "
         "writers (timeouts and writer crashes count); quarantined cells "
         "are skipped until 'campaign requeue' (default: never)",
+    )
+    campaign_run.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable the warm-start sidecars next to the store (PPA cache "
+        "snapshots seeded into worker sessions on resume, and observed "
+        "runtime calibration for the cost scheduler); results are "
+        "identical either way, cold resumes just recompute more",
     )
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 

@@ -211,6 +211,22 @@ class CellLibrary:
         bucket = self._match_index.get(num_vars, {})
         return list(bucket.get(table, []))
 
+    def match_index_items(self) -> List[Tuple[int, int, List[Match]]]:
+        """The whole match index as sorted ``(num_vars, table, matches)`` rows.
+
+        Deterministic enumeration order (ascending input count, then table)
+        for consumers that flatten the index into arrays — the vectorized
+        mapper DP builds its per-library match tables from this.  The inner
+        match lists are the index's own (num_inverters, area)-sorted lists;
+        callers must not mutate them.
+        """
+        items: List[Tuple[int, int, List[Match]]] = []
+        for num_vars in sorted(self._match_index):
+            bucket = self._match_index[num_vars]
+            for table in sorted(bucket):
+                items.append((num_vars, table, bucket[table]))
+        return items
+
     def total_variant_count(self) -> int:
         """Number of (function, match) entries in the index (for diagnostics)."""
         return sum(

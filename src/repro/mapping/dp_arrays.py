@@ -1,0 +1,540 @@
+"""Vectorized cut-evaluation DP for the technology mapper.
+
+:meth:`TechnologyMapper._select_choices` evaluates every (cut, match)
+candidate of every AND node with nested Python loops.  This module computes
+the same DP as batched array reductions:
+
+* a module-level **reduction LUT** maps every 4-variable truth table to its
+  support mask and support-reduced table in one gather (smaller cuts are
+  padded by replication, which adds only non-support variables);
+* per library, a **flattened match table** (:class:`MatchTables`) lays the
+  Boolean match index out as contiguous arrays: per match row the pin→leaf
+  permutation, pin inverter delays, pin delays at the estimated load, and
+  the exact scalar-accumulated area base (cell area plus inverter areas in
+  scalar addition order);
+* per graph snapshot, a **candidate layout** (:class:`CandidateLayout`)
+  expands every matchable cut of every node into candidate rows (term leaf
+  ids, delay addends, flow leaf ids) — cached on ``AigArrays.dp_cache``
+  because it is independent of fanout counts and mapping mode;
+* the **wave DP** walks level waves; per wave one gather + reduction chain
+  scores all candidates and a stable lexsort picks, per node, the scalar
+  tie-break winner: the scalar loop keeps the first strictly-better
+  candidate over (cut order, match order), which is exactly the
+  lexicographic minimum of ``(key0, key1, candidate position)``.
+
+Float exactness: the scalar evaluation is replicated operation for
+operation — ``t = arrival[leaf]; t += inv_delay?; t += pin_delay`` becomes
+two separate array adds, leaf flows accumulate in support order with
+``+0.0`` pads (exact: flows are never ``-0.0``), and column sums are written
+as sequential binary adds, never ``ndarray.sum`` (pairwise association
+would differ).  Nodes the vectorized path does not model — constant cuts,
+single-input aliases, nodes with no matchable cut — fall back per node to
+the scalar :meth:`TechnologyMapper._choose_for_node`, which stays the
+reference implementation.  ``tests/test_dp_arrays.py`` asserts bit-equal
+choices, arrivals, and netlists against the scalar path.
+
+Env toggle ``REPRO_MAP_DP``: ``"scalar"`` forces the scalar DP,
+``"vector"`` or empty uses the array path when supported.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aig.cut_arrays import (
+    SENTINEL,
+    CutArrays,
+    build_cut_arrays,
+    cut_arrays_supported,
+)
+from repro.aig.cuts import Cut
+from repro.aig.graph import Aig
+from repro.library.library import CellLibrary
+
+_NEG_INF = float("-inf")
+
+#: Replication multipliers padding an s-variable table to 4 variables
+#: (index = s).  Replication repeats the function over the added variables,
+#: so the added variables are non-support and reduction is unchanged.
+_PAD_MULT = np.asarray([0, 0x5555, 0x1111, 0x0101, 1], dtype=np.int64)
+
+# Lazily built module LUTs over all 65536 4-variable tables (library
+# independent).  _REDUCED[t] is the support-reduced table, _SUPMASK[t] the
+# support-variable bitmask; _SUPPOS/_SUPCNT decode a 4-bit support mask
+# into ascending variable positions / popcount.
+_LUTS: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+
+def _build_luts() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    tables = np.arange(65536, dtype=np.int64)
+    supmask = np.zeros(65536, dtype=np.int64)
+    for var in range(4):
+        stride = 1 << var
+        # Minterm positions where this variable is 0, as a 16-bit mask.
+        var_mask = 0
+        for minterm in range(16):
+            if not (minterm >> var) & 1:
+                var_mask |= 1 << minterm
+        depends = (((tables >> stride) ^ tables) & var_mask) != 0
+        supmask |= depends.astype(np.int64) << var
+    reduced = np.zeros(65536, dtype=np.int64)
+    suppos = np.zeros((16, 4), dtype=np.int64)
+    supcnt = np.zeros(16, dtype=np.int64)
+    for mask in range(16):
+        positions = [v for v in range(4) if (mask >> v) & 1]
+        supcnt[mask] = len(positions)
+        for j, pos in enumerate(positions):
+            suppos[mask, j] = pos
+        rows = np.nonzero(supmask == mask)[0]
+        sub = tables[rows]
+        out = np.zeros(len(rows), dtype=np.int64)
+        for minterm in range(1 << len(positions)):
+            original = 0
+            for j, pos in enumerate(positions):
+                if (minterm >> j) & 1:
+                    original |= 1 << pos
+            out |= ((sub >> original) & 1) << minterm
+        reduced[rows] = out
+    return reduced, supmask, suppos, supcnt
+
+
+def _luts() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    global _LUTS
+    if _LUTS is None:
+        # Benign race: the build is deterministic and idempotent, so
+        # concurrent first calls just do redundant work (same idiom as
+        # CellLibrary.fingerprint's lazy attribute).
+        _LUTS = _build_luts()
+    return _LUTS
+
+
+class MatchTables:
+    """A library's Boolean match index, flattened for array evaluation.
+
+    One row per (function class, match) pair, clamped to the first
+    ``max_matches`` matches per class — the same prefix of the
+    (num_inverters, area)-sorted match list the scalar loop visits.
+    """
+
+    __slots__ = (
+        "classid",
+        "match_start",
+        "match_count",
+        "pin_to_leaf",
+        "pin_inv_add",
+        "pin_delay",
+        "out_add",
+        "area_base",
+        "matches",
+        "inv_delay",
+        "inv_area",
+    )
+
+    def __init__(self, library: CellLibrary, load_ff: float, max_matches: int) -> None:
+        inv_cell = library.inverter
+        self.inv_delay = inv_cell.worst_delay_ps(load_ff)
+        self.inv_area = inv_cell.area_um2
+        self.classid = np.full((5, 65536), -1, dtype=np.int32)
+        starts: List[int] = []
+        counts: List[int] = []
+        p2l: List[List[int]] = []
+        inv_add: List[List[float]] = []
+        pdelay: List[List[float]] = []
+        out_add: List[float] = []
+        base: List[float] = []
+        self.matches: List = []
+        for num_vars, table, matches in library.match_index_items():
+            if not 2 <= num_vars <= 4:
+                continue
+            cid = len(starts)
+            self.classid[num_vars, table] = cid
+            clamped = matches[:max_matches]
+            starts.append(len(self.matches))
+            counts.append(len(clamped))
+            for match in clamped:
+                self.matches.append(match)
+                row_p2l = [0, 0, 0, 0]
+                row_inv = [0.0, 0.0, 0.0, 0.0]
+                row_del = [0.0, 0.0, 0.0, 0.0]
+                inverter_area = 0.0
+                for pin_index, pin in enumerate(match.cell.pins):
+                    row_p2l[pin_index] = match.pin_to_leaf[pin_index]
+                    if match.pin_negated[pin_index]:
+                        row_inv[pin_index] = self.inv_delay
+                        inverter_area += self.inv_area
+                    row_del[pin_index] = pin.delay_ps(load_ff)
+                if match.output_negated:
+                    out_add.append(self.inv_delay)
+                    inverter_area += self.inv_area
+                else:
+                    out_add.append(0.0)
+                # Exact scalar association: (cell.area + inverter_area),
+                # the left operand of the later "+ leaf_flow".
+                base.append(match.cell.area_um2 + inverter_area)
+                p2l.append(row_p2l)
+                inv_add.append(row_inv)
+                pdelay.append(row_del)
+        self.match_start = np.asarray(starts, dtype=np.int64)
+        self.match_count = np.asarray(counts, dtype=np.int64)
+        self.pin_to_leaf = np.asarray(p2l, dtype=np.int64).reshape(-1, 4)
+        self.pin_inv_add = np.asarray(inv_add, dtype=np.float64).reshape(-1, 4)
+        self.pin_delay = np.asarray(pdelay, dtype=np.float64).reshape(-1, 4)
+        self.out_add = np.asarray(out_add, dtype=np.float64)
+        self.area_base = np.asarray(base, dtype=np.float64)
+
+
+def match_tables(library: CellLibrary, load_ff: float, max_matches: int) -> MatchTables:
+    """The (cached) flattened match tables of *library* at *load_ff*."""
+    cache: Optional[Dict] = getattr(library, "_dp_match_tables", None)
+    if cache is None:
+        cache = {}
+        # Lazy-attribute idiom (see CellLibrary.fingerprint): libraries are
+        # immutable, so a racing duplicate build is redundant, not wrong.
+        library._dp_match_tables = cache  # type: ignore[attr-defined]
+    key = (load_ff, max_matches)
+    tables = cache.get(key)
+    if tables is None:
+        tables = MatchTables(library, load_ff, max_matches)
+        cache[key] = tables
+    return tables
+
+
+class CandidateLayout:
+    """Per-snapshot expansion of matchable cuts into DP candidate rows.
+
+    Everything here depends only on the frozen graph prefix, the library
+    content, the estimated load, and the match clamp — not on fanout counts
+    or mapping mode — so it is cached on ``AigArrays.dp_cache`` alongside
+    the :class:`CutArrays` it is derived from.
+    """
+
+    __slots__ = (
+        "cut_arrays",
+        "cand_cut",
+        "cand_node",
+        "cand_match",
+        "term_leaf",
+        "term_add0",
+        "term_add1",
+        "term_active",
+        "out_add",
+        "area_base",
+        "flow_leaf",
+        "flow_active",
+        "sup_leaf",
+        "sup_cnt",
+        "wave_bounds",
+        "exotic_mask",
+        "num_matchable_cuts",
+    )
+
+    def __init__(self, aig: Aig, ca: CutArrays, mt: MatchTables) -> None:
+        reduced_lut, supmask_lut, suppos_lut, supcnt_lut = _luts()
+        arrays = aig.arrays()
+        size = arrays.size
+        start = ca.start
+        count = ca.count
+        and_vars = arrays.and_vars
+
+        # Non-trivial AND cut rows, ascending (trivial = last row per node).
+        nontrivial = np.zeros(ca.num_rows, dtype=bool)
+        if len(and_vars):
+            a_start = start[and_vars]
+            a_count = count[and_vars]
+            spans = a_count - 1
+            total = int(spans.sum())
+            starts_rep = np.repeat(a_start, spans)
+            offs = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(spans) - spans, spans
+            )
+            nontrivial[starts_rep + offs] = True
+        rows = np.nonzero(nontrivial)[0]
+        # Per-row owning variable, via rows sorted by block start.
+        order_vars = np.argsort(start, kind="stable")
+        node_of_row = np.repeat(order_vars, count[order_vars])
+        row_node = node_of_row[rows]
+
+        padded = ca.tables[rows] * _PAD_MULT[ca.sizes[rows]]
+        supmask = supmask_lut[padded]
+        reduced = reduced_lut[padded]
+        sup_cnt = supcnt_lut[supmask]
+        cid = np.where(
+            sup_cnt >= 2, mt.classid[sup_cnt.clip(0, 4), reduced], -1
+        )
+
+        # Nodes with a constant or single-input (alias) cut take the scalar
+        # reference path wholesale: those candidates never enter the arrays.
+        exotic_rows = sup_cnt <= 1
+        exotic_mask = np.zeros(size, dtype=bool)
+        exotic_mask[row_node[exotic_rows]] = True
+        self.exotic_mask = exotic_mask
+
+        usable = (cid >= 0) & ~exotic_mask[row_node]
+        sel = np.nonzero(usable)[0]
+        sel_rows = rows[sel]
+        sel_node = row_node[sel]
+        sel_cid = cid[sel]
+        sel_cnt = sup_cnt[sel]
+        self.num_matchable_cuts = len(sel)
+
+        # Support-ordered leaf columns per selected cut row.
+        pos = suppos_lut[supmask[sel]]
+        row_leaves = ca.leaves[sel_rows]
+        sup_leaf = row_leaves[np.arange(len(sel))[:, None], pos]
+        self.sup_leaf = sup_leaf
+        self.sup_cnt = sel_cnt
+
+        # Expand matches: one candidate row per (cut, match) pair, in the
+        # scalar visit order (cut rows ascending, match prefix order).
+        mc = mt.match_count[sel_cid]
+        num_cand = int(mc.sum())
+        cut_of = np.repeat(np.arange(len(sel), dtype=np.int64), mc)
+        local = np.arange(num_cand, dtype=np.int64) - np.repeat(
+            np.cumsum(mc) - mc, mc
+        )
+        mrow = np.repeat(mt.match_start[sel_cid], mc) + local
+        self.cand_cut = sel_rows[cut_of]
+        self.cand_node = sel_node[cut_of]
+        self.cand_match = mrow
+
+        p2l = mt.pin_to_leaf[mrow]
+        sup_of_cand = sup_leaf[cut_of]
+        self.term_leaf = sup_of_cand[np.arange(num_cand)[:, None], p2l]
+        self.term_add0 = mt.pin_inv_add[mrow]
+        self.term_add1 = mt.pin_delay[mrow]
+        # Active pin columns: every cell pin (num_inputs == support size of
+        # its class by construction of the match index).
+        self.term_active = (
+            np.arange(4, dtype=np.int64)[None, :] < sel_cnt[cut_of][:, None]
+        )
+        self.out_add = mt.out_add[mrow]
+        self.area_base = mt.area_base[mrow]
+        self.flow_leaf = sup_of_cand
+        self.flow_active = self.term_active
+
+        # Candidate index bounds per level wave (rows of a wave are written
+        # contiguously, and cand_cut ascends).
+        edges: List[int] = []
+        for begin, end in ca.wave_row_ranges:
+            edges.append(begin)
+            edges.append(end)
+        bounds = np.searchsorted(self.cand_cut, np.asarray(edges, dtype=np.int64))
+        self.wave_bounds = bounds.reshape(-1, 2)
+        self.cut_arrays = ca
+
+
+def candidate_layout(
+    aig: Aig, k: int, max_cuts: int, library: CellLibrary, load_ff: float, max_matches: int
+) -> CandidateLayout:
+    """Build (or fetch) the cached candidate layout for this configuration."""
+    arrays = aig.arrays()
+    key = ("dp_layout", k, max_cuts, library.fingerprint(), load_ff, max_matches)
+    cached = arrays.dp_cache.get(key)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    ca = build_cut_arrays(aig, k, max_cuts)
+    mt = match_tables(library, load_ff, max_matches)
+    layout = CandidateLayout(aig, ca, mt)
+    # repro-lint: ignore[C2] -- candidate_layout owns this dp_cache key
+    # (first write), mirroring enumerate_cuts' cut_cache ownership.
+    arrays.dp_cache[key] = layout
+    return layout
+
+
+@dataclass
+class DpStats:
+    """What the vectorized DP actually did (the CI bench gate reads this)."""
+
+    used_vectorized: bool
+    total_ands: int = 0
+    vector_nodes: int = 0
+    scalar_nodes: int = 0
+    hazard_fallbacks: int = 0
+    reason: str = ""
+
+
+@dataclass
+class DpResult:
+    """Full-DP output, structurally identical to the scalar DP's state."""
+
+    choices: Dict[int, object]
+    arrival: List[Optional[float]]
+    area_flow: List[Optional[float]]
+    cut_arrays: CutArrays
+    stats: DpStats
+
+
+def _node_cuts_from_arrays(ca: CutArrays, var: int) -> List[Cut]:
+    """Materialise one node's scalar cut list from the array form."""
+    begin = int(ca.start[var])
+    rows = range(begin, begin + int(ca.count[var]))
+    leaves = ca.leaves[list(rows)].tolist()
+    sizes = ca.sizes[list(rows)].tolist()
+    return [
+        Cut(var, tuple(row[:row_size]))
+        for row, row_size in zip(leaves, sizes)
+    ]
+
+
+def dp_mode() -> str:
+    """The requested DP implementation: '', 'scalar', or 'vector'."""
+    return os.environ.get("REPRO_MAP_DP", "").strip().lower()
+
+
+def try_full_dp(mapper, aig: Aig) -> Optional[DpResult]:
+    """Run the full mapping DP with array batching, or ``None`` if the
+    configuration is unsupported (caller falls back to the scalar loop).
+
+    The result is bit-identical to :meth:`TechnologyMapper._select_choices`:
+    same choices (same Match objects), same arrival and area-flow floats.
+    """
+    mode = dp_mode()
+    if mode == "scalar":
+        return None
+    opts = mapper.options
+    k = mapper.cut_size
+    if not cut_arrays_supported(aig, k):
+        return None
+
+    layout = candidate_layout(
+        aig,
+        k,
+        opts.max_cuts_per_node,
+        mapper.library,
+        opts.estimated_load_ff,
+        opts.max_matches_per_cut,
+    )
+    ca = layout.cut_arrays
+    mt = match_tables(
+        mapper.library, opts.estimated_load_ff, opts.max_matches_per_cut
+    )
+    arrays = aig.arrays()
+    size = arrays.size
+    fanout = aig.fanout_counts()
+    fan_clip = np.maximum(np.asarray(fanout, dtype=np.int64), 1)
+
+    arrival = np.zeros(size, dtype=np.float64)
+    area_flow = np.zeros(size, dtype=np.float64)
+    flow_div = np.zeros(size, dtype=np.float64)
+    chosen: Dict[int, object] = {}
+    got = np.zeros(size, dtype=bool)
+    delay_mode = opts.mode == "delay"
+
+    term_leaf = layout.term_leaf
+    term_add0 = layout.term_add0
+    term_add1 = layout.term_add1
+    term_active = layout.term_active
+    out_add = layout.out_add
+    area_base = layout.area_base
+    flow_leaf = layout.flow_leaf
+    flow_active = layout.flow_active
+    cand_node = layout.cand_node
+    winner_cands: List[np.ndarray] = []
+    winner_nodes: List[np.ndarray] = []
+    scalar_nodes = 0
+
+    wave_groups = arrays.and_level_groups()
+    for wave_index, nodes in enumerate(wave_groups):
+        lo, hi = layout.wave_bounds[wave_index]
+        if hi > lo:
+            sl = slice(lo, hi)
+            t = arrival[term_leaf[sl]] + term_add0[sl]
+            t += term_add1[sl]
+            t = np.where(term_active[sl], t, _NEG_INF)
+            cand_arr = t.max(axis=1)
+            np.maximum(cand_arr, 0.0, out=cand_arr)
+            cand_arr += out_add[sl]
+            f = np.where(flow_active[sl], flow_div[flow_leaf[sl]], 0.0)
+            flow = f[:, 0] + f[:, 1]
+            flow += f[:, 2]
+            flow += f[:, 3]
+            cand_area = area_base[sl] + flow
+            w_node = cand_node[sl]
+            if delay_mode:
+                order = np.lexsort((cand_area, cand_arr, w_node))
+            else:
+                order = np.lexsort((cand_arr, cand_area, w_node))
+            ordered_nodes = w_node[order]
+            first = np.empty(len(order), dtype=bool)
+            first[0] = True
+            first[1:] = ordered_nodes[1:] != ordered_nodes[:-1]
+            win = order[first]
+            win_nodes = ordered_nodes[first]
+            arrival[win_nodes] = cand_arr[win]
+            area_flow[win_nodes] = cand_area[win]
+            got[win_nodes] = True
+            winner_cands.append(win + lo)
+            winner_nodes.append(win_nodes)
+
+        rest = nodes[~got[nodes]]
+        if len(rest):
+            scalar_nodes += len(rest)
+            for var in rest.tolist():
+                choice, cand_arrival, cand_area_v = mapper._choose_for_node(
+                    aig,
+                    var,
+                    _node_cuts_from_arrays(ca, var),
+                    arrival,
+                    area_flow,
+                    fanout,
+                )
+                chosen[var] = choice
+                arrival[var] = cand_arrival
+                area_flow[var] = cand_area_v
+        flow_div[nodes] = area_flow[nodes] / fan_clip[nodes]
+
+    # Materialise winner choices (match object + support-ordered leaves).
+    _build_winner_choices(layout, mt, winner_cands, winner_nodes, chosen)
+
+    and_list = arrays.and_vars.tolist()
+    choices = {var: chosen[var] for var in and_list}
+    arrival_list: List[Optional[float]] = arrival.tolist()
+    area_list: List[Optional[float]] = area_flow.tolist()
+
+    stats = DpStats(
+        used_vectorized=True,
+        total_ands=len(and_list),
+        vector_nodes=len(and_list) - scalar_nodes,
+        scalar_nodes=scalar_nodes,
+        hazard_fallbacks=ca.hazard_fallbacks,
+    )
+    return DpResult(
+        choices=choices,
+        arrival=arrival_list,
+        area_flow=area_list,
+        cut_arrays=ca,
+        stats=stats,
+    )
+
+
+def _build_winner_choices(
+    layout: CandidateLayout,
+    mt: MatchTables,
+    winner_cands: List[np.ndarray],
+    winner_nodes: List[np.ndarray],
+    chosen: Dict[int, object],
+) -> None:
+    """Attach CellChoice objects for every vectorized winner."""
+    from repro.mapping.mapper import CellChoice
+
+    if not winner_cands:
+        return
+    wins = np.concatenate(winner_cands)
+    nodes = np.concatenate(winner_nodes)
+    # Candidate -> its cut's support leaves: recover the selected-cut index
+    # of each candidate by position (cand arrays were built cut-major).
+    # layout.flow_leaf rows ARE the support leaves of the candidate's cut.
+    leaves_rows = layout.flow_leaf[wins].tolist()
+    # Per-candidate support count: number of active flow columns.
+    cnt_rows = layout.flow_active[wins].sum(axis=1).tolist()
+    match_rows = layout.cand_match[wins].tolist()
+    for var, leaves, cnt, mrow in zip(
+        nodes.tolist(), leaves_rows, cnt_rows, match_rows
+    ):
+        chosen[var] = CellChoice(
+            match=mt.matches[mrow], leaves=tuple(leaves[:cnt])
+        )

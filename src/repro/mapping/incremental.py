@@ -195,27 +195,40 @@ class IncrementalMapper:
         :meth:`TechnologyMapper.map` produces, because the persistent
         allocator starts empty and therefore assigns ids in emission order.
         """
+        from repro.mapping import dp_arrays
+
         mapper = self.mapper
         hashes = node_hashes_cached(aig)
         fanout = aig.fanout_counts()
-        cuts = mapper.enumerate_all_cuts(aig)
-        arrival: List[Optional[float]] = [None] * aig.size
-        area_flow: List[Optional[float]] = [None] * aig.size
-        arrival[0] = 0.0
-        area_flow[0] = 0.0
-        choices: Dict[int, NodeChoice] = {}
-        for var in aig.pi_vars:
-            arrival[var] = 0.0
-            area_flow[var] = 0.0
-        dp_nodes = 0
-        for var in aig.arrays().and_vars.tolist():
-            choice, cand_arrival, cand_area = mapper._choose_for_node(
-                aig, var, cuts.get(var) or [], arrival, area_flow, fanout
-            )
-            choices[var] = choice
-            arrival[var] = cand_arrival
-            area_flow[var] = cand_area
-            dp_nodes += 1
+        dp_result = dp_arrays.try_full_dp(mapper, aig)
+        if dp_result is not None:
+            # Same DP, array-batched: identical choices, arrivals and area
+            # flows (see tests/test_dp_arrays.py); the cut dictionary is
+            # materialised from the same array-form cut sets.
+            cuts = dp_result.cut_arrays.to_cut_dict(aig)
+            arrival = dp_result.arrival
+            area_flow = dp_result.area_flow
+            choices = dp_result.choices
+            dp_nodes = aig.num_ands
+        else:
+            cuts = mapper.enumerate_all_cuts(aig)
+            arrival = [None] * aig.size
+            area_flow = [None] * aig.size
+            arrival[0] = 0.0
+            area_flow[0] = 0.0
+            choices = {}
+            for var in aig.pi_vars:
+                arrival[var] = 0.0
+                area_flow[var] = 0.0
+            dp_nodes = 0
+            for var in aig.arrays().and_vars.tolist():
+                choice, cand_arrival, cand_area = mapper._choose_for_node(
+                    aig, var, cuts.get(var) or [], arrival, area_flow, fanout
+                )
+                choices[var] = choice
+                arrival[var] = cand_arrival
+                area_flow[var] = cand_area
+                dp_nodes += 1
         alloc = PersistentNetAllocator(aig.num_pis)
         netlist = self._emit(aig, choices, hashes, alloc)
         state = MappingState(

@@ -121,6 +121,9 @@ class TechnologyMapper:
             raise MappingError("library cannot match two-input functions")
         self._inv_cell = library.inverter
         self._inv_delay = self._inv_cell.worst_delay_ps(self.options.estimated_load_ff)
+        #: Filled by every _select_choices call; the cold-map benchmark and
+        #: CI smoke gate read it to detect silent scalar fallbacks.
+        self.last_dp_stats = None
 
     # ------------------------------------------------------------------ #
     def map(self, aig: Aig) -> MappedNetlist:
@@ -153,6 +156,15 @@ class TechnologyMapper:
     def _select_choices(
         self, aig: Aig
     ) -> Tuple[Dict[int, NodeChoice], List[Optional[float]]]:
+        from repro.mapping import dp_arrays
+
+        result = dp_arrays.try_full_dp(self, aig)
+        if result is not None:
+            self.last_dp_stats = result.stats
+            return result.choices, result.arrival
+        self.last_dp_stats = dp_arrays.DpStats(
+            used_vectorized=False, reason="unsupported or disabled"
+        )
         cuts = self.enumerate_all_cuts(aig)
         fanout = aig.fanout_counts()
         # Dense per-variable DP state (variable order is topological, so a
